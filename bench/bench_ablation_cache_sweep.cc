@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation: secondary cache capacity sweep.
+ *
+ * Extends the paper's three L2 points (1/2/8 MB) to a full sweep,
+ * quantifying how quickly MPEG-4's L2 behaviour saturates - the
+ * counterpart of Ranganathan et al.'s claim that large images need
+ * 12x larger L2 caches, which the paper refutes.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "core/machine.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+int
+main()
+{
+    using namespace m4ps;
+
+    const core::Workload wl = bench::benchWorkload(1024, 768, 1, 1);
+    auto stream = core::ExperimentRunner::encodeUntraced(wl);
+
+    TextTable t("Ablation: L2 capacity sweep (1024x768, 1 VO)");
+    t.header({"L2 size", "enc L2C miss rate", "enc DRAM time",
+              "dec L2C miss rate", "dec DRAM time",
+              "dec L2-DRAM b/w (MB/s)"});
+
+    for (const uint64_t kb :
+         {128, 256, 512, 1024, 2048, 4096, 8192, 16384}) {
+        const core::MachineConfig m = core::customL2Machine(kb * 1024);
+        inform("L2 = ", kb, "KB");
+        const core::RunResult enc =
+            core::ExperimentRunner::runEncode(wl, m);
+        const core::RunResult dec =
+            core::ExperimentRunner::runDecode(wl, m, stream);
+        t.row({m.label().substr(5),
+               TextTable::pct(enc.whole.l2MissRate),
+               TextTable::pct(enc.whole.dramTime),
+               TextTable::pct(dec.whole.l2MissRate),
+               TextTable::pct(dec.whole.dramTime),
+               TextTable::num(dec.whole.l2DramBwMBs, 1)});
+    }
+    std::cout << "\n";
+    t.print();
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Future-work experiment: processor-to-memory speed ratio.
+ *
+ * The paper's closing question: "we will conduct simulation studies
+ * to determine at what ratio of processor-to-memory speed ... the
+ * performance of MPEG-4 does finally become memory limited" (§4).
+ * This harness scales the core clock while holding DRAM latency
+ * fixed in nanoseconds, and reports where DRAM stall time crosses
+ * meaningful thresholds.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "core/machine.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+int
+main()
+{
+    using namespace m4ps;
+
+    const core::Workload wl = bench::benchWorkload(720, 576, 1, 1);
+    auto stream = core::ExperimentRunner::encodeUntraced(wl);
+
+    const core::MachineConfig base = core::o2R12k1MB();
+    const double dram_ns =
+        base.cost.dramLatency / base.cost.clockMhz * 1000.0;
+
+    TextTable t("Future work: when does MPEG-4 become memory "
+                "limited?  (clock scaling, fixed DRAM ns, 1MB L2)");
+    t.header({"clock", "CPU:DRAM ratio", "enc DRAM time",
+              "dec DRAM time", "dec L2-DRAM b/w (MB/s)",
+              "memory limited?"});
+
+    for (const int mult : {1, 2, 4, 8, 16, 32}) {
+        core::MachineConfig m = base;
+        m.cost.clockMhz = base.cost.clockMhz * mult;
+        // Same DRAM nanoseconds = proportionally more stall cycles.
+        m.cost.dramLatency = dram_ns * m.cost.clockMhz / 1000.0;
+        inform("clock x", mult);
+        const core::RunResult enc =
+            core::ExperimentRunner::runEncode(wl, m);
+        const core::RunResult dec =
+            core::ExperimentRunner::runDecode(wl, m, stream);
+        const bool limited = dec.whole.dramTime > 0.5;
+        t.row({TextTable::num(m.cost.clockMhz, 0) + " MHz",
+               TextTable::num(m.cost.dramLatency, 0) + " cyc",
+               TextTable::pct(enc.whole.dramTime),
+               TextTable::pct(dec.whole.dramTime),
+               TextTable::num(dec.whole.l2DramBwMBs, 1),
+               limited ? "YES" : "no"});
+    }
+    std::cout << "\n";
+    t.print();
+    std::cout << "\nReading: at 2003-era clock ratios the workload "
+                 "is compute bound; only at many-fold higher\n"
+                 "processor-to-memory ratios does DRAM stall time "
+                 "begin to dominate.\n";
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 4: L2C data miss rates for varying numbers of objects and
+ * layers (encoding and decoding, both sizes, R10K with 2 MB L2).
+ *
+ * Expected shape: as for Figure 3 but at L2 scale - no degradation
+ * as objects/layers grow, and if anything slight improvement
+ * ("improving under pressure").
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "core/machine.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+int
+main()
+{
+    using namespace m4ps;
+
+    const core::MachineConfig m = core::onyxR10k2MB();
+    const std::vector<std::tuple<std::string, int, int>> configs{
+        {"1 VO, 1 layer", 1, 1},
+        {"3 VOs, 1 layer each", 3, 1},
+        {"3 VOs, 2 layers each", 3, 2},
+    };
+
+    TextTable t("Figure 4. L2C Miss Rates for Varying Numbers of "
+                "Objects and Layers (R10K, 2MB L2C)");
+    t.header({"configuration", "enc 720x576", "dec 720x576",
+              "enc 1024x768", "dec 1024x768"});
+
+    for (const auto &[label, vos, layers] : configs) {
+        std::vector<std::string> row{label};
+        for (const auto &[w, h] :
+             {std::pair{720, 576}, std::pair{1024, 768}}) {
+            const core::Workload wl =
+                bench::benchWorkload(w, h, vos, layers);
+            inform("fig4: ", wl.name);
+            std::vector<uint8_t> stream;
+            const core::RunResult enc =
+                core::ExperimentRunner::runEncode(wl, m, &stream);
+            const core::RunResult dec =
+                core::ExperimentRunner::runDecode(wl, m, stream);
+            row.push_back(TextTable::pct(enc.whole.l2MissRate));
+            row.push_back(TextTable::pct(dec.whole.l2MissRate));
+        }
+        t.row({row[0], row[1], row[2], row[3], row[4]});
+    }
+    std::cout << "\n";
+    t.print();
+    return 0;
+}

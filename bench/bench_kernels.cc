@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Kernel micro-benchmarks (google-benchmark): the primitives whose
+ * composition the paper studies - SAD, DCT, quantization, scans,
+ * run-length coding, arithmetic coding, motion search, and the
+ * cache simulator itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "codec/arith.hh"
+#include "codec/dct.hh"
+#include "codec/motion.hh"
+#include "codec/quant.hh"
+#include "codec/rlc.hh"
+#include "codec/shape.hh"
+#include "codec/zigzag.hh"
+#include "memsim/hierarchy.hh"
+#include "support/random.hh"
+#include "video/scene.hh"
+
+namespace
+{
+
+using namespace m4ps;
+
+codec::Block
+randomBlock(int amplitude, uint64_t seed = 3)
+{
+    Rng rng(seed);
+    codec::Block b;
+    for (auto &v : b)
+        v = static_cast<int16_t>(rng.uniformInt(-amplitude, amplitude));
+    return b;
+}
+
+video::Plane
+texturedPlane(memsim::SimContext &ctx, int w, int h, uint32_t seed)
+{
+    video::Plane p(ctx, w, h);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            p.rawAt(x, y) = video::textureSample(seed, x, y);
+    return p;
+}
+
+void
+BM_ForwardDct(benchmark::State &state)
+{
+    const codec::Block in = randomBlock(255);
+    codec::Block out;
+    for (auto _ : state) {
+        codec::forwardDct(in, out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForwardDct);
+
+void
+BM_InverseDct(benchmark::State &state)
+{
+    const codec::Block in = randomBlock(1024);
+    codec::Block out;
+    for (auto _ : state) {
+        codec::inverseDct(in, out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InverseDct);
+
+void
+BM_Quantize(benchmark::State &state)
+{
+    const codec::Block in = randomBlock(2000);
+    codec::Block out;
+    const codec::QuantParams qp{8, state.range(0) != 0, false, true};
+    for (auto _ : state) {
+        codec::quantize(in, out, qp);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Quantize)->Arg(0)->Arg(1);
+
+void
+BM_ZigzagScan(benchmark::State &state)
+{
+    const codec::Block in = randomBlock(500);
+    codec::Block out;
+    for (auto _ : state) {
+        codec::scan(in, out);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_ZigzagScan);
+
+void
+BM_RunLengthEncode(benchmark::State &state)
+{
+    // Sparse block: realistic post-quantization density.
+    Rng rng(4);
+    codec::Block b{};
+    for (auto &v : b)
+        if (rng.chance(0.1))
+            v = static_cast<int16_t>(rng.uniformInt(-64, 64));
+    for (auto _ : state) {
+        auto events = codec::runLengthEncode(b);
+        benchmark::DoNotOptimize(events);
+    }
+}
+BENCHMARK(BM_RunLengthEncode);
+
+void
+BM_ArithEncodeBit(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<bool> bits;
+    for (int i = 0; i < 4096; ++i)
+        bits.push_back(rng.chance(0.2));
+    for (auto _ : state) {
+        codec::ArithEncoder enc;
+        codec::ArithContext ctx;
+        for (bool b : bits)
+            enc.encodeBit(ctx, b);
+        auto bytes = enc.finish();
+        benchmark::DoNotOptimize(bytes);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ArithEncodeBit);
+
+void
+BM_Sad16(benchmark::State &state)
+{
+    memsim::SimContext ctx; // untraced
+    video::Plane a = texturedPlane(ctx, 128, 128, 1);
+    video::Plane b = texturedPlane(ctx, 128, 128, 2);
+    for (auto _ : state) {
+        const int sad = codec::sad16(a, 32, 32, b, 34, 30, INT32_MAX);
+        benchmark::DoNotOptimize(sad);
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_Sad16);
+
+void
+BM_MotionSearchPerMacroblock(benchmark::State &state)
+{
+    const int range = static_cast<int>(state.range(0));
+    memsim::SimContext ctx;
+    video::Plane cur = texturedPlane(ctx, 256, 256, 3);
+    video::Plane ref = texturedPlane(ctx, 256, 256, 3);
+    // Shift the reference slightly so the search does real work.
+    for (int y = 255; y > 0; --y)
+        for (int x = 255; x > 2; --x)
+            ref.rawAt(x, y) = ref.rawAt(x - 2, y - 1);
+    for (auto _ : state) {
+        const codec::SearchResult r =
+            codec::motionSearch(cur, ref, 112, 112, range, true);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_MotionSearchPerMacroblock)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_MotionSearchTraced(benchmark::State &state)
+{
+    // Same search through the cache model: the simulation overhead
+    // the experiment harness pays.
+    memsim::MemoryHierarchy mem({32 * 1024, 2, 32},
+                                {1024 * 1024, 2, 128},
+                                memsim::CostModel{});
+    memsim::SimContext ctx(&mem);
+    video::Plane cur = texturedPlane(ctx, 256, 256, 3);
+    video::Plane ref = texturedPlane(ctx, 256, 256, 4);
+    for (auto _ : state) {
+        const codec::SearchResult r =
+            codec::motionSearch(cur, ref, 112, 112, 8, true);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_MotionSearchTraced);
+
+void
+BM_ShapeEncodeBab(benchmark::State &state)
+{
+    memsim::SimContext ctx;
+    video::Plane mask(ctx, 64, 64);
+    mask.fill(0);
+    for (int y = 0; y < 64; ++y)
+        for (int x = 0; x < 64; ++x)
+            if ((x - 32) * (x - 32) + (y - 32) * (y - 32) < 500)
+                mask.rawAt(x, y) = 255;
+    for (auto _ : state) {
+        codec::ShapeCoder coder;
+        codec::ArithEncoder enc;
+        coder.encodeBab(enc, mask, 16, 16);
+        auto bytes = enc.finish();
+        benchmark::DoNotOptimize(bytes);
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ShapeEncodeBab);
+
+void
+BM_CacheAccessThroughput(benchmark::State &state)
+{
+    memsim::Cache cache({32 * 1024, 2, 32});
+    Rng rng(6);
+    std::vector<uint64_t> addrs;
+    for (int i = 0; i < 4096; ++i)
+        addrs.push_back(
+            static_cast<uint64_t>(rng.uniformInt(0, 1 << 20)));
+    for (auto _ : state) {
+        for (uint64_t a : addrs)
+            benchmark::DoNotOptimize(cache.access(a, false).hit);
+    }
+    state.SetItemsProcessed(state.iterations() * addrs.size());
+}
+BENCHMARK(BM_CacheAccessThroughput);
+
+void
+BM_HierarchyRowLoad(benchmark::State &state)
+{
+    memsim::MemoryHierarchy mem({32 * 1024, 2, 32},
+                                {1024 * 1024, 2, 128},
+                                memsim::CostModel{});
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        mem.loadRow(addr, 16, 16);
+        addr = (addr + 736) & ((1 << 22) - 1); // next frame row
+    }
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_HierarchyRowLoad);
+
+} // namespace
+
+BENCHMARK_MAIN();

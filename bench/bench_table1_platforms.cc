@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table 1: common platform highlights of the three modelled SGI
+ * machines (O2, Onyx VTX, Onyx2 InfiniteReality).
+ */
+
+#include <iostream>
+
+#include "core/machine.hh"
+#include "support/table.hh"
+
+int
+main()
+{
+    using namespace m4ps;
+
+    TextTable t("Table 1. Common Platform Highlights (modelled)");
+    t.header({"machine", "CPU", "L1 D-cache", "L2 cache", "clock",
+              "DRAM latency", "prefetch-hit ctr"});
+    for (const core::MachineConfig &m : core::paperMachines()) {
+        t.row({m.name, m.cpu, m.l1.str(), m.l2.str(),
+               TextTable::num(m.cost.clockMhz, 0) + " MHz",
+               TextTable::num(m.cost.dramLatency, 0) + " cyc",
+               m.prefetchHitCounter ? "yes" : "no"});
+    }
+    t.print();
+
+    const core::MachineConfig ref = core::paperMachines().front();
+    std::cout << "\nShared memory system (Table 1):\n"
+              << "  system bus: 64 bits, 133 MHz, split transaction\n"
+              << "  main memory: 4-way interleaved SDRAM\n"
+              << "  sustained bandwidth: "
+              << TextTable::num(ref.busSustainedMBs, 0)
+              << " MB/s (peak " << TextTable::num(ref.busPeakMBs, 0)
+              << " MB/s)\n"
+              << "  cost model: " << ref.cost.str() << "\n";
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Table 2: video encoding, one visual object, one layer.
+ *
+ * Paper layout: nine memory metrics for 720x576 and 1024x768 frames
+ * across R12K/1MB, R10K/2MB, and R12K/8MB machines.  Expected
+ * shapes: L1C miss rate ~0.1%, line reuse near a thousand, DRAM
+ * stall a few percent at most, and single-digit MB/s bus traffic.
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    m4ps::bench::TableSpec spec;
+    spec.title =
+        "Table 2. Video Encoding: One Visual Object, One Layer";
+    spec.numVos = 1;
+    spec.layers = 1;
+    spec.direction = m4ps::bench::Direction::Encode;
+    const auto grid = m4ps::bench::runTableGrid(spec);
+    m4ps::bench::printVerdicts(grid);
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Table 3: video decoding, one visual object, one layer.
+ *
+ * Expected shapes: higher L1 miss rate than encoding (~0.3-0.4%) but
+ * line reuse still in the hundreds; DRAM stall largest on the 1 MB
+ * L2 (paper: ~11%) and small on the 8 MB L2; bandwidth use remains
+ * a few percent of the 680 MB/s the bus sustains.
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    m4ps::bench::TableSpec spec;
+    spec.title =
+        "Table 3. Video Decoding: One Visual Object, One Layer";
+    spec.numVos = 1;
+    spec.layers = 1;
+    spec.direction = m4ps::bench::Direction::Decode;
+    const auto grid = m4ps::bench::runTableGrid(spec);
+    m4ps::bench::printVerdicts(grid);
+    return 0;
+}

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Table 4: video encoding, three visual objects, one layer each
+ * (rectangular background VO plus two arbitrary-shape VOs).
+ *
+ * Expected shape: cache performance does not degrade relative to
+ * Table 2 despite the ~3x memory requirements - the paper's
+ * "improving under pressure" paradox.
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    m4ps::bench::TableSpec spec;
+    spec.title =
+        "Table 4. Video Encoding: Three Visual Objects, One Layer "
+        "Each";
+    spec.numVos = 3;
+    spec.layers = 1;
+    spec.direction = m4ps::bench::Direction::Encode;
+    const auto grid = m4ps::bench::runTableGrid(spec);
+    m4ps::bench::printVerdicts(grid);
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Table 5: video decoding, three visual objects, one layer each.
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    m4ps::bench::TableSpec spec;
+    spec.title =
+        "Table 5. Video Decoding: Three Visual Objects, One Layer "
+        "Each";
+    spec.numVos = 3;
+    spec.layers = 1;
+    spec.direction = m4ps::bench::Direction::Decode;
+    const auto grid = m4ps::bench::runTableGrid(spec);
+    m4ps::bench::printVerdicts(grid);
+    return 0;
+}

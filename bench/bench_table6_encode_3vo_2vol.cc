@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Table 6: video encoding, three visual objects, two layers each
+ * (spatially scalable: half-resolution base + enhancement).
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    m4ps::bench::TableSpec spec;
+    spec.title =
+        "Table 6. Video Encoding: Three Visual Objects, Two Layers "
+        "Each";
+    spec.numVos = 3;
+    spec.layers = 2;
+    spec.direction = m4ps::bench::Direction::Encode;
+    const auto grid = m4ps::bench::runTableGrid(spec);
+    m4ps::bench::printVerdicts(grid);
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Table 7: video decoding, three visual objects, two layers each.
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    m4ps::bench::TableSpec spec;
+    spec.title =
+        "Table 7. Video Decoding: Three Visual Objects, Two Layers "
+        "Each";
+    spec.numVos = 3;
+    spec.layers = 2;
+    spec.direction = m4ps::bench::Direction::Decode;
+    const auto grid = m4ps::bench::runTableGrid(spec);
+    m4ps::bench::printVerdicts(grid);
+    return 0;
+}

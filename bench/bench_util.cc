@@ -1,0 +1,71 @@
+#include "bench/bench_util.hh"
+
+#include <iostream>
+
+#include "core/machine.hh"
+#include "core/report.hh"
+#include "core/workload.hh"
+#include "support/logging.hh"
+
+namespace m4ps::bench
+{
+
+core::Workload
+benchWorkload(int w, int h, int num_vos, int layers)
+{
+    core::Workload wl = core::paperWorkload(w, h, num_vos, layers);
+    wl.frames = core::benchFrames(30);
+    return wl;
+}
+
+GridResult
+runTableGrid(const TableSpec &spec)
+{
+    GridResult grid;
+    std::vector<core::MemoryReport> columns;
+
+    for (const auto &[w, h] : spec.sizes) {
+        const core::Workload wl =
+            benchWorkload(w, h, spec.numVos, spec.layers);
+        // One untraced encode feeds all three decode columns.
+        std::vector<uint8_t> stream;
+        if (spec.direction == Direction::Decode)
+            stream = core::ExperimentRunner::encodeUntraced(wl);
+
+        for (const core::MachineConfig &m : core::paperMachines()) {
+            inform("running ", wl.name, " on ", m.label(), " (",
+                   spec.direction == Direction::Encode ? "encode"
+                                                       : "decode",
+                   ", ", wl.frames, " frames)");
+            core::RunResult r =
+                spec.direction == Direction::Encode
+                    ? core::ExperimentRunner::runEncode(wl, m)
+                    : core::ExperimentRunner::runDecode(wl, m,
+                                                        stream);
+            grid.labels.push_back(wl.sizeLabel() + " " + m.label());
+            columns.push_back(r.whole);
+            grid.runs.push_back(std::move(r));
+        }
+    }
+
+    std::cout << "\n";
+    core::printMetricTable(spec.title, grid.labels, columns);
+    return grid;
+}
+
+void
+printVerdicts(const GridResult &grid)
+{
+    const auto machines = core::paperMachines();
+    std::cout << "\nFallacy checks (every row should refute the "
+                 "conventional wisdom):\n";
+    for (size_t i = 0; i < grid.runs.size(); ++i) {
+        const core::MachineConfig &m = machines[i % machines.size()];
+        const core::FallacyVerdicts v =
+            core::judge(grid.runs[i].whole, m);
+        std::cout << "  " << grid.labels[i] << ": " << v.str() << "\n";
+    }
+    std::cout << std::flush;
+}
+
+} // namespace m4ps::bench

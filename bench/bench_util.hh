@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure harness binaries.
+ *
+ * Every paper table reports the same nine metrics for a (workload,
+ * machine) grid: two image sizes by three machines.  runTableGrid()
+ * produces that grid for encode or decode and prints it in the
+ * paper's layout.  Frame count defaults to the paper's 30 and can be
+ * reduced via M4PS_FRAMES for quick runs.
+ */
+
+#ifndef M4PS_BENCH_BENCH_UTIL_HH
+#define M4PS_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "core/fallacies.hh"
+#include "core/runner.hh"
+
+namespace m4ps::bench
+{
+
+/** Encode or decode direction of a table. */
+enum class Direction
+{
+    Encode,
+    Decode,
+};
+
+/** One (size, machine) grid of paper metrics, printed side by side. */
+struct TableSpec
+{
+    std::string title;
+    int numVos = 1;
+    int layers = 1;
+    Direction direction = Direction::Encode;
+    std::vector<std::pair<int, int>> sizes{{720, 576}, {1024, 768}};
+};
+
+/** Results of a grid run, kept for cross-table analysis. */
+struct GridResult
+{
+    std::vector<std::string> labels;
+    std::vector<core::RunResult> runs;
+};
+
+/** Run the spec over the three paper machines and print the table. */
+GridResult runTableGrid(const TableSpec &spec);
+
+/** Print the fallacy verdicts for every column of a grid. */
+void printVerdicts(const GridResult &grid);
+
+/** Paper workload for a sweep entry (frames from M4PS_FRAMES). */
+core::Workload benchWorkload(int w, int h, int num_vos, int layers);
+
+} // namespace m4ps::bench
+
+#endif // M4PS_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Object-based coding: the feature that distinguishes MPEG-4.
+ *
+ * "The decomposition of media data into objects ... allows a single
+ * protocol to manage a broad range of heterogeneous media content"
+ * (paper §1).  This example encodes a scene as three visual objects
+ * (background + two shaped foreground objects), then demonstrates
+ * object-level interactivity at the receiver: the full composition,
+ * and a selective composition that drops one object - without
+ * re-encoding anything.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "codec/decoder.hh"
+#include "codec/encoder.hh"
+#include "video/composite.hh"
+#include "video/quality.hh"
+#include "video/scene.hh"
+
+int
+main()
+{
+    using namespace m4ps;
+
+    constexpr int kW = 352;
+    constexpr int kH = 288;
+    constexpr int kFrames = 9;
+    constexpr int kVos = 3;
+
+    memsim::SimContext ctx;
+    video::SceneGenerator scene(kW, kH, kVos - 1, /*seed=*/99);
+
+    // ---- encode: one VO per scene object --------------------------
+    codec::EncoderConfig cfg;
+    cfg.width = kW;
+    cfg.height = kH;
+    cfg.numVos = kVos;
+    cfg.targetBps = 2.0e6;
+    codec::Mpeg4Encoder encoder(ctx, cfg);
+
+    video::Yuv420Image background(ctx, kW, kH);
+    std::vector<video::Yuv420Image> obj_frames;
+    std::vector<video::Plane> obj_alphas;
+    for (int o = 0; o < kVos - 1; ++o) {
+        obj_frames.emplace_back(ctx, kW, kH);
+        obj_alphas.emplace_back(ctx, kW, kH);
+    }
+
+    for (int t = 0; t < kFrames; ++t) {
+        scene.renderBackground(t, background);
+        std::vector<codec::VoInput> inputs{{&background, nullptr}};
+        for (int o = 0; o < kVos - 1; ++o) {
+            scene.renderObject(t, o, obj_frames[o], obj_alphas[o]);
+            inputs.push_back({&obj_frames[o], &obj_alphas[o]});
+        }
+        encoder.encodeFrame(inputs, t);
+    }
+    const std::vector<uint8_t> stream = encoder.finish();
+    std::printf("encoded %d VOs x %d frames into %zu bytes\n", kVos,
+                kFrames, stream.size());
+
+    // ---- decode with object-level control --------------------------
+    // Composite two versions of timestamp 4: everything, and the
+    // scene without object VO2 (receiver-side manipulation).
+    video::Yuv420Image full(ctx, kW, kH), partial(ctx, kW, kH);
+    std::map<int, int> bits_per_vo;
+
+    codec::Mpeg4Decoder decoder(ctx);
+    decoder.decode(stream, [&](const codec::DecodedEvent &e) {
+        if (e.timestamp != 4)
+            return;
+        video::compositeOver(full, *e.frame, e.alpha);
+        if (e.voId != 2)
+            video::compositeOver(partial, *e.frame, e.alpha);
+    });
+
+    video::Yuv420Image original(ctx, kW, kH);
+    scene.renderFrame(4, original);
+    std::printf("frame t=4, full composition:    PSNR-Y %.2f dB\n",
+                video::psnrY(original, full));
+    std::printf("frame t=4, without object VO2:  PSNR-Y %.2f dB "
+                "(object removed at the receiver)\n",
+                video::psnrY(original, partial));
+
+    // The removed object's pixels differ; the rest is identical.
+    double diff = 0;
+    for (int y = 0; y < kH; ++y)
+        for (int x = 0; x < kW; ++x)
+            diff += full.y().rawAt(x, y) != partial.y().rawAt(x, y);
+    std::printf("pixels affected by dropping VO2: %.1f%% of the "
+                "frame\n",
+                100.0 * diff / (kW * kH));
+    std::printf("\nUncorrelated objects are coded and transmitted "
+                "separately; the receiver recomposes\nthe scene - or "
+                "chooses not to (paper, section 1).\n");
+    return 0;
+}

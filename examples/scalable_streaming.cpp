@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Scalable delivery: one encoded stream, three receivers.
+ *
+ * Spatial scalability exists so a single encoding can serve
+ * heterogeneous receivers.  This example encodes a two-layer,
+ * two-object scene once, then derives - by pure startcode-level
+ * remuxing, no re-encoding - (a) the full stream, (b) a base-layer
+ * stream for a low-resolution terminal, and (c) a background-only
+ * base stream for the most constrained receiver, and decodes each.
+ */
+
+#include <cstdio>
+
+#include "codec/decoder.hh"
+#include "codec/streamtools.hh"
+#include "core/runner.hh"
+#include "core/workload.hh"
+
+namespace
+{
+
+using namespace m4ps;
+
+void
+playback(const char *label, const std::vector<uint8_t> &stream)
+{
+    memsim::SimContext ctx;
+    codec::Mpeg4Decoder dec(ctx);
+    int frames = 0, w = 0, h = 0, vos = 0;
+    const codec::DecodeStats stats =
+        dec.decode(stream, [&](const codec::DecodedEvent &e) {
+            ++frames;
+            w = e.frame->width();
+            h = e.frame->height();
+        });
+    vos = stats.vos;
+    std::printf("  %-22s %7zu bytes  %d VOs x %d layer(s)  "
+                "%d display frames at %dx%d\n",
+                label, stream.size(), vos, stats.volsPerVo,
+                frames / vos, w, h);
+}
+
+} // namespace
+
+int
+main()
+{
+    core::Workload wl = core::paperWorkload(352, 288, 2, 2);
+    wl.frames = 8;
+    wl.targetBps = 2e6;
+
+    std::printf("encoding once: %d frames, %d VOs, %d layers...\n",
+                wl.frames, wl.numVos, wl.layers);
+    const std::vector<uint8_t> full =
+        core::ExperimentRunner::encodeUntraced(wl);
+
+    const std::vector<uint8_t> base = codec::extractBaseLayer(full);
+    const std::vector<uint8_t> minimal =
+        codec::extractVoPrefix(base, 1);
+
+    std::printf("\nderived streams (startcode-level remux only):\n");
+    playback("full (2 VO, 2 layers)", full);
+    playback("base layer only", base);
+    playback("background base only", minimal);
+
+    std::printf("\nOne encoding served three receivers; the network "
+                "dropped sections, nobody re-encoded.\n");
+    return 0;
+}

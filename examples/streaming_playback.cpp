@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Streaming playback: the scenario that motivated the paper.
+ *
+ * "With its new, real-time streaming feature, MPEG-4 poses a
+ * potential nightmare for a traditional memory hierarchy" - or so
+ * the conventional wisdom went.  This example decodes a PAL stream
+ * on the modelled O2 (R12K, 1 MB L2) and reports, per displayed
+ * frame, the modelled decode time against the 33 ms real-time
+ * budget, plus the memory-system verdicts at the end.
+ */
+
+#include <cstdio>
+
+#include "codec/decoder.hh"
+#include "core/fallacies.hh"
+#include "core/runner.hh"
+
+int
+main()
+{
+    using namespace m4ps;
+
+    core::Workload wl = core::paperWorkload(720, 576, 1, 1);
+    wl.frames = 15;
+    wl.targetBps = 384000; // a realistic streaming rate
+
+    std::printf("producing the elementary stream (untraced)...\n");
+    const std::vector<uint8_t> stream =
+        core::ExperimentRunner::encodeUntraced(wl);
+    std::printf("stream: %zu bytes for %d frames of %s video\n",
+                stream.size(), wl.frames, wl.sizeLabel().c_str());
+
+    // Decode on the modelled machine, tracking modelled time.
+    const core::MachineConfig machine = core::o2R12k1MB();
+    auto mem = machine.makeHierarchy();
+    memsim::SimContext ctx(mem.get());
+
+    const double frame_budget = 1.0 / wl.frameRate;
+    double last_t = 0;
+    int shown = 0;
+    codec::Mpeg4Decoder decoder(ctx);
+    decoder.decode(stream, [&](const codec::DecodedEvent &e) {
+        const double now = mem->elapsedSeconds();
+        const double spent_ms = (now - last_t) * 1000.0;
+        last_t = now;
+        ++shown;
+        std::printf("  t=%2d decoded in %6.2f ms  (budget %.1f ms)  "
+                    "%s\n",
+                    e.timestamp, spent_ms, frame_budget * 1000.0,
+                    spent_ms <= frame_budget * 1000.0
+                        ? "real-time"
+                        : "LATE");
+    });
+
+    const core::MemoryReport report =
+        core::MemoryReport::from(mem->counters(), machine);
+    const core::FallacyVerdicts verdicts =
+        core::judge(report, machine);
+
+    std::printf("\nwhole-run memory behaviour on %s:\n",
+                machine.label().c_str());
+    std::printf("  L1 hit rate        %.2f%%\n",
+                (1.0 - report.l1MissRate) * 100.0);
+    std::printf("  L1 line reuse      %.0f uses per fill\n",
+                report.l1LineReuse);
+    std::printf("  DRAM stall share   %.2f%%\n",
+                report.dramTime * 100.0);
+    std::printf("  bus traffic        %.1f MB/s of %.0f MB/s "
+                "sustained (%.1f%%)\n",
+                report.l2DramBwMBs, machine.busSustainedMBs,
+                100.0 * report.l2DramBwMBs / machine.busSustainedMBs);
+    std::printf("  verdicts: %s\n", verdicts.str().c_str());
+    std::printf("\n\"Streaming MPEG-4\" does not really stream: the "
+                "blocked data layout keeps the\nworking set in the "
+                "primary cache (paper, section 3.2).\n");
+    return 0;
+}

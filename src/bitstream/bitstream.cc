@@ -1,0 +1,107 @@
+#include "bitstream/bitstream.hh"
+
+#include "support/logging.hh"
+
+namespace m4ps::bits
+{
+
+void
+BitWriter::putBits(uint32_t value, int count)
+{
+    M4PS_ASSERT(count >= 0 && count <= 32, "bad bit count ", count);
+    if (count < 32)
+        value &= (1u << count) - 1;
+    bitCount_ += count;
+    while (count > 0) {
+        const int take = std::min(count, 8 - accBits_);
+        const uint32_t chunk = (value >> (count - take)) &
+                               ((1u << take) - 1);
+        acc_ = (acc_ << take) | chunk;
+        accBits_ += take;
+        count -= take;
+        if (accBits_ == 8) {
+            buf_.push_back(static_cast<uint8_t>(acc_));
+            acc_ = 0;
+            accBits_ = 0;
+        }
+    }
+}
+
+void
+BitWriter::byteAlign()
+{
+    if (accBits_ > 0)
+        putBits(0, 8 - accBits_);
+}
+
+void
+BitWriter::byteAlignStuffing()
+{
+    // MPEG-4 next_start_code(): a '0' bit then '1' bits to alignment.
+    // We use the simpler 1-then-0s convention, which is self-delimiting
+    // for our decoder as well.
+    putBit(true);
+    byteAlign();
+}
+
+std::vector<uint8_t>
+BitWriter::take()
+{
+    byteAlign();
+    return std::move(buf_);
+}
+
+uint32_t
+BitReader::getBits(int count)
+{
+    M4PS_ASSERT(count >= 0 && count <= 32, "bad bit count ", count);
+    uint32_t v = 0;
+    for (int i = 0; i < count; ++i) {
+        const uint64_t byte = bitPos_ >> 3;
+        if (byte >= size_) {
+            // Reading past the end yields zero bits and sets the
+            // overrun flag; callers decide whether that is an error.
+            overrun_ = true;
+            v <<= 1;
+        } else {
+            const int shift = 7 - static_cast<int>(bitPos_ & 7);
+            v = (v << 1) | ((data_[byte] >> shift) & 1u);
+        }
+        ++bitPos_;
+    }
+    return v;
+}
+
+uint32_t
+BitReader::peekBits(int count) const
+{
+    M4PS_ASSERT(count >= 0 && count <= 24, "bad peek count ", count);
+    uint32_t v = 0;
+    uint64_t pos = bitPos_;
+    for (int i = 0; i < count; ++i, ++pos) {
+        const uint64_t byte = pos >> 3;
+        if (byte >= size_) {
+            v <<= 1;
+        } else {
+            const int shift = 7 - static_cast<int>(pos & 7);
+            v = (v << 1) | ((data_[byte] >> shift) & 1u);
+        }
+    }
+    return v;
+}
+
+void
+BitReader::byteAlign()
+{
+    bitPos_ = (bitPos_ + 7) & ~7ull;
+}
+
+void
+BitReader::seekBits(uint64_t bit_pos)
+{
+    M4PS_ASSERT(bit_pos <= size_ * 8, "seek past end");
+    bitPos_ = bit_pos;
+    overrun_ = false;
+}
+
+} // namespace m4ps::bits

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * MSB-first bit-level I/O over a byte buffer.
+ *
+ * The codec emits an MPEG-4-style bitstream: bit-packed headers and
+ * entropy-coded payload delimited by byte-aligned 32-bit startcodes.
+ * BitWriter/BitReader provide the bit-level substrate; startcode
+ * handling lives in startcode.hh.
+ */
+
+#ifndef M4PS_BITSTREAM_BITSTREAM_HH
+#define M4PS_BITSTREAM_BITSTREAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace m4ps::bits
+{
+
+/** Accumulates bits MSB-first into a growable byte buffer. */
+class BitWriter
+{
+  public:
+    BitWriter() = default;
+
+    /** Append the low @p count bits of @p value (MSB of the field first). */
+    void putBits(uint32_t value, int count);
+
+    /** Append a single bit. */
+    void putBit(bool b) { putBits(b ? 1 : 0, 1); }
+
+    /** Pad with zero bits to the next byte boundary (no-op if aligned). */
+    void byteAlign();
+
+    /** Pad to byte boundary with a 1 bit then zero bits (MPEG style). */
+    void byteAlignStuffing();
+
+    /** Total number of bits written so far. */
+    uint64_t bitCount() const { return bitCount_; }
+
+    /** True when the write position is byte aligned. */
+    bool aligned() const { return (bitCount_ % 8) == 0; }
+
+    /** Finish (align) and return the byte buffer. */
+    std::vector<uint8_t> take();
+
+    /** Read-only view of the bytes written so far (excludes partial byte). */
+    const std::vector<uint8_t> &bytes() const { return buf_; }
+
+  private:
+    std::vector<uint8_t> buf_;
+    uint32_t acc_ = 0;   //!< Bits not yet flushed, left-aligned in 8.
+    int accBits_ = 0;    //!< Number of valid bits in acc_.
+    uint64_t bitCount_ = 0;
+};
+
+/** Reads bits MSB-first from a byte buffer. */
+class BitReader
+{
+  public:
+    BitReader(const uint8_t *data, size_t size)
+        : data_(data), size_(size) {}
+
+    explicit BitReader(const std::vector<uint8_t> &buf)
+        : BitReader(buf.data(), buf.size()) {}
+
+    /** Read @p count bits (<= 32) as an unsigned value. */
+    uint32_t getBits(int count);
+
+    /** Read one bit. */
+    bool getBit() { return getBits(1) != 0; }
+
+    /** Peek @p count bits (<= 24) without consuming; zero-padded at EOF. */
+    uint32_t peekBits(int count) const;
+
+    /** Skip forward to the next byte boundary. */
+    void byteAlign();
+
+    /** Bit position from the start of the buffer. */
+    uint64_t bitPos() const { return bitPos_; }
+
+    /** Move to an absolute bit position. */
+    void seekBits(uint64_t bit_pos);
+
+    /** True when all bits have been consumed. */
+    bool exhausted() const { return bitPos_ >= size_ * 8; }
+
+    /** Bits remaining. */
+    uint64_t bitsLeft() const
+    {
+        const uint64_t total = size_ * 8;
+        return bitPos_ >= total ? 0 : total - bitPos_;
+    }
+
+    /** True if a read past the end has occurred. */
+    bool overrun() const { return overrun_; }
+
+  private:
+    const uint8_t *data_;
+    size_t size_;
+    uint64_t bitPos_ = 0;
+    bool overrun_ = false;
+};
+
+} // namespace m4ps::bits
+
+#endif // M4PS_BITSTREAM_BITSTREAM_HH

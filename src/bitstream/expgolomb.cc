@@ -1,0 +1,59 @@
+#include "bitstream/expgolomb.hh"
+
+#include <bit>
+
+#include "support/logging.hh"
+
+namespace m4ps::bits
+{
+
+void
+putUe(BitWriter &bw, uint32_t value)
+{
+    M4PS_ASSERT(value < 0xffffffffu, "ue value too large");
+    const uint64_t v = static_cast<uint64_t>(value) + 1;
+    const int bits = 64 - std::countl_zero(v); // position of leading 1
+    bw.putBits(0, bits - 1);                   // prefix zeros
+    bw.putBits(static_cast<uint32_t>(v), bits);
+}
+
+uint32_t
+getUe(BitReader &br)
+{
+    int zeros = 0;
+    while (!br.getBit()) {
+        if (++zeros > 32 || br.overrun())
+            return 0; // corrupt stream; caller checks overrun()
+    }
+    uint32_t suffix = zeros ? br.getBits(zeros) : 0;
+    return ((1u << zeros) | suffix) - 1;
+}
+
+void
+putSe(BitWriter &bw, int32_t value)
+{
+    // Map 0, 1, -1, 2, -2, ... to 0, 1, 2, 3, 4, ...
+    const uint32_t mapped = value > 0
+        ? static_cast<uint32_t>(value) * 2 - 1
+        : static_cast<uint32_t>(-static_cast<int64_t>(value)) * 2;
+    putUe(bw, mapped);
+}
+
+int32_t
+getSe(BitReader &br)
+{
+    const uint32_t mapped = getUe(br);
+    if (mapped & 1)
+        return static_cast<int32_t>((mapped + 1) / 2);
+    return -static_cast<int32_t>(mapped / 2);
+}
+
+int
+ueLength(uint32_t value)
+{
+    const uint64_t v = static_cast<uint64_t>(value) + 1;
+    const int bits = 64 - std::countl_zero(v);
+    return 2 * bits - 1;
+}
+
+} // namespace m4ps::bits

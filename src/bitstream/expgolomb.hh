@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Exponential-Golomb entropy codes.
+ *
+ * The reproduction substitutes Exp-Golomb codes for the MPEG-4 fixed
+ * Huffman (VLC) tables: same prefix-free, short-code-for-small-value
+ * structure, no 100-entry tables to transcribe.  This changes the
+ * compressed size slightly but not the pixel pipeline's memory
+ * behaviour, which is what the paper measures (see DESIGN.md §5).
+ */
+
+#ifndef M4PS_BITSTREAM_EXPGOLOMB_HH
+#define M4PS_BITSTREAM_EXPGOLOMB_HH
+
+#include <cstdint>
+
+#include "bitstream/bitstream.hh"
+
+namespace m4ps::bits
+{
+
+/** Write an unsigned Exp-Golomb code (order 0). */
+void putUe(BitWriter &bw, uint32_t value);
+
+/** Read an unsigned Exp-Golomb code (order 0). */
+uint32_t getUe(BitReader &br);
+
+/** Write a signed Exp-Golomb code (zigzag-mapped). */
+void putSe(BitWriter &bw, int32_t value);
+
+/** Read a signed Exp-Golomb code (zigzag-mapped). */
+int32_t getSe(BitReader &br);
+
+/** Length in bits of the unsigned code for @p value. */
+int ueLength(uint32_t value);
+
+} // namespace m4ps::bits
+
+#endif // M4PS_BITSTREAM_EXPGOLOMB_HH

@@ -1,0 +1,60 @@
+#include "bitstream/startcode.hh"
+
+#include "support/logging.hh"
+
+namespace m4ps::bits
+{
+
+void
+putStartCode(BitWriter &bw, uint8_t code)
+{
+    if (!bw.aligned())
+        bw.byteAlignStuffing();
+    bw.putBits(0x000001u, 24);
+    bw.putBits(code, 8);
+}
+
+void
+putVoStartCode(BitWriter &bw, int vo_id)
+{
+    M4PS_ASSERT(vo_id >= 0 && vo_id < 32, "vo_id out of range: ", vo_id);
+    putStartCode(bw, static_cast<uint8_t>(
+        static_cast<uint8_t>(StartCode::VisualObject) + vo_id));
+}
+
+void
+putVolStartCode(BitWriter &bw, int vol_id)
+{
+    M4PS_ASSERT(vol_id >= 0 && vol_id < 16, "vol_id out of range: ", vol_id);
+    putStartCode(bw, static_cast<uint8_t>(
+        static_cast<uint8_t>(StartCode::VideoObjectLayer) + vol_id));
+}
+
+std::optional<uint8_t>
+nextStartCode(BitReader &br)
+{
+    br.byteAlign();
+    // Scan byte-aligned 24-bit windows for the 0x000001 prefix.
+    while (br.bitsLeft() >= 32) {
+        if (br.peekBits(24) == 0x000001u) {
+            br.getBits(24);
+            return static_cast<uint8_t>(br.getBits(8));
+        }
+        br.getBits(8);
+    }
+    return std::nullopt;
+}
+
+bool
+isVoCode(uint8_t code)
+{
+    return code < 0x20;
+}
+
+bool
+isVolCode(uint8_t code)
+{
+    return code >= 0x20 && code < 0x30;
+}
+
+} // namespace m4ps::bits

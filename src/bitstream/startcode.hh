@@ -1,0 +1,60 @@
+/**
+ * @file
+ * MPEG-4 style startcodes.
+ *
+ * The decoder "reads a stream of bits looking for the unique bit
+ * patterns called startcodes that mark the divisions between different
+ * sections of data" (paper §2.1).  We use the standard 0x000001xx
+ * byte-aligned startcode prefix with MPEG-4 Part-2 code values for
+ * visual objects, video object layers, and VOPs.
+ */
+
+#ifndef M4PS_BITSTREAM_STARTCODE_HH
+#define M4PS_BITSTREAM_STARTCODE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "bitstream/bitstream.hh"
+
+namespace m4ps::bits
+{
+
+/** Startcode values (the last byte of the 0x000001xx pattern). */
+enum class StartCode : uint8_t
+{
+    // MPEG-4 Part 2 uses ranges for VO (0x00..0x1f) and VOL
+    // (0x20..0x2f) ids; we encode the id in the low bits likewise.
+    VisualObject = 0x00,        //!< 0x00 + vo_id (0..31)
+    VideoObjectLayer = 0x20,    //!< 0x20 + vol_id (0..15)
+    VisualObjectSequence = 0xb0,
+    VisualObjectSequenceEnd = 0xb1,
+    Vop = 0xb6,
+};
+
+/** Write a byte-aligned startcode (aligns the writer first). */
+void putStartCode(BitWriter &bw, uint8_t code);
+
+/** Write a VO startcode carrying @p vo_id (0..31). */
+void putVoStartCode(BitWriter &bw, int vo_id);
+
+/** Write a VOL startcode carrying @p vol_id (0..15). */
+void putVolStartCode(BitWriter &bw, int vol_id);
+
+/**
+ * Scan forward from the reader's position for the next startcode.
+ *
+ * Leaves the reader positioned just after the code byte and returns
+ * the code byte, or std::nullopt at end of stream.
+ */
+std::optional<uint8_t> nextStartCode(BitReader &br);
+
+/** True if @p code marks a visual object header. */
+bool isVoCode(uint8_t code);
+
+/** True if @p code marks a video object layer header. */
+bool isVolCode(uint8_t code);
+
+} // namespace m4ps::bits
+
+#endif // M4PS_BITSTREAM_STARTCODE_HH

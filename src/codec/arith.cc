@@ -1,0 +1,153 @@
+#include "codec/arith.hh"
+
+#include "support/logging.hh"
+
+namespace m4ps::codec
+{
+
+namespace
+{
+
+constexpr uint32_t kTop = 1u << 24;
+
+/** Split the range according to P(0); guaranteed inside (0, range). */
+uint32_t
+splitPoint(uint32_t range, uint16_t p0)
+{
+    uint32_t split = static_cast<uint32_t>(
+        (static_cast<uint64_t>(range) * p0) >> 16);
+    if (split == 0)
+        split = 1;
+    if (split >= range)
+        split = range - 1;
+    return split;
+}
+
+} // namespace
+
+void
+ArithEncoder::shiftLow()
+{
+    const uint32_t low32 = static_cast<uint32_t>(low_);
+    const uint8_t carry = static_cast<uint8_t>(low_ >> 32);
+    if (low32 < 0xff000000u || carry) {
+        uint8_t byte = cache_;
+        do {
+            out_.push_back(static_cast<uint8_t>(byte + carry));
+            byte = 0xff;
+        } while (--cacheSize_ != 0);
+        cache_ = static_cast<uint8_t>(low32 >> 24);
+    }
+    ++cacheSize_;
+    low_ = static_cast<uint64_t>(low32) << 8 & 0xffffffffull;
+}
+
+void
+ArithEncoder::renormalize()
+{
+    while (range_ < kTop) {
+        shiftLow();
+        range_ <<= 8;
+    }
+}
+
+void
+ArithEncoder::encodeBit(ArithContext &ctx, bool bit)
+{
+    M4PS_ASSERT(!finished_, "encode after finish()");
+    const uint32_t split = splitPoint(range_, ctx.p0);
+    if (!bit) {
+        range_ = split;
+    } else {
+        low_ += split;
+        range_ -= split;
+    }
+    ctx.adapt(bit);
+    renormalize();
+}
+
+void
+ArithEncoder::encodeBypass(bool bit)
+{
+    M4PS_ASSERT(!finished_, "encode after finish()");
+    const uint32_t split = range_ >> 1;
+    if (!bit) {
+        range_ = split;
+    } else {
+        low_ += split;
+        range_ -= split;
+    }
+    renormalize();
+}
+
+std::vector<uint8_t>
+ArithEncoder::finish()
+{
+    M4PS_ASSERT(!finished_, "finish() called twice");
+    finished_ = true;
+    // Flush five bytes so the decoder can prime its code register.
+    for (int i = 0; i < 5; ++i)
+        shiftLow();
+    return std::move(out_);
+}
+
+ArithDecoder::ArithDecoder(const uint8_t *data, size_t size)
+    : data_(data), size_(size)
+{
+    // Prime with 5 bytes; the first is the encoder's dummy cache byte.
+    for (int i = 0; i < 5; ++i)
+        code_ = ((code_ << 8) | nextByte()) & 0xffffffffull;
+}
+
+uint8_t
+ArithDecoder::nextByte()
+{
+    // Truncated streams read as zero; callers validate the payload.
+    return pos_ < size_ ? data_[pos_++] : 0;
+}
+
+void
+ArithDecoder::renormalize()
+{
+    while (range_ < kTop) {
+        code_ = ((code_ << 8) | nextByte()) & 0xffffffffull;
+        range_ <<= 8;
+    }
+}
+
+bool
+ArithDecoder::decodeBit(ArithContext &ctx)
+{
+    const uint32_t split = splitPoint(range_, ctx.p0);
+    bool bit;
+    if (static_cast<uint32_t>(code_) < split) {
+        bit = false;
+        range_ = split;
+    } else {
+        bit = true;
+        code_ -= split;
+        range_ -= split;
+    }
+    ctx.adapt(bit);
+    renormalize();
+    return bit;
+}
+
+bool
+ArithDecoder::decodeBypass()
+{
+    const uint32_t split = range_ >> 1;
+    bool bit;
+    if (static_cast<uint32_t>(code_) < split) {
+        bit = false;
+        range_ = split;
+    } else {
+        bit = true;
+        code_ -= split;
+        range_ -= split;
+    }
+    renormalize();
+    return bit;
+}
+
+} // namespace m4ps::codec

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Adaptive binary arithmetic coding.
+ *
+ * MPEG-4 codes arbitrary shapes "using a context-based arithmetic
+ * encoding scheme" (paper §2.1).  This is a 32-bit range coder with
+ * adaptive per-context probabilities; the shape coder supplies the
+ * context modelling (codec/shape.hh).  We adapt probabilities online
+ * instead of transcribing the standard's fixed CAE probability
+ * table - same algorithmic structure and memory behaviour, slightly
+ * different compressed size (DESIGN.md §5).
+ *
+ * The carry-propagation scheme (cache byte plus a counted run of
+ * 0xff bytes) follows the classic LZMA range coder; the encoder's
+ * first output byte is a dummy zero that primes the decoder's code
+ * register.
+ */
+
+#ifndef M4PS_CODEC_ARITH_HH
+#define M4PS_CODEC_ARITH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace m4ps::codec
+{
+
+/** Adaptive probability state for one context. */
+struct ArithContext
+{
+    /** P(bit = 0) in 1/65536 units. */
+    uint16_t p0 = 1 << 15;
+
+    /** Update toward the observed bit. */
+    void
+    adapt(bool bit)
+    {
+        // Shift-based exponential decay; floor/ceiling keep the
+        // probability away from 0 and 1 so coding stays lossless.
+        if (bit)
+            p0 -= p0 >> 5;
+        else
+            p0 += (65535 - p0) >> 5;
+        if (p0 < 64)
+            p0 = 64;
+        if (p0 > 65536 - 64)
+            p0 = 65536 - 64;
+    }
+};
+
+/** Range encoder producing a byte buffer. */
+class ArithEncoder
+{
+  public:
+    ArithEncoder() = default;
+
+    /** Encode @p bit under @p ctx and adapt the context. */
+    void encodeBit(ArithContext &ctx, bool bit);
+
+    /** Encode @p bit with fixed 1/2 probability (no context). */
+    void encodeBypass(bool bit);
+
+    /** Flush the final range state and return the bytes. */
+    std::vector<uint8_t> finish();
+
+    /** Bytes emitted so far (grows as the range renormalizes). */
+    size_t bytesEmitted() const { return out_.size(); }
+
+  private:
+    void shiftLow();
+    void renormalize();
+
+    uint64_t low_ = 0;
+    uint32_t range_ = 0xffffffffu;
+    uint8_t cache_ = 0;
+    uint64_t cacheSize_ = 1;
+    std::vector<uint8_t> out_;
+    bool finished_ = false;
+};
+
+/** Range decoder mirroring ArithEncoder. */
+class ArithDecoder
+{
+  public:
+    ArithDecoder(const uint8_t *data, size_t size);
+
+    explicit ArithDecoder(const std::vector<uint8_t> &buf)
+        : ArithDecoder(buf.data(), buf.size()) {}
+
+    /** Decode one bit under @p ctx and adapt the context. */
+    bool decodeBit(ArithContext &ctx);
+
+    /** Decode one bypass bit. */
+    bool decodeBypass();
+
+    /** Bytes consumed from the input so far. */
+    size_t bytesConsumed() const { return pos_; }
+
+  private:
+    void renormalize();
+    uint8_t nextByte();
+
+    const uint8_t *data_;
+    size_t size_;
+    size_t pos_ = 0;
+    uint32_t range_ = 0xffffffffu;
+    uint64_t code_ = 0;
+};
+
+} // namespace m4ps::codec
+
+#endif // M4PS_CODEC_ARITH_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * 8x8 forward / inverse discrete cosine transform.
+ *
+ * Texture in MPEG-4 is "coded separately by a discrete cosine
+ * transform (DCT) scheme" over 8x8 blocks (paper §2.1).  This is a
+ * separable double-precision implementation rounded to int16 - not
+ * the fastest DCT, but bit-stable and accurate well inside the
+ * IEEE-1180 error bounds, which is what the reproduction needs.
+ */
+
+#ifndef M4PS_CODEC_DCT_HH
+#define M4PS_CODEC_DCT_HH
+
+#include <array>
+#include <cstdint>
+
+namespace m4ps::codec
+{
+
+/** Samples per block edge. */
+constexpr int kBlockEdge = 8;
+
+/** Samples per 8x8 block. */
+constexpr int kBlockSize = kBlockEdge * kBlockEdge;
+
+/** An 8x8 block of samples or coefficients, row-major. */
+using Block = std::array<int16_t, kBlockSize>;
+
+/**
+ * Forward 8x8 DCT.
+ *
+ * @param in  spatial samples (residuals in [-255, 255] or shifted
+ *            intra pixels in [-128, 127]).
+ * @param out frequency coefficients; |coef| <= 2048 for valid input.
+ */
+void forwardDct(const Block &in, Block &out);
+
+/** Inverse 8x8 DCT; output clamped to [-2048, 2047]. */
+void inverseDct(const Block &in, Block &out);
+
+} // namespace m4ps::codec
+
+#endif // M4PS_CODEC_DCT_HH

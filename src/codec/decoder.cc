@@ -1,0 +1,150 @@
+#include "codec/decoder.hh"
+
+#include "bitstream/expgolomb.hh"
+#include "bitstream/startcode.hh"
+#include "codec/error.hh"
+#include "support/logging.hh"
+#include "video/resample.hh"
+
+namespace m4ps::codec
+{
+
+Mpeg4Decoder::Mpeg4Decoder(memsim::SimContext &ctx) : ctx_(ctx) {}
+
+DecodeStats
+Mpeg4Decoder::decode(const std::vector<uint8_t> &stream, const Sink &sink,
+                     bool tolerant)
+{
+    bits::BitReader br(stream);
+    DecodeStats stats;
+
+    // ---- sequence header -------------------------------------------
+    auto code = bits::nextStartCode(br);
+    if (!code ||
+        *code != static_cast<uint8_t>(
+                     bits::StartCode::VisualObjectSequence)) {
+        M4PS_FATAL("stream does not begin with a VOS startcode");
+    }
+    const int num_vos = static_cast<int>(bits::getUe(br));
+    if (num_vos < 1 || num_vos > 16)
+        M4PS_FATAL("corrupt VO count ", num_vos);
+    stats.vos = num_vos;
+
+    std::vector<VoState> vos(num_vos);
+    int layers = 0;
+    for (int v = 0; v < num_vos; ++v) {
+        code = bits::nextStartCode(br);
+        if (!code || !bits::isVoCode(*code) || *code != v)
+            M4PS_FATAL("expected VO startcode for VO ", v);
+        const int vo_layers = static_cast<int>(bits::getUe(br));
+        if (vo_layers < 1 || vo_layers > 2)
+            M4PS_FATAL("corrupt layer count ", vo_layers);
+        if (layers == 0)
+            layers = vo_layers;
+        else if (layers != vo_layers)
+            M4PS_FATAL("VOs with differing layer counts");
+
+        for (int l = 0; l < vo_layers; ++l) {
+            code = bits::nextStartCode(br);
+            if (!code || !bits::isVolCode(*code))
+                M4PS_FATAL("expected VOL startcode");
+            const int vol_id =
+                *code - static_cast<uint8_t>(
+                            bits::StartCode::VideoObjectLayer);
+            VolConfig cfg = readVolHeader(br, v, vol_id);
+            auto dec = std::make_unique<VolDecoder>(ctx_, cfg);
+            if (l == 0) {
+                vos[v].base = std::move(dec);
+            } else {
+                M4PS_ASSERT(cfg.enhancement,
+                            "layer 1 must be an enhancement layer");
+                vos[v].enh = std::move(dec);
+                // Sized from the (possibly padded) base layer; may
+                // exceed the enhancement frame.
+                const VolConfig &bcfg = vos[v].base->config();
+                vos[v].upsampled = video::Yuv420Image(
+                    ctx_, 2 * bcfg.width, 2 * bcfg.height);
+            }
+        }
+    }
+    stats.volsPerVo = layers;
+
+    auto emit = [&](int vo, int vol,
+                    const std::vector<DisplayFrame> &frames) {
+        for (const DisplayFrame &f : frames) {
+            ++stats.displayed;
+            if (sink)
+                sink({vo, vol, f.timestamp, f.frame, f.alpha});
+        }
+    };
+
+    // ---- VOPs -------------------------------------------------------
+    while (true) {
+        code = bits::nextStartCode(br);
+        if (!code ||
+            *code == static_cast<uint8_t>(
+                         bits::StartCode::VisualObjectSequenceEnd)) {
+            break;
+        }
+        if (*code != static_cast<uint8_t>(bits::StartCode::Vop)) {
+            // Unknown section: resynchronize at the next startcode.
+            continue;
+        }
+        const uint64_t vop_start = br.bitPos();
+        try {
+            VopHeader hdr = readVopHeader(br);
+            if (br.overrun())
+                throw StreamError("truncated VOP header");
+            if (hdr.voId < 0 || hdr.voId >= num_vos)
+                throw StreamError("VOP references an unknown VO");
+            VoState &vo = vos[hdr.voId];
+            if (hdr.volId < 0 || hdr.volId >= layers)
+                throw StreamError("VOP references an unknown layer");
+            ++stats.vops;
+
+            if (hdr.volId == 0) {
+                auto frames = vo.base->decodeVop(br, hdr, nullptr);
+                if (layers == 1) {
+                    emit(hdr.voId, 0, frames);
+                } else {
+                    // Base display is superseded by the enhancement
+                    // layer; remember which frame was just written so
+                    // the enhancement VOP can predict from it.
+                    vo.lastBaseTs = hdr.timestamp;
+                }
+            } else {
+                if (vo.lastBaseTs != hdr.timestamp) {
+                    throw StreamError(
+                        "enhancement VOP without matching base VOP");
+                }
+                video::upsampleFrame(vo.base->lastDecoded(),
+                                     vo.upsampled);
+                auto frames = vo.enh->decodeVop(br, hdr, &vo.upsampled);
+                emit(hdr.voId, 1, frames);
+            }
+        } catch (const StreamError &e) {
+            if (!tolerant)
+                M4PS_FATAL("corrupt stream: ", e.what());
+            // Conceal: skip this section; the next nextStartCode()
+            // call resynchronizes, and the frame stores keep their
+            // previous (or partially decoded) content.
+            ++stats.corruptedVops;
+        }
+        stats.totalBits += br.bitPos() - vop_start;
+    }
+
+    // ---- end of stream: flush held anchors --------------------------
+    for (int v = 0; v < num_vos; ++v) {
+        if (layers == 1) {
+            emit(v, 0, vos[v].base->flush());
+        } else {
+            emit(v, 1, vos[v].enh->flush());
+        }
+        stats.mb += vos[v].base->totals();
+        if (vos[v].enh)
+            stats.mb += vos[v].enh->totals();
+    }
+    return stats;
+}
+
+} // namespace m4ps::codec

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Top-level MPEG-4 visual decoder.
+ *
+ * "The decoder reads a stream of bits looking for the unique bit
+ * patterns called startcodes that mark the divisions between
+ * different sections of data in the hierarchical structure" (paper
+ * §2.1).  Mpeg4Decoder demuxes the elementary stream produced by
+ * Mpeg4Encoder, drives one VolDecoder per (VO, VOL), reconstructs
+ * enhancement layers from upsampled base reconstructions, and hands
+ * display-order frames to a caller-supplied sink.
+ */
+
+#ifndef M4PS_CODEC_DECODER_HH
+#define M4PS_CODEC_DECODER_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "codec/vol.hh"
+
+namespace m4ps::codec
+{
+
+/** One displayed frame handed to the sink. */
+struct DecodedEvent
+{
+    int voId = 0;
+    int volId = 0;        //!< Highest decoded layer for this VO.
+    int timestamp = 0;
+    const video::Yuv420Image *frame = nullptr;
+    const video::Plane *alpha = nullptr;
+};
+
+/** Aggregate decoding statistics. */
+struct DecodeStats
+{
+    int vos = 0;
+    int volsPerVo = 0;
+    int vops = 0;
+    int corruptedVops = 0; //!< Tolerant mode: sections skipped.
+    int displayed = 0;
+    VopStats mb;
+    uint64_t totalBits = 0;
+};
+
+/** Multi-VO, multi-layer MPEG-4 visual decoder. */
+class Mpeg4Decoder
+{
+  public:
+    /**
+     * Called once per displayed frame, in display order per VO.  The
+     * frame/alpha pointers are valid only during the call.
+     */
+    using Sink = std::function<void(const DecodedEvent &)>;
+
+    explicit Mpeg4Decoder(memsim::SimContext &ctx);
+
+    /**
+     * Decode a complete elementary stream, emitting display frames
+     * through @p sink (which may be empty).
+     *
+     * In strict mode (default) a corrupt VOP terminates the process
+     * via fatal().  With @p tolerant set, the decoder instead
+     * resynchronizes at the next startcode and conceals the damaged
+     * VOP (its frame store keeps the previous content) - the
+     * behaviour a streaming player needs on a lossy channel.
+     */
+    DecodeStats decode(const std::vector<uint8_t> &stream,
+                       const Sink &sink, bool tolerant = false);
+
+  private:
+    struct VoState
+    {
+        std::unique_ptr<VolDecoder> base;
+        std::unique_ptr<VolDecoder> enh;
+        video::Yuv420Image upsampled;
+        int lastBaseTs = -1;
+    };
+
+    memsim::SimContext &ctx_;
+};
+
+} // namespace m4ps::codec
+
+#endif // M4PS_CODEC_DECODER_HH

@@ -1,0 +1,213 @@
+#include "codec/encoder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bitstream/expgolomb.hh"
+#include "bitstream/startcode.hh"
+#include "support/logging.hh"
+#include "video/resample.hh"
+
+namespace m4ps::codec
+{
+
+void
+EncoderConfig::validate() const
+{
+    M4PS_ASSERT(width > 0 && height > 0 &&
+                width % 16 == 0 && height % 16 == 0,
+                "frame dimensions must be positive multiples of 16, "
+                "got ", width, "x", height);
+    M4PS_ASSERT(numVos >= 1 && numVos <= 16, "bad VO count ", numVos);
+    M4PS_ASSERT(layers == 1 || layers == 2, "layers must be 1 or 2");
+    gop.validate();
+    M4PS_ASSERT(targetBps > 0 && frameRate > 0, "bad rate targets");
+}
+
+Mpeg4Encoder::Mpeg4Encoder(memsim::SimContext &ctx,
+                           const EncoderConfig &cfg)
+    : cfg_(cfg), ctx_(ctx)
+{
+    cfg_.validate();
+
+    // Layered (spatially scalable) VOLs code base + enhancement for
+    // every frame, so the base must reconstruct immediately: force a
+    // B-free GOP in layered mode (simple/scalable profiles have no
+    // B-VOPs either).
+    GopConfig gop = cfg_.gop;
+    if (cfg_.layers == 2)
+        gop.bFrames = 0;
+    if (gop.intraPeriod % (gop.bFrames + 1) != 0)
+        gop.intraPeriod =
+            (gop.intraPeriod / (gop.bFrames + 1)) * (gop.bFrames + 1);
+
+    const int total_vols = cfg_.numVos * cfg_.layers;
+    const double bps_per_vol = cfg_.targetBps / total_vols;
+
+    // Derive a starting quantizer from the target bits per pixel so
+    // the controller starts near its operating point.
+    int initial_qp = cfg_.initialQp;
+    if (initial_qp <= 0) {
+        const double bpp =
+            cfg_.targetBps /
+            (cfg_.frameRate * cfg_.width * cfg_.height);
+        initial_qp = static_cast<int>(
+            std::lround(0.55 / std::max(bpp, 1e-4)));
+        initial_qp = std::clamp(initial_qp, 2, 31);
+    }
+
+    vos_.resize(cfg_.numVos);
+    for (int v = 0; v < cfg_.numVos; ++v) {
+        VoState &vo = vos_[v];
+        const bool shaped = v > 0;
+
+        // Half-resolution base layers are padded up to the next
+        // macroblock multiple (720x576 halves to 360x288, and 360 is
+        // not MB aligned); the padding replicates the frame edge.
+        const int base_w = ((cfg_.width / 2 + 15) / 16) * 16;
+        const int base_h = ((cfg_.height / 2 + 15) / 16) * 16;
+
+        VolConfig base;
+        base.voId = v;
+        base.volId = 0;
+        base.width = cfg_.layers == 2 ? base_w : cfg_.width;
+        base.height = cfg_.layers == 2 ? base_h : cfg_.height;
+        base.hasShape = shaped;
+        base.searchRange = cfg_.searchRange;
+        base.searchRangeB = cfg_.searchRangeB;
+        base.halfPel = cfg_.halfPel;
+        base.mpegQuant = cfg_.mpegQuant;
+        base.fourMv = cfg_.fourMv;
+
+        vo.rcBase = std::make_unique<RateController>(
+            bps_per_vol, cfg_.frameRate, initial_qp);
+        vo.base = std::make_unique<VolEncoder>(ctx_, base, gop,
+                                               vo.rcBase.get());
+
+        if (cfg_.layers == 2) {
+            VolConfig enh = base;
+            enh.volId = 1;
+            enh.width = cfg_.width;
+            enh.height = cfg_.height;
+            enh.enhancement = true;
+            // The enhancement layer searches with the full range,
+            // like the base (MoMuSys uses the same f_code).
+            enh.searchRange = cfg_.searchRange;
+            enh.searchRangeB = cfg_.searchRange;
+            vo.rcEnh = std::make_unique<RateController>(
+                bps_per_vol, cfg_.frameRate, initial_qp);
+            vo.enh = std::make_unique<VolEncoder>(ctx_, enh, gop,
+                                                  vo.rcEnh.get());
+            vo.baseInput = video::Yuv420Image(ctx_, base_w, base_h);
+            if (shaped)
+                vo.baseAlpha = video::Plane(ctx_, base_w, base_h);
+            // The upsampled reference may exceed the full-resolution
+            // frame (padding); prediction reads stay in range.
+            vo.upsampled = video::Yuv420Image(ctx_, 2 * base_w,
+                                              2 * base_h);
+        }
+    }
+
+    writeHeaders();
+}
+
+void
+Mpeg4Encoder::writeHeaders()
+{
+    bits::putStartCode(bw_, static_cast<uint8_t>(
+        bits::StartCode::VisualObjectSequence));
+    bits::putUe(bw_, static_cast<uint32_t>(cfg_.numVos));
+    for (int v = 0; v < cfg_.numVos; ++v) {
+        bits::putVoStartCode(bw_, v);
+        bits::putUe(bw_, static_cast<uint32_t>(cfg_.layers));
+        vos_[v].base->writeHeader(bw_);
+        if (vos_[v].enh)
+            vos_[v].enh->writeHeader(bw_);
+    }
+}
+
+void
+Mpeg4Encoder::account(VopType type, const VopStats &s)
+{
+    ++stats_.vops;
+    switch (type) {
+      case VopType::I: ++stats_.iVops; break;
+      case VopType::P: ++stats_.pVops; break;
+      case VopType::B: ++stats_.bVops; break;
+    }
+    stats_.mb += s;
+    stats_.totalBits += s.bits;
+}
+
+void
+Mpeg4Encoder::encodeFrame(const std::vector<VoInput> &inputs,
+                          int timestamp)
+{
+    M4PS_ASSERT(!finished_, "encodeFrame after finish()");
+    M4PS_ASSERT(static_cast<int>(inputs.size()) == cfg_.numVos,
+                "expected ", cfg_.numVos, " VO inputs, got ",
+                inputs.size());
+
+    for (int v = 0; v < cfg_.numVos; ++v) {
+        VoState &vo = vos_[v];
+        const VoInput &in = inputs[v];
+        M4PS_ASSERT(in.frame, "missing frame for VO ", v);
+        M4PS_ASSERT(v == 0 || in.alpha, "shaped VO ", v,
+                    " needs an alpha plane");
+
+        if (cfg_.layers == 1) {
+            auto stats = vo.base->encodeFrame(bw_, *in.frame, in.alpha,
+                                              timestamp);
+            // encodeFrame returns [anchor, B...] when it emits.
+            for (size_t i = 0; i < stats.size(); ++i) {
+                VopType t = VopType::B;
+                if (i == 0) {
+                    t = (stats_.vops == 0 ||
+                         timestamp % cfg_.gop.intraPeriod == 0)
+                            ? VopType::I
+                            : VopType::P;
+                }
+                account(t, stats[i]);
+            }
+            continue;
+        }
+
+        // Spatial scalability: base at half resolution first.
+        video::downsampleFrame(*in.frame, vo.baseInput);
+        const video::Plane *base_alpha = nullptr;
+        if (in.alpha) {
+            video::downsampleAlpha(*in.alpha, vo.baseAlpha);
+            base_alpha = &vo.baseAlpha;
+        }
+        auto base_stats = vo.base->encodeFrame(bw_, vo.baseInput,
+                                               base_alpha, timestamp);
+        M4PS_ASSERT(base_stats.size() == 1,
+                    "layered base must code every frame immediately");
+        account(timestamp % cfg_.gop.intraPeriod == 0 ? VopType::I
+                                                      : VopType::P,
+                base_stats[0]);
+
+        // Enhancement predicts from the upsampled base recon.
+        video::upsampleFrame(vo.base->lastAnchorRecon(), vo.upsampled);
+        VopStats enh_stats = vo.enh->encodeEnhanced(
+            bw_, *in.frame, in.alpha, timestamp, vo.upsampled);
+        account(VopType::B, enh_stats);
+    }
+}
+
+std::vector<uint8_t>
+Mpeg4Encoder::finish()
+{
+    M4PS_ASSERT(!finished_, "finish() called twice");
+    finished_ = true;
+    for (auto &vo : vos_) {
+        auto stats = vo.base->flush(bw_);
+        for (const auto &s : stats)
+            account(VopType::P, s);
+    }
+    bits::putStartCode(bw_, static_cast<uint8_t>(
+        bits::StartCode::VisualObjectSequenceEnd));
+    return bw_.take();
+}
+
+} // namespace m4ps::codec

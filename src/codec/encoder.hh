@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Top-level MPEG-4 visual encoder: multiple visual objects, each with
+ * one or two video object layers, muxed into a single startcode-
+ * delimited elementary stream.
+ *
+ * "Uncorrelated objects are coded, encrypted, and transmitted
+ * separately" (paper §1): VO 0 is the rectangular background; any
+ * further VOs are arbitrary-shape foreground objects with binary
+ * alpha.  Two-layer VOs use spatial scalability (half-resolution
+ * base + enhancement).
+ */
+
+#ifndef M4PS_CODEC_ENCODER_HH
+#define M4PS_CODEC_ENCODER_HH
+
+#include <memory>
+#include <vector>
+
+#include "codec/ratecontrol.hh"
+#include "codec/vol.hh"
+
+namespace m4ps::codec
+{
+
+/** Whole-encoder configuration. */
+struct EncoderConfig
+{
+    int width = 720;
+    int height = 576;
+
+    /**
+     * Number of visual objects.  1 = a single rectangular VO;
+     * N > 1 = rectangular background VO plus N-1 shaped VOs.
+     */
+    int numVos = 1;
+
+    /** Video object layers per VO (1, or 2 for spatial scalability). */
+    int layers = 1;
+
+    GopConfig gop;
+
+    int searchRange = 8;
+    int searchRangeB = 4;
+    bool halfPel = true;
+    bool mpegQuant = false;
+    bool fourMv = true;
+
+    double targetBps = 38400.0;
+    double frameRate = 30.0;
+
+    /** Starting quantizer; <= 0 derives it from the target rate. */
+    int initialQp = 0;
+
+    void validate() const;
+};
+
+/** Per-VO input for one frame time. */
+struct VoInput
+{
+    const video::Yuv420Image *frame = nullptr;
+    const video::Plane *alpha = nullptr; //!< Null for rectangular VOs.
+};
+
+/** Aggregate encoding statistics. */
+struct EncoderStats
+{
+    int vops = 0;
+    int iVops = 0;
+    int pVops = 0;
+    int bVops = 0;
+    VopStats mb;          //!< Macroblock-level totals.
+    uint64_t totalBits = 0;
+};
+
+/** Multi-VO, multi-layer MPEG-4 visual encoder. */
+class Mpeg4Encoder
+{
+  public:
+    Mpeg4Encoder(memsim::SimContext &ctx, const EncoderConfig &cfg);
+
+    /**
+     * Feed one display-order frame time: @p inputs must supply one
+     * VoInput per VO (index 0 first).  Shaped VOs require alpha.
+     */
+    void encodeFrame(const std::vector<VoInput> &inputs, int timestamp);
+
+    /** Flush pending B frames and close the stream. */
+    std::vector<uint8_t> finish();
+
+    const EncoderStats &stats() const { return stats_; }
+
+    /** Bits written so far. */
+    uint64_t bitsWritten() const { return bw_.bitCount(); }
+
+    const EncoderConfig &config() const { return cfg_; }
+
+  private:
+    struct VoState
+    {
+        std::unique_ptr<RateController> rcBase;
+        std::unique_ptr<RateController> rcEnh;
+        std::unique_ptr<VolEncoder> base;
+        std::unique_ptr<VolEncoder> enh;
+        // Spatial-scalability working frames.
+        video::Yuv420Image baseInput;
+        video::Plane baseAlpha;
+        video::Yuv420Image upsampled;
+    };
+
+    void writeHeaders();
+    void account(VopType type, const VopStats &s);
+
+    EncoderConfig cfg_;
+    memsim::SimContext &ctx_;
+    bits::BitWriter bw_;
+    std::vector<VoState> vos_;
+    EncoderStats stats_;
+    bool finished_ = false;
+};
+
+} // namespace m4ps::codec
+
+#endif // M4PS_CODEC_ENCODER_HH

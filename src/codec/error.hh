@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Decode-error signalling.
+ *
+ * Streaming delivery (the paper's motivating scenario) implies
+ * damaged bitstreams.  Syntax-level failures inside a VOP raise
+ * StreamError; Mpeg4Decoder either converts that to fatal() (strict
+ * mode, the default) or resynchronizes at the next startcode and
+ * conceals the lost VOP (tolerant mode).
+ */
+
+#ifndef M4PS_CODEC_ERROR_HH
+#define M4PS_CODEC_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace m4ps::codec
+{
+
+/** A syntax or bounds violation while parsing the bitstream. */
+class StreamError : public std::runtime_error
+{
+  public:
+    explicit StreamError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+} // namespace m4ps::codec
+
+#endif // M4PS_CODEC_ERROR_HH

@@ -1,0 +1,59 @@
+#include "codec/interp.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace m4ps::codec
+{
+
+void
+HalfPelPlanes::build(const video::Plane &src,
+                     const video::Rect &region, int pad)
+{
+    M4PS_ASSERT(!h_.empty(), "HalfPelPlanes not allocated");
+    M4PS_ASSERT(src.width() == h_.width() &&
+                src.height() == h_.height(),
+                "HalfPelPlanes size mismatch");
+    const int w = src.width();
+    const int hgt = src.height();
+    const int x_lo = std::max(region.x - pad, 0);
+    const int y_lo = std::max(region.y - pad, 0);
+    const int x_hi = std::min(region.x + region.w + pad, w);
+    const int y_hi = std::min(region.y + region.h + pad, hgt);
+    const int span = x_hi - x_lo;
+    if (span <= 0 || y_hi <= y_lo)
+        return;
+
+    // The reference decoder first copies the reconstruction into a
+    // border-padded image before interpolating; model that pass.
+    for (int y = y_lo; y < y_hi; ++y) {
+        src.traceLoadRow(x_lo, y, span);
+        h_.traceStoreRow(x_lo, y, span); // stands for the padded copy
+    }
+    for (int y = y_lo; y < y_hi; ++y) {
+        const int y1 = std::min(y + 1, hgt - 1);
+        src.traceLoadRow(x_lo, y, span);
+        if (y1 != y)
+            src.traceLoadRow(x_lo, y1, span);
+        const uint8_t *r0 = src.rowPtr(y);
+        const uint8_t *r1 = src.rowPtr(y1);
+        uint8_t *ph = h_.rowPtr(y);
+        uint8_t *pv = v_.rowPtr(y);
+        uint8_t *phv = hv_.rowPtr(y);
+        for (int x = x_lo; x < x_hi; ++x) {
+            const int x1 = std::min(x + 1, w - 1);
+            // Identical rounding to the on-the-fly path in
+            // codec/motion.cc (predictBlock / sad16HalfPel).
+            ph[x] = static_cast<uint8_t>((r0[x] + r0[x1] + 1) >> 1);
+            pv[x] = static_cast<uint8_t>((r0[x] + r1[x] + 1) >> 1);
+            phv[x] = static_cast<uint8_t>(
+                (r0[x] + r0[x1] + r1[x] + r1[x1] + 2) >> 2);
+        }
+        h_.traceStoreRow(x_lo, y, span);
+        v_.traceStoreRow(x_lo, y, span);
+        hv_.traceStoreRow(x_lo, y, span);
+    }
+}
+
+} // namespace m4ps::codec

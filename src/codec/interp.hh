@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Precomputed half-sample reference planes.
+ *
+ * Decoders of the MoMuSys generation interpolate each reconstructed
+ * reference VOP's luminance once (the h, v, and hv half-pel planes)
+ * and serve motion compensation from the precomputed planes.  The
+ * interpolation pass streams the frame through the cache with high
+ * spatial locality and contributes a large share of the decoder's
+ * L1-friendly access mass.
+ *
+ * The plane values are bit-identical to the on-the-fly bilinear
+ * interpolation in codec/motion.cc, so prediction through either
+ * path reconstructs the same pixels (tested).
+ */
+
+#ifndef M4PS_CODEC_INTERP_HH
+#define M4PS_CODEC_INTERP_HH
+
+#include "video/plane.hh"
+
+namespace m4ps::codec
+{
+
+/** The three half-pel companion planes of one luminance plane. */
+class HalfPelPlanes
+{
+  public:
+    HalfPelPlanes() = default;
+
+    /** Allocate companions for a @p w x @p h luminance plane. */
+    HalfPelPlanes(memsim::SimContext &ctx, int w, int h)
+        : h_(ctx, w, h), v_(ctx, w, h), hv_(ctx, w, h)
+    {}
+
+    /**
+     * Interpolate @p src into the three planes (traced), restricted
+     * to @p region padded by @p pad pixels (clamped to the plane).
+     * The reference software interpolates only the padded bounding
+     * box of each VOP; the pad must cover the largest displacement
+     * motion compensation can read (window drift + search range +
+     * the half-pel border).
+     */
+    void build(const video::Plane &src, const video::Rect &region,
+               int pad = 32);
+
+    /** Interpolate the whole plane. */
+    void
+    build(const video::Plane &src)
+    {
+        build(src, {0, 0, src.width(), src.height()}, 0);
+    }
+
+    bool empty() const { return h_.empty(); }
+
+    const video::Plane &h() const { return h_; }
+    const video::Plane &v() const { return v_; }
+    const video::Plane &hv() const { return hv_; }
+
+    /** Plane serving a (hx, hy) half-pel phase; null for (0, 0). */
+    const video::Plane *
+    phase(int hx, int hy) const
+    {
+        if (hx && hy)
+            return &hv_;
+        if (hx)
+            return &h_;
+        if (hy)
+            return &v_;
+        return nullptr;
+    }
+
+  private:
+    video::Plane h_;   //!< Horizontal half-pel.
+    video::Plane v_;   //!< Vertical half-pel.
+    video::Plane hv_;  //!< Diagonal half-pel.
+};
+
+} // namespace m4ps::codec
+
+#endif // M4PS_CODEC_INTERP_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Motion estimation and compensation.
+ *
+ * The encoder's motion estimation - "responsible for the majority of
+ * the program execution time" (paper §3.2) - searches a restricted
+ * window around each 16x16 macroblock for the reference block with
+ * the minimum sum of absolute differences (SAD), moving the search
+ * position one pixel at a time.  The overlap between consecutive
+ * searches is what generates the high L1 locality the paper reports.
+ *
+ * Full-pel full search plus half-pel refinement, and block prediction
+ * (motion compensation) with bilinear half-sample interpolation.
+ */
+
+#ifndef M4PS_CODEC_MOTION_HH
+#define M4PS_CODEC_MOTION_HH
+
+#include <cstdint>
+
+#include "video/plane.hh"
+
+namespace m4ps::codec
+{
+class HalfPelPlanes;
+}
+
+namespace m4ps::codec
+{
+
+/** A motion vector in half-pel units. */
+struct MotionVector
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const MotionVector &o) const = default;
+    bool isZero() const { return x == 0 && y == 0; }
+};
+
+/** Result of a block search. */
+struct SearchResult
+{
+    MotionVector mv;   //!< Best vector, half-pel units.
+    int sad = 0;       //!< SAD at the best position.
+};
+
+/**
+ * SAD between the 16x16 block of @p cur at (@p cx, @p cy) and the
+ * block of @p ref at (@p rx, @p ry), with row-level early exit once
+ * the partial sum reaches @p best.  All pixel reads are traced.
+ */
+int sad16(const video::Plane &cur, int cx, int cy,
+          const video::Plane &ref, int rx, int ry, int best);
+
+/**
+ * Full search over the restricted window [-range, +range]^2 (clipped
+ * to the reference plane), followed by half-pel refinement around the
+ * full-pel optimum when @p half_pel is set.
+ *
+ * Issues one software prefetch per window row, modelling the
+ * conservative compiler-generated prefetching the paper observes.
+ */
+SearchResult motionSearch(const video::Plane &cur,
+                          const video::Plane &ref,
+                          int bx, int by, int range, bool half_pel);
+
+/**
+ * SAD between the 8x8 block of @p cur at (@p cx, @p cy) and the
+ * block of @p ref at (@p rx, @p ry); early exit at @p best.
+ */
+int sad8(const video::Plane &cur, int cx, int cy,
+         const video::Plane &ref, int rx, int ry, int best);
+
+/**
+ * Refinement search for one 8x8 luma block (INTER4V mode): full-pel
+ * candidates within @p range of the 16x16 vector @p around, plus
+ * half-pel refinement.  Vectors are restricted exactly like
+ * motionSearch().
+ */
+SearchResult motionSearch8(const video::Plane &cur,
+                           const video::Plane &ref, int bx, int by,
+                           MotionVector around, int range,
+                           bool half_pel);
+
+/**
+ * Mean and mean-absolute-deviation of the 16x16 block at
+ * (@p bx, @p by); used by the intra/inter mode decision.  Traced.
+ */
+void blockActivity16(const video::Plane &cur, int bx, int by,
+                     int &mean, int &deviation);
+
+/**
+ * Motion-compensated 16x16 luma prediction: read the displaced block
+ * of @p ref (half-pel bilinear when the vector has half-pel parts)
+ * into @p out (row-major, 16x16).  Traced reference reads.
+ */
+void predictLuma16(const video::Plane &ref, int bx, int by,
+                   MotionVector mv, uint8_t *out);
+
+/**
+ * Motion-compensated 8x8 luma prediction (INTER4V blocks).
+ */
+void predictLuma8(const video::Plane &ref, int bx, int by,
+                  MotionVector mv, uint8_t *out);
+
+/**
+ * Motion-compensated 16x16 luma prediction served from precomputed
+ * half-pel planes (see codec/interp.hh).  Produces bit-identical
+ * output to predictLuma16().
+ */
+void predictLuma16FromInterp(const video::Plane &base,
+                             const class HalfPelPlanes &interp,
+                             int bx, int by, MotionVector mv,
+                             uint8_t *out);
+
+/**
+ * Motion-compensated 8x8 chroma prediction at chroma coordinates
+ * (@p bx, @p by) using the chroma vector derived from the luma
+ * vector per H.263 rounding.
+ */
+void predictChroma8(const video::Plane &ref, int bx, int by,
+                    MotionVector luma_mv, uint8_t *out);
+
+/** Chroma half-pel vector derived from a luma half-pel vector. */
+MotionVector chromaVector(MotionVector luma_mv);
+
+/** Average two predictions (B-VOP bidirectional mode), rounding up. */
+void averagePrediction(const uint8_t *a, const uint8_t *b, int n,
+                       uint8_t *out);
+
+} // namespace m4ps::codec
+
+#endif // M4PS_CODEC_MOTION_HH

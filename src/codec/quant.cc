@@ -1,0 +1,133 @@
+#include "codec/quant.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace m4ps::codec
+{
+
+const int kIntraMatrix[kBlockSize] = {
+     8, 17, 18, 19, 21, 23, 25, 27,
+    17, 18, 19, 21, 23, 25, 27, 28,
+    20, 21, 22, 23, 24, 26, 28, 30,
+    21, 22, 23, 24, 26, 28, 30, 32,
+    22, 23, 24, 26, 28, 30, 32, 35,
+    23, 24, 26, 28, 30, 32, 35, 38,
+    25, 26, 28, 30, 32, 35, 38, 41,
+    27, 28, 30, 32, 35, 38, 41, 45,
+};
+
+const int kInterMatrix[kBlockSize] = {
+    16, 17, 18, 19, 20, 21, 22, 23,
+    17, 18, 19, 20, 21, 22, 23, 24,
+    18, 19, 20, 21, 22, 23, 24, 25,
+    19, 20, 21, 22, 23, 24, 26, 27,
+    20, 21, 22, 23, 25, 26, 27, 28,
+    21, 22, 23, 24, 26, 27, 28, 30,
+    22, 23, 24, 26, 27, 28, 30, 31,
+    23, 24, 25, 27, 28, 30, 31, 33,
+};
+
+int
+dcScaler(int qp, bool luma)
+{
+    M4PS_ASSERT(qp >= 1 && qp <= 31, "qp out of range: ", qp);
+    if (luma) {
+        if (qp <= 4)
+            return 8;
+        if (qp <= 8)
+            return 2 * qp;
+        if (qp <= 24)
+            return qp + 8;
+        return 2 * qp - 16;
+    }
+    if (qp <= 4)
+        return 8;
+    if (qp <= 24)
+        return (qp + 13) / 2;
+    return qp - 6;
+}
+
+namespace
+{
+
+int16_t
+clampLevel(long v)
+{
+    return static_cast<int16_t>(std::clamp(v, -2047l, 2047l));
+}
+
+} // namespace
+
+void
+quantize(const Block &coefs, Block &levels, const QuantParams &qp)
+{
+    M4PS_ASSERT(qp.qp >= 1 && qp.qp <= 31, "qp out of range: ", qp.qp);
+    const int q = qp.qp;
+    int start = 0;
+    if (qp.intra) {
+        // Round to nearest, symmetric in sign.
+        const int scaler = dcScaler(q, qp.luma);
+        const int mag = (std::abs(coefs[0]) + scaler / 2) / scaler;
+        levels[0] = clampLevel(coefs[0] < 0 ? -mag : mag);
+        start = 1;
+    }
+    for (int i = start; i < kBlockSize; ++i) {
+        const int c = coefs[i];
+        const int mag = std::abs(c);
+        long lvl;
+        if (qp.mpegMatrix) {
+            const int *mat = qp.intra ? kIntraMatrix : kInterMatrix;
+            // Scale by the matrix weight, then quantize by 2q.
+            const long scaled = 16l * mag / mat[i];
+            lvl = qp.intra ? (scaled + q) / (2 * q)
+                           : scaled / (2 * q);
+        } else {
+            // H.263 style: intra has no dead zone beyond truncation,
+            // inter has a qp/2 dead zone.
+            lvl = qp.intra ? mag / (2 * q)
+                           : (mag - q / 2) / (2 * q);
+            if (lvl < 0)
+                lvl = 0;
+        }
+        levels[i] = clampLevel(c < 0 ? -lvl : lvl);
+    }
+}
+
+void
+dequantize(const Block &levels, Block &coefs, const QuantParams &qp)
+{
+    M4PS_ASSERT(qp.qp >= 1 && qp.qp <= 31, "qp out of range: ", qp.qp);
+    const int q = qp.qp;
+    int start = 0;
+    if (qp.intra) {
+        coefs[0] = static_cast<int16_t>(
+            std::clamp(levels[0] * dcScaler(q, qp.luma), -2048, 2047));
+        start = 1;
+    }
+    for (int i = start; i < kBlockSize; ++i) {
+        const int lvl = levels[i];
+        if (lvl == 0) {
+            coefs[i] = 0;
+            continue;
+        }
+        const int mag = std::abs(lvl);
+        long c;
+        if (qp.mpegMatrix) {
+            const int *mat = qp.intra ? kIntraMatrix : kInterMatrix;
+            c = (2l * mag * q * mat[i]) / 16;
+            if (!qp.intra)
+                c += (q * mat[i]) / 16; // mid-rise reconstruction
+        } else {
+            c = q * (2l * mag + 1);
+            if (q % 2 == 0)
+                c -= 1;
+        }
+        c = std::clamp(lvl < 0 ? -c : c, -2048l, 2047l);
+        coefs[i] = static_cast<int16_t>(c);
+    }
+}
+
+} // namespace m4ps::codec

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Coefficient quantization.
+ *
+ * Implements the two MPEG-4 texture quantization methods: the
+ * H.263-style uniform quantizer (method 2, the MoMuSys default) and
+ * the MPEG-style weighted-matrix quantizer (method 1), plus the
+ * non-linear intra-DC scaler of the standard.
+ */
+
+#ifndef M4PS_CODEC_QUANT_HH
+#define M4PS_CODEC_QUANT_HH
+
+#include "codec/dct.hh"
+
+namespace m4ps::codec
+{
+
+/** Quantizer selection and state. */
+struct QuantParams
+{
+    int qp = 8;              //!< Quantizer parameter, 1..31.
+    bool intra = false;      //!< Intra block (DC handled separately).
+    bool mpegMatrix = false; //!< Weighted-matrix method instead of H.263.
+    bool luma = true;        //!< Selects the intra-DC scaler table.
+};
+
+/** Non-linear intra DC scaler (MPEG-4 Part 2, table 7-1 shape). */
+int dcScaler(int qp, bool luma);
+
+/**
+ * Quantize @p coefs into @p levels.
+ *
+ * For intra blocks, levels[0] is the DC level using dcScaler();
+ * AC coefficients use the selected method.
+ */
+void quantize(const Block &coefs, Block &levels, const QuantParams &qp);
+
+/** Inverse of quantize(); reconstruction error bounded by step/2. */
+void dequantize(const Block &levels, Block &coefs, const QuantParams &qp);
+
+/** Default intra quantization matrix (MPEG-4 Part 2 defaults). */
+extern const int kIntraMatrix[kBlockSize];
+
+/** Default non-intra quantization matrix. */
+extern const int kInterMatrix[kBlockSize];
+
+} // namespace m4ps::codec
+
+#endif // M4PS_CODEC_QUANT_HH

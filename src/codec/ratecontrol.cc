@@ -1,0 +1,63 @@
+#include "codec/ratecontrol.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace m4ps::codec
+{
+
+RateController::RateController(double target_bps, double frame_rate,
+                               int initial_qp)
+    : budget_(target_bps / std::max(frame_rate, 1e-9)),
+      qp_(std::clamp(initial_qp, 1, 31))
+{
+    M4PS_ASSERT(target_bps > 0, "target bitrate must be positive");
+}
+
+int
+RateController::qpForVop(VopType type) const
+{
+    // B-VOPs are quantized more coarsely, I-VOPs slightly finer -
+    // the usual I/P/B ladder.
+    int qp = qp_;
+    switch (type) {
+      case VopType::I:
+        qp -= 1;
+        break;
+      case VopType::P:
+        break;
+      case VopType::B:
+        qp += 2;
+        break;
+    }
+    return std::clamp(qp, 1, 31);
+}
+
+void
+RateController::update(uint64_t bits_used)
+{
+    fullness_ += static_cast<double>(bits_used) - budget_;
+    // Step the quantizer proportionally to buffer pressure: small
+    // errors move one notch, gross mismatches converge in a few
+    // frames instead of tens.
+    const double pressure = fullness_ / budget_;
+    auto step_for = [](double p) {
+        if (p > 8)
+            return 4;
+        if (p > 3)
+            return 2;
+        if (p > 1)
+            return 1;
+        return 0;
+    };
+    if (pressure > 0)
+        qp_ = std::min(qp_ + step_for(pressure), 31);
+    else
+        qp_ = std::max(qp_ - step_for(-pressure), 1);
+    // Leak the buffer slightly so a long-past burst does not pin the
+    // quantizer forever.
+    fullness_ *= 0.995;
+}
+
+} // namespace m4ps::codec

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reactive rate control.
+ *
+ * The paper encodes with a target bitrate of 38400 bit/s at 30 Hz.
+ * This controller follows the spirit of the MoMuSys Q2 controller in
+ * a simplified reactive form: a virtual buffer integrates the error
+ * between produced and budgeted bits, and the quantizer parameter is
+ * nudged to drain it.
+ */
+
+#ifndef M4PS_CODEC_RATECONTROL_HH
+#define M4PS_CODEC_RATECONTROL_HH
+
+#include <cstdint>
+
+namespace m4ps::codec
+{
+
+/** Frame-type hint for quantizer selection. */
+enum class VopType
+{
+    I,
+    P,
+    B,
+};
+
+/** Virtual-buffer rate controller. */
+class RateController
+{
+  public:
+    /**
+     * @param target_bps  target bit rate (bits per second).
+     * @param frame_rate  frames per second.
+     * @param initial_qp  starting quantizer (1..31).
+     */
+    RateController(double target_bps, double frame_rate, int initial_qp);
+
+    /** Quantizer to use for the next VOP of type @p type. */
+    int qpForVop(VopType type) const;
+
+    /** Report the bits actually produced for the last VOP. */
+    void update(uint64_t bits_used);
+
+    /** Current buffer fullness in bits (positive = over budget). */
+    double fullness() const { return fullness_; }
+
+    /** Current base quantizer. */
+    int baseQp() const { return qp_; }
+
+    /** Bit budget per frame. */
+    double frameBudget() const { return budget_; }
+
+  private:
+    double budget_;
+    double fullness_ = 0;
+    int qp_;
+};
+
+} // namespace m4ps::codec
+
+#endif // M4PS_CODEC_RATECONTROL_HH

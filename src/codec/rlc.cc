@@ -1,0 +1,74 @@
+#include "codec/rlc.hh"
+
+#include <cstdlib>
+
+#include "bitstream/expgolomb.hh"
+#include "support/logging.hh"
+
+namespace m4ps::codec
+{
+
+std::vector<RunLevel>
+runLengthEncode(const Block &scanned, int first)
+{
+    std::vector<RunLevel> events;
+    int run = 0;
+    for (int i = first; i < kBlockSize; ++i) {
+        if (scanned[i] == 0) {
+            ++run;
+            continue;
+        }
+        events.push_back({run, scanned[i], false});
+        run = 0;
+    }
+    if (!events.empty())
+        events.back().last = true;
+    return events;
+}
+
+void
+runLengthDecode(const std::vector<RunLevel> &events, Block &scanned,
+                int first)
+{
+    for (int i = first; i < kBlockSize; ++i)
+        scanned[i] = 0;
+    int pos = first;
+    for (const RunLevel &e : events) {
+        pos += e.run;
+        M4PS_ASSERT(pos < kBlockSize, "run-level overflow at pos ", pos);
+        M4PS_ASSERT(e.level != 0, "zero level event");
+        scanned[pos] = static_cast<int16_t>(e.level);
+        ++pos;
+    }
+}
+
+void
+writeBlockEvents(bits::BitWriter &bw, const std::vector<RunLevel> &events)
+{
+    M4PS_ASSERT(!events.empty(), "coded block must have events");
+    for (const RunLevel &e : events) {
+        bw.putBit(e.last);
+        bits::putUe(bw, static_cast<uint32_t>(e.run));
+        bits::putUe(bw, static_cast<uint32_t>(std::abs(e.level) - 1));
+        bw.putBit(e.level < 0);
+    }
+}
+
+std::vector<RunLevel>
+readBlockEvents(bits::BitReader &br)
+{
+    std::vector<RunLevel> events;
+    bool last = false;
+    while (!last && !br.overrun() && events.size() < kBlockSize) {
+        RunLevel e;
+        e.last = br.getBit();
+        e.run = static_cast<int>(bits::getUe(br));
+        const int mag = static_cast<int>(bits::getUe(br)) + 1;
+        e.level = br.getBit() ? -mag : mag;
+        last = e.last;
+        events.push_back(e);
+    }
+    return events;
+}
+
+} // namespace m4ps::codec

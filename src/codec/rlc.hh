@@ -1,0 +1,56 @@
+/**
+ * @file
+ * (last, run, level) run-length coding of scanned coefficients.
+ *
+ * MPEG-4 codes texture blocks as three-dimensional (LAST, RUN, LEVEL)
+ * events.  We keep that event structure but code each event with
+ * Exp-Golomb fields instead of the standard's fixed Huffman table
+ * (see DESIGN.md §5: this changes compressed size slightly, not the
+ * pixel pipeline's memory behaviour).
+ */
+
+#ifndef M4PS_CODEC_RLC_HH
+#define M4PS_CODEC_RLC_HH
+
+#include <vector>
+
+#include "bitstream/bitstream.hh"
+#include "codec/dct.hh"
+
+namespace m4ps::codec
+{
+
+/** One run-length event. */
+struct RunLevel
+{
+    int run = 0;      //!< Zero coefficients preceding this one.
+    int level = 0;    //!< Non-zero coefficient value.
+    bool last = false;//!< True on the final non-zero coefficient.
+
+    bool operator==(const RunLevel &o) const = default;
+};
+
+/**
+ * Convert a scanned block (starting at index @p first) into events.
+ * A block with no non-zero coefficient yields an empty vector.
+ */
+std::vector<RunLevel> runLengthEncode(const Block &scanned, int first = 0);
+
+/** Expand events back into a scanned block starting at @p first. */
+void runLengthDecode(const std::vector<RunLevel> &events, Block &scanned,
+                     int first = 0);
+
+/**
+ * Write a coded-block payload: assumes the caller signalled
+ * "block has coefficients" out of band (CBP); requires at least one
+ * event.
+ */
+void writeBlockEvents(bits::BitWriter &bw,
+                      const std::vector<RunLevel> &events);
+
+/** Read events until the LAST flag; inverse of writeBlockEvents(). */
+std::vector<RunLevel> readBlockEvents(bits::BitReader &br);
+
+} // namespace m4ps::codec
+
+#endif // M4PS_CODEC_RLC_HH

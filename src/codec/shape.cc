@@ -1,0 +1,125 @@
+#include "codec/shape.hh"
+
+#include "support/logging.hh"
+
+namespace m4ps::codec
+{
+
+namespace
+{
+
+constexpr int kBab = 16;
+
+/**
+ * Causal availability for context reads.  A pixel is available when
+ * it lies inside the plane and has already been coded given raster
+ * BAB order and raster pixel order within the BAB at (x0, y0):
+ * anything above the BAB's rows, anything to the left of the BAB,
+ * or an earlier pixel within this BAB.  Pixels to the right of the
+ * BAB on its own rows belong to a not-yet-coded BAB.
+ */
+bool
+available(const video::Plane &alpha, int x0, int y0, int cur_x, int cur_y,
+          int px, int py)
+{
+    if (px < 0 || py < 0 || px >= alpha.width() || py >= alpha.height())
+        return false;
+    if (py < y0)
+        return true;             // rows fully coded by earlier MB rows
+    if (px < x0)
+        return true;             // BABs to the left on this MB row
+    if (px >= x0 + kBab)
+        return false;            // right-neighbour BAB not coded yet
+    if (py < cur_y)
+        return true;             // earlier row inside this BAB
+    return py == cur_y && px < cur_x;
+}
+
+} // namespace
+
+void
+ShapeCoder::reset()
+{
+    for (auto &c : ctx_)
+        c = ArithContext{};
+}
+
+BabMode
+ShapeCoder::analyzeBab(const video::Plane &alpha, int x0, int y0)
+{
+    bool any_set = false;
+    bool any_clear = false;
+    for (int y = 0; y < kBab; ++y) {
+        alpha.traceLoadRow(x0, y0 + y, kBab);
+        const uint8_t *row = alpha.rowPtr(y0 + y) + x0;
+        for (int x = 0; x < kBab; ++x) {
+            if (row[x])
+                any_set = true;
+            else
+                any_clear = true;
+        }
+        if (any_set && any_clear)
+            return BabMode::Coded;
+    }
+    if (any_set)
+        return BabMode::Opaque;
+    return BabMode::Transparent;
+}
+
+int
+ShapeCoder::context(const video::Plane &alpha, int x0, int y0,
+                    int x, int y)
+{
+    // 7-pixel causal template:
+    //   (x-2,y-1) (x-1,y-1) (x,y-1) (x+1,y-1)
+    //   (x-2,y  ) (x-1,y  )            and (x, y-2)
+    static const int kDx[7] = {-1, -2, -2, -1, 0, 1, 0};
+    static const int kDy[7] = {0, 0, -1, -1, -1, -1, -2};
+    int ctx = 0;
+    for (int i = 0; i < 7; ++i) {
+        const int px = x + kDx[i];
+        const int py = y + kDy[i];
+        int bit = 0;
+        if (available(alpha, x0, y0, x, y, px, py)) {
+            // Context reads are real loads in the shape kernel.
+            bit = alpha.loadPx(px, py) ? 1 : 0;
+        }
+        ctx = (ctx << 1) | bit;
+    }
+    return ctx;
+}
+
+void
+ShapeCoder::encodeBab(ArithEncoder &enc, const video::Plane &alpha,
+                      int x0, int y0)
+{
+    memsim::MemoryHierarchy *mem = alpha.mem();
+    for (int y = 0; y < kBab; ++y) {
+        for (int x = 0; x < kBab; ++x) {
+            const int cx = context(alpha, x0, y0, x0 + x, y0 + y);
+            const bool bit = alpha.loadPx(x0 + x, y0 + y) != 0;
+            enc.encodeBit(ctx_[cx], bit);
+        }
+    }
+    // Arithmetic-coder arithmetic beyond the traced context loads.
+    if (mem)
+        mem->tick(4.0 * kBab * kBab);
+}
+
+void
+ShapeCoder::decodeBab(ArithDecoder &dec, video::Plane &alpha,
+                      int x0, int y0)
+{
+    memsim::MemoryHierarchy *mem = alpha.mem();
+    for (int y = 0; y < kBab; ++y) {
+        for (int x = 0; x < kBab; ++x) {
+            const int cx = context(alpha, x0, y0, x0 + x, y0 + y);
+            const bool bit = dec.decodeBit(ctx_[cx]);
+            alpha.storePx(x0 + x, y0 + y, bit ? 255 : 0);
+        }
+    }
+    if (mem)
+        mem->tick(4.0 * kBab * kBab);
+}
+
+} // namespace m4ps::codec

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Binary shape coding.
+ *
+ * "Arbitrary shapes are coded using a context-based arithmetic
+ * encoding scheme and are compressed via a bitmap-based method"
+ * (paper §2.1).  Each 16x16 binary alpha block (BAB) is classified
+ * as all-transparent, all-opaque, or boundary; boundary BABs are
+ * coded pixel-by-pixel with a 7-pixel causal context template
+ * driving an adaptive binary arithmetic coder.  Shape coding is
+ * lossless, so the encoder may use the original alpha plane as the
+ * already-coded causal state.
+ */
+
+#ifndef M4PS_CODEC_SHAPE_HH
+#define M4PS_CODEC_SHAPE_HH
+
+#include <array>
+
+#include "codec/arith.hh"
+#include "video/plane.hh"
+
+namespace m4ps::codec
+{
+
+/** Classification of one binary alpha block. */
+enum class BabMode
+{
+    Transparent, //!< All pixels zero.
+    Opaque,      //!< All pixels set.
+    Coded,       //!< Boundary block, context-coded.
+};
+
+/** Per-VOP shape coder state (context probabilities). */
+class ShapeCoder
+{
+  public:
+    /** Number of distinct template contexts (7 binary pixels). */
+    static constexpr int kContexts = 128;
+
+    ShapeCoder() = default;
+
+    /** Reset context adaptation (call per VOP). */
+    void reset();
+
+    /** Classify the BAB at pixel origin (@p x0, @p y0). Traced reads. */
+    static BabMode analyzeBab(const video::Plane &alpha, int x0, int y0);
+
+    /**
+     * Context-code the BAB at (@p x0, @p y0) into @p enc.  Context
+     * pixels are read from @p alpha itself (causal availability:
+     * rows above the BAB, the BABs to the left, and already-coded
+     * pixels inside the BAB).
+     */
+    void encodeBab(ArithEncoder &enc, const video::Plane &alpha,
+                   int x0, int y0);
+
+    /** Inverse of encodeBab(); writes decoded pixels into @p alpha. */
+    void decodeBab(ArithDecoder &dec, video::Plane &alpha,
+                   int x0, int y0);
+
+  private:
+    /**
+     * Gather the 7-pixel context at (@p x, @p y).  Unavailable
+     * positions (outside the plane, or in BABs not yet coded) read
+     * as transparent.
+     */
+    static int context(const video::Plane &alpha, int x0, int y0,
+                       int x, int y);
+
+    std::array<ArithContext, kContexts> ctx_;
+};
+
+} // namespace m4ps::codec
+
+#endif // M4PS_CODEC_SHAPE_HH

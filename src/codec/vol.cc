@@ -1,0 +1,406 @@
+#include "codec/vol.hh"
+
+#include "bitstream/expgolomb.hh"
+#include "bitstream/startcode.hh"
+#include "codec/error.hh"
+#include "codec/ratecontrol.hh"
+#include "support/logging.hh"
+
+namespace m4ps::codec
+{
+
+void
+GopConfig::validate() const
+{
+    M4PS_ASSERT(intraPeriod >= 1, "intra period must be >= 1");
+    M4PS_ASSERT(bFrames >= 0, "negative B-frame count");
+    M4PS_ASSERT(intraPeriod % (bFrames + 1) == 0,
+                "intra period must be a multiple of the anchor "
+                "distance (bFrames + 1)");
+}
+
+void
+writeVolHeader(bits::BitWriter &bw, const VolConfig &cfg)
+{
+    bits::putVolStartCode(bw, cfg.volId);
+    bits::putUe(bw, static_cast<uint32_t>(cfg.width / 16));
+    bits::putUe(bw, static_cast<uint32_t>(cfg.height / 16));
+    bw.putBit(cfg.hasShape);
+    bw.putBit(cfg.enhancement);
+    bw.putBit(cfg.mpegQuant);
+    bw.putBit(cfg.halfPel);
+    bw.putBit(cfg.fourMv);
+}
+
+VolConfig
+readVolHeader(bits::BitReader &br, int vo_id, int vol_id)
+{
+    VolConfig cfg;
+    cfg.voId = vo_id;
+    cfg.volId = vol_id;
+    cfg.width = static_cast<int>(bits::getUe(br)) * 16;
+    cfg.height = static_cast<int>(bits::getUe(br)) * 16;
+    cfg.hasShape = br.getBit();
+    cfg.enhancement = br.getBit();
+    cfg.mpegQuant = br.getBit();
+    cfg.halfPel = br.getBit();
+    cfg.fourMv = br.getBit();
+    if (br.overrun() || cfg.width <= 0 || cfg.height <= 0)
+        M4PS_FATAL("corrupt VOL header");
+    return cfg;
+}
+
+video::Rect
+alphaBBoxMb(const video::Plane &alpha)
+{
+    int x0 = alpha.width(), y0 = alpha.height(), x1 = -1, y1 = -1;
+    for (int y = 0; y < alpha.height(); ++y) {
+        const uint8_t *row = alpha.rowPtr(y);
+        for (int x = 0; x < alpha.width(); ++x) {
+            if (row[x]) {
+                x0 = std::min(x0, x);
+                y0 = std::min(y0, y);
+                x1 = std::max(x1, x);
+                y1 = std::max(y1, y);
+            }
+        }
+    }
+    if (x1 < 0)
+        return {0, 0, 1, 1}; // empty shape: one transparent MB
+    const int mx0 = x0 / 16;
+    const int my0 = y0 / 16;
+    const int mx1 = x1 / 16;
+    const int my1 = y1 / 16;
+    return {mx0, my0, mx1 - mx0 + 1, my1 - my0 + 1};
+}
+
+// ---------------------------------------------------------------------
+// VolEncoder
+// ---------------------------------------------------------------------
+
+VolEncoder::VolEncoder(memsim::SimContext &ctx, const VolConfig &cfg,
+                       const GopConfig &gop, RateController *rc)
+    : cfg_(cfg), gop_(gop), rc_(rc), vopEnc_(ctx, cfg)
+{
+    cfg_.validate();
+    gop_.validate();
+    M4PS_ASSERT(rc_, "VolEncoder needs a rate controller");
+    if (cfg_.enhancement) {
+        for (int i = 0; i < 2; ++i) {
+            enhRecon_[i] = video::Yuv420Image(ctx, cfg_.width,
+                                              cfg_.height);
+            if (cfg_.hasShape)
+                enhAlpha_[i] = video::Plane(ctx, cfg_.width,
+                                            cfg_.height);
+        }
+        return;
+    }
+    for (int i = 0; i < 2; ++i) {
+        reconStore_[i] = video::Yuv420Image(ctx, cfg_.width,
+                                            cfg_.height);
+        if (cfg_.hasShape)
+            alphaStore_[i] = video::Plane(ctx, cfg_.width, cfg_.height);
+    }
+    pending_.resize(gop_.bFrames);
+    for (auto &p : pending_) {
+        p.frame = video::Yuv420Image(ctx, cfg_.width, cfg_.height);
+        if (cfg_.hasShape)
+            p.alpha = video::Plane(ctx, cfg_.width, cfg_.height);
+    }
+}
+
+void
+VolEncoder::writeHeader(bits::BitWriter &bw)
+{
+    writeVolHeader(bw, cfg_);
+}
+
+video::Rect
+VolEncoder::vopWindow(const video::Plane *alpha) const
+{
+    if (!cfg_.hasShape || !alpha)
+        return {0, 0, cfg_.mbWidth(), cfg_.mbHeight()};
+    return alphaBBoxMb(*alpha);
+}
+
+const video::Yuv420Image &
+VolEncoder::lastAnchorRecon() const
+{
+    if (cfg_.enhancement) {
+        M4PS_ASSERT(curEnh_ >= 0, "no enhancement VOP coded yet");
+        return enhRecon_[curEnh_];
+    }
+    M4PS_ASSERT(curAnchor_ >= 0, "no anchor coded yet");
+    return reconStore_[curAnchor_];
+}
+
+VopStats
+VolEncoder::encodeAnchor(bits::BitWriter &bw,
+                         const video::Yuv420Image &frame,
+                         const video::Plane *alpha, int timestamp,
+                         VopType type)
+{
+    const int target = curAnchor_ < 0 ? 0 : 1 - curAnchor_;
+    VopHeader hdr;
+    hdr.type = type;
+    hdr.voId = cfg_.voId;
+    hdr.volId = cfg_.volId;
+    hdr.timestamp = timestamp;
+    hdr.qp = rc_->qpForVop(type);
+    hdr.mbWindow = vopWindow(alpha);
+
+    RefFrames refs;
+    if (type == VopType::P)
+        refs.past = &reconStore_[curAnchor_];
+
+    VopStats stats = vopEnc_.encode(
+        bw, hdr, frame, alpha, refs, &reconStore_[target],
+        cfg_.hasShape ? &alphaStore_[target] : nullptr);
+    rc_->update(stats.bits);
+    curAnchor_ = target;
+    havePast_ = true;
+    return stats;
+}
+
+VopStats
+VolEncoder::encodeB(bits::BitWriter &bw, const video::Yuv420Image &frame,
+                    const video::Plane *alpha, int timestamp)
+{
+    VopHeader hdr;
+    hdr.type = VopType::B;
+    hdr.voId = cfg_.voId;
+    hdr.volId = cfg_.volId;
+    hdr.timestamp = timestamp;
+    hdr.qp = rc_->qpForVop(VopType::B);
+    hdr.mbWindow = vopWindow(alpha);
+
+    RefFrames refs;
+    refs.past = &reconStore_[1 - curAnchor_];
+    refs.future = &reconStore_[curAnchor_];
+
+    VopStats stats =
+        vopEnc_.encode(bw, hdr, frame, alpha, refs, nullptr, nullptr);
+    rc_->update(stats.bits);
+    return stats;
+}
+
+std::vector<VopStats>
+VolEncoder::encodeFrame(bits::BitWriter &bw,
+                        const video::Yuv420Image &frame,
+                        const video::Plane *alpha, int timestamp)
+{
+    M4PS_ASSERT(!cfg_.enhancement,
+                "use encodeEnhanced() for enhancement layers");
+    std::vector<VopStats> out;
+    const int m = gop_.bFrames + 1;
+    const bool anchor = frameCount_ % m == 0;
+    const bool intra =
+        frameCount_ % gop_.intraPeriod == 0 || !havePast_;
+    ++frameCount_;
+
+    if (!anchor) {
+        // Buffer as a B candidate (the capture path; untraced copy).
+        M4PS_ASSERT(numPending_ < static_cast<int>(pending_.size()),
+                    "B buffer overflow");
+        Pending &p = pending_[numPending_++];
+        p.frame.copyFrom(frame);
+        if (cfg_.hasShape && alpha)
+            p.alpha.copyFrom(*alpha);
+        p.timestamp = timestamp;
+        return out;
+    }
+
+    // Anchor first (coding order), then the buffered B-VOPs that
+    // display between the previous anchor and this one.
+    out.push_back(encodeAnchor(bw, frame, alpha, timestamp,
+                               intra ? VopType::I : VopType::P));
+    const bool can_b = curAnchor_ >= 0 && havePast_ && frameCount_ > 1;
+    for (int i = 0; i < numPending_; ++i) {
+        Pending &p = pending_[i];
+        if (can_b) {
+            out.push_back(encodeB(
+                bw, p.frame, cfg_.hasShape ? &p.alpha : nullptr,
+                p.timestamp));
+        }
+    }
+    numPending_ = 0;
+    return out;
+}
+
+VopStats
+VolEncoder::encodeEnhanced(bits::BitWriter &bw,
+                           const video::Yuv420Image &frame,
+                           const video::Plane *alpha, int timestamp,
+                           const video::Yuv420Image &spatial_ref)
+{
+    M4PS_ASSERT(cfg_.enhancement, "not an enhancement layer");
+    const int target = curEnh_ < 0 ? 0 : 1 - curEnh_;
+    VopHeader hdr;
+    hdr.type = VopType::B;
+    hdr.voId = cfg_.voId;
+    hdr.volId = cfg_.volId;
+    hdr.timestamp = timestamp;
+    hdr.qp = rc_->qpForVop(VopType::P);
+    hdr.mbWindow = vopWindow(alpha);
+
+    RefFrames refs;
+    if (haveEnhPast_)
+        refs.past = &enhRecon_[curEnh_];
+    refs.future = &spatial_ref;
+
+    VopStats stats = vopEnc_.encode(
+        bw, hdr, frame, alpha, refs, &enhRecon_[target],
+        cfg_.hasShape ? &enhAlpha_[target] : nullptr);
+    rc_->update(stats.bits);
+    curEnh_ = target;
+    haveEnhPast_ = true;
+    return stats;
+}
+
+std::vector<VopStats>
+VolEncoder::flush(bits::BitWriter &bw)
+{
+    std::vector<VopStats> out;
+    if (cfg_.enhancement)
+        return out;
+    // Trailing frames that never saw their future anchor are coded
+    // as a P chain.
+    for (int i = 0; i < numPending_; ++i) {
+        Pending &p = pending_[i];
+        out.push_back(encodeAnchor(
+            bw, p.frame, cfg_.hasShape ? &p.alpha : nullptr,
+            p.timestamp, havePast_ ? VopType::P : VopType::I));
+    }
+    numPending_ = 0;
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// VolDecoder
+// ---------------------------------------------------------------------
+
+VolDecoder::VolDecoder(memsim::SimContext &ctx, const VolConfig &cfg)
+    : cfg_(cfg), vopDec_(ctx, cfg)
+{
+    cfg_.validate();
+    for (int i = 0; i < 2; ++i) {
+        anchorStore_[i] = video::Yuv420Image(ctx, cfg_.width,
+                                             cfg_.height);
+        if (cfg_.hasShape)
+            anchorAlpha_[i] = video::Plane(ctx, cfg_.width,
+                                           cfg_.height);
+        // The reference decoder interpolates each reconstructed
+        // anchor's luminance once and serves half-pel MC from the
+        // precomputed planes.
+        if (cfg_.halfPel && !cfg_.enhancement)
+            anchorInterp_[i] = HalfPelPlanes(ctx, cfg_.width,
+                                             cfg_.height);
+    }
+    if (!cfg_.enhancement) {
+        bStore_ = video::Yuv420Image(ctx, cfg_.width, cfg_.height);
+        if (cfg_.hasShape)
+            bAlpha_ = video::Plane(ctx, cfg_.width, cfg_.height);
+    }
+}
+
+const video::Yuv420Image &
+VolDecoder::lastDecoded() const
+{
+    M4PS_ASSERT(lastDecoded_, "nothing decoded yet");
+    return *lastDecoded_;
+}
+
+std::vector<DisplayFrame>
+VolDecoder::decodeVop(bits::BitReader &br, const VopHeader &hdr,
+                      const video::Yuv420Image *spatial_ref)
+{
+    std::vector<DisplayFrame> out;
+
+    if (cfg_.enhancement) {
+        M4PS_ASSERT(spatial_ref,
+                    "enhancement VOP needs a spatial reference");
+        const int target = curAnchor_ < 0 ? 0 : 1 - curAnchor_;
+        RefFrames refs;
+        if (curAnchor_ >= 0)
+            refs.past = &anchorStore_[curAnchor_];
+        refs.future = spatial_ref;
+        video::Plane *oa =
+            cfg_.hasShape ? &anchorAlpha_[target] : nullptr;
+        totals_ += vopDec_.decode(br, hdr, refs, anchorStore_[target],
+                                  oa);
+        curAnchor_ = target;
+        lastDecoded_ = &anchorStore_[target];
+        out.push_back({hdr.timestamp, lastDecoded_, oa});
+        return out;
+    }
+
+    if (hdr.type == VopType::B) {
+        if (prevAnchor_ < 0 || curAnchor_ < 0)
+            throw StreamError("B-VOP before two anchors");
+        RefFrames refs;
+        refs.past = &anchorStore_[prevAnchor_];
+        refs.future = &anchorStore_[curAnchor_];
+        if (!anchorInterp_[0].empty()) {
+            refs.pastInterp = &anchorInterp_[prevAnchor_];
+            refs.futureInterp = &anchorInterp_[curAnchor_];
+        }
+        video::Plane *oa = cfg_.hasShape ? &bAlpha_ : nullptr;
+        totals_ += vopDec_.decode(br, hdr, refs, bStore_, oa);
+        lastDecoded_ = &bStore_;
+        out.push_back({hdr.timestamp, &bStore_, oa});
+        return out;
+    }
+
+    // Anchor: decode into the store not holding the current anchor,
+    // emit the previously held anchor.
+    const int target = curAnchor_ < 0 ? 0 : 1 - curAnchor_;
+    RefFrames refs;
+    if (hdr.type == VopType::P) {
+        if (curAnchor_ < 0)
+            throw StreamError("P-VOP before any anchor");
+        refs.past = &anchorStore_[curAnchor_];
+        if (!anchorInterp_[0].empty())
+            refs.pastInterp = &anchorInterp_[curAnchor_];
+    }
+    video::Plane *oa = cfg_.hasShape ? &anchorAlpha_[target] : nullptr;
+    totals_ += vopDec_.decode(br, hdr, refs, anchorStore_[target], oa);
+    if (!anchorInterp_[0].empty()) {
+        // Interpolate the padded VOP window only, as the reference
+        // decoder does; the pad covers window drift between anchors
+        // plus the search range and the half-pel border.
+        const video::Rect px_window{hdr.mbWindow.x * 16,
+                                    hdr.mbWindow.y * 16,
+                                    hdr.mbWindow.w * 16,
+                                    hdr.mbWindow.h * 16};
+        const int pad = std::max(32, 2 * cfg_.searchRange);
+        anchorInterp_[target].build(anchorStore_[target].y(),
+                                    px_window, pad);
+    }
+    if (curAnchor_ >= 0) {
+        out.push_back({anchorTs_[curAnchor_],
+                       &anchorStore_[curAnchor_],
+                       cfg_.hasShape ? &anchorAlpha_[curAnchor_]
+                                     : nullptr});
+    }
+    prevAnchor_ = curAnchor_;
+    curAnchor_ = target;
+    anchorTs_[target] = hdr.timestamp;
+    lastDecoded_ = &anchorStore_[target];
+    return out;
+}
+
+std::vector<DisplayFrame>
+VolDecoder::flush()
+{
+    std::vector<DisplayFrame> out;
+    if (!cfg_.enhancement && curAnchor_ >= 0) {
+        out.push_back({anchorTs_[curAnchor_], &anchorStore_[curAnchor_],
+                       cfg_.hasShape ? &anchorAlpha_[curAnchor_]
+                                     : nullptr});
+        curAnchor_ = -1;
+        prevAnchor_ = -1;
+    }
+    return out;
+}
+
+} // namespace m4ps::codec

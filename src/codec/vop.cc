@@ -1,0 +1,1184 @@
+#include "codec/vop.hh"
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+
+#include "bitstream/expgolomb.hh"
+#include "codec/error.hh"
+#include "bitstream/startcode.hh"
+#include "codec/zigzag.hh"
+#include "support/logging.hh"
+
+namespace m4ps::codec
+{
+
+namespace
+{
+
+constexpr int kMb = 16;
+
+/** Compute cycles per 8x8 transform beyond its traced loads/stores. */
+constexpr double kDctCycles = 300.0;
+
+/** Compute cycles per quantization / scan pass. */
+constexpr double kPassCycles = 64.0;
+
+/** Entropy-coding compute cycles per bitstream bit. */
+constexpr double kEncodeCyclesPerBit = 3.0;
+constexpr double kDecodeCyclesPerBit = 4.0;
+
+/** Intra/inter decision bias (MoMuSys-style). */
+constexpr int kIntraBias = 512;
+
+/** Round-half-away-from-zero average of four vector components. */
+int
+avg4(int sum)
+{
+    const int mag = (std::abs(sum) + 2) >> 2;
+    return sum < 0 ? -mag : mag;
+}
+
+/** Median of three integers. */
+int
+median3(int a, int b, int c)
+{
+    return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
+int
+vopTypeBits(VopType t)
+{
+    switch (t) {
+      case VopType::I: return 0;
+      case VopType::P: return 1;
+      case VopType::B: return 2;
+    }
+    M4PS_PANIC("bad vop type");
+}
+
+VopType
+vopTypeFromBits(uint32_t v)
+{
+    switch (v) {
+      case 0: return VopType::I;
+      case 1: return VopType::P;
+      case 2: return VopType::B;
+      default: return VopType::I; // corrupt stream; caller validates
+    }
+}
+
+} // namespace
+
+void
+VolConfig::validate() const
+{
+    M4PS_ASSERT(width > 0 && height > 0, "VOL needs positive size");
+    M4PS_ASSERT(width % kMb == 0 && height % kMb == 0,
+                "VOL dimensions must be multiples of 16, got ",
+                width, "x", height);
+    M4PS_ASSERT(searchRange >= 0 && searchRangeB >= 0,
+                "negative search range");
+    M4PS_ASSERT(voId >= 0 && voId < 32 && volId >= 0 && volId < 16,
+                "vo/vol id out of range");
+}
+
+void
+writeVopHeader(bits::BitWriter &bw, const VopHeader &hdr)
+{
+    bits::putStartCode(
+        bw, static_cast<uint8_t>(bits::StartCode::Vop));
+    bw.putBits(static_cast<uint32_t>(vopTypeBits(hdr.type)), 2);
+    bits::putUe(bw, static_cast<uint32_t>(hdr.voId));
+    bits::putUe(bw, static_cast<uint32_t>(hdr.volId));
+    bits::putUe(bw, static_cast<uint32_t>(hdr.timestamp));
+    bw.putBits(static_cast<uint32_t>(hdr.qp), 5);
+    bits::putUe(bw, static_cast<uint32_t>(hdr.mbWindow.x));
+    bits::putUe(bw, static_cast<uint32_t>(hdr.mbWindow.y));
+    bits::putUe(bw, static_cast<uint32_t>(hdr.mbWindow.w));
+    bits::putUe(bw, static_cast<uint32_t>(hdr.mbWindow.h));
+}
+
+VopHeader
+readVopHeader(bits::BitReader &br)
+{
+    VopHeader hdr;
+    hdr.type = vopTypeFromBits(br.getBits(2));
+    hdr.voId = static_cast<int>(bits::getUe(br));
+    hdr.volId = static_cast<int>(bits::getUe(br));
+    hdr.timestamp = static_cast<int>(bits::getUe(br));
+    hdr.qp = static_cast<int>(br.getBits(5));
+    hdr.mbWindow.x = static_cast<int>(bits::getUe(br));
+    hdr.mbWindow.y = static_cast<int>(bits::getUe(br));
+    hdr.mbWindow.w = static_cast<int>(bits::getUe(br));
+    hdr.mbWindow.h = static_cast<int>(bits::getUe(br));
+    return hdr;
+}
+
+VopCodecBase::VopCodecBase(memsim::SimContext &ctx, const VolConfig &cfg)
+    : cfg_(cfg), mem_(ctx.mem()),
+      blockScratch_(ctx, kBlockSize * kNumRegions),
+      predFwd_(ctx, 384), predBwd_(ctx, 384), predBi_(ctx, 384)
+{
+    cfg_.validate();
+    const size_t mbs =
+        static_cast<size_t>(cfg_.mbWidth()) * cfg_.mbHeight();
+    for (int d = 0; d < 2; ++d) {
+        mvGrid_[d].resize(mbs);
+        mvValid_[d].resize(mbs);
+    }
+    dcGrid_[0].resize(mbs * 4);
+    dcValid_[0].resize(mbs * 4);
+    for (int p = 1; p < 3; ++p) {
+        dcGrid_[p].resize(mbs);
+        dcValid_[p].resize(mbs);
+    }
+}
+
+void
+VopCodecBase::traceBlockLoad(ScratchRegion r, int n) const
+{
+    const_cast<memsim::SimBuffer<int16_t> &>(blockScratch_)
+        .traceLoadRow(static_cast<size_t>(r) * kBlockSize, n);
+}
+
+void
+VopCodecBase::traceBlockStore(ScratchRegion r, int n)
+{
+    blockScratch_.traceStoreRow(static_cast<size_t>(r) * kBlockSize, n);
+}
+
+void
+VopCodecBase::tick(double cycles) const
+{
+    if (mem_)
+        mem_->tick(cycles);
+}
+
+void
+VopCodecBase::resetVopState(const VopHeader &hdr)
+{
+    window_ = hdr.mbWindow;
+    M4PS_ASSERT(window_.x >= 0 && window_.y >= 0 && window_.w > 0 &&
+                window_.h > 0 &&
+                window_.x + window_.w <= cfg_.mbWidth() &&
+                window_.y + window_.h <= cfg_.mbHeight(),
+                "VOP window outside VOL: (", window_.x, ",", window_.y,
+                ",", window_.w, ",", window_.h, ")");
+    for (int d = 0; d < 2; ++d)
+        std::fill(mvValid_[d].begin(), mvValid_[d].end(), 0);
+    for (int p = 0; p < 3; ++p)
+        std::fill(dcValid_[p].begin(), dcValid_[p].end(), 0);
+    shape_.reset();
+}
+
+MotionVector
+VopCodecBase::predictMv(int mbx, int mby, int dir) const
+{
+    const int w = cfg_.mbWidth();
+    auto candidate = [&](int x, int y, MotionVector &mv) {
+        if (!window_.contains(x, y))
+            return false;
+        if (!mvValid_[dir][static_cast<size_t>(y) * w + x])
+            return false;
+        mv = mvGrid_[dir][static_cast<size_t>(y) * w + x];
+        return true;
+    };
+    MotionVector a, b, c;
+    const bool ha = candidate(mbx - 1, mby, a);
+    const bool hb = candidate(mbx, mby - 1, b);
+    const bool hc = candidate(mbx + 1, mby - 1, c);
+    const int n = (ha ? 1 : 0) + (hb ? 1 : 0) + (hc ? 1 : 0);
+    if (n == 0)
+        return {0, 0};
+    if (n == 1)
+        return ha ? a : (hb ? b : c);
+    // Missing candidates participate as zero vectors, per H.263/MPEG-4.
+    if (!ha)
+        a = {0, 0};
+    if (!hb)
+        b = {0, 0};
+    if (!hc)
+        c = {0, 0};
+    return {median3(a.x, b.x, c.x), median3(a.y, b.y, c.y)};
+}
+
+void
+VopCodecBase::setMv(int mbx, int mby, int dir, MotionVector mv)
+{
+    const size_t i =
+        static_cast<size_t>(mby) * cfg_.mbWidth() + mbx;
+    mvGrid_[dir][i] = mv;
+    mvValid_[dir][i] = 1;
+}
+
+int
+VopCodecBase::predictDc(int plane, int bx, int by) const
+{
+    const int w = plane == 0 ? 2 * cfg_.mbWidth() : cfg_.mbWidth();
+    auto get = [&](int x, int y, int &dc) {
+        if (x < 0 || y < 0)
+            return false;
+        const size_t i = static_cast<size_t>(y) * w + x;
+        if (!dcValid_[plane][i])
+            return false;
+        dc = dcGrid_[plane][i];
+        return true;
+    };
+    int dc;
+    if (get(bx - 1, by, dc))
+        return dc;
+    if (get(bx, by - 1, dc))
+        return dc;
+    return 0;
+}
+
+void
+VopCodecBase::setDc(int plane, int bx, int by, int level)
+{
+    const int w = plane == 0 ? 2 * cfg_.mbWidth() : cfg_.mbWidth();
+    const size_t i = static_cast<size_t>(by) * w + bx;
+    dcGrid_[plane][i] = static_cast<int16_t>(level);
+    dcValid_[plane][i] = 1;
+}
+
+// ---------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------
+
+VopEncoder::VopEncoder(memsim::SimContext &ctx, const VolConfig &cfg)
+    : VopCodecBase(ctx, cfg)
+{
+}
+
+VopEncoder::BlockCode
+VopEncoder::analyzeBlock(const video::Plane &cur, int x0, int y0,
+                         const uint8_t *pred, int pred_stride,
+                         bool intra, bool luma, int qp, int plane_idx,
+                         int bx, int by)
+{
+    BlockCode code;
+    Block src;
+    // Fetch input samples (traced) and form residual / shifted intra.
+    for (int row = 0; row < kBlockEdge; ++row) {
+        cur.traceLoadRow(x0, y0 + row, kBlockEdge);
+        const uint8_t *c = cur.rowPtr(y0 + row) + x0;
+        for (int i = 0; i < kBlockEdge; ++i) {
+            int v;
+            if (intra)
+                v = c[i] - 128;
+            else
+                v = c[i] - pred[row * pred_stride + i];
+            src[row * kBlockEdge + i] = static_cast<int16_t>(v);
+        }
+    }
+    traceBlockStore(kSrc);
+
+    Block coef;
+    traceBlockLoad(kSrc);
+    forwardDct(src, coef);
+    traceBlockStore(kCoef);
+    tick(kDctCycles);
+
+    QuantParams qparams{qp, intra, cfg_.mpegQuant, luma};
+    Block levels;
+    traceBlockLoad(kCoef);
+    quantize(coef, levels, qparams);
+    traceBlockStore(kLevels);
+    tick(kPassCycles);
+
+    code.levels = levels;
+    Block scanned;
+    traceBlockLoad(kLevels);
+    scan(levels, scanned);
+    traceBlockStore(kScanned);
+    tick(kPassCycles);
+
+    if (intra) {
+        const int pred_dc = predictDc(plane_idx, bx, by);
+        code.dcDelta = levels[0] - pred_dc;
+        setDc(plane_idx, bx, by, levels[0]);
+        code.events = runLengthEncode(scanned, 1);
+    } else {
+        code.events = runLengthEncode(scanned, 0);
+    }
+    traceBlockLoad(kScanned);
+    code.coded = !code.events.empty();
+    return code;
+}
+
+void
+VopEncoder::reconBlock(const BlockCode &code, const uint8_t *pred,
+                       int pred_stride, bool intra, bool luma, int qp,
+                       video::Plane *recon, int x0, int y0)
+{
+    if (!recon)
+        return;
+    QuantParams qparams{qp, intra, cfg_.mpegQuant, luma};
+    Block dequant;
+    Block idct;
+    const bool any = code.coded || (intra && code.levels[0] != 0);
+    if (any) {
+        traceBlockLoad(kLevels);
+        dequantize(code.levels, dequant, qparams);
+        traceBlockStore(kDequant);
+        tick(kPassCycles);
+        traceBlockLoad(kDequant);
+        inverseDct(dequant, idct);
+        traceBlockStore(kIdct);
+        tick(kDctCycles);
+    } else {
+        idct.fill(0);
+    }
+    traceBlockLoad(kIdct);
+    for (int row = 0; row < kBlockEdge; ++row) {
+        uint8_t *r = recon->rowPtr(y0 + row) + x0;
+        for (int i = 0; i < kBlockEdge; ++i) {
+            const int base =
+                intra ? 128 : pred[row * pred_stride + i];
+            r[i] = static_cast<uint8_t>(
+                std::clamp(base + idct[row * kBlockEdge + i], 0, 255));
+        }
+        recon->traceStoreRow(x0, y0 + row, kBlockEdge);
+    }
+}
+
+void
+VopEncoder::encodeShapePass(bits::BitWriter &bw, const VopHeader &hdr,
+                            const video::Plane &alpha,
+                            std::vector<BabMode> &modes)
+{
+    const video::Rect &win = hdr.mbWindow;
+    modes.clear();
+    modes.reserve(static_cast<size_t>(win.w) * win.h);
+    // Pass 1: classify and signal BAB modes.
+    for (int my = win.y; my < win.y + win.h; ++my) {
+        for (int mx = win.x; mx < win.x + win.w; ++mx) {
+            const BabMode mode =
+                ShapeCoder::analyzeBab(alpha, mx * kMb, my * kMb);
+            modes.push_back(mode);
+            bits::putUe(bw, static_cast<uint32_t>(mode));
+        }
+    }
+    // Pass 2: context-code boundary BABs into one arithmetic payload.
+    ArithEncoder enc;
+    size_t i = 0;
+    for (int my = win.y; my < win.y + win.h; ++my) {
+        for (int mx = win.x; mx < win.x + win.w; ++mx, ++i) {
+            if (modes[i] == BabMode::Coded)
+                shape_.encodeBab(enc, alpha, mx * kMb, my * kMb);
+        }
+    }
+    const std::vector<uint8_t> payload = enc.finish();
+    bits::putUe(bw, static_cast<uint32_t>(payload.size()));
+    bw.byteAlign();
+    for (uint8_t byte : payload)
+        bw.putBits(byte, 8);
+}
+
+VopStats
+VopEncoder::encode(bits::BitWriter &bw, const VopHeader &hdr,
+                   const video::Yuv420Image &cur,
+                   const video::Plane *alpha, const RefFrames &refs,
+                   video::Yuv420Image *recon, video::Plane *recon_alpha)
+{
+    M4PS_ASSERT(cur.width() == cfg_.width &&
+                cur.height() == cfg_.height, "frame size mismatch");
+    M4PS_ASSERT(!cfg_.hasShape || alpha, "shaped VOL needs alpha");
+    M4PS_ASSERT(hdr.type == VopType::I || refs.past || refs.future,
+                "predicted VOP without references");
+
+    std::optional<memsim::MemoryHierarchy::ScopedRegion> region;
+    if (mem_)
+        region.emplace(*mem_, "VopEncode");
+
+    const uint64_t start_bits = bw.bitCount();
+    writeVopHeader(bw, hdr);
+    resetVopState(hdr);
+
+    VopStats stats;
+    stats.type = hdr.type;
+    std::vector<BabMode> modes;
+    if (cfg_.hasShape)
+        encodeShapePass(bw, hdr, *alpha, modes);
+
+    const video::Rect &win = hdr.mbWindow;
+    const int qp = hdr.qp;
+    const bool is_b = hdr.type == VopType::B;
+    const bool fwd_ok = refs.past != nullptr;
+    const bool bwd_ok = is_b && refs.future != nullptr;
+    M4PS_ASSERT(hdr.type != VopType::P || fwd_ok,
+                "P-VOP needs a past reference");
+    M4PS_ASSERT(!is_b || fwd_ok || bwd_ok, "B-VOP needs a reference");
+
+    size_t mode_idx = 0;
+    for (int my = win.y; my < win.y + win.h; ++my) {
+        for (int mx = win.x; mx < win.x + win.w; ++mx, ++mode_idx) {
+            const int px = mx * kMb;
+            const int py = my * kMb;
+            const BabMode bab = cfg_.hasShape ? modes[mode_idx]
+                                              : BabMode::Opaque;
+            if (bab == BabMode::Transparent) {
+                ++stats.transparentMbs;
+                if (recon) {
+                    for (int p = 0; p < 3; ++p) {
+                        video::Plane &pl = recon->plane(p);
+                        const int sh = p == 0 ? 0 : 1;
+                        for (int row = 0; row < kMb >> sh; ++row) {
+                            uint8_t *r = pl.rowPtr((py >> sh) + row)
+                                         + (px >> sh);
+                            std::fill(r, r + (kMb >> sh), 128);
+                            pl.traceStoreRow(px >> sh, (py >> sh) + row,
+                                             kMb >> sh);
+                        }
+                    }
+                }
+                continue;
+            }
+
+            // ---------------- mode decision -------------------------
+            bool intra = hdr.type == VopType::I;
+            SearchResult fwd{}, bwd{};
+            int mode = 0; // B: 0=fwd, 1=bwd, 2=bi
+            bool use_4mv = false;
+            MotionVector mv4[4]{};
+            if (hdr.type == VopType::P) {
+                fwd = motionSearch(cur.y(), refs.past->y(), px, py,
+                                   cfg_.searchRange, cfg_.halfPel);
+                int mean, dev;
+                blockActivity16(cur.y(), px, py, mean, dev);
+                intra = dev < fwd.sad - kIntraBias;
+                if (!intra && cfg_.fourMv) {
+                    // INTER4V: refine one vector per 8x8 block in a
+                    // small window around the 16x16 optimum.
+                    int sad4 = 0;
+                    for (int b = 0; b < 4; ++b) {
+                        const SearchResult r8 = motionSearch8(
+                            cur.y(), refs.past->y(), px + (b & 1) * 8,
+                            py + (b >> 1) * 8, fwd.mv, 2,
+                            cfg_.halfPel);
+                        mv4[b] = r8.mv;
+                        sad4 += r8.sad;
+                    }
+                    // MoMuSys-style bias against the 4MV overhead.
+                    use_4mv = sad4 + 200 < fwd.sad;
+                }
+            } else if (is_b) {
+                int best = INT32_MAX;
+                if (fwd_ok) {
+                    fwd = motionSearch(cur.y(), refs.past->y(), px, py,
+                                       cfg_.searchRangeB, cfg_.halfPel);
+                    best = fwd.sad;
+                    mode = 0;
+                }
+                if (bwd_ok) {
+                    if (cfg_.enhancement) {
+                        // Spatial reference: co-located, zero vector.
+                        bwd.mv = {0, 0};
+                        bwd.sad = sad16(cur.y(), px, py,
+                                        refs.future->y(), px, py,
+                                        INT32_MAX);
+                    } else {
+                        bwd = motionSearch(cur.y(), refs.future->y(),
+                                           px, py, cfg_.searchRangeB,
+                                           cfg_.halfPel);
+                    }
+                    if (!fwd_ok || bwd.sad < best) {
+                        best = bwd.sad;
+                        mode = 1;
+                    }
+                }
+            }
+
+            // ---------------- prediction build ----------------------
+            const uint8_t *pred = nullptr; // 384-byte Y+U+V layout
+            if (!intra && hdr.type != VopType::I) {
+                auto build = [&](const video::Yuv420Image &ref,
+                                 MotionVector mv,
+                                 memsim::SimBuffer<uint8_t> &buf) {
+                    predictLuma16(ref.y(), px, py, mv, buf.data());
+                    buf.traceStoreRow(0, 256);
+                    predictChroma8(ref.u(), px / 2, py / 2, mv,
+                                   buf.data() + 256);
+                    predictChroma8(ref.v(), px / 2, py / 2, mv,
+                                   buf.data() + 320);
+                    buf.traceStoreRow(256, 128);
+                };
+                if (is_b) {
+                    if (fwd_ok)
+                        build(*refs.past, fwd.mv, predFwd_);
+                    if (bwd_ok)
+                        build(*refs.future, bwd.mv, predBwd_);
+                    if (fwd_ok && bwd_ok) {
+                        predFwd_.traceLoadRow(0, 384);
+                        predBwd_.traceLoadRow(0, 384);
+                        averagePrediction(predFwd_.data(),
+                                          predBwd_.data(), 384,
+                                          predBi_.data());
+                        predBi_.traceStoreRow(0, 384);
+                        // Interpolated-mode SAD over luma.
+                        int sad_bi = 0;
+                        for (int row = 0; row < kMb; ++row) {
+                            cur.y().traceLoadRow(px, py + row, kMb);
+                            const uint8_t *c =
+                                cur.y().rowPtr(py + row) + px;
+                            const uint8_t *pb =
+                                predBi_.data() + row * kMb;
+                            for (int i = 0; i < kMb; ++i) {
+                                sad_bi += std::abs(
+                                    static_cast<int>(c[i]) - pb[i]);
+                            }
+                        }
+                        predBi_.traceLoadRow(0, 256);
+                        const int prev_best =
+                            mode == 0 ? fwd.sad : bwd.sad;
+                        if (sad_bi < prev_best)
+                            mode = 2;
+                    }
+                    pred = (mode == 0 ? predFwd_
+                            : mode == 1 ? predBwd_ : predBi_).data();
+                } else if (use_4mv) {
+                    // Per-block luma prediction; chroma from the
+                    // averaged vector.
+                    uint8_t tmp[64];
+                    for (int b = 0; b < 4; ++b) {
+                        predictLuma8(refs.past->y(), px + (b & 1) * 8,
+                                     py + (b >> 1) * 8, mv4[b], tmp);
+                        uint8_t *dst = predFwd_.data() +
+                                       (b >> 1) * 8 * 16 + (b & 1) * 8;
+                        for (int row = 0; row < 8; ++row) {
+                            std::copy(tmp + row * 8, tmp + row * 8 + 8,
+                                      dst + row * 16);
+                        }
+                    }
+                    predFwd_.traceStoreRow(0, 256);
+                    const MotionVector cavg{
+                        avg4(mv4[0].x + mv4[1].x + mv4[2].x + mv4[3].x),
+                        avg4(mv4[0].y + mv4[1].y + mv4[2].y +
+                             mv4[3].y)};
+                    predictChroma8(refs.past->u(), px / 2, py / 2,
+                                   cavg, predFwd_.data() + 256);
+                    predictChroma8(refs.past->v(), px / 2, py / 2,
+                                   cavg, predFwd_.data() + 320);
+                    predFwd_.traceStoreRow(256, 128);
+                    pred = predFwd_.data();
+                } else {
+                    build(*refs.past, fwd.mv, predFwd_);
+                    pred = predFwd_.data();
+                }
+            }
+
+            // ---------------- block analysis ------------------------
+            BlockCode blocks[6];
+            int cbp = 0;
+            const memsim::SimBuffer<uint8_t> *pred_buf =
+                is_b ? (mode == 0 ? &predFwd_
+                        : mode == 1 ? &predBwd_ : &predBi_)
+                     : &predFwd_;
+            for (int b = 0; b < 6; ++b) {
+                const bool luma = b < 4;
+                const video::Plane &pl = cur.plane(luma ? 0 : b - 3);
+                const int bx = b & 1;
+                const int by = (b >> 1) & 1;
+                int x0, y0, gx, gy, plane_idx;
+                const uint8_t *p = nullptr;
+                int pstride = 0;
+                if (luma) {
+                    x0 = px + bx * 8;
+                    y0 = py + by * 8;
+                    gx = 2 * mx + bx;
+                    gy = 2 * my + by;
+                    plane_idx = 0;
+                    if (pred) {
+                        p = pred + by * 8 * kMb + bx * 8;
+                        pstride = kMb;
+                        pred_buf->traceLoadRow(
+                            static_cast<size_t>(by) * 128 + bx * 8, 64);
+                    }
+                } else {
+                    x0 = px / 2;
+                    y0 = py / 2;
+                    gx = mx;
+                    gy = my;
+                    plane_idx = b - 3;
+                    if (pred) {
+                        p = pred + 256 + (b - 4) * 64;
+                        pstride = 8;
+                        pred_buf->traceLoadRow(256 + (b - 4) * 64, 64);
+                    }
+                }
+                blocks[b] = analyzeBlock(pl, x0, y0, p, pstride, intra,
+                                         luma, qp, plane_idx, gx, gy);
+                if (blocks[b].coded)
+                    cbp |= 1 << b;
+            }
+
+            // ---------------- skip decision & bit writing -----------
+            if (hdr.type == VopType::P && !intra && !use_4mv &&
+                cbp == 0 && fwd.mv.isZero()) {
+                bw.putBit(true); // not_coded
+                ++stats.skippedMbs;
+                setMv(mx, my, 0, {0, 0});
+            } else if (is_b && cbp == 0 &&
+                       ((mode == 0 && fwd.mv.isZero()) ||
+                        (mode == 1 && bwd.mv.isZero() && !fwd_ok))) {
+                bw.putBit(true); // B skip: default direction, mv 0
+                ++stats.skippedMbs;
+            } else {
+                if (hdr.type != VopType::I)
+                    bw.putBit(false); // coded
+                if (hdr.type == VopType::P)
+                    bw.putBit(intra);
+                if (is_b) {
+                    bits::putUe(bw, static_cast<uint32_t>(mode));
+                    if (mode != 1) { // uses forward mv
+                        const MotionVector pmv = predictMv(mx, my, 0);
+                        bits::putSe(bw, fwd.mv.x - pmv.x);
+                        bits::putSe(bw, fwd.mv.y - pmv.y);
+                        setMv(mx, my, 0, fwd.mv);
+                    }
+                    if (mode != 0 && !cfg_.enhancement) {
+                        const MotionVector pmv = predictMv(mx, my, 1);
+                        bits::putSe(bw, bwd.mv.x - pmv.x);
+                        bits::putSe(bw, bwd.mv.y - pmv.y);
+                        setMv(mx, my, 1, bwd.mv);
+                    }
+                    if (mode == 0)
+                        ++stats.interMbs;
+                    else if (mode == 1)
+                        ++stats.backwardMbs;
+                    else
+                        ++stats.bidirectionalMbs;
+                } else if (!intra) {
+                    const MotionVector pmv = predictMv(mx, my, 0);
+                    bw.putBit(use_4mv);
+                    if (use_4mv) {
+                        for (int b = 0; b < 4; ++b) {
+                            bits::putSe(bw, mv4[b].x - pmv.x);
+                            bits::putSe(bw, mv4[b].y - pmv.y);
+                        }
+                        // Neighbour prediction sees the average.
+                        setMv(mx, my, 0,
+                              {avg4(mv4[0].x + mv4[1].x + mv4[2].x +
+                                    mv4[3].x),
+                               avg4(mv4[0].y + mv4[1].y + mv4[2].y +
+                                    mv4[3].y)});
+                        ++stats.fourMvMbs;
+                    } else {
+                        bits::putSe(bw, fwd.mv.x - pmv.x);
+                        bits::putSe(bw, fwd.mv.y - pmv.y);
+                        setMv(mx, my, 0, fwd.mv);
+                    }
+                    ++stats.interMbs;
+                } else {
+                    ++stats.intraMbs;
+                }
+
+                if (intra) {
+                    for (int b = 0; b < 6; ++b) {
+                        bits::putSe(bw, blocks[b].dcDelta);
+                        bw.putBit(blocks[b].coded);
+                        if (blocks[b].coded)
+                            writeBlockEvents(bw, blocks[b].events);
+                    }
+                } else {
+                    bw.putBits(static_cast<uint32_t>(cbp), 6);
+                    for (int b = 0; b < 6; ++b) {
+                        if (blocks[b].coded)
+                            writeBlockEvents(bw, blocks[b].events);
+                    }
+                }
+                stats.codedBlocks += std::popcount(
+                    static_cast<unsigned>(cbp));
+            }
+
+            // ---------------- reconstruction ------------------------
+            if (recon) {
+                for (int b = 0; b < 6; ++b) {
+                    const bool luma = b < 4;
+                    const int bx = b & 1;
+                    const int by = (b >> 1) & 1;
+                    video::Plane &pl = recon->plane(luma ? 0 : b - 3);
+                    int x0, y0;
+                    const uint8_t *p = nullptr;
+                    int pstride = 0;
+                    if (luma) {
+                        x0 = px + bx * 8;
+                        y0 = py + by * 8;
+                        if (pred) {
+                            p = pred + by * 8 * kMb + bx * 8;
+                            pstride = kMb;
+                        }
+                    } else {
+                        x0 = px / 2;
+                        y0 = py / 2;
+                        if (pred) {
+                            p = pred + 256 + (b - 4) * 64;
+                            pstride = 8;
+                        }
+                    }
+                    reconBlock(blocks[b], p, pstride, intra, b < 4, qp,
+                               &pl, x0, y0);
+                }
+            }
+        }
+    }
+
+    if (recon_alpha && alpha)
+        recon_alpha->copyFrom(*alpha);
+
+    stats.bits = bw.bitCount() - start_bits;
+    tick(static_cast<double>(stats.bits) * kEncodeCyclesPerBit);
+    return stats;
+}
+
+// ---------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------
+
+/**
+ * Intermediate-structure hops per macroblock in the reference
+ * decoder's reconstruction path (see VopDecoder::marshalMacroblock).
+ */
+constexpr int kMarshalPasses = 8;
+
+VopDecoder::VopDecoder(memsim::SimContext &ctx, const VolConfig &cfg)
+    : VopCodecBase(ctx, cfg), mbAssembly_(ctx, 384),
+      clipTable_(ctx, 1024)
+{
+}
+
+void
+VopDecoder::marshalMacroblock()
+{
+    // The compiler also prefetches inside these copy loops; the
+    // buffer is L1-resident, so the prefetches are nearly all nops -
+    // the waste the paper measures.
+    mbAssembly_.prefetch(0);
+    for (int pass = 0; pass < kMarshalPasses; ++pass) {
+        mbAssembly_.traceStoreRow(0, 384);
+        mbAssembly_.traceLoadRow(0, 384);
+    }
+}
+
+namespace
+{
+
+/** Validate (last,run,level) events against block bounds. */
+bool
+validEvents(const std::vector<RunLevel> &events, int first)
+{
+    if (events.empty() || !events.back().last)
+        return false;
+    int pos = first;
+    for (const RunLevel &e : events) {
+        if (e.level == 0 || e.run < 0)
+            return false;
+        pos += e.run;
+        if (pos >= kBlockSize)
+            return false;
+        ++pos;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+VopDecoder::decodeShapePass(bits::BitReader &br, const VopHeader &hdr,
+                            video::Plane &alpha,
+                            std::vector<BabMode> &modes)
+{
+    const video::Rect &win = hdr.mbWindow;
+    modes.clear();
+    modes.reserve(static_cast<size_t>(win.w) * win.h);
+    for (int i = 0; i < win.w * win.h; ++i) {
+        const uint32_t m = bits::getUe(br);
+        modes.push_back(m <= 2 ? static_cast<BabMode>(m)
+                               : BabMode::Transparent);
+    }
+    const uint32_t payload_len = bits::getUe(br);
+    if (payload_len > br.bitsLeft() / 8 + 8)
+        throw StreamError("shape payload longer than the stream");
+    br.byteAlign();
+    std::vector<uint8_t> payload(payload_len);
+    for (uint32_t i = 0; i < payload_len; ++i)
+        payload[i] = static_cast<uint8_t>(br.getBits(8));
+
+    // The plane outside the window is transparent by definition.
+    alpha.fill(0);
+    ArithDecoder dec(payload);
+    size_t idx = 0;
+    for (int my = win.y; my < win.y + win.h; ++my) {
+        for (int mx = win.x; mx < win.x + win.w; ++mx, ++idx) {
+            const int px = mx * kMb;
+            const int py = my * kMb;
+            switch (modes[idx]) {
+              case BabMode::Transparent:
+                for (int row = 0; row < kMb; ++row) {
+                    uint8_t *r = alpha.rowPtr(py + row) + px;
+                    std::fill(r, r + kMb, 0);
+                    alpha.traceStoreRow(px, py + row, kMb);
+                }
+                break;
+              case BabMode::Opaque:
+                for (int row = 0; row < kMb; ++row) {
+                    uint8_t *r = alpha.rowPtr(py + row) + px;
+                    std::fill(r, r + kMb, 255);
+                    alpha.traceStoreRow(px, py + row, kMb);
+                }
+                break;
+              case BabMode::Coded:
+                shape_.decodeBab(dec, alpha, px, py);
+                break;
+            }
+        }
+    }
+}
+
+void
+VopDecoder::decodeBlockInto(bits::BitReader &br, bool intra, bool luma,
+                            int qp, int plane_idx, int bx, int by,
+                            const uint8_t *pred, int pred_stride,
+                            video::Plane &out, int x0, int y0,
+                            bool coded)
+{
+    Block scanned;
+    scanned.fill(0);
+    int dc_level = 0;
+    bool any = false;
+    if (intra) {
+        const int dc_delta = bits::getSe(br);
+        dc_level = predictDc(plane_idx, bx, by) + dc_delta;
+        setDc(plane_idx, bx, by, dc_level);
+        const bool has_ac = br.getBit();
+        if (has_ac) {
+            const auto events = readBlockEvents(br);
+            if (!validEvents(events, 1))
+                throw StreamError("corrupt intra block events");
+            runLengthDecode(events, scanned, 1);
+        }
+        any = has_ac || dc_level != 0;
+        traceBlockStore(kScanned);
+    } else if (coded) {
+        const auto events = readBlockEvents(br);
+        if (!validEvents(events, 0))
+            throw StreamError("corrupt inter block events");
+        runLengthDecode(events, scanned, 0);
+        any = true;
+        traceBlockStore(kScanned);
+    }
+
+    Block idct;
+    if (any) {
+        Block levels;
+        traceBlockLoad(kScanned);
+        unscan(scanned, levels);
+        traceBlockStore(kLevels);
+        tick(kPassCycles);
+        if (intra)
+            levels[0] = static_cast<int16_t>(dc_level);
+        QuantParams qparams{qp, intra, cfg_.mpegQuant, luma};
+        Block dequant;
+        traceBlockLoad(kLevels);
+        dequantize(levels, dequant, qparams);
+        traceBlockStore(kDequant);
+        tick(kPassCycles);
+        traceBlockLoad(kDequant);
+        inverseDct(dequant, idct);
+        // Two-pass transform: intermediate transpose array.
+        traceBlockStore(kCoef);
+        traceBlockLoad(kCoef);
+        traceBlockStore(kIdct);
+        tick(kDctCycles);
+    } else {
+        idct.fill(0);
+    }
+
+    traceBlockLoad(kIdct);
+    // Saturation via the reference decoder's clip lookup table.
+    clipTable_.traceLoadRow(0, kBlockSize);
+    for (int row = 0; row < kBlockEdge; ++row) {
+        uint8_t *r = out.rowPtr(y0 + row) + x0;
+        for (int i = 0; i < kBlockEdge; ++i) {
+            const int base = intra ? 128 : pred[row * pred_stride + i];
+            r[i] = static_cast<uint8_t>(
+                std::clamp(base + idct[row * kBlockEdge + i], 0, 255));
+        }
+        out.traceStoreRow(x0, y0 + row, kBlockEdge);
+    }
+}
+
+VopStats
+VopDecoder::decode(bits::BitReader &br, const VopHeader &hdr,
+                   const RefFrames &refs, video::Yuv420Image &out,
+                   video::Plane *out_alpha)
+{
+    M4PS_ASSERT(out.width() == cfg_.width &&
+                out.height() == cfg_.height, "frame size mismatch");
+    M4PS_ASSERT(!cfg_.hasShape || out_alpha,
+                "shaped VOL needs an alpha output");
+
+    std::optional<memsim::MemoryHierarchy::ScopedRegion> region;
+    if (mem_)
+        region.emplace(*mem_, "VopDecode");
+
+    const video::Rect &w = hdr.mbWindow;
+    if (w.x < 0 || w.y < 0 || w.w <= 0 || w.h <= 0 ||
+        w.x + w.w > cfg_.mbWidth() || w.y + w.h > cfg_.mbHeight()) {
+        throw StreamError("VOP window outside the VOL");
+    }
+    const uint64_t start_bits = br.bitPos();
+    resetVopState(hdr);
+
+    VopStats stats;
+    stats.type = hdr.type;
+    std::vector<BabMode> modes;
+    if (cfg_.hasShape)
+        decodeShapePass(br, hdr, *out_alpha, modes);
+
+    const video::Rect &win = hdr.mbWindow;
+    const int qp = hdr.qp;
+    const bool is_b = hdr.type == VopType::B;
+    const bool fwd_ok = refs.past != nullptr;
+    const bool bwd_ok = is_b && refs.future != nullptr;
+    if (hdr.type == VopType::P && !fwd_ok)
+        throw StreamError("P-VOP without a past reference");
+    if (is_b && !fwd_ok && !bwd_ok)
+        throw StreamError("B-VOP without references");
+
+    size_t mode_idx = 0;
+    for (int my = win.y; my < win.y + win.h; ++my) {
+        for (int mx = win.x; mx < win.x + win.w; ++mx, ++mode_idx) {
+            const int px = mx * kMb;
+            const int py = my * kMb;
+            const BabMode bab = cfg_.hasShape ? modes[mode_idx]
+                                              : BabMode::Opaque;
+            if (bab == BabMode::Transparent) {
+                ++stats.transparentMbs;
+                for (int p = 0; p < 3; ++p) {
+                    video::Plane &pl = out.plane(p);
+                    const int sh = p == 0 ? 0 : 1;
+                    for (int row = 0; row < kMb >> sh; ++row) {
+                        uint8_t *r = pl.rowPtr((py >> sh) + row)
+                                     + (px >> sh);
+                        std::fill(r, r + (kMb >> sh), 128);
+                        pl.traceStoreRow(px >> sh, (py >> sh) + row,
+                                         kMb >> sh);
+                    }
+                }
+                continue;
+            }
+
+            bool intra = hdr.type == VopType::I;
+            bool skipped = false;
+            bool use_4mv = false;
+            int mode = 0;
+            MotionVector mvf{}, mvb{}, mv4[4]{};
+            int cbp = 0;
+
+            if (hdr.type != VopType::I) {
+                skipped = br.getBit();
+                if (skipped) {
+                    ++stats.skippedMbs;
+                    if (is_b)
+                        mode = fwd_ok ? 0 : 1;
+                    if (!is_b)
+                        setMv(mx, my, 0, {0, 0});
+                    intra = false;
+                } else {
+                    if (hdr.type == VopType::P)
+                        intra = br.getBit();
+                    if (is_b) {
+                        mode = static_cast<int>(bits::getUe(br));
+                        if (mode > 2)
+                            mode = 0; // corrupt stream tolerance
+                        if (mode != 1) {
+                            const MotionVector pmv =
+                                predictMv(mx, my, 0);
+                            mvf.x = pmv.x + bits::getSe(br);
+                            mvf.y = pmv.y + bits::getSe(br);
+                            setMv(mx, my, 0, mvf);
+                        }
+                        if (mode != 0 && !cfg_.enhancement) {
+                            const MotionVector pmv =
+                                predictMv(mx, my, 1);
+                            mvb.x = pmv.x + bits::getSe(br);
+                            mvb.y = pmv.y + bits::getSe(br);
+                            setMv(mx, my, 1, mvb);
+                        }
+                        if (mode == 0)
+                            ++stats.interMbs;
+                        else if (mode == 1)
+                            ++stats.backwardMbs;
+                        else
+                            ++stats.bidirectionalMbs;
+                    } else if (!intra) {
+                        const MotionVector pmv = predictMv(mx, my, 0);
+                        use_4mv = br.getBit();
+                        if (use_4mv) {
+                            for (int b = 0; b < 4; ++b) {
+                                mv4[b].x = pmv.x + bits::getSe(br);
+                                mv4[b].y = pmv.y + bits::getSe(br);
+                            }
+                            setMv(mx, my, 0,
+                                  {avg4(mv4[0].x + mv4[1].x +
+                                        mv4[2].x + mv4[3].x),
+                                   avg4(mv4[0].y + mv4[1].y +
+                                        mv4[2].y + mv4[3].y)});
+                            ++stats.fourMvMbs;
+                        } else {
+                            mvf.x = pmv.x + bits::getSe(br);
+                            mvf.y = pmv.y + bits::getSe(br);
+                            setMv(mx, my, 0, mvf);
+                        }
+                        ++stats.interMbs;
+                    } else {
+                        ++stats.intraMbs;
+                    }
+                    if (!intra)
+                        cbp = static_cast<int>(br.getBits(6));
+                }
+            } else {
+                ++stats.intraMbs;
+            }
+
+            // ---------------- prediction build ----------------------
+            const uint8_t *pred = nullptr;
+            if (!intra) {
+                auto build = [&](const video::Yuv420Image &ref,
+                                 const HalfPelPlanes *interp,
+                                 MotionVector mv,
+                                 memsim::SimBuffer<uint8_t> &buf) {
+                    if (interp && !interp->empty()) {
+                        predictLuma16FromInterp(ref.y(), *interp, px,
+                                                py, mv, buf.data());
+                    } else {
+                        predictLuma16(ref.y(), px, py, mv, buf.data());
+                    }
+                    buf.traceStoreRow(0, 256);
+                    predictChroma8(ref.u(), px / 2, py / 2, mv,
+                                   buf.data() + 256);
+                    predictChroma8(ref.v(), px / 2, py / 2, mv,
+                                   buf.data() + 320);
+                    buf.traceStoreRow(256, 128);
+                };
+                if (is_b) {
+                    if (mode == 0 || mode == 2) {
+                        M4PS_ASSERT(fwd_ok, "fwd mode without past ref");
+                        build(*refs.past, refs.pastInterp, mvf,
+                              predFwd_);
+                    }
+                    if (mode == 1 || mode == 2) {
+                        M4PS_ASSERT(bwd_ok, "bwd mode without ref");
+                        build(*refs.future, refs.futureInterp, mvb,
+                              predBwd_);
+                    }
+                    if (mode == 2) {
+                        predFwd_.traceLoadRow(0, 384);
+                        predBwd_.traceLoadRow(0, 384);
+                        averagePrediction(predFwd_.data(),
+                                          predBwd_.data(), 384,
+                                          predBi_.data());
+                        predBi_.traceStoreRow(0, 384);
+                    }
+                    pred = (mode == 0 ? predFwd_
+                            : mode == 1 ? predBwd_ : predBi_).data();
+                } else if (use_4mv) {
+                    M4PS_ASSERT(fwd_ok, "4MV MB without past ref");
+                    uint8_t tmp[64];
+                    for (int b = 0; b < 4; ++b) {
+                        predictLuma8(refs.past->y(), px + (b & 1) * 8,
+                                     py + (b >> 1) * 8, mv4[b], tmp);
+                        uint8_t *dst = predFwd_.data() +
+                                       (b >> 1) * 8 * 16 + (b & 1) * 8;
+                        for (int row = 0; row < 8; ++row) {
+                            std::copy(tmp + row * 8, tmp + row * 8 + 8,
+                                      dst + row * 16);
+                        }
+                    }
+                    predFwd_.traceStoreRow(0, 256);
+                    const MotionVector cavg{
+                        avg4(mv4[0].x + mv4[1].x + mv4[2].x + mv4[3].x),
+                        avg4(mv4[0].y + mv4[1].y + mv4[2].y +
+                             mv4[3].y)};
+                    predictChroma8(refs.past->u(), px / 2, py / 2,
+                                   cavg, predFwd_.data() + 256);
+                    predictChroma8(refs.past->v(), px / 2, py / 2,
+                                   cavg, predFwd_.data() + 320);
+                    predFwd_.traceStoreRow(256, 128);
+                    pred = predFwd_.data();
+                } else {
+                    M4PS_ASSERT(fwd_ok, "P-VOP without past ref");
+                    build(*refs.past, refs.pastInterp, mvf, predFwd_);
+                    pred = predFwd_.data();
+                }
+            }
+
+            // ---------------- block decode --------------------------
+            const memsim::SimBuffer<uint8_t> *pred_buf =
+                is_b ? (mode == 0 ? &predFwd_
+                        : mode == 1 ? &predBwd_ : &predBi_)
+                     : &predFwd_;
+            for (int b = 0; b < 6; ++b) {
+                const bool luma = b < 4;
+                const int bx = b & 1;
+                const int by = (b >> 1) & 1;
+                video::Plane &pl = out.plane(luma ? 0 : b - 3);
+                int x0, y0, gx, gy, plane_idx;
+                const uint8_t *p = nullptr;
+                int pstride = 0;
+                if (luma) {
+                    x0 = px + bx * 8;
+                    y0 = py + by * 8;
+                    gx = 2 * mx + bx;
+                    gy = 2 * my + by;
+                    plane_idx = 0;
+                    if (pred) {
+                        p = pred + by * 8 * kMb + bx * 8;
+                        pstride = kMb;
+                        pred_buf->traceLoadRow(
+                            static_cast<size_t>(by) * 128 + bx * 8, 64);
+                    }
+                } else {
+                    x0 = px / 2;
+                    y0 = py / 2;
+                    gx = mx;
+                    gy = my;
+                    plane_idx = b - 3;
+                    if (pred) {
+                        p = pred + 256 + (b - 4) * 64;
+                        pstride = 8;
+                        pred_buf->traceLoadRow(256 + (b - 4) * 64, 64);
+                    }
+                }
+                const bool coded =
+                    !skipped && !intra && ((cbp >> b) & 1);
+                if (coded || intra || !skipped)
+                    stats.codedBlocks += coded ? 1 : 0;
+                if (skipped) {
+                    // Straight copy of the prediction.
+                    for (int row = 0; row < kBlockEdge; ++row) {
+                        uint8_t *r = pl.rowPtr(y0 + row) + x0;
+                        for (int i = 0; i < kBlockEdge; ++i)
+                            r[i] = p[row * pstride + i];
+                        pl.traceStoreRow(x0, y0 + row, kBlockEdge);
+                    }
+                } else {
+                    decodeBlockInto(br, intra, luma, qp, plane_idx, gx,
+                                    gy, p, pstride, pl, x0, y0, coded);
+                }
+            }
+            marshalMacroblock();
+            if (br.overrun())
+                throw StreamError("bitstream exhausted mid-VOP "
+                                  "(corrupt or truncated stream)");
+        }
+    }
+
+    stats.bits = br.bitPos() - start_bits;
+    tick(static_cast<double>(stats.bits) * kDecodeCyclesPerBit);
+    return stats;
+}
+
+} // namespace m4ps::codec

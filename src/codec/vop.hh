@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Video object plane (VOP) encoding and decoding.
+ *
+ * "Each time sample of a video object constitutes a video object
+ * plane, or VOP, containing motion parameters, shape information,
+ * and texture data.  VOPs are encoded using 16x16 or 8x8
+ * macroblocks" (paper §2.1).  VopEncoder/VopDecoder implement the
+ * three VOP coding modes of the paper's Figure 1:
+ *
+ *  - I-VOP: intra-only, complete image, spatial redundancy only.
+ *  - P-VOP: forward prediction from the nearest previously coded VOP.
+ *  - B-VOP: bidirectional interpolation between I/P-VOPs.
+ *
+ * For spatially scalable enhancement layers, VOPs are coded with the
+ * B machinery where the "backward" reference is the upsampled base
+ * layer reconstruction at the same time instant (vector forced to
+ * zero); see VolConfig::enhancement.
+ */
+
+#ifndef M4PS_CODEC_VOP_HH
+#define M4PS_CODEC_VOP_HH
+
+#include <vector>
+
+#include "bitstream/bitstream.hh"
+#include "codec/interp.hh"
+#include "codec/motion.hh"
+#include "codec/quant.hh"
+#include "codec/ratecontrol.hh"
+#include "codec/rlc.hh"
+#include "codec/shape.hh"
+#include "memsim/buffer.hh"
+#include "video/yuv.hh"
+
+namespace m4ps::codec
+{
+
+/** Static configuration of one video object layer. */
+struct VolConfig
+{
+    int width = 0;            //!< Luma width (multiple of 16).
+    int height = 0;           //!< Luma height (multiple of 16).
+    bool hasShape = false;    //!< Arbitrary-shape VOL (binary alpha).
+    int searchRange = 8;      //!< Full-pel ME range for P-VOPs.
+    int searchRangeB = 4;     //!< Full-pel ME range for B-VOPs.
+    bool halfPel = true;      //!< Half-pel refinement.
+    bool fourMv = true;       //!< INTER4V: four 8x8 vectors per MB.
+    bool mpegQuant = false;   //!< Weighted-matrix quantization.
+    bool enhancement = false; //!< Spatially scalable enhancement layer.
+    int voId = 0;
+    int volId = 0;
+
+    int mbWidth() const { return width / 16; }
+    int mbHeight() const { return height / 16; }
+
+    void validate() const;
+};
+
+/** Per-VOP header fields carried in the bitstream. */
+struct VopHeader
+{
+    VopType type = VopType::I;
+    int voId = 0;
+    int volId = 0;
+    int timestamp = 0;        //!< Display time index.
+    int qp = 8;
+    video::Rect mbWindow;     //!< Coded region in macroblock units.
+};
+
+/** Write a VOP startcode plus header. */
+void writeVopHeader(bits::BitWriter &bw, const VopHeader &hdr);
+
+/** Read the header following a VOP startcode. */
+VopHeader readVopHeader(bits::BitReader &br);
+
+/** Outcome statistics of coding one VOP. */
+struct VopStats
+{
+    VopType type = VopType::I;
+    uint64_t bits = 0;
+    int intraMbs = 0;
+    int interMbs = 0;         //!< Forward-predicted (P or B-fwd).
+    int backwardMbs = 0;      //!< B backward mode.
+    int bidirectionalMbs = 0; //!< B interpolated mode.
+    int fourMvMbs = 0;        //!< Inter MBs coded with four vectors.
+    int skippedMbs = 0;
+    int transparentMbs = 0;
+    int codedBlocks = 0;
+
+    int codedMbs() const
+    {
+        return intraMbs + interMbs + backwardMbs + bidirectionalMbs;
+    }
+
+    VopStats &
+    operator+=(const VopStats &o)
+    {
+        bits += o.bits;
+        intraMbs += o.intraMbs;
+        interMbs += o.interMbs;
+        backwardMbs += o.backwardMbs;
+        bidirectionalMbs += o.bidirectionalMbs;
+        fourMvMbs += o.fourMvMbs;
+        skippedMbs += o.skippedMbs;
+        transparentMbs += o.transparentMbs;
+        codedBlocks += o.codedBlocks;
+        return *this;
+    }
+};
+
+/** References available to a VOP. */
+struct RefFrames
+{
+    const video::Yuv420Image *past = nullptr;   //!< Forward reference.
+    const video::Yuv420Image *future = nullptr; //!< Backward reference.
+
+    /**
+     * Optional precomputed half-pel luma planes (decoder side).
+     * When present, luma motion compensation is served from them,
+     * as in the reference decoder; values are identical either way.
+     */
+    const HalfPelPlanes *pastInterp = nullptr;
+    const HalfPelPlanes *futureInterp = nullptr;
+};
+
+/**
+ * Shared scratch state for VOP coding.
+ *
+ * The block pipeline (fetch, DCT, quantize, scan, reconstruct) runs
+ * through small scratch buffers that live in simulated memory: in
+ * the reference software these are exactly the L1-resident work
+ * arrays whose reuse produces the high primary-cache hit rates the
+ * paper reports.
+ */
+class VopCodecBase
+{
+  protected:
+    VopCodecBase(memsim::SimContext &ctx, const VolConfig &cfg);
+
+    /** Scratch regions inside blockScratch_ (64 int16 each). */
+    enum ScratchRegion
+    {
+        kSrc = 0,     //!< Input samples / residual.
+        kCoef,        //!< DCT coefficients.
+        kLevels,      //!< Quantized levels.
+        kScanned,     //!< Scanned levels.
+        kDequant,     //!< Dequantized coefficients.
+        kIdct,        //!< Inverse transform output.
+        kNumRegions,
+    };
+
+    void traceBlockLoad(ScratchRegion r, int n = kBlockSize) const;
+    void traceBlockStore(ScratchRegion r, int n = kBlockSize);
+
+    /** Charge pure-compute cycles (transform butterflies etc.). */
+    void tick(double cycles) const;
+
+    /** Reset per-VOP prediction state (MV grids, DC grids). */
+    void resetVopState(const VopHeader &hdr);
+
+    /** Median MV predictor at (mbx, mby) for direction @p dir. */
+    MotionVector predictMv(int mbx, int mby, int dir) const;
+
+    /** Record the coded MV at (mbx, mby) for direction @p dir. */
+    void setMv(int mbx, int mby, int dir, MotionVector mv);
+
+    /** Intra DC level prediction for the block grid position. */
+    int predictDc(int plane, int bx, int by) const;
+
+    /** Record a reconstructed intra DC level. */
+    void setDc(int plane, int bx, int by, int level);
+
+    const VolConfig cfg_;
+    memsim::MemoryHierarchy *mem_;
+    ShapeCoder shape_;
+
+    /** Block pipeline scratch (traced, L1-resident). */
+    memsim::SimBuffer<int16_t> blockScratch_;
+    /** Forward / backward / interpolated predictions (Y+U+V). */
+    memsim::SimBuffer<uint8_t> predFwd_;
+    memsim::SimBuffer<uint8_t> predBwd_;
+    memsim::SimBuffer<uint8_t> predBi_;
+
+    /** Per-direction MV grids (mbWidth x mbHeight), with validity. */
+    std::vector<MotionVector> mvGrid_[2];
+    std::vector<uint8_t> mvValid_[2];
+    /** DC level grids: plane 0 = Y (2W x 2H), 1 = U, 2 = V (W x H). */
+    std::vector<int16_t> dcGrid_[3];
+    std::vector<uint8_t> dcValid_[3];
+    /** Window of the VOP being coded. */
+    video::Rect window_;
+};
+
+/** Encodes one VOP at a time into a bitstream. */
+class VopEncoder : public VopCodecBase
+{
+  public:
+    VopEncoder(memsim::SimContext &ctx, const VolConfig &cfg);
+
+    /**
+     * Encode @p cur as described by @p hdr.
+     *
+     * @param bw      destination bitstream (header is written too).
+     * @param hdr     VOP type, timestamp, qp, window.
+     * @param cur     input frame.
+     * @param alpha   binary alpha plane (required iff cfg.hasShape).
+     * @param refs    reconstruction references (past for P/B, future
+     *                for B / enhancement).
+     * @param recon   reconstructed output (required for I/P anchors;
+     *                may be null for B-VOPs).
+     * @param recon_alpha reconstructed alpha (required iff hasShape
+     *                and recon is non-null).
+     */
+    VopStats encode(bits::BitWriter &bw, const VopHeader &hdr,
+                    const video::Yuv420Image &cur,
+                    const video::Plane *alpha, const RefFrames &refs,
+                    video::Yuv420Image *recon,
+                    video::Plane *recon_alpha);
+
+  private:
+    struct BlockCode
+    {
+        Block levels{};           //!< Quantized levels (scan order).
+        std::vector<RunLevel> events;
+        int dcDelta = 0;          //!< Intra only.
+        bool coded = false;
+    };
+
+    /** Run the analysis half of the block pipeline. */
+    BlockCode analyzeBlock(const video::Plane &cur, int x0, int y0,
+                           const uint8_t *pred, int pred_stride,
+                           bool intra, bool luma, int qp,
+                           int plane_idx, int bx, int by);
+
+    /** Reconstruct a block into @p recon (if non-null). */
+    void reconBlock(const BlockCode &code, const uint8_t *pred,
+                    int pred_stride, bool intra, bool luma, int qp,
+                    video::Plane *recon, int x0, int y0);
+
+    void encodeShapePass(bits::BitWriter &bw, const VopHeader &hdr,
+                         const video::Plane &alpha,
+                         std::vector<BabMode> &modes);
+};
+
+/** Decodes one VOP at a time from a bitstream. */
+class VopDecoder : public VopCodecBase
+{
+  public:
+    VopDecoder(memsim::SimContext &ctx, const VolConfig &cfg);
+
+    /**
+     * Decode the VOP described by @p hdr (header already parsed).
+     *
+     * @param out        frame to reconstruct into.
+     * @param out_alpha  alpha plane to reconstruct into (iff shape).
+     */
+    VopStats decode(bits::BitReader &br, const VopHeader &hdr,
+                    const RefFrames &refs, video::Yuv420Image &out,
+                    video::Plane *out_alpha);
+
+  private:
+    /** Decode one block's levels; returns the events applied. */
+    void decodeBlockInto(bits::BitReader &br, bool intra, bool luma,
+                         int qp, int plane_idx, int bx, int by,
+                         const uint8_t *pred, int pred_stride,
+                         video::Plane &out, int x0, int y0, bool coded);
+
+    void decodeShapePass(bits::BitReader &br, const VopHeader &hdr,
+                         video::Plane &alpha,
+                         std::vector<BabMode> &modes);
+
+    /**
+     * Reference-decoder data marshalling: MoMuSys moves every
+     * macroblock through several intermediate VOP structures
+     * (bitstream data -> macroblock arrays -> block arrays ->
+     * reconstruction -> padded VOP planes).  These L1-resident
+     * copies dominate the decoder's access mix and are what gives
+     * the paper's decoder its high primary-cache hit rate.
+     */
+    void marshalMacroblock();
+
+    /** Intermediate macroblock assembly buffer (Y+U+V samples). */
+    memsim::SimBuffer<uint8_t> mbAssembly_;
+    /** Clip/saturation lookup table (MoMuSys-style). */
+    memsim::SimBuffer<uint8_t> clipTable_;
+};
+
+} // namespace m4ps::codec
+
+#endif // M4PS_CODEC_VOP_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Coefficient scan orders.
+ *
+ * MPEG-4 texture coding scans quantized 8x8 blocks into a 1-D
+ * sequence before run-length coding.  The standard defines the
+ * classic zigzag scan plus alternate-horizontal and alternate-
+ * vertical scans used with intra AC prediction.
+ */
+
+#ifndef M4PS_CODEC_ZIGZAG_HH
+#define M4PS_CODEC_ZIGZAG_HH
+
+#include "codec/dct.hh"
+
+namespace m4ps::codec
+{
+
+/** Available scan orders. */
+enum class ScanOrder
+{
+    Zigzag,
+    AlternateHorizontal,
+    AlternateVertical,
+};
+
+/** Scan table for @p order: scanned index -> block index. */
+const int *scanTable(ScanOrder order);
+
+/** Scan @p block into @p out following @p order. */
+void scan(const Block &block, Block &out,
+          ScanOrder order = ScanOrder::Zigzag);
+
+/** Inverse of scan(). */
+void unscan(const Block &scanned, Block &out,
+            ScanOrder order = ScanOrder::Zigzag);
+
+} // namespace m4ps::codec
+
+#endif // M4PS_CODEC_ZIGZAG_HH

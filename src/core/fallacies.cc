@@ -1,0 +1,57 @@
+#include "core/fallacies.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace m4ps::core
+{
+
+std::string
+FallacyVerdicts::str() const
+{
+    std::ostringstream os;
+    auto yn = [](bool b) { return b ? "yes" : "NO"; };
+    os << "cache friendly: " << yn(cacheFriendly)
+       << ", not latency bound: " << yn(notLatencyBound)
+       << ", not bandwidth bound: " << yn(notBandwidthBound)
+       << ", prefetch mostly wasted: " << yn(prefetchMostlyWasted);
+    return os.str();
+}
+
+FallacyVerdicts
+judge(const MemoryReport &report, const MachineConfig &machine)
+{
+    FallacyVerdicts v;
+    v.cacheFriendly =
+        report.l1MissRate < 0.01 && report.l1LineReuse > 100.0;
+    // Paper worst case: "a processor stall time of no more than 12%".
+    v.notLatencyBound = report.dramTime < 0.15;
+    v.notBandwidthBound =
+        report.l2DramBwMBs < 0.10 * machine.busSustainedMBs;
+    v.prefetchMostlyWasted =
+        std::isnan(report.prefetchL1Miss) ||
+        report.prefetchL1Miss < 0.75;
+    return v;
+}
+
+bool
+sizeScalingHolds(const MemoryReport &small, const MemoryReport &large,
+                 double slack)
+{
+    const bool l2_ok =
+        large.l2MissRate <= small.l2MissRate * (1.0 + slack) + 0.01;
+    const bool dram_ok =
+        large.dramTime <= small.dramTime * (1.0 + slack) + 0.01;
+    const bool l1_ok =
+        large.l1MissRate <= small.l1MissRate * (1.0 + slack) + 0.001;
+    return l2_ok && dram_ok && l1_ok;
+}
+
+bool
+objectScalingHolds(const MemoryReport &single, const MemoryReport &multi,
+                   double slack)
+{
+    return sizeScalingHolds(single, multi, slack);
+}
+
+} // namespace m4ps::core

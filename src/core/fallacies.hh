@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The paper's five fallacies as testable predicates.
+ *
+ * §1 lists the assumptions the paper refutes.  These helpers encode
+ * the quantitative form each refutation takes in §3.2, so that the
+ * test suite and the benchmark harness can assert that the
+ * reproduction exhibits the same qualitative behaviour.
+ */
+
+#ifndef M4PS_CORE_FALLACIES_HH
+#define M4PS_CORE_FALLACIES_HH
+
+#include <string>
+
+#include "core/report.hh"
+
+namespace m4ps::core
+{
+
+/** Verdicts over one run; every field should be true for MPEG-4. */
+struct FallacyVerdicts
+{
+    /**
+     * Refutes "MPEG-4 exhibits streaming references": primary cache
+     * performance is nearly optimal (hit rate >= 99%, hundreds of
+     * uses per line).
+     */
+    bool cacheFriendly = false;
+
+    /**
+     * Refutes "MPEG-4 is bound by DRAM latency": processor stall
+     * time on DRAM stays a small fraction (paper worst case 12%).
+     */
+    bool notLatencyBound = false;
+
+    /**
+     * Refutes "MPEG-4 is hungry for bus bandwidth": consumed
+     * L2-DRAM bandwidth is a small fraction of the sustained bus
+     * bandwidth (paper: < 4%).
+     */
+    bool notBandwidthBound = false;
+
+    /**
+     * "Over half of the prefetches hit the primary cache, and thus
+     * constitute a waste of system resources."  True when prefetch
+     * usefulness is low (or the counter is unavailable).
+     */
+    bool prefetchMostlyWasted = false;
+
+    bool all() const
+    {
+        return cacheFriendly && notLatencyBound && notBandwidthBound &&
+               prefetchMostlyWasted;
+    }
+
+    std::string str() const;
+};
+
+/** Evaluate the fallacy refutations over one report. */
+FallacyVerdicts judge(const MemoryReport &report,
+                      const MachineConfig &machine);
+
+/**
+ * Refutes "memory performance degrades with image size": the larger
+ * image's L2 miss rate and DRAM stall must not be significantly
+ * worse (tolerance @p slack, relative).
+ */
+bool sizeScalingHolds(const MemoryReport &small,
+                      const MemoryReport &large, double slack = 0.25);
+
+/**
+ * Refutes "memory performance degrades with more VOs/VOLs": same
+ * comparison between the 1-VO and multi-VO reports.
+ */
+bool objectScalingHolds(const MemoryReport &single,
+                        const MemoryReport &multi, double slack = 0.25);
+
+} // namespace m4ps::core
+
+#endif // M4PS_CORE_FALLACIES_HH

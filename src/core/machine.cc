@@ -1,0 +1,101 @@
+#include "core/machine.hh"
+
+#include <sstream>
+
+namespace m4ps::core
+{
+
+std::string
+MachineConfig::label() const
+{
+    std::ostringstream os;
+    os << cpu << "/";
+    const uint64_t mb = l2.sizeBytes / (1024 * 1024);
+    if (mb >= 1)
+        os << mb << "MB";
+    else
+        os << l2.sizeBytes / 1024 << "KB";
+    return os.str();
+}
+
+std::unique_ptr<memsim::MemoryHierarchy>
+MachineConfig::makeHierarchy() const
+{
+    return std::make_unique<memsim::MemoryHierarchy>(l1, l2, cost);
+}
+
+namespace
+{
+
+MachineConfig
+baseR12k()
+{
+    MachineConfig m;
+    m.cpu = "R12K";
+    m.cost.clockMhz = 300.0;
+    m.cost.cyclesPerAccess = 2.5;
+    m.cost.l2HitLatency = 12.0;
+    m.cost.dramLatency = 180.0;  // ~600 ns at 300 MHz
+    m.cost.l2Exposure = 0.35;
+    m.cost.dramExposure = 0.65;
+    m.prefetchHitCounter = true;
+    return m;
+}
+
+} // namespace
+
+MachineConfig
+o2R12k1MB()
+{
+    MachineConfig m = baseR12k();
+    m.name = "O2";
+    m.l2 = {1024 * 1024, 2, 128};
+    // The O2's unified-memory design has the slowest DRAM path of
+    // the three machines.
+    m.cost.dramLatency = 280.0;  // ~930 ns at 300 MHz
+    m.cost.dramExposure = 0.75;
+    return m;
+}
+
+MachineConfig
+onyxR10k2MB()
+{
+    MachineConfig m;
+    m.name = "Onyx VTX";
+    m.cpu = "R10K";
+    m.l2 = {2 * 1024 * 1024, 2, 128};
+    m.cost.clockMhz = 195.0;
+    m.cost.cyclesPerAccess = 2.7; // shallower pipe, lower sustained IPC
+    m.cost.l2HitLatency = 10.0;
+    m.cost.dramLatency = 125.0;  // ~640 ns at 195 MHz
+    m.cost.l2Exposure = 0.40;    // older core hides less latency
+    m.cost.dramExposure = 0.75;
+    m.prefetchHitCounter = false;
+    return m;
+}
+
+MachineConfig
+onyx2R12k8MB()
+{
+    MachineConfig m = baseR12k();
+    m.name = "Onyx2 IR";
+    m.l2 = {8 * 1024 * 1024, 2, 128};
+    return m;
+}
+
+std::vector<MachineConfig>
+paperMachines()
+{
+    return {o2R12k1MB(), onyxR10k2MB(), onyx2R12k8MB()};
+}
+
+MachineConfig
+customL2Machine(uint64_t l2_bytes)
+{
+    MachineConfig m = baseR12k();
+    m.name = "custom";
+    m.l2 = {l2_bytes, 2, 128};
+    return m;
+}
+
+} // namespace m4ps::core

@@ -1,0 +1,117 @@
+#include "core/report.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/table.hh"
+
+namespace m4ps::core
+{
+
+MemoryReport
+MemoryReport::from(const memsim::CounterSet &ctrs,
+                   const MachineConfig &machine)
+{
+    MemoryReport r;
+    r.ctrs = ctrs;
+    const double cycles = ctrs.totalCycles();
+    r.seconds = machine.cost.seconds(cycles);
+
+    const double accesses = static_cast<double>(ctrs.accesses());
+    const double l1m = static_cast<double>(ctrs.l1Misses);
+    const double l2m = static_cast<double>(ctrs.l2Misses);
+
+    r.l1MissRate = accesses > 0 ? l1m / accesses : 0;
+    r.l1MissTime = cycles > 0 ? ctrs.stallL2Cycles / cycles : 0;
+    r.l1LineReuse = l1m > 0 ? (accesses - l1m) / l1m : 0;
+    r.l2MissRate = l1m > 0 ? l2m / l1m : 0;
+    r.l2LineReuse = l2m > 0 ? (l1m - l2m) / l2m : 0;
+    r.dramTime = cycles > 0 ? ctrs.stallDramCycles / cycles : 0;
+
+    const double mb = 1024.0 * 1024.0;
+    if (r.seconds > 0) {
+        // Paper definition: misses * line size + writeback bytes,
+        // over execution time.  Prefetch fills move data too.
+        r.l1l2BwMBs =
+            (l1m + static_cast<double>(ctrs.l1Writebacks) +
+             static_cast<double>(ctrs.prefetchFills)) *
+            machine.l1.lineBytes / mb / r.seconds;
+        r.l2DramBwMBs =
+            (l2m + static_cast<double>(ctrs.l2Writebacks)) *
+            machine.l2.lineBytes / mb / r.seconds;
+    }
+
+    if (machine.prefetchHitCounter) {
+        r.prefetchL1Miss =
+            ctrs.prefetches > 0
+                ? 1.0 - static_cast<double>(ctrs.prefetchL1Hits) /
+                            static_cast<double>(ctrs.prefetches)
+                : 1.0;
+    } else {
+        r.prefetchL1Miss = std::nan("");
+    }
+    return r;
+}
+
+std::string
+formatMetric(const std::string &name, double value)
+{
+    if (std::isnan(value))
+        return "n/a";
+    if (name == "L1C miss rate" || name == "L1C miss time" ||
+        name == "L2C miss rate" || name == "DRAM time" ||
+        name == "prefetch L1C miss") {
+        return TextTable::pct(value);
+    }
+    if (name == "L1C line reuse" || name == "L2C line reuse")
+        return TextTable::num(value, 1);
+    return TextTable::num(value, 1);
+}
+
+std::vector<std::pair<std::string, std::string>>
+MemoryReport::rows() const
+{
+    auto f = [](const std::string &n, double v) {
+        return std::make_pair(n, formatMetric(n, v));
+    };
+    return {
+        f("L1C miss rate", l1MissRate),
+        f("L1C miss time", l1MissTime),
+        f("L1C line reuse", l1LineReuse),
+        f("L2C miss rate", l2MissRate),
+        f("L2C line reuse", l2LineReuse),
+        f("DRAM time", dramTime),
+        f("L1-L2 b/w (MB/s)", l1l2BwMBs),
+        f("L2-DRAM b/w (MB/s)", l2DramBwMBs),
+        f("prefetch L1C miss", prefetchL1Miss),
+    };
+}
+
+void
+printMetricTable(const std::string &title,
+                 const std::vector<std::string> &column_labels,
+                 const std::vector<MemoryReport> &columns)
+{
+    M4PS_ASSERT(column_labels.size() == columns.size(),
+                "label/column mismatch");
+    TextTable table(title);
+    std::vector<std::string> header{"metrics"};
+    header.insert(header.end(), column_labels.begin(),
+                  column_labels.end());
+    table.header(std::move(header));
+
+    if (columns.empty()) {
+        table.print();
+        return;
+    }
+    const auto names = columns[0].rows();
+    for (size_t m = 0; m < names.size(); ++m) {
+        std::vector<std::string> row{names[m].first};
+        for (const MemoryReport &col : columns)
+            row.push_back(col.rows()[m].second);
+        table.row(std::move(row));
+    }
+    table.print();
+}
+
+} // namespace m4ps::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Memory-performance reports with the paper's metric definitions.
+ *
+ * From §3.1:
+ *  - "Cache line reuse is the mean number of times a cache line is
+ *    used after being loaded and before being evicted.  L1C line
+ *    reuse is the graduated loads plus graduated stores, minus L1
+ *    data cache misses, all divided by L1 data cache misses.
+ *    Likewise, L2C line reuse is L1 data cache misses minus L2 data
+ *    misses, all divided by L2 data misses."
+ *  - "DRAM time refers to the cycles during which the processor is
+ *    stalled due to secondary data cache misses."
+ *  - "L2-DRAM b/w is the amount of data moved between the secondary
+ *    cache and main memory, divided by the total program execution
+ *    time ... the sum of the L2 cache misses multiplied by the L2
+ *    cache line size, plus the number of bytes written back from L2.
+ *    L1-L2 b/w is similar."
+ *  - "Prefetch L1C miss refers to the proportion of prefetch
+ *    instructions that do not become nops.  A high prefetch miss
+ *    rate (near one) is desirable."
+ */
+
+#ifndef M4PS_CORE_REPORT_HH
+#define M4PS_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/machine.hh"
+#include "memsim/counters.hh"
+
+namespace m4ps::core
+{
+
+/** Derived metrics for one run or one instrumented region. */
+struct MemoryReport
+{
+    memsim::CounterSet ctrs;
+    double seconds = 0;
+
+    double l1MissRate = 0;       //!< L1 misses / (loads + stores).
+    double l1MissTime = 0;       //!< L2-service stall share of time.
+    double l1LineReuse = 0;
+    double l2MissRate = 0;       //!< L2 misses / L1 misses.
+    double l2LineReuse = 0;
+    double dramTime = 0;         //!< DRAM stall share of time.
+    double l1l2BwMBs = 0;
+    double l2DramBwMBs = 0;
+    double prefetchL1Miss = 0;   //!< NaN when the CPU lacks the counter.
+
+    /** Derive all metrics from counters on @p machine. */
+    static MemoryReport from(const memsim::CounterSet &ctrs,
+                             const MachineConfig &machine);
+
+    /** Rows in the order of the paper's Tables 2-7. */
+    std::vector<std::pair<std::string, std::string>> rows() const;
+};
+
+/** Format a metric value as the paper prints it ("n/a" for NaN). */
+std::string formatMetric(const std::string &name, double value);
+
+/**
+ * Print a paper-style table: one metric per row, one column per
+ * (size, machine) configuration.
+ */
+void printMetricTable(const std::string &title,
+                      const std::vector<std::string> &column_labels,
+                      const std::vector<MemoryReport> &columns);
+
+} // namespace m4ps::core
+
+#endif // M4PS_CORE_REPORT_HH

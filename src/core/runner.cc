@@ -1,0 +1,219 @@
+#include "core/runner.hh"
+
+#include "support/logging.hh"
+#include "video/composite.hh"
+#include "video/quality.hh"
+#include "video/scene.hh"
+
+namespace m4ps::core
+{
+
+namespace
+{
+
+/** Per-frame VO inputs rendered from the scene generator. */
+class SceneFeeder
+{
+  public:
+    SceneFeeder(memsim::SimContext &ctx, const Workload &w)
+        : gen_(w.width, w.height, w.numVos - 1, w.seed),
+          scene_(ctx, w.width, w.height)
+    {
+        for (int o = 0; o + 1 < w.numVos; ++o) {
+            objFrames_.emplace_back(ctx, w.width, w.height);
+            objAlphas_.emplace_back(ctx, w.width, w.height);
+        }
+    }
+
+    /** Render frame @p t and return the per-VO inputs. */
+    std::vector<codec::VoInput>
+    inputs(int t)
+    {
+        std::vector<codec::VoInput> in;
+        if (objFrames_.empty()) {
+            // Single rectangular VO: the full composited scene.
+            gen_.renderFrame(t, scene_);
+            in.push_back({&scene_, nullptr});
+        } else {
+            // VO 0 is the background; the rest are shaped objects.
+            gen_.renderBackground(t, scene_);
+            in.push_back({&scene_, nullptr});
+            for (size_t o = 0; o < objFrames_.size(); ++o) {
+                gen_.renderObject(t, static_cast<int>(o),
+                                  objFrames_[o], objAlphas_[o]);
+                in.push_back({&objFrames_[o], &objAlphas_[o]});
+            }
+        }
+        return in;
+    }
+
+    const video::SceneGenerator &generator() const { return gen_; }
+
+  private:
+    video::SceneGenerator gen_;
+    video::Yuv420Image scene_;
+    std::vector<video::Yuv420Image> objFrames_;
+    std::vector<video::Plane> objAlphas_;
+};
+
+std::vector<uint8_t>
+encodeImpl(memsim::SimContext &ctx, const Workload &w,
+           codec::EncoderStats *stats_out)
+{
+    SceneFeeder feeder(ctx, w);
+    codec::Mpeg4Encoder enc(ctx, w.encoderConfig());
+    for (int t = 0; t < w.frames; ++t)
+        enc.encodeFrame(feeder.inputs(t), t);
+    std::vector<uint8_t> stream = enc.finish();
+    if (stats_out)
+        *stats_out = enc.stats();
+    return stream;
+}
+
+/** Reassembles per-VO display frames into composited scenes. */
+class CompositeAssembler
+{
+  public:
+    CompositeAssembler(memsim::SimContext &vctx, const Workload &w)
+        : w_(w), gen_(w.width, w.height, w.numVos - 1, w.seed),
+          source_(vctx, w.width, w.height)
+    {
+        for (int i = 0; i < kSlots; ++i) {
+            slots_.emplace_back(vctx, w.width, w.height);
+            slotTs_[i] = -1;
+            received_[i] = 0;
+        }
+    }
+
+    void
+    onEvent(const codec::DecodedEvent &e)
+    {
+        int slot = -1;
+        for (int i = 0; i < kSlots; ++i) {
+            if (slotTs_[i] == e.timestamp) {
+                slot = i;
+                break;
+            }
+        }
+        if (slot < 0) {
+            for (int i = 0; i < kSlots; ++i) {
+                if (slotTs_[i] < 0) {
+                    slot = i;
+                    break;
+                }
+            }
+            M4PS_ASSERT(slot >= 0, "composite slot pool exhausted");
+            slotTs_[slot] = e.timestamp;
+            received_[slot] = 0;
+        }
+        video::compositeOver(slots_[slot], *e.frame, e.alpha);
+        if (++received_[slot] == w_.numVos)
+            finalize(slot);
+    }
+
+    double meanPsnrY() const
+    {
+        return frames_ ? psnrSum_ / frames_ : 0;
+    }
+
+    int frames() const { return frames_; }
+
+  private:
+    void
+    finalize(int slot)
+    {
+        gen_.renderFrame(slotTs_[slot], source_);
+        psnrSum_ += video::psnrY(source_, slots_[slot]);
+        ++frames_;
+        slotTs_[slot] = -1;
+        received_[slot] = 0;
+    }
+
+    static constexpr int kSlots = 8;
+    Workload w_;
+    video::SceneGenerator gen_;
+    video::Yuv420Image source_;
+    std::vector<video::Yuv420Image> slots_;
+    int slotTs_[kSlots];
+    int received_[kSlots];
+    double psnrSum_ = 0;
+    int frames_ = 0;
+};
+
+} // namespace
+
+RunResult
+ExperimentRunner::runEncode(const Workload &w,
+                            const MachineConfig &machine,
+                            std::vector<uint8_t> *stream_out)
+{
+    w.validate();
+    auto mem = machine.makeHierarchy();
+    memsim::SimContext ctx(mem.get());
+
+    codec::EncoderStats stats;
+    std::vector<uint8_t> stream = encodeImpl(ctx, w, &stats);
+
+    RunResult r;
+    r.workload = w.name;
+    r.machine = machine.label();
+    r.whole = MemoryReport::from(mem->counters(), machine);
+    for (const auto &[name, ctrs] : mem->profiler().regions())
+        r.regions[name] = MemoryReport::from(ctrs, machine);
+    r.enc = stats;
+    r.streamBytes = stream.size();
+    r.residentBytes = ctx.residentBytes();
+    r.modelledSeconds = r.whole.seconds;
+    if (stream_out)
+        *stream_out = std::move(stream);
+    return r;
+}
+
+RunResult
+ExperimentRunner::runDecode(const Workload &w,
+                            const MachineConfig &machine,
+                            const std::vector<uint8_t> &stream)
+{
+    w.validate();
+    auto mem = machine.makeHierarchy();
+    memsim::SimContext ctx(mem.get());
+    memsim::SimContext verify_ctx; // untraced
+
+    CompositeAssembler assembler(verify_ctx, w);
+    codec::Mpeg4Decoder dec(ctx);
+    codec::DecodeStats stats = dec.decode(
+        stream,
+        [&](const codec::DecodedEvent &e) { assembler.onEvent(e); });
+
+    RunResult r;
+    r.workload = w.name;
+    r.machine = machine.label();
+    r.whole = MemoryReport::from(mem->counters(), machine);
+    for (const auto &[name, ctrs] : mem->profiler().regions())
+        r.regions[name] = MemoryReport::from(ctrs, machine);
+    r.dec = stats;
+    r.meanPsnrY = assembler.meanPsnrY();
+    r.displayedFrames = assembler.frames();
+    r.streamBytes = stream.size();
+    r.residentBytes = ctx.residentBytes();
+    r.modelledSeconds = r.whole.seconds;
+    return r;
+}
+
+std::vector<uint8_t>
+ExperimentRunner::encodeUntraced(const Workload &w)
+{
+    w.validate();
+    memsim::SimContext ctx;
+    return encodeImpl(ctx, w, nullptr);
+}
+
+std::vector<uint8_t>
+ExperimentRunner::encodeWith(memsim::SimContext &ctx, const Workload &w,
+                             codec::EncoderStats *stats_out)
+{
+    w.validate();
+    return encodeImpl(ctx, w, stats_out);
+}
+
+} // namespace m4ps::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Experiment runner: encode/decode a workload on a modelled machine
+ * and report the paper's metrics.
+ *
+ * One run = one (workload, machine) pair with a fresh memory
+ * hierarchy, mirroring one row-group of the paper's tables.  The
+ * synthetic scene stands in for the camera content; rendering and
+ * verification (PSNR against the regenerated source) run untraced so
+ * they never perturb the measurement.
+ */
+
+#ifndef M4PS_CORE_RUNNER_HH
+#define M4PS_CORE_RUNNER_HH
+
+#include <map>
+#include <vector>
+
+#include "codec/decoder.hh"
+#include "core/report.hh"
+#include "core/workload.hh"
+
+namespace m4ps::core
+{
+
+/** Everything measured in one experiment run. */
+struct RunResult
+{
+    std::string workload;
+    std::string machine;
+
+    MemoryReport whole;                          //!< Whole program.
+    std::map<std::string, MemoryReport> regions; //!< VopEncode/VopDecode.
+
+    codec::EncoderStats enc;  //!< Valid for encode runs.
+    codec::DecodeStats dec;   //!< Valid for decode runs.
+
+    double meanPsnrY = 0;     //!< Decode runs: composited-scene PSNR.
+    int displayedFrames = 0;
+    uint64_t streamBytes = 0;
+    uint64_t residentBytes = 0;
+    double modelledSeconds = 0;
+};
+
+/** Static entry points for the experiment harness. */
+class ExperimentRunner
+{
+  public:
+    /**
+     * Encode @p w on @p machine; if @p stream_out is non-null it
+     * receives the elementary stream for later decoding.
+     */
+    static RunResult runEncode(const Workload &w,
+                               const MachineConfig &machine,
+                               std::vector<uint8_t> *stream_out =
+                                   nullptr);
+
+    /** Decode @p stream (produced from @p w) on @p machine. */
+    static RunResult runDecode(const Workload &w,
+                               const MachineConfig &machine,
+                               const std::vector<uint8_t> &stream);
+
+    /** Fast untraced encode, for producing decode-run inputs. */
+    static std::vector<uint8_t> encodeUntraced(const Workload &w);
+
+    /**
+     * Encode without a machine model attached (untraced) but using
+     * the supplied context; exposed for tests.
+     */
+    static std::vector<uint8_t> encodeWith(memsim::SimContext &ctx,
+                                           const Workload &w,
+                                           codec::EncoderStats
+                                               *stats_out = nullptr);
+};
+
+} // namespace m4ps::core
+
+#endif // M4PS_CORE_RUNNER_HH

@@ -1,0 +1,72 @@
+#include "core/workload.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace m4ps::core
+{
+
+codec::EncoderConfig
+Workload::encoderConfig() const
+{
+    codec::EncoderConfig cfg;
+    cfg.width = width;
+    cfg.height = height;
+    cfg.numVos = numVos;
+    cfg.layers = layers;
+    cfg.gop = gop;
+    cfg.searchRange = searchRange;
+    cfg.searchRangeB = searchRangeB;
+    cfg.halfPel = halfPel;
+    cfg.mpegQuant = mpegQuant;
+    cfg.fourMv = fourMv;
+    cfg.targetBps = targetBps;
+    cfg.frameRate = frameRate;
+    return cfg;
+}
+
+std::string
+Workload::sizeLabel() const
+{
+    std::ostringstream os;
+    os << width << "x" << height;
+    return os.str();
+}
+
+void
+Workload::validate() const
+{
+    encoderConfig().validate();
+    M4PS_ASSERT(frames > 0, "workload needs at least one frame");
+}
+
+Workload
+paperWorkload(int width, int height, int num_vos, int layers)
+{
+    Workload w;
+    w.width = width;
+    w.height = height;
+    w.numVos = num_vos;
+    w.layers = layers;
+    std::ostringstream os;
+    os << num_vos << "VO-" << layers << "VOL-" << width << "x" << height;
+    w.name = os.str();
+    w.validate();
+    return w;
+}
+
+int
+benchFrames(int default_frames)
+{
+    if (const char *env = std::getenv("M4PS_FRAMES")) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            return n;
+        warn("ignoring invalid M4PS_FRAMES='", env, "'");
+    }
+    return default_frames;
+}
+
+} // namespace m4ps::core

@@ -1,0 +1,19 @@
+#include "memsim/address_space.hh"
+
+#include "support/logging.hh"
+
+namespace m4ps::memsim
+{
+
+uint64_t
+SimAddressSpace::alloc(uint64_t bytes, uint64_t align)
+{
+    M4PS_ASSERT(align != 0 && (align & (align - 1)) == 0,
+                "alignment must be a power of two: ", align);
+    top_ = (top_ + align - 1) & ~(align - 1);
+    const uint64_t base = top_;
+    top_ += bytes;
+    return base;
+}
+
+} // namespace m4ps::memsim

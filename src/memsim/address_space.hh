@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Simulated virtual address space and tracing context.
+ *
+ * The codec's significant data structures (frame stores, search
+ * windows, coefficient scratch) are allocated simulated virtual
+ * addresses so their access stream can be fed to the cache model.
+ * A SimContext bundles an address space with an optional
+ * MemoryHierarchy: a null hierarchy means "run untraced" (plain
+ * codec execution, no simulation overhead).
+ */
+
+#ifndef M4PS_MEMSIM_ADDRESS_SPACE_HH
+#define M4PS_MEMSIM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+
+namespace m4ps::memsim
+{
+
+class MemoryHierarchy;
+
+/** Bump allocator over a simulated virtual address space. */
+class SimAddressSpace
+{
+  public:
+    /**
+     * Reserve @p bytes aligned to @p align and return the base
+     * address.  Allocations are never reused; residentBytes() tracks
+     * the footprint (the paper quotes "stable, resident memory").
+     */
+    uint64_t alloc(uint64_t bytes, uint64_t align = 64);
+
+    /** Total bytes allocated so far. */
+    uint64_t residentBytes() const { return top_ - kBase; }
+
+  private:
+    static constexpr uint64_t kBase = 0x10000; //!< Skip the null page.
+    uint64_t top_ = kBase;
+};
+
+/** Address space + optional tracing target. */
+class SimContext
+{
+  public:
+    /** Untraced context: allocations succeed, accesses are free. */
+    SimContext() = default;
+
+    /** Traced context routing accesses into @p mem. */
+    explicit SimContext(MemoryHierarchy *mem) : mem_(mem) {}
+
+    uint64_t alloc(uint64_t bytes, uint64_t align = 64)
+    {
+        return space_.alloc(bytes, align);
+    }
+
+    MemoryHierarchy *mem() const { return mem_; }
+    uint64_t residentBytes() const { return space_.residentBytes(); }
+
+  private:
+    SimAddressSpace space_;
+    MemoryHierarchy *mem_ = nullptr;
+};
+
+} // namespace m4ps::memsim
+
+#endif // M4PS_MEMSIM_ADDRESS_SPACE_HH

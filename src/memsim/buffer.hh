@@ -1,0 +1,110 @@
+/**
+ * @file
+ * SimBuffer<T>: real storage paired with a simulated address range.
+ *
+ * Element loads/stores both perform the real memory operation and,
+ * when the owning SimContext is traced, emit the access to the
+ * MemoryHierarchy.  Row operations coalesce cache-line probes for
+ * speed while preserving graduated-access counts.
+ */
+
+#ifndef M4PS_MEMSIM_BUFFER_HH
+#define M4PS_MEMSIM_BUFFER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "memsim/address_space.hh"
+#include "memsim/hierarchy.hh"
+#include "support/logging.hh"
+
+namespace m4ps::memsim
+{
+
+/** A typed array with a simulated base address. */
+template <typename T>
+class SimBuffer
+{
+  public:
+    /** Empty buffer (no storage, no address). */
+    SimBuffer() = default;
+
+    /** Allocate @p n elements from @p ctx. */
+    SimBuffer(SimContext &ctx, size_t n)
+        : store_(n), base_(ctx.alloc(n * sizeof(T))), mem_(ctx.mem())
+    {}
+
+    SimBuffer(SimBuffer &&) noexcept = default;
+    SimBuffer &operator=(SimBuffer &&) noexcept = default;
+    SimBuffer(const SimBuffer &) = delete;
+    SimBuffer &operator=(const SimBuffer &) = delete;
+
+    size_t size() const { return store_.size(); }
+    bool traced() const { return mem_ != nullptr; }
+
+    /** Simulated address of element @p i. */
+    uint64_t addrOf(size_t i) const { return base_ + i * sizeof(T); }
+
+    /** Traced single-element load. */
+    T
+    load(size_t i) const
+    {
+        if (mem_)
+            mem_->load(addrOf(i), sizeof(T));
+        return store_[i];
+    }
+
+    /** Traced single-element store. */
+    void
+    store(size_t i, T v)
+    {
+        if (mem_)
+            mem_->store(addrOf(i), sizeof(T));
+        store_[i] = v;
+    }
+
+    /**
+     * Trace @p n element loads starting at @p i as one coalesced row
+     * access (the caller reads the data through raw()/data()).
+     */
+    void
+    traceLoadRow(size_t i, size_t n) const
+    {
+        if (mem_ && n)
+            mem_->loadRow(addrOf(i), n * sizeof(T), n);
+    }
+
+    /** Store counterpart of traceLoadRow(). */
+    void
+    traceStoreRow(size_t i, size_t n)
+    {
+        if (mem_ && n)
+            mem_->storeRow(addrOf(i), n * sizeof(T), n);
+    }
+
+    /** Software prefetch of the line holding element @p i. */
+    void
+    prefetch(size_t i) const
+    {
+        if (mem_)
+            mem_->prefetch(addrOf(i));
+    }
+
+    /** Untraced access (setup, verification, bulk init). */
+    T &raw(size_t i) { return store_[i]; }
+    const T &raw(size_t i) const { return store_[i]; }
+
+    T *data() { return store_.data(); }
+    const T *data() const { return store_.data(); }
+
+    MemoryHierarchy *mem() const { return mem_; }
+
+  private:
+    std::vector<T> store_;
+    uint64_t base_ = 0;
+    MemoryHierarchy *mem_ = nullptr;
+};
+
+} // namespace m4ps::memsim
+
+#endif // M4PS_MEMSIM_BUFFER_HH

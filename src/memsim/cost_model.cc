@@ -1,0 +1,19 @@
+#include "memsim/cost_model.hh"
+
+#include <sstream>
+
+namespace m4ps::memsim
+{
+
+std::string
+CostModel::str() const
+{
+    std::ostringstream os;
+    os << clockMhz << " MHz, " << cyclesPerAccess << " cyc/access, "
+       << "L2 hit " << l2HitLatency << " cyc (exposure " << l2Exposure
+       << "), DRAM " << dramLatency << " cyc (exposure " << dramExposure
+       << ")";
+    return os.str();
+}
+
+} // namespace m4ps::memsim

@@ -1,0 +1,89 @@
+#include "memsim/counters.hh"
+
+#include <sstream>
+
+namespace m4ps::memsim
+{
+
+CounterSet &
+CounterSet::operator+=(const CounterSet &o)
+{
+    gradLoads += o.gradLoads;
+    gradStores += o.gradStores;
+    l1Misses += o.l1Misses;
+    l1Writebacks += o.l1Writebacks;
+    l2Misses += o.l2Misses;
+    l2Writebacks += o.l2Writebacks;
+    prefetches += o.prefetches;
+    prefetchL1Hits += o.prefetchL1Hits;
+    prefetchFills += o.prefetchFills;
+    computeCycles += o.computeCycles;
+    stallL2Cycles += o.stallL2Cycles;
+    stallDramCycles += o.stallDramCycles;
+    return *this;
+}
+
+CounterSet &
+CounterSet::operator-=(const CounterSet &o)
+{
+    gradLoads -= o.gradLoads;
+    gradStores -= o.gradStores;
+    l1Misses -= o.l1Misses;
+    l1Writebacks -= o.l1Writebacks;
+    l2Misses -= o.l2Misses;
+    l2Writebacks -= o.l2Writebacks;
+    prefetches -= o.prefetches;
+    prefetchL1Hits -= o.prefetchL1Hits;
+    prefetchFills -= o.prefetchFills;
+    computeCycles -= o.computeCycles;
+    stallL2Cycles -= o.stallL2Cycles;
+    stallDramCycles -= o.stallDramCycles;
+    return *this;
+}
+
+CounterSet
+CounterSet::operator-(const CounterSet &o) const
+{
+    CounterSet r = *this;
+    r -= o;
+    return r;
+}
+
+std::string
+CounterSet::str() const
+{
+    std::ostringstream os;
+    os << "graduated loads:  " << gradLoads << "\n"
+       << "graduated stores: " << gradStores << "\n"
+       << "L1D misses:       " << l1Misses << "\n"
+       << "L1D writebacks:   " << l1Writebacks << "\n"
+       << "L2D misses:       " << l2Misses << "\n"
+       << "L2D writebacks:   " << l2Writebacks << "\n"
+       << "prefetches:       " << prefetches
+       << " (L1 hits: " << prefetchL1Hits << ")\n"
+       << "compute cycles:   " << computeCycles << "\n"
+       << "L2-stall cycles:  " << stallL2Cycles << "\n"
+       << "DRAM-stall cycles:" << stallDramCycles << "\n";
+    return os.str();
+}
+
+void
+RegionProfiler::add(const std::string &region, const CounterSet &delta)
+{
+    buckets_[region] += delta;
+}
+
+CounterSet
+RegionProfiler::get(const std::string &region) const
+{
+    auto it = buckets_.find(region);
+    return it == buckets_.end() ? CounterSet{} : it->second;
+}
+
+bool
+RegionProfiler::has(const std::string &region) const
+{
+    return buckets_.find(region) != buckets_.end();
+}
+
+} // namespace m4ps::memsim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Performance counters in the style of Irix perfex / SpeedShop.
+ *
+ * The paper reads the R10000/R12000 hardware event counters through
+ * the Irix perfex library and wraps two hot functions in counter
+ * start/stop operations.  CounterSet mirrors the events the paper
+ * uses (graduated loads/stores, L1/L2 data misses, writebacks,
+ * prefetches and prefetch-L1-hits) plus the simulator's cycle
+ * accounting; ScopedRegion reproduces the function-wrapping
+ * instrumentation used for Table 8.
+ */
+
+#ifndef M4PS_MEMSIM_COUNTERS_HH
+#define M4PS_MEMSIM_COUNTERS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace m4ps::memsim
+{
+
+/** Snapshot of every event counter the simulator maintains. */
+struct CounterSet
+{
+    // Graduated (retired) memory operations.
+    uint64_t gradLoads = 0;
+    uint64_t gradStores = 0;
+
+    // Primary data cache.
+    uint64_t l1Misses = 0;
+    uint64_t l1Writebacks = 0;   //!< Dirty L1 lines written to L2.
+
+    // Secondary data cache.
+    uint64_t l2Misses = 0;
+    uint64_t l2Writebacks = 0;   //!< Dirty L2 lines written to DRAM.
+
+    // Software prefetch instructions.
+    uint64_t prefetches = 0;
+    uint64_t prefetchL1Hits = 0; //!< Prefetches that were nops (wasted).
+    uint64_t prefetchFills = 0;  //!< Prefetches that filled a line.
+
+    // Cycle accounting (fractional cycles accumulate, so double).
+    double computeCycles = 0;    //!< Issue/ALU work, misses excluded.
+    double stallL2Cycles = 0;    //!< Exposed stall on L1-miss/L2-hit.
+    double stallDramCycles = 0;  //!< Exposed stall on L2 miss.
+
+    /** Total modelled execution cycles. */
+    double totalCycles() const
+    {
+        return computeCycles + stallL2Cycles + stallDramCycles;
+    }
+
+    /** Graduated loads + stores. */
+    uint64_t accesses() const { return gradLoads + gradStores; }
+
+    CounterSet &operator+=(const CounterSet &o);
+    CounterSet &operator-=(const CounterSet &o);
+    CounterSet operator-(const CounterSet &o) const;
+
+    /** Human-readable multi-line dump (for debugging and examples). */
+    std::string str() const;
+};
+
+/**
+ * Named accumulation buckets for function-level instrumentation.
+ *
+ * The paper wraps VopCode() and DecodeVopCombMotionShapeTexture() in
+ * performance-counter operations; RegionProfiler plays the role of
+ * that harness.  Regions may nest; a region's delta is attributed to
+ * its own bucket only.
+ */
+class RegionProfiler
+{
+  public:
+    /** Add @p delta into the bucket named @p region. */
+    void add(const std::string &region, const CounterSet &delta);
+
+    /** Counters accumulated for @p region (zero set if absent). */
+    CounterSet get(const std::string &region) const;
+
+    /** True if any delta was recorded for @p region. */
+    bool has(const std::string &region) const;
+
+    const std::map<std::string, CounterSet> &regions() const
+    {
+        return buckets_;
+    }
+
+    void clear() { buckets_.clear(); }
+
+  private:
+    std::map<std::string, CounterSet> buckets_;
+};
+
+} // namespace m4ps::memsim
+
+#endif // M4PS_MEMSIM_COUNTERS_HH

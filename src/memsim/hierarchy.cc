@@ -1,0 +1,119 @@
+#include "memsim/hierarchy.hh"
+
+#include "support/logging.hh"
+
+namespace m4ps::memsim
+{
+
+MemoryHierarchy::MemoryHierarchy(const CacheConfig &l1,
+                                 const CacheConfig &l2,
+                                 const CostModel &cost)
+    : l1_(l1), l2_(l2), cost_(cost),
+      l1LineMask_(~static_cast<uint64_t>(l1.lineBytes - 1))
+{
+    M4PS_ASSERT(l2.lineBytes >= l1.lineBytes,
+                "L2 line must not be smaller than L1 line");
+}
+
+void
+MemoryHierarchy::writebackToL2(uint64_t addr)
+{
+    ++ctrs_.l1Writebacks;
+    // Writebacks retire through write buffers: no stall, and a
+    // writeback that misses L2 is not a demand miss.  Its own dirty
+    // victim still produces DRAM traffic.
+    AccessResult wb = l2_.access(addr, true);
+    if (!wb.hit && wb.evictedDirty)
+        ++ctrs_.l2Writebacks;
+}
+
+void
+MemoryHierarchy::touchLine(uint64_t addr, bool is_write)
+{
+    AccessResult r1 = l1_.access(addr, is_write);
+    if (r1.hit)
+        return;
+
+    ++ctrs_.l1Misses;
+    ctrs_.stallL2Cycles += cost_.l2HitLatency * cost_.l2Exposure;
+
+    AccessResult r2 = l2_.access(addr, false);
+    if (!r2.hit) {
+        ++ctrs_.l2Misses;
+        ctrs_.stallDramCycles += cost_.dramLatency * cost_.dramExposure;
+        if (r2.evictedDirty)
+            ++ctrs_.l2Writebacks;
+    }
+
+    if (r1.evictedDirty)
+        writebackToL2(r1.evictedAddr);
+}
+
+void
+MemoryHierarchy::load(uint64_t addr, int bytes)
+{
+    ++ctrs_.gradLoads;
+    ctrs_.computeCycles += cost_.cyclesPerAccess;
+    touchLine(addr, false);
+    const uint64_t last = addr + bytes - 1;
+    if ((last & l1LineMask_) != (addr & l1LineMask_))
+        touchLine(last, false);
+}
+
+void
+MemoryHierarchy::store(uint64_t addr, int bytes)
+{
+    ++ctrs_.gradStores;
+    ctrs_.computeCycles += cost_.cyclesPerAccess;
+    touchLine(addr, true);
+    const uint64_t last = addr + bytes - 1;
+    if ((last & l1LineMask_) != (addr & l1LineMask_))
+        touchLine(last, true);
+}
+
+void
+MemoryHierarchy::loadRow(uint64_t addr, uint64_t bytes, uint64_t elems)
+{
+    if (bytes == 0)
+        return;
+    ctrs_.gradLoads += elems;
+    ctrs_.computeCycles += cost_.cyclesPerAccess * elems;
+    const uint64_t line = l1_.config().lineBytes;
+    const uint64_t end = addr + bytes;
+    for (uint64_t a = addr & l1LineMask_; a < end; a += line)
+        touchLine(a, false);
+}
+
+void
+MemoryHierarchy::storeRow(uint64_t addr, uint64_t bytes, uint64_t elems)
+{
+    if (bytes == 0)
+        return;
+    ctrs_.gradStores += elems;
+    ctrs_.computeCycles += cost_.cyclesPerAccess * elems;
+    const uint64_t line = l1_.config().lineBytes;
+    const uint64_t end = addr + bytes;
+    for (uint64_t a = addr & l1LineMask_; a < end; a += line)
+        touchLine(a, true);
+}
+
+void
+MemoryHierarchy::prefetch(uint64_t addr)
+{
+    ++ctrs_.prefetches;
+    // A prefetch instruction still occupies an issue slot.
+    ctrs_.computeCycles += 1.0;
+    if (l1_.probe(addr)) {
+        ++ctrs_.prefetchL1Hits;
+        return;
+    }
+    ++ctrs_.prefetchFills;
+    AccessResult r1 = l1_.fill(addr, false);
+    AccessResult r2 = l2_.fill(addr, false);
+    if (!r2.hit && r2.evictedDirty)
+        ++ctrs_.l2Writebacks;
+    if (r1.evictedDirty)
+        writebackToL2(r1.evictedAddr);
+}
+
+} // namespace m4ps::memsim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Two-level data-cache hierarchy with DRAM backing.
+ *
+ * MemoryHierarchy glues the L1 and L2 Cache models, the CostModel,
+ * and the CounterSet together.  The codec drives it with graduated
+ * loads/stores (optionally coalesced into row accesses that probe
+ * each covered cache line once while still counting one graduated
+ * access per element - identical line-granularity behaviour, much
+ * faster simulation) and software prefetches.
+ */
+
+#ifndef M4PS_MEMSIM_HIERARCHY_HH
+#define M4PS_MEMSIM_HIERARCHY_HH
+
+#include <string>
+
+#include "memsim/cache.hh"
+#include "memsim/cost_model.hh"
+#include "memsim/counters.hh"
+
+namespace m4ps::memsim
+{
+
+/** L1 + L2 + DRAM model with perfex-style counters. */
+class MemoryHierarchy
+{
+  public:
+    MemoryHierarchy(const CacheConfig &l1, const CacheConfig &l2,
+                    const CostModel &cost);
+
+    /** One graduated load of @p bytes at @p addr. */
+    void load(uint64_t addr, int bytes);
+
+    /** One graduated store of @p bytes at @p addr. */
+    void store(uint64_t addr, int bytes);
+
+    /**
+     * @p elems graduated loads covering [@p addr, @p addr + @p bytes).
+     * Each covered L1 line is probed exactly once.
+     */
+    void loadRow(uint64_t addr, uint64_t bytes, uint64_t elems);
+
+    /** Store counterpart of loadRow(). */
+    void storeRow(uint64_t addr, uint64_t bytes, uint64_t elems);
+
+    /**
+     * Software prefetch of the line containing @p addr.  A prefetch
+     * whose line already sits in L1 is a nop that wasted issue slots
+     * (counted in prefetchL1Hits); otherwise the line is filled
+     * without demand-miss accounting or stall.
+     */
+    void prefetch(uint64_t addr);
+
+    /** Charge @p cycles of pure compute (entropy coding etc.). */
+    void tick(double cycles) { ctrs_.computeCycles += cycles; }
+
+    const CounterSet &counters() const { return ctrs_; }
+    RegionProfiler &profiler() { return prof_; }
+    const RegionProfiler &profiler() const { return prof_; }
+
+    const Cache &l1() const { return l1_; }
+    const Cache &l2() const { return l2_; }
+    const CostModel &cost() const { return cost_; }
+
+    /** Modelled execution time so far, in seconds. */
+    double elapsedSeconds() const
+    {
+        return cost_.seconds(ctrs_.totalCycles());
+    }
+
+    /**
+     * RAII counter region (the paper's SpeedShop-style function
+     * wrapping).  On destruction the counter delta since construction
+     * is accumulated into the named profiler bucket.
+     */
+    class ScopedRegion
+    {
+      public:
+        ScopedRegion(MemoryHierarchy &mh, std::string name)
+            : mh_(mh), name_(std::move(name)), start_(mh.counters())
+        {}
+
+        ~ScopedRegion()
+        {
+            mh_.profiler().add(name_, mh_.counters() - start_);
+        }
+
+        ScopedRegion(const ScopedRegion &) = delete;
+        ScopedRegion &operator=(const ScopedRegion &) = delete;
+
+      private:
+        MemoryHierarchy &mh_;
+        std::string name_;
+        CounterSet start_;
+    };
+
+  private:
+    /** Demand access to one L1 line. */
+    void touchLine(uint64_t addr, bool is_write);
+
+    /** Write a dirty L1 victim down into L2. */
+    void writebackToL2(uint64_t addr);
+
+    Cache l1_;
+    Cache l2_;
+    CostModel cost_;
+    CounterSet ctrs_;
+    RegionProfiler prof_;
+    uint64_t l1LineMask_;
+};
+
+} // namespace m4ps::memsim
+
+#endif // M4PS_MEMSIM_HIERARCHY_HH

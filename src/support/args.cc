@@ -1,0 +1,87 @@
+#include "support/args.hh"
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace m4ps
+{
+
+ArgParser::ArgParser(int argc, const char *const *argv,
+                     const std::set<std::string> &known)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        arg = arg.substr(2);
+        std::string value;
+        const size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            value = argv[++i];
+        } else {
+            value = "true";
+        }
+        if (!known.count(arg))
+            M4PS_FATAL("unknown flag --", arg);
+        values_[arg] = value;
+    }
+}
+
+bool
+ArgParser::has(const std::string &name) const
+{
+    return values_.count(name) != 0;
+}
+
+std::string
+ArgParser::get(const std::string &name, const std::string &fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+int
+ArgParser::getInt(const std::string &name, int fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const long v = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        M4PS_FATAL("flag --", name, " expects an integer, got '",
+                   it->second, "'");
+    return static_cast<int>(v);
+}
+
+double
+ArgParser::getDouble(const std::string &name, double fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        M4PS_FATAL("flag --", name, " expects a number, got '",
+                   it->second, "'");
+    return v;
+}
+
+bool
+ArgParser::getBool(const std::string &name, bool fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    return it->second != "false" && it->second != "0";
+}
+
+} // namespace m4ps

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for the tool binaries.
+ *
+ * Supports "--name value" and "--name=value" pairs plus boolean
+ * switches; unknown flags are errors so typos do not silently run
+ * the wrong experiment.
+ */
+
+#ifndef M4PS_SUPPORT_ARGS_HH
+#define M4PS_SUPPORT_ARGS_HH
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace m4ps
+{
+
+/** Parsed command line: flag/value pairs with typed accessors. */
+class ArgParser
+{
+  public:
+    /**
+     * Parse argv.  @p known lists every accepted flag name (without
+     * the leading dashes); anything else raises a usage error via
+     * fatal().  Flags without a following value (or followed by
+     * another flag) parse as boolean "true".
+     */
+    ArgParser(int argc, const char *const *argv,
+              const std::set<std::string> &known);
+
+    bool has(const std::string &name) const;
+
+    /** String value, or @p fallback when absent. */
+    std::string get(const std::string &name,
+                    const std::string &fallback = "") const;
+
+    /** Integer value with validation; fatal() on garbage. */
+    int getInt(const std::string &name, int fallback) const;
+
+    /** Floating-point value with validation. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Boolean switch: present (without "false"/"0") means true. */
+    bool getBool(const std::string &name, bool fallback = false) const;
+
+    /** Positional (non-flag) arguments, in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace m4ps
+
+#endif // M4PS_SUPPORT_ARGS_HH

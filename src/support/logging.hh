@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Error-reporting and status-message primitives.
+ *
+ * Follows the gem5 fatal/panic discipline:
+ *  - panic():  an internal invariant was violated (a library bug).
+ *              Aborts so a core dump / debugger can inspect the state.
+ *  - fatal():  the caller asked for something unsatisfiable (bad
+ *              configuration, invalid arguments).  Exits with code 1.
+ *  - warn():   something works but not as well as it should.
+ *  - inform(): plain status output.
+ */
+
+#ifndef M4PS_SUPPORT_LOGGING_HH
+#define M4PS_SUPPORT_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace m4ps
+{
+
+namespace detail
+{
+
+/** Stream a parameter pack into a single string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort with a message: something that should never happen happened. */
+#define M4PS_PANIC(...) \
+    ::m4ps::detail::panicImpl(__FILE__, __LINE__, \
+                              ::m4ps::detail::concat(__VA_ARGS__))
+
+/** Exit with a message: the user's request cannot be satisfied. */
+#define M4PS_FATAL(...) \
+    ::m4ps::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::m4ps::detail::concat(__VA_ARGS__))
+
+/** Panic unless a library invariant holds. */
+#define M4PS_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::m4ps::detail::panicImpl(__FILE__, __LINE__, \
+                ::m4ps::detail::concat("assertion '", #cond, \
+                                       "' failed. ", ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Status message to stdout. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace m4ps
+
+#endif // M4PS_SUPPORT_LOGGING_HH

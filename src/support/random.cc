@@ -1,0 +1,87 @@
+#include "support/random.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace m4ps
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    M4PS_ASSERT(lo <= hi, "bad uniformInt range [", lo, ", ", hi, "]");
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    // Modulo bias is negligible for the spans used here (<< 2^32).
+    return lo + static_cast<int64_t>(next() % span);
+}
+
+double
+Rng::uniformReal()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    return lo + (hi - lo) * uniformReal();
+}
+
+double
+Rng::gaussian()
+{
+    // Sum of 12 uniforms (Irwin-Hall): cheap, deterministic, and close
+    // enough to normal for texture-noise generation.
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i)
+        acc += uniformReal();
+    return acc - 6.0;
+}
+
+} // namespace m4ps

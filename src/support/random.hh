@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic element of the reproduction (synthetic scene
+ * content, property-test inputs) draws from this generator so runs
+ * are reproducible from a seed.  The engine is xoshiro256**, seeded
+ * via splitmix64 per Blackman & Vigna's recommendation.
+ */
+
+#ifndef M4PS_SUPPORT_RANDOM_HH
+#define M4PS_SUPPORT_RANDOM_HH
+
+#include <cstdint>
+
+namespace m4ps
+{
+
+/** Deterministic xoshiro256** pseudo-random generator. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded with splitmix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [lo, hi] (inclusive); requires lo <= hi. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Uniform double in [lo, hi). */
+    double uniformReal(double lo, double hi);
+
+    /** Approximately normal deviate (mean 0, unit variance). */
+    double gaussian();
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p) { return uniformReal() < p; }
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace m4ps
+
+#endif // M4PS_SUPPORT_RANDOM_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harness.
+ *
+ * The bench binaries reproduce the rows/columns of the paper's tables;
+ * this helper keeps them aligned and consistently formatted.
+ */
+
+#ifndef M4PS_SUPPORT_TABLE_HH
+#define M4PS_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace m4ps
+{
+
+/** Column-aligned text table with an optional title and header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row (first row, separated by a rule). */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format a double with @p digits fractional digits. */
+    static std::string num(double v, int digits = 2);
+
+    /** Format a ratio as a percentage string, e.g. "0.35%". */
+    static std::string pct(double ratio, int digits = 2);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace m4ps
+
+#endif // M4PS_SUPPORT_TABLE_HH

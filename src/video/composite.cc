@@ -1,0 +1,46 @@
+#include "video/composite.hh"
+
+#include "support/logging.hh"
+
+namespace m4ps::video
+{
+
+void
+compositeOver(Yuv420Image &dst, const Yuv420Image &src,
+              const Plane *alpha)
+{
+    M4PS_ASSERT(dst.width() == src.width() &&
+                dst.height() == src.height(),
+                "compositeOver: size mismatch");
+    if (!alpha) {
+        dst.copyFrom(src);
+        return;
+    }
+    M4PS_ASSERT(alpha->width() == src.width() &&
+                alpha->height() == src.height(),
+                "compositeOver: alpha size mismatch");
+    for (int y = 0; y < src.height(); ++y) {
+        const uint8_t *a = alpha->rowPtr(y);
+        const uint8_t *s = src.y().rowPtr(y);
+        uint8_t *d = dst.y().rowPtr(y);
+        for (int x = 0; x < src.width(); ++x) {
+            if (a[x])
+                d[x] = s[x];
+        }
+    }
+    for (int y = 0; y < src.height() / 2; ++y) {
+        const uint8_t *a = alpha->rowPtr(2 * y);
+        const uint8_t *su = src.u().rowPtr(y);
+        const uint8_t *sv = src.v().rowPtr(y);
+        uint8_t *du = dst.u().rowPtr(y);
+        uint8_t *dv = dst.v().rowPtr(y);
+        for (int x = 0; x < src.width() / 2; ++x) {
+            if (a[2 * x]) {
+                du[x] = su[x];
+                dv[x] = sv[x];
+            }
+        }
+    }
+}
+
+} // namespace m4ps::video

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Scene composition: paste decoded visual objects back into a frame.
+ *
+ * "At the reception site, powerful transformations may be performed
+ * over each object to recompose the audiovisual scene" (paper §1).
+ * This verification utility uses raw (untraced) accesses so it never
+ * perturbs a measurement; the paper's decoder statistics cover VOP
+ * decoding, not the player.
+ */
+
+#ifndef M4PS_VIDEO_COMPOSITE_HH
+#define M4PS_VIDEO_COMPOSITE_HH
+
+#include "video/yuv.hh"
+
+namespace m4ps::video
+{
+
+/**
+ * Composite @p src over @p dst.  With a null @p alpha the source
+ * replaces the destination wholesale (background VO); otherwise only
+ * pixels whose alpha is set are pasted (chroma uses the alpha of the
+ * top-left covered luma sample).
+ */
+void compositeOver(Yuv420Image &dst, const Yuv420Image &src,
+                   const Plane *alpha);
+
+} // namespace m4ps::video
+
+#endif // M4PS_VIDEO_COMPOSITE_HH

@@ -1,0 +1,27 @@
+#include "video/plane.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace m4ps::video
+{
+
+void
+Plane::fill(uint8_t v)
+{
+    if (!empty())
+        std::memset(rowPtr(0), v, static_cast<size_t>(stride_) * h_);
+}
+
+void
+Plane::copyFrom(const Plane &src)
+{
+    M4PS_ASSERT(src.w_ == w_ && src.h_ == h_,
+                "copyFrom size mismatch: ", src.w_, "x", src.h_,
+                " vs ", w_, "x", h_);
+    for (int y = 0; y < h_; ++y)
+        std::memcpy(rowPtr(y), src.rowPtr(y), static_cast<size_t>(w_));
+}
+
+} // namespace m4ps::video

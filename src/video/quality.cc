@@ -1,0 +1,80 @@
+#include "video/quality.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace m4ps::video
+{
+
+double
+mse(const Plane &a, const Plane &b)
+{
+    M4PS_ASSERT(a.width() == b.width() && a.height() == b.height(),
+                "mse: size mismatch");
+    double acc = 0;
+    for (int y = 0; y < a.height(); ++y) {
+        const uint8_t *ra = a.rowPtr(y);
+        const uint8_t *rb = b.rowPtr(y);
+        for (int x = 0; x < a.width(); ++x) {
+            const double d = static_cast<double>(ra[x]) - rb[x];
+            acc += d * d;
+        }
+    }
+    return acc / (static_cast<double>(a.width()) * a.height());
+}
+
+double
+maskedMse(const Plane &a, const Plane &b, const Plane &mask)
+{
+    M4PS_ASSERT(a.width() == b.width() && a.height() == b.height() &&
+                a.width() == mask.width() && a.height() == mask.height(),
+                "maskedMse: size mismatch");
+    double acc = 0;
+    uint64_t n = 0;
+    for (int y = 0; y < a.height(); ++y) {
+        const uint8_t *ra = a.rowPtr(y);
+        const uint8_t *rb = b.rowPtr(y);
+        const uint8_t *rm = mask.rowPtr(y);
+        for (int x = 0; x < a.width(); ++x) {
+            if (rm[x]) {
+                const double d = static_cast<double>(ra[x]) - rb[x];
+                acc += d * d;
+                ++n;
+            }
+        }
+    }
+    return n ? acc / static_cast<double>(n) : 0.0;
+}
+
+double
+psnr(const Plane &a, const Plane &b)
+{
+    const double m = mse(a, b);
+    if (m <= 1e-12)
+        return 99.0;
+    return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+double
+psnrY(const Yuv420Image &a, const Yuv420Image &b)
+{
+    return psnr(a.y(), b.y());
+}
+
+double
+meanAbsDiff(const Plane &a, const Plane &b)
+{
+    M4PS_ASSERT(a.width() == b.width() && a.height() == b.height(),
+                "meanAbsDiff: size mismatch");
+    double acc = 0;
+    for (int y = 0; y < a.height(); ++y) {
+        const uint8_t *ra = a.rowPtr(y);
+        const uint8_t *rb = b.rowPtr(y);
+        for (int x = 0; x < a.width(); ++x)
+            acc += std::abs(static_cast<int>(ra[x]) - rb[x]);
+    }
+    return acc / (static_cast<double>(a.width()) * a.height());
+}
+
+} // namespace m4ps::video

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Objective quality metrics for codec verification.
+ */
+
+#ifndef M4PS_VIDEO_QUALITY_HH
+#define M4PS_VIDEO_QUALITY_HH
+
+#include "video/yuv.hh"
+
+namespace m4ps::video
+{
+
+/** Mean squared error between two same-sized planes (untraced). */
+double mse(const Plane &a, const Plane &b);
+
+/** MSE restricted to pixels where @p mask is nonzero. */
+double maskedMse(const Plane &a, const Plane &b, const Plane &mask);
+
+/** Peak signal-to-noise ratio in dB (8-bit peak; inf-> 99.0). */
+double psnr(const Plane &a, const Plane &b);
+
+/** Luma PSNR of two frames. */
+double psnrY(const Yuv420Image &a, const Yuv420Image &b);
+
+/** Mean absolute difference between two planes. */
+double meanAbsDiff(const Plane &a, const Plane &b);
+
+} // namespace m4ps::video
+
+#endif // M4PS_VIDEO_QUALITY_HH

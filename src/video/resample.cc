@@ -1,0 +1,108 @@
+#include "video/resample.hh"
+
+#include "support/logging.hh"
+
+namespace m4ps::video
+{
+
+void
+downsample2x(const Plane &src, Plane &dst)
+{
+    // The destination may be larger than ceil(src/2): half-resolution
+    // base layers are padded to macroblock multiples, and the padding
+    // replicates the frame edge (clamped sampling).
+    M4PS_ASSERT(dst.width() >= (src.width() + 1) / 2 &&
+                dst.height() >= (src.height() + 1) / 2,
+                "downsample2x: destination too small");
+    for (int y = 0; y < dst.height(); ++y) {
+        const int sy0 = std::min(2 * y, src.height() - 1);
+        const int sy1 = std::min(2 * y + 1, src.height() - 1);
+        src.traceLoadRow(0, sy0, src.width());
+        src.traceLoadRow(0, sy1, src.width());
+        const uint8_t *r0 = src.rowPtr(sy0);
+        const uint8_t *r1 = src.rowPtr(sy1);
+        uint8_t *d = dst.rowPtr(y);
+        for (int x = 0; x < dst.width(); ++x) {
+            const int sx0 = std::min(2 * x, src.width() - 1);
+            const int sx1 = std::min(2 * x + 1, src.width() - 1);
+            d[x] = static_cast<uint8_t>(
+                (r0[sx0] + r0[sx1] + r1[sx0] + r1[sx1] + 2) >> 2);
+        }
+        dst.traceStoreRow(0, y, dst.width());
+    }
+}
+
+void
+upsample2x(const Plane &src, Plane &dst)
+{
+    M4PS_ASSERT(dst.width() == src.width() * 2 &&
+                dst.height() == src.height() * 2,
+                "upsample2x: bad destination size");
+    for (int y = 0; y < dst.height(); ++y) {
+        // Bilinear sample positions: dst pixel centre maps to
+        // (y - 0.5) / 2 in source coordinates.
+        const int sy = std::clamp((y - 1) / 2, 0, src.height() - 1);
+        const int sy2 = std::clamp(sy + ((y & 1) ? 1 : 0),
+                                   0, src.height() - 1);
+        const int wy = (y & 1) ? 1 : 3; // weight of sy row out of 4
+        src.traceLoadRow(0, sy, src.width());
+        if (sy2 != sy)
+            src.traceLoadRow(0, sy2, src.width());
+        const uint8_t *r0 = src.rowPtr(sy);
+        const uint8_t *r1 = src.rowPtr(sy2);
+        uint8_t *d = dst.rowPtr(y);
+        for (int x = 0; x < dst.width(); ++x) {
+            const int sx = std::clamp((x - 1) / 2, 0, src.width() - 1);
+            const int sx2 = std::clamp(sx + ((x & 1) ? 1 : 0),
+                                       0, src.width() - 1);
+            const int wx = (x & 1) ? 1 : 3;
+            const int a = r0[sx] * wx + r0[sx2] * (4 - wx);
+            const int b = r1[sx] * wx + r1[sx2] * (4 - wx);
+            d[x] = static_cast<uint8_t>((a * wy + b * (4 - wy) + 8) >> 4);
+        }
+        dst.traceStoreRow(0, y, dst.width());
+    }
+}
+
+void
+downsampleFrame(const Yuv420Image &src, Yuv420Image &dst)
+{
+    downsample2x(src.y(), dst.y());
+    downsample2x(src.u(), dst.u());
+    downsample2x(src.v(), dst.v());
+}
+
+void
+upsampleFrame(const Yuv420Image &src, Yuv420Image &dst)
+{
+    upsample2x(src.y(), dst.y());
+    upsample2x(src.u(), dst.u());
+    upsample2x(src.v(), dst.v());
+}
+
+void
+downsampleAlpha(const Plane &src, Plane &dst)
+{
+    M4PS_ASSERT(dst.width() >= (src.width() + 1) / 2 &&
+                dst.height() >= (src.height() + 1) / 2,
+                "downsampleAlpha: destination too small");
+    for (int y = 0; y < dst.height(); ++y) {
+        const int sy0 = std::min(2 * y, src.height() - 1);
+        const int sy1 = std::min(2 * y + 1, src.height() - 1);
+        src.traceLoadRow(0, sy0, src.width());
+        src.traceLoadRow(0, sy1, src.width());
+        const uint8_t *r0 = src.rowPtr(sy0);
+        const uint8_t *r1 = src.rowPtr(sy1);
+        uint8_t *d = dst.rowPtr(y);
+        for (int x = 0; x < dst.width(); ++x) {
+            const int sx0 = std::min(2 * x, src.width() - 1);
+            const int sx1 = std::min(2 * x + 1, src.width() - 1);
+            // Conservative support: any opaque source pixel keeps the
+            // downsampled pixel opaque.
+            d[x] = (r0[sx0] | r0[sx1] | r1[sx0] | r1[sx1]) ? 255 : 0;
+        }
+        dst.traceStoreRow(0, y, dst.width());
+    }
+}
+
+} // namespace m4ps::video

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * 2:1 resampling for spatially scalable video object layers.
+ *
+ * The base layer of a two-layer VOL codes the half-resolution frame;
+ * the enhancement layer predicts from the upsampled base-layer
+ * reconstruction.  Both directions are traced: resampling is real
+ * codec work in the scalable profile.
+ */
+
+#ifndef M4PS_VIDEO_RESAMPLE_HH
+#define M4PS_VIDEO_RESAMPLE_HH
+
+#include "video/plane.hh"
+#include "video/yuv.hh"
+
+namespace m4ps::video
+{
+
+/** 2x2 box-filter downsample; dst must be ceil(src/2) sized. */
+void downsample2x(const Plane &src, Plane &dst);
+
+/** Bilinear 2x upsample; dst must be 2x the src size. */
+void upsample2x(const Plane &src, Plane &dst);
+
+/** Downsample all three planes of a 4:2:0 frame. */
+void downsampleFrame(const Yuv420Image &src, Yuv420Image &dst);
+
+/** Upsample all three planes of a 4:2:0 frame. */
+void upsampleFrame(const Yuv420Image &src, Yuv420Image &dst);
+
+/** Binary-alpha downsample (majority / any-set rule). */
+void downsampleAlpha(const Plane &src, Plane &dst);
+
+} // namespace m4ps::video
+
+#endif // M4PS_VIDEO_RESAMPLE_HH

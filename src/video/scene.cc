@@ -1,0 +1,236 @@
+#include "video/scene.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace m4ps::video
+{
+
+namespace
+{
+
+/** 2-D integer hash -> [0, 255]. */
+uint32_t
+hash2(uint32_t seed, int x, int y)
+{
+    uint32_t h = seed;
+    h ^= static_cast<uint32_t>(x) * 0x85ebca6bu;
+    h = (h << 13) | (h >> 19);
+    h ^= static_cast<uint32_t>(y) * 0xc2b2ae35u;
+    h *= 0x27d4eb2fu;
+    h ^= h >> 15;
+    return h;
+}
+
+} // namespace
+
+uint8_t
+textureSample(uint32_t seed, int x, int y)
+{
+    // Value noise: hash lattice points every 8 pixels, bilinear blend.
+    const int cell = 8;
+    const int x0 = x >> 3, y0 = y >> 3;
+    const int fx = x & (cell - 1), fy = y & (cell - 1);
+    const double tx = fx / static_cast<double>(cell);
+    const double ty = fy / static_cast<double>(cell);
+    auto corner = [&](int cx, int cy) {
+        return static_cast<double>(hash2(seed, cx, cy) & 0xff);
+    };
+    const double top = corner(x0, y0) * (1 - tx) + corner(x0 + 1, y0) * tx;
+    const double bot = corner(x0, y0 + 1) * (1 - tx) +
+                       corner(x0 + 1, y0 + 1) * tx;
+    const double v = top * (1 - ty) + bot * ty;
+    // Add a fine-grain deterministic dither so blocks are not flat.
+    const double grain = ((hash2(seed ^ 0xabcd, x, y) & 0x1f) - 15.5) * 0.4;
+    const double out = v * 0.75 + 32 + grain;
+    return static_cast<uint8_t>(std::clamp(out, 0.0, 255.0));
+}
+
+SceneGenerator::SceneGenerator(int w, int h, int num_objects,
+                               uint64_t seed)
+    : w_(w), h_(h), seed_(seed)
+{
+    M4PS_ASSERT(w > 0 && h > 0, "bad scene size ", w, "x", h);
+    M4PS_ASSERT(num_objects >= 0 && num_objects <= 16,
+                "unsupported object count ", num_objects);
+    Rng rng(seed);
+    for (int i = 0; i < num_objects; ++i) {
+        ObjectSpec o;
+        o.rx = w * rng.uniformReal(0.06, 0.12);
+        o.ry = h * rng.uniformReal(0.08, 0.16);
+        o.cx = rng.uniformReal(o.rx + 8, w - o.rx - 8);
+        o.cy = rng.uniformReal(o.ry + 8, h - o.ry - 8);
+        // A few pixels per frame: realistic inter-frame motion.
+        o.vx = rng.uniformReal(1.0, 4.0) * (rng.chance(0.5) ? 1 : -1);
+        o.vy = rng.uniformReal(0.5, 3.0) * (rng.chance(0.5) ? 1 : -1);
+        o.textureSeed = static_cast<uint32_t>(rng.next());
+        o.chromaU = static_cast<uint8_t>(rng.uniformInt(64, 192));
+        o.chromaV = static_cast<uint8_t>(rng.uniformInt(64, 192));
+        objects_.push_back(o);
+    }
+}
+
+void
+SceneGenerator::objectCenter(int t, int obj, double &cx, double &cy) const
+{
+    const ObjectSpec &o = objects_[obj];
+    // Advance with elastic reflection off the frame borders.
+    auto bounce = [](double p, double v, double t_, double lo, double hi) {
+        const double span = hi - lo;
+        if (span <= 0)
+            return lo;
+        double q = std::fmod(p - lo + v * t_, 2 * span);
+        if (q < 0)
+            q += 2 * span;
+        return lo + (q <= span ? q : 2 * span - q);
+    };
+    cx = bounce(o.cx, o.vx, t, o.rx, w_ - o.rx);
+    cy = bounce(o.cy, o.vy, t, o.ry, h_ - o.ry);
+}
+
+uint8_t
+SceneGenerator::backgroundLuma(int t, int x, int y) const
+{
+    // Slow horizontal pan (half a pixel per frame) over a large
+    // texture plus a gentle vertical gradient.
+    const int px = x + t / 2;
+    const uint8_t tex = textureSample(static_cast<uint32_t>(seed_), px, y);
+    const int grad = (y * 48) / std::max(h_, 1);
+    const int v = tex / 2 + 64 + grad;
+    return static_cast<uint8_t>(std::clamp(v, 0, 255));
+}
+
+bool
+SceneGenerator::insideObject(const ObjectSpec &o, double cx, double cy,
+                             int x, int y) const
+{
+    const double dx = (x - cx) / o.rx;
+    const double dy = (y - cy) / o.ry;
+    return dx * dx + dy * dy <= 1.0;
+}
+
+uint8_t
+SceneGenerator::objectLuma(const ObjectSpec &o, int x, int y,
+                           double cx, double cy) const
+{
+    // Texture moves with the object so motion estimation can track it.
+    const int tx = static_cast<int>(std::lround(x - cx)) + 4096;
+    const int ty = static_cast<int>(std::lround(y - cy)) + 4096;
+    return textureSample(o.textureSeed, tx, ty);
+}
+
+void
+SceneGenerator::renderBackground(int t, Yuv420Image &out) const
+{
+    M4PS_ASSERT(out.width() == w_ && out.height() == h_,
+                "frame size mismatch");
+    for (int y = 0; y < h_; ++y) {
+        uint8_t *row = out.y().rowPtr(y);
+        for (int x = 0; x < w_; ++x)
+            row[x] = backgroundLuma(t, x, y);
+    }
+    for (int y = 0; y < h_ / 2; ++y) {
+        uint8_t *ru = out.u().rowPtr(y);
+        uint8_t *rv = out.v().rowPtr(y);
+        for (int x = 0; x < w_ / 2; ++x) {
+            // Mild chroma texture derived from luma lattice.
+            ru[x] = static_cast<uint8_t>(
+                120 + (textureSample(static_cast<uint32_t>(seed_) ^ 0x11,
+                                     x + t / 4, y) >> 4));
+            rv[x] = static_cast<uint8_t>(
+                124 + (textureSample(static_cast<uint32_t>(seed_) ^ 0x22,
+                                     x, y) >> 4));
+        }
+    }
+}
+
+void
+SceneGenerator::renderFrame(int t, Yuv420Image &out) const
+{
+    renderBackground(t, out);
+    for (size_t i = 0; i < objects_.size(); ++i) {
+        const ObjectSpec &o = objects_[i];
+        double cx, cy;
+        objectCenter(t, static_cast<int>(i), cx, cy);
+        const Rect bb = objectBBox(t, static_cast<int>(i));
+        for (int y = bb.y; y < bb.y + bb.h; ++y) {
+            uint8_t *row = out.y().rowPtr(y);
+            for (int x = bb.x; x < bb.x + bb.w; ++x) {
+                if (insideObject(o, cx, cy, x, y))
+                    row[x] = objectLuma(o, x, y, cx, cy);
+            }
+        }
+        for (int y = bb.y / 2; y < (bb.y + bb.h) / 2; ++y) {
+            uint8_t *ru = out.u().rowPtr(y);
+            uint8_t *rv = out.v().rowPtr(y);
+            for (int x = bb.x / 2; x < (bb.x + bb.w) / 2; ++x) {
+                if (insideObject(o, cx / 2, cy / 2, x, y) ||
+                    insideObject(o, cx, cy, 2 * x, 2 * y)) {
+                    ru[x] = o.chromaU;
+                    rv[x] = o.chromaV;
+                }
+            }
+        }
+    }
+}
+
+void
+SceneGenerator::renderObject(int t, int obj, Yuv420Image &out,
+                             Plane &alpha) const
+{
+    M4PS_ASSERT(obj >= 0 && obj < numObjects(), "bad object ", obj);
+    M4PS_ASSERT(out.width() == w_ && out.height() == h_,
+                "frame size mismatch");
+    M4PS_ASSERT(alpha.width() == w_ && alpha.height() == h_,
+                "alpha size mismatch");
+    const ObjectSpec &o = objects_[obj];
+    double cx, cy;
+    objectCenter(t, obj, cx, cy);
+
+    out.fill(128, 128);
+    alpha.fill(0);
+
+    const Rect bb = objectBBox(t, obj);
+    for (int y = bb.y; y < bb.y + bb.h; ++y) {
+        uint8_t *row = out.y().rowPtr(y);
+        uint8_t *arow = alpha.rowPtr(y);
+        for (int x = bb.x; x < bb.x + bb.w; ++x) {
+            if (insideObject(o, cx, cy, x, y)) {
+                row[x] = objectLuma(o, x, y, cx, cy);
+                arow[x] = 255;
+            }
+        }
+    }
+    for (int y = bb.y / 2; y < (bb.y + bb.h) / 2; ++y) {
+        uint8_t *ru = out.u().rowPtr(y);
+        uint8_t *rv = out.v().rowPtr(y);
+        for (int x = bb.x / 2; x < (bb.x + bb.w) / 2; ++x) {
+            if (insideObject(o, cx / 2, cy / 2, x, y) ||
+                insideObject(o, cx, cy, 2 * x, 2 * y)) {
+                ru[x] = o.chromaU;
+                rv[x] = o.chromaV;
+            }
+        }
+    }
+}
+
+Rect
+SceneGenerator::objectBBox(int t, int obj) const
+{
+    const ObjectSpec &o = objects_[obj];
+    double cx, cy;
+    objectCenter(t, obj, cx, cy);
+    int x0 = static_cast<int>(std::floor(cx - o.rx)) - 1;
+    int y0 = static_cast<int>(std::floor(cy - o.ry)) - 1;
+    int x1 = static_cast<int>(std::ceil(cx + o.rx)) + 1;
+    int y1 = static_cast<int>(std::ceil(cy + o.ry)) + 1;
+    x0 = std::max(x0, 0);
+    y0 = std::max(y0, 0);
+    x1 = std::min(x1, w_);
+    y1 = std::min(y1, h_);
+    return {x0, y0, std::max(x1 - x0, 0), std::max(y1 - y0, 0)};
+}
+
+} // namespace m4ps::video

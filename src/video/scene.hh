@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic synthetic video scenes.
+ *
+ * Stands in for the camera content the paper encodes (30-frame PAL /
+ * XGA sequences): a textured background panning slowly plus textured
+ * elliptical objects translating across the frame.  Motion is smooth
+ * and bounded so motion estimation finds real matches; textures carry
+ * enough detail that the DCT path does real work.
+ *
+ * The generator can render either the composited scene (the paper's
+ * single-VO experiments) or each object separately with its binary
+ * alpha plane (the 3-VO experiments, where "the single-object input
+ * becomes a subset of the multiple-object input").
+ */
+
+#ifndef M4PS_VIDEO_SCENE_HH
+#define M4PS_VIDEO_SCENE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "video/yuv.hh"
+
+namespace m4ps::video
+{
+
+/** One moving foreground object. */
+struct ObjectSpec
+{
+    double cx = 0;          //!< Centre x at frame 0 (luma pixels).
+    double cy = 0;          //!< Centre y at frame 0.
+    double vx = 0;          //!< Velocity, pixels/frame.
+    double vy = 0;
+    double rx = 32;         //!< Ellipse radii.
+    double ry = 24;
+    uint32_t textureSeed = 1;
+    uint8_t chromaU = 128;  //!< Flat object tint.
+    uint8_t chromaV = 128;
+};
+
+/** Deterministic multi-object scene renderer. */
+class SceneGenerator
+{
+  public:
+    /**
+     * Build a scene for @p w x @p h frames with @p num_objects
+     * foreground objects derived from @p seed.
+     */
+    SceneGenerator(int w, int h, int num_objects, uint64_t seed = 7);
+
+    int width() const { return w_; }
+    int height() const { return h_; }
+    int numObjects() const { return static_cast<int>(objects_.size()); }
+
+    /**
+     * Render the full composited frame at time @p t into @p out
+     * (untraced writes; rendering models the capture path).
+     */
+    void renderFrame(int t, Yuv420Image &out) const;
+
+    /**
+     * Render foreground object @p obj at time @p t: pixels into
+     * @p out, support into binary @p alpha (255 inside, 0 outside).
+     * Pixels outside the object are set to mid-grey.
+     */
+    void renderObject(int t, int obj, Yuv420Image &out,
+                      Plane &alpha) const;
+
+    /**
+     * Render the background (object index -1 semantics): the full
+     * frame without foreground objects.
+     */
+    void renderBackground(int t, Yuv420Image &out) const;
+
+    /** Object centre position at time @p t (bounces off borders). */
+    void objectCenter(int t, int obj, double &cx, double &cy) const;
+
+    /** Bounding box of object @p obj at time @p t, clipped to frame. */
+    Rect objectBBox(int t, int obj) const;
+
+    const ObjectSpec &object(int obj) const { return objects_[obj]; }
+
+  private:
+    uint8_t backgroundLuma(int t, int x, int y) const;
+    uint8_t objectLuma(const ObjectSpec &o, int x, int y,
+                       double cx, double cy) const;
+    bool insideObject(const ObjectSpec &o, double cx, double cy,
+                      int x, int y) const;
+
+    int w_;
+    int h_;
+    uint64_t seed_;
+    std::vector<ObjectSpec> objects_;
+};
+
+/** Deterministic value-noise texture sample in [0, 255]. */
+uint8_t textureSample(uint32_t seed, int x, int y);
+
+} // namespace m4ps::video
+
+#endif // M4PS_VIDEO_SCENE_HH

@@ -1,0 +1,49 @@
+#include "video/yuv.hh"
+
+#include "support/logging.hh"
+
+namespace m4ps::video
+{
+
+Yuv420Image::Yuv420Image(memsim::SimContext &ctx, int w, int h)
+    : y_(ctx, w, h), u_(ctx, w / 2, h / 2), v_(ctx, w / 2, h / 2)
+{
+    M4PS_ASSERT(w > 0 && h > 0 && w % 2 == 0 && h % 2 == 0,
+                "4:2:0 frames need positive even dimensions, got ",
+                w, "x", h);
+}
+
+Plane &
+Yuv420Image::plane(int i)
+{
+    switch (i) {
+      case 0: return y_;
+      case 1: return u_;
+      case 2: return v_;
+      default: M4PS_PANIC("bad plane index ", i);
+    }
+}
+
+const Plane &
+Yuv420Image::plane(int i) const
+{
+    return const_cast<Yuv420Image *>(this)->plane(i);
+}
+
+void
+Yuv420Image::fill(uint8_t luma, uint8_t chroma)
+{
+    y_.fill(luma);
+    u_.fill(chroma);
+    v_.fill(chroma);
+}
+
+void
+Yuv420Image::copyFrom(const Yuv420Image &src)
+{
+    y_.copyFrom(src.y());
+    u_.copyFrom(src.u());
+    v_.copyFrom(src.v());
+}
+
+} // namespace m4ps::video

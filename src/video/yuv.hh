@@ -1,0 +1,53 @@
+/**
+ * @file
+ * YUV 4:2:0 images: a luminance plane plus two half-resolution
+ * chrominance planes, the pixel format of MPEG-4 main-profile video.
+ */
+
+#ifndef M4PS_VIDEO_YUV_HH
+#define M4PS_VIDEO_YUV_HH
+
+#include "video/plane.hh"
+
+namespace m4ps::video
+{
+
+/** Planar YUV 4:2:0 frame. */
+class Yuv420Image
+{
+  public:
+    Yuv420Image() = default;
+
+    /** Allocate a frame for even @p w x @p h luminance samples. */
+    Yuv420Image(memsim::SimContext &ctx, int w, int h);
+
+    int width() const { return y_.width(); }
+    int height() const { return y_.height(); }
+    bool empty() const { return y_.empty(); }
+
+    Plane &y() { return y_; }
+    Plane &u() { return u_; }
+    Plane &v() { return v_; }
+    const Plane &y() const { return y_; }
+    const Plane &u() const { return u_; }
+    const Plane &v() const { return v_; }
+
+    /** Plane by index: 0 = Y, 1 = U, 2 = V. */
+    Plane &plane(int i);
+    const Plane &plane(int i) const;
+
+    /** Untraced constant fill of all three planes. */
+    void fill(uint8_t luma, uint8_t chroma);
+
+    /** Untraced copy from a same-sized image. */
+    void copyFrom(const Yuv420Image &src);
+
+  private:
+    Plane y_;
+    Plane u_;
+    Plane v_;
+};
+
+} // namespace m4ps::video
+
+#endif // M4PS_VIDEO_YUV_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Command-line parsing tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/args.hh"
+
+namespace m4ps
+{
+namespace
+{
+
+const std::set<std::string> kKnown{"width", "verbose", "rate", "name"};
+
+ArgParser
+parse(std::initializer_list<const char *> argv)
+{
+    std::vector<const char *> v{"prog"};
+    v.insert(v.end(), argv.begin(), argv.end());
+    return ArgParser(static_cast<int>(v.size()), v.data(), kKnown);
+}
+
+TEST(ArgParser, SpaceSeparatedValues)
+{
+    const ArgParser a = parse({"--width", "720", "--name", "x"});
+    EXPECT_TRUE(a.has("width"));
+    EXPECT_EQ(a.getInt("width", 0), 720);
+    EXPECT_EQ(a.get("name"), "x");
+}
+
+TEST(ArgParser, EqualsSeparatedValues)
+{
+    const ArgParser a = parse({"--width=1024", "--rate=38400.5"});
+    EXPECT_EQ(a.getInt("width", 0), 1024);
+    EXPECT_DOUBLE_EQ(a.getDouble("rate", 0), 38400.5);
+}
+
+TEST(ArgParser, BooleanSwitches)
+{
+    const ArgParser a = parse({"--verbose", "--width", "64"});
+    EXPECT_TRUE(a.getBool("verbose"));
+    EXPECT_FALSE(a.getBool("name"));
+    const ArgParser b = parse({"--verbose=false"});
+    EXPECT_FALSE(b.getBool("verbose", true));
+}
+
+TEST(ArgParser, FallbacksWhenAbsent)
+{
+    const ArgParser a = parse({});
+    EXPECT_EQ(a.getInt("width", 42), 42);
+    EXPECT_DOUBLE_EQ(a.getDouble("rate", 1.5), 1.5);
+    EXPECT_EQ(a.get("name", "dflt"), "dflt");
+    EXPECT_TRUE(a.getBool("verbose", true));
+}
+
+TEST(ArgParser, PositionalArgumentsPreserved)
+{
+    const ArgParser a = parse({"input.bin", "--width", "16", "out"});
+    ASSERT_EQ(a.positional().size(), 2u);
+    EXPECT_EQ(a.positional()[0], "input.bin");
+    EXPECT_EQ(a.positional()[1], "out");
+}
+
+TEST(ArgParserDeathTest, UnknownFlagIsFatal)
+{
+    EXPECT_EXIT(parse({"--bogus", "1"}),
+                ::testing::ExitedWithCode(1), "unknown flag");
+}
+
+TEST(ArgParserDeathTest, NonNumericIntIsFatal)
+{
+    EXPECT_EXIT(parse({"--width", "abc"}).getInt("width", 0),
+                ::testing::ExitedWithCode(1), "expects an integer");
+}
+
+} // namespace
+} // namespace m4ps

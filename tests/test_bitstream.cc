@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Unit and property tests for bit I/O, Exp-Golomb codes, startcodes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bitstream/bitstream.hh"
+#include "bitstream/expgolomb.hh"
+#include "bitstream/startcode.hh"
+#include "support/random.hh"
+
+namespace m4ps::bits
+{
+namespace
+{
+
+TEST(BitWriter, SingleBitsPackMsbFirst)
+{
+    BitWriter bw;
+    bw.putBit(true);
+    bw.putBit(false);
+    bw.putBit(true);
+    auto bytes = bw.take();
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0b10100000);
+}
+
+TEST(BitWriter, MultiBitFields)
+{
+    BitWriter bw;
+    bw.putBits(0xabc, 12);
+    bw.putBits(0x5, 4);
+    auto bytes = bw.take();
+    ASSERT_EQ(bytes.size(), 2u);
+    EXPECT_EQ(bytes[0], 0xab);
+    EXPECT_EQ(bytes[1], 0xc5);
+}
+
+TEST(BitWriter, ValueMaskedToWidth)
+{
+    BitWriter bw;
+    bw.putBits(0xffff, 4); // only low 4 bits kept
+    auto bytes = bw.take();
+    EXPECT_EQ(bytes[0], 0xf0);
+}
+
+TEST(BitWriter, ByteAlignPadsWithZeros)
+{
+    BitWriter bw;
+    bw.putBits(0b101, 3);
+    bw.byteAlign();
+    EXPECT_TRUE(bw.aligned());
+    EXPECT_EQ(bw.bitCount(), 8u);
+    auto bytes = bw.take();
+    EXPECT_EQ(bytes[0], 0b10100000);
+}
+
+TEST(BitWriter, AlignStuffingMarksBoundary)
+{
+    BitWriter bw;
+    bw.putBits(0b11, 2);
+    bw.byteAlignStuffing(); // 1 then zeros
+    auto bytes = bw.take();
+    EXPECT_EQ(bytes[0], 0b11100000);
+}
+
+TEST(BitReaderWriter, RoundtripRandomFields)
+{
+    m4ps::Rng rng(101);
+    std::vector<std::pair<uint32_t, int>> fields;
+    BitWriter bw;
+    for (int i = 0; i < 5000; ++i) {
+        const int width = static_cast<int>(rng.uniformInt(1, 32));
+        uint32_t value = static_cast<uint32_t>(rng.next());
+        if (width < 32)
+            value &= (1u << width) - 1;
+        fields.push_back({value, width});
+        bw.putBits(value, width);
+    }
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    for (const auto &[value, width] : fields)
+        ASSERT_EQ(br.getBits(width), value);
+    EXPECT_FALSE(br.overrun());
+}
+
+TEST(BitReader, PeekDoesNotConsume)
+{
+    BitWriter bw;
+    bw.putBits(0xa5, 8);
+    bw.putBits(0x3c, 8);
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    EXPECT_EQ(br.peekBits(8), 0xa5u);
+    EXPECT_EQ(br.peekBits(16), 0xa53cu);
+    EXPECT_EQ(br.bitPos(), 0u);
+    EXPECT_EQ(br.getBits(8), 0xa5u);
+    EXPECT_EQ(br.peekBits(8), 0x3cu);
+}
+
+TEST(BitReader, OverrunFlagSetPastEnd)
+{
+    std::vector<uint8_t> one{0xff};
+    BitReader br(one);
+    EXPECT_EQ(br.getBits(8), 0xffu);
+    EXPECT_FALSE(br.overrun());
+    EXPECT_EQ(br.getBits(4), 0u); // zero-fill
+    EXPECT_TRUE(br.overrun());
+}
+
+TEST(BitReader, SeekRestoresPosition)
+{
+    BitWriter bw;
+    bw.putBits(0x12345678, 32);
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    br.getBits(16);
+    const uint64_t pos = br.bitPos();
+    br.getBits(8);
+    br.seekBits(pos);
+    EXPECT_EQ(br.getBits(16), 0x5678u);
+}
+
+TEST(BitReader, BitsLeftCountsDown)
+{
+    std::vector<uint8_t> buf(4, 0);
+    BitReader br(buf);
+    EXPECT_EQ(br.bitsLeft(), 32u);
+    br.getBits(5);
+    EXPECT_EQ(br.bitsLeft(), 27u);
+    br.byteAlign();
+    EXPECT_EQ(br.bitsLeft(), 24u);
+}
+
+// ---- Exp-Golomb ------------------------------------------------------
+
+TEST(ExpGolomb, KnownShortCodes)
+{
+    // ue(0) = "1", ue(1) = "010", ue(2) = "011".
+    BitWriter bw;
+    putUe(bw, 0);
+    putUe(bw, 1);
+    putUe(bw, 2);
+    EXPECT_EQ(bw.bitCount(), 1u + 3 + 3);
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    EXPECT_EQ(getUe(br), 0u);
+    EXPECT_EQ(getUe(br), 1u);
+    EXPECT_EQ(getUe(br), 2u);
+}
+
+TEST(ExpGolomb, LengthMatchesFormula)
+{
+    for (uint32_t v : {0u, 1u, 2u, 3u, 7u, 8u, 100u, 1u << 20}) {
+        BitWriter bw;
+        putUe(bw, v);
+        EXPECT_EQ(static_cast<int>(bw.bitCount()), ueLength(v))
+            << "value " << v;
+    }
+}
+
+class ExpGolombSweep : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(ExpGolombSweep, UnsignedRoundtrip)
+{
+    const uint32_t base = GetParam();
+    BitWriter bw;
+    for (uint32_t v = base; v < base + 64; ++v)
+        putUe(bw, v);
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    for (uint32_t v = base; v < base + 64; ++v)
+        ASSERT_EQ(getUe(br), v);
+}
+
+TEST_P(ExpGolombSweep, SignedRoundtrip)
+{
+    const int32_t base = static_cast<int32_t>(GetParam());
+    BitWriter bw;
+    for (int32_t v = -32; v < 32; ++v)
+        putSe(bw, base / 2 + v);
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    for (int32_t v = -32; v < 32; ++v)
+        ASSERT_EQ(getSe(br), base / 2 + v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, ExpGolombSweep,
+                         ::testing::Values(0u, 63u, 255u, 4095u,
+                                           65535u, 1000000u));
+
+TEST(ExpGolomb, RandomRoundtripProperty)
+{
+    m4ps::Rng rng(77);
+    BitWriter bw;
+    std::vector<uint32_t> values;
+    for (int i = 0; i < 10000; ++i) {
+        // Log-uniform magnitudes to exercise all prefix lengths.
+        const int bits = static_cast<int>(rng.uniformInt(0, 30));
+        values.push_back(static_cast<uint32_t>(rng.next()) &
+                         ((1u << bits) - 1));
+        putUe(bw, values.back());
+    }
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    for (uint32_t v : values)
+        ASSERT_EQ(getUe(br), v);
+}
+
+// ---- startcodes ------------------------------------------------------
+
+TEST(StartCode, WriterAlignsAndEmitsPattern)
+{
+    BitWriter bw;
+    bw.putBits(0b101, 3); // unaligned payload
+    putStartCode(bw, 0xb6);
+    auto bytes = bw.take();
+    ASSERT_EQ(bytes.size(), 5u);
+    EXPECT_EQ(bytes[1], 0x00);
+    EXPECT_EQ(bytes[2], 0x00);
+    EXPECT_EQ(bytes[3], 0x01);
+    EXPECT_EQ(bytes[4], 0xb6);
+}
+
+TEST(StartCode, ScanFindsNextCode)
+{
+    BitWriter bw;
+    bw.putBits(0xdeadbeef, 32); // junk
+    putStartCode(bw, 0x25);
+    bw.putBits(0x42, 8);
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    auto code = nextStartCode(br);
+    ASSERT_TRUE(code.has_value());
+    EXPECT_EQ(*code, 0x25);
+    EXPECT_EQ(br.getBits(8), 0x42u);
+}
+
+TEST(StartCode, ScanReturnsNulloptAtEof)
+{
+    std::vector<uint8_t> junk{0x12, 0x34, 0x56, 0x78, 0x9a};
+    BitReader br(junk);
+    EXPECT_FALSE(nextStartCode(br).has_value());
+}
+
+TEST(StartCode, VoAndVolRangesDistinct)
+{
+    EXPECT_TRUE(isVoCode(0x00));
+    EXPECT_TRUE(isVoCode(0x1f));
+    EXPECT_FALSE(isVoCode(0x20));
+    EXPECT_TRUE(isVolCode(0x20));
+    EXPECT_TRUE(isVolCode(0x2f));
+    EXPECT_FALSE(isVolCode(0x30));
+    EXPECT_FALSE(isVolCode(0xb6));
+}
+
+TEST(StartCode, SequentialSectionsParse)
+{
+    BitWriter bw;
+    putVoStartCode(bw, 3);
+    bw.putBits(7, 5);
+    putVolStartCode(bw, 1);
+    bw.putBits(9, 7);
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    auto c1 = nextStartCode(br);
+    ASSERT_TRUE(c1 && isVoCode(*c1));
+    EXPECT_EQ(*c1, 0x03);
+    EXPECT_EQ(br.getBits(5), 7u);
+    auto c2 = nextStartCode(br);
+    ASSERT_TRUE(c2 && isVolCode(*c2));
+    EXPECT_EQ(*c2, 0x21);
+    EXPECT_EQ(br.getBits(7), 9u);
+}
+
+TEST(StartCodeDeathTest, BadIdsRejected)
+{
+    BitWriter bw;
+    EXPECT_DEATH(putVoStartCode(bw, 32), "vo_id out of range");
+    EXPECT_DEATH(putVolStartCode(bw, 16), "vol_id out of range");
+}
+
+} // namespace
+} // namespace m4ps::bits

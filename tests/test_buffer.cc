@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for simulated address space allocation and SimBuffer tracing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memsim/buffer.hh"
+
+namespace m4ps::memsim
+{
+namespace
+{
+
+MemoryHierarchy
+makeMem()
+{
+    return MemoryHierarchy({1024, 2, 32}, {16 * 1024, 2, 128},
+                           CostModel{});
+}
+
+TEST(SimAddressSpace, AllocationsAreDisjointAndAligned)
+{
+    SimAddressSpace as;
+    const uint64_t a = as.alloc(100, 64);
+    const uint64_t b = as.alloc(10, 64);
+    const uint64_t c = as.alloc(1, 4096);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_EQ(c % 4096, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_GE(c, b + 10);
+}
+
+TEST(SimAddressSpace, ResidentBytesTracksFootprint)
+{
+    SimAddressSpace as;
+    EXPECT_EQ(as.residentBytes(), 0u);
+    as.alloc(1000, 64);
+    EXPECT_GE(as.residentBytes(), 1000u);
+}
+
+TEST(SimAddressSpaceDeathTest, NonPowerOfTwoAlignRejected)
+{
+    SimAddressSpace as;
+    EXPECT_DEATH(as.alloc(8, 48), "alignment");
+}
+
+TEST(SimContext, UntracedByDefault)
+{
+    SimContext ctx;
+    EXPECT_EQ(ctx.mem(), nullptr);
+    SimBuffer<uint8_t> buf(ctx, 128);
+    EXPECT_FALSE(buf.traced());
+    buf.store(0, 42); // must not crash without a hierarchy
+    EXPECT_EQ(buf.load(0), 42);
+}
+
+TEST(SimBuffer, LoadStoreRoundtripValues)
+{
+    MemoryHierarchy mem = makeMem();
+    SimContext ctx(&mem);
+    SimBuffer<int16_t> buf(ctx, 64);
+    for (size_t i = 0; i < 64; ++i)
+        buf.store(i, static_cast<int16_t>(i * 3 - 10));
+    for (size_t i = 0; i < 64; ++i)
+        EXPECT_EQ(buf.load(i), static_cast<int16_t>(i * 3 - 10));
+    EXPECT_EQ(mem.counters().gradStores, 64u);
+    EXPECT_EQ(mem.counters().gradLoads, 64u);
+}
+
+TEST(SimBuffer, AddressesFollowElementSize)
+{
+    SimContext ctx;
+    SimBuffer<int16_t> buf(ctx, 16);
+    EXPECT_EQ(buf.addrOf(1) - buf.addrOf(0), sizeof(int16_t));
+    EXPECT_EQ(buf.addrOf(8) - buf.addrOf(0), 16u);
+}
+
+TEST(SimBuffer, DistinctBuffersGetDistinctAddresses)
+{
+    SimContext ctx;
+    SimBuffer<uint8_t> a(ctx, 100);
+    SimBuffer<uint8_t> b(ctx, 100);
+    EXPECT_GE(b.addrOf(0), a.addrOf(0) + 100);
+}
+
+TEST(SimBuffer, RowTraceCountsElementsProbesLines)
+{
+    MemoryHierarchy mem = makeMem();
+    SimContext ctx(&mem);
+    SimBuffer<uint8_t> buf(ctx, 256);
+    buf.traceLoadRow(0, 64); // 64 bytes = 2 x 32B lines
+    EXPECT_EQ(mem.counters().gradLoads, 64u);
+    EXPECT_EQ(mem.counters().l1Misses, 2u);
+    buf.traceStoreRow(0, 64); // now hits
+    EXPECT_EQ(mem.counters().gradStores, 64u);
+    EXPECT_EQ(mem.counters().l1Misses, 2u);
+}
+
+TEST(SimBuffer, PrefetchRoutesToHierarchy)
+{
+    MemoryHierarchy mem = makeMem();
+    SimContext ctx(&mem);
+    SimBuffer<uint8_t> buf(ctx, 256);
+    buf.prefetch(0);
+    EXPECT_EQ(mem.counters().prefetches, 1u);
+    EXPECT_EQ(mem.counters().prefetchFills, 1u);
+}
+
+TEST(SimBuffer, RawAccessIsUntraced)
+{
+    MemoryHierarchy mem = makeMem();
+    SimContext ctx(&mem);
+    SimBuffer<uint32_t> buf(ctx, 32);
+    buf.raw(5) = 99;
+    EXPECT_EQ(buf.raw(5), 99u);
+    EXPECT_EQ(buf.data()[5], 99u);
+    EXPECT_EQ(mem.counters().accesses(), 0u);
+}
+
+TEST(SimBuffer, MoveTransfersStorageAndAddress)
+{
+    SimContext ctx;
+    SimBuffer<uint8_t> a(ctx, 64);
+    a.raw(0) = 7;
+    const uint64_t addr = a.addrOf(0);
+    SimBuffer<uint8_t> b = std::move(a);
+    EXPECT_EQ(b.raw(0), 7);
+    EXPECT_EQ(b.addrOf(0), addr);
+    EXPECT_EQ(b.size(), 64u);
+}
+
+} // namespace
+} // namespace m4ps::memsim

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memsim/cache.hh"
+#include "support/random.hh"
+
+namespace m4ps::memsim
+{
+namespace
+{
+
+CacheConfig
+tiny(int size = 1024, int assoc = 2, int line = 32)
+{
+    return {static_cast<uint64_t>(size), assoc, line};
+}
+
+TEST(CacheConfig, GeometryDerivation)
+{
+    CacheConfig c{32 * 1024, 2, 32};
+    EXPECT_EQ(c.numSets(), 512u);
+    c.validate();
+    EXPECT_EQ(c.str(), "32KB 2-way 32B lines");
+    CacheConfig big{8ull * 1024 * 1024, 2, 128};
+    EXPECT_EQ(big.str(), "8MB 2-way 128B lines");
+}
+
+TEST(CacheConfigDeathTest, RejectsBadGeometry)
+{
+    CacheConfig bad{1000, 2, 32}; // not divisible
+    EXPECT_DEATH(bad.validate(), "assertion");
+    CacheConfig badline{1024, 2, 24};
+    EXPECT_DEATH(badline.validate(), "power of two");
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(tiny());
+    EXPECT_FALSE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x11f, false).hit);  // same 32B line
+    EXPECT_FALSE(c.access(0x120, false).hit); // next line
+}
+
+TEST(Cache, ProbeDoesNotAllocate)
+{
+    Cache c(tiny());
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_FALSE(c.access(0x40, false).hit);
+    EXPECT_TRUE(c.probe(0x40));
+    // Probe must not refresh LRU: fill the set and check eviction
+    // order is unaffected by probes.
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    // 2-way, 32B lines, 1024B -> 16 sets. Lines mapping to set 0:
+    // addresses 0, 16*32=512, 1024, ...
+    Cache c(tiny());
+    c.access(0, false);      // way A
+    c.access(512, false);    // way B
+    c.access(0, false);      // A is now MRU
+    c.access(1024, false);   // evicts B (512)
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(512));
+    EXPECT_TRUE(c.probe(1024));
+}
+
+TEST(Cache, DirtyVictimReported)
+{
+    Cache c(tiny());
+    c.access(0, true); // dirty
+    c.access(512, false);
+    const AccessResult r = c.access(1024, false); // evicts addr 0
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.evictedDirty);
+    EXPECT_EQ(r.evictedAddr, 0u);
+}
+
+TEST(Cache, CleanVictimNotReported)
+{
+    Cache c(tiny());
+    c.access(0, false);
+    c.access(512, false);
+    const AccessResult r = c.access(1024, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.evictedDirty);
+}
+
+TEST(Cache, WriteMarksLineDirtyOnHitToo)
+{
+    Cache c(tiny());
+    c.access(0, false);      // clean install
+    c.access(0, true);       // dirtied by a later store
+    c.access(512, false);
+    const AccessResult r = c.access(1024, false);
+    EXPECT_TRUE(r.evictedDirty);
+    EXPECT_EQ(r.evictedAddr, 0u);
+}
+
+TEST(Cache, EvictedAddressRecoversFullLineAddress)
+{
+    Cache c(tiny(1024, 1, 32)); // direct mapped, 32 sets
+    const uint64_t a = 0x12340;
+    c.access(a, true);
+    const uint64_t conflict = a + 1024; // same set, different tag
+    const AccessResult r = c.access(conflict, false);
+    EXPECT_TRUE(r.evictedDirty);
+    EXPECT_EQ(r.evictedAddr, a & ~31ull);
+}
+
+TEST(Cache, ResetInvalidatesEverything)
+{
+    Cache c(tiny());
+    for (int i = 0; i < 8; ++i)
+        c.access(i * 64, false);
+    EXPECT_GT(c.validLines(), 0u);
+    c.reset();
+    EXPECT_EQ(c.validLines(), 0u);
+    EXPECT_FALSE(c.probe(0));
+}
+
+TEST(Cache, FillInstallsLikeAccess)
+{
+    Cache c(tiny());
+    const AccessResult r = c.fill(0x200, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(c.probe(0x200));
+    EXPECT_TRUE(c.fill(0x200, false).hit);
+}
+
+TEST(Cache, ValidLinesSaturatesAtCapacity)
+{
+    Cache c(tiny(1024, 2, 32)); // 32 lines total
+    for (int i = 0; i < 100; ++i)
+        c.access(static_cast<uint64_t>(i) * 32, false);
+    EXPECT_EQ(c.validLines(), 32u);
+}
+
+/**
+ * LRU inclusion property: with the same number of sets and line
+ * size, a cache with higher associativity under true LRU never
+ * misses on an access that a lower-associativity cache hits
+ * (per-set stack inclusion).  We verify the aggregate corollary:
+ * miss count is non-increasing in associativity.
+ */
+class LruInclusion : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LruInclusion, MissesMonotoneInAssociativity)
+{
+    const int sets = 16;
+    const int line = 32;
+    const int assoc = GetParam();
+    Cache small(CacheConfig{
+        static_cast<uint64_t>(sets * line * assoc), assoc, line});
+    Cache big(CacheConfig{
+        static_cast<uint64_t>(sets * line * assoc * 2), assoc * 2,
+        line});
+
+    Rng rng(1234 + assoc);
+    uint64_t misses_small = 0, misses_big = 0;
+    for (int i = 0; i < 20000; ++i) {
+        // Skewed working set with hot and cold regions.
+        const uint64_t addr =
+            rng.chance(0.7)
+                ? static_cast<uint64_t>(rng.uniformInt(0, 63)) * line
+                : static_cast<uint64_t>(rng.uniformInt(0, 4095)) * line;
+        misses_small += small.access(addr, false).hit ? 0 : 1;
+        misses_big += big.access(addr, false).hit ? 0 : 1;
+    }
+    EXPECT_LE(misses_big, misses_small);
+}
+
+INSTANTIATE_TEST_SUITE_P(Assocs, LruInclusion,
+                         ::testing::Values(1, 2, 4, 8));
+
+/** Sequential streaming through a cache misses once per line. */
+TEST(Cache, StreamingMissesOncePerLine)
+{
+    Cache c(tiny(4096, 2, 32));
+    uint64_t misses = 0;
+    for (uint64_t b = 0; b < 64 * 1024; ++b)
+        misses += c.access(b, false).hit ? 0 : 1;
+    EXPECT_EQ(misses, 64u * 1024 / 32);
+}
+
+/** Blocked reuse hits: the phenomenon behind the whole paper. */
+TEST(Cache, BlockedReuseHitsAfterFirstTouch)
+{
+    Cache c(tiny(8192, 2, 32));
+    // Touch a 1KB block 100 times: 32 cold misses, everything else
+    // hits because the block fits.
+    uint64_t misses = 0;
+    for (int rep = 0; rep < 100; ++rep)
+        for (uint64_t b = 0; b < 1024; b += 4)
+            misses += c.access(b, false).hit ? 0 : 1;
+    EXPECT_EQ(misses, 1024u / 32);
+}
+
+} // namespace
+} // namespace m4ps::memsim

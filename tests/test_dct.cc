@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Accuracy and invariant tests for the 8x8 DCT pair.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/dct.hh"
+#include "support/random.hh"
+
+namespace m4ps::codec
+{
+namespace
+{
+
+TEST(Dct, ConstantBlockIsPureDc)
+{
+    Block in, out;
+    in.fill(100);
+    forwardDct(in, out);
+    // DC of constant block c is 8c.
+    EXPECT_EQ(out[0], 800);
+    for (int i = 1; i < kBlockSize; ++i)
+        EXPECT_EQ(out[i], 0) << "AC index " << i;
+}
+
+TEST(Dct, ZeroBlockStaysZero)
+{
+    Block in, out;
+    in.fill(0);
+    forwardDct(in, out);
+    for (int16_t v : out)
+        EXPECT_EQ(v, 0);
+    inverseDct(in, out);
+    for (int16_t v : out)
+        EXPECT_EQ(v, 0);
+}
+
+TEST(Dct, DcOnlyInverseIsConstant)
+{
+    Block in, out;
+    in.fill(0);
+    in[0] = 800;
+    inverseDct(in, out);
+    for (int16_t v : out)
+        EXPECT_EQ(v, 100);
+}
+
+TEST(Dct, HorizontalCosineHitsSingleCoefficient)
+{
+    Block in, out;
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            in[y * 8 + x] = static_cast<int16_t>(std::lround(
+                100.0 * std::cos((2 * x + 1) * 2 * M_PI / 16.0)));
+    forwardDct(in, out);
+    // Energy should concentrate in (u=2, v=0).
+    int best = 0;
+    for (int i = 1; i < kBlockSize; ++i)
+        if (std::abs(out[i]) > std::abs(out[best]))
+            best = i;
+    EXPECT_EQ(best, 2);
+    EXPECT_GT(std::abs(out[2]), 350);
+}
+
+TEST(Dct, ParsevalEnergyPreserved)
+{
+    Rng rng(5);
+    Block in, out;
+    for (auto &v : in)
+        v = static_cast<int16_t>(rng.uniformInt(-255, 255));
+    forwardDct(in, out);
+    double e_in = 0, e_out = 0;
+    for (int i = 0; i < kBlockSize; ++i) {
+        e_in += static_cast<double>(in[i]) * in[i];
+        e_out += static_cast<double>(out[i]) * out[i];
+    }
+    // Orthonormal transform: energies match up to rounding.
+    EXPECT_NEAR(e_out / e_in, 1.0, 0.01);
+}
+
+TEST(Dct, LinearityUnderRounding)
+{
+    Rng rng(6);
+    Block a, b, sum, ta, tb, tsum;
+    for (int i = 0; i < kBlockSize; ++i) {
+        a[i] = static_cast<int16_t>(rng.uniformInt(-100, 100));
+        b[i] = static_cast<int16_t>(rng.uniformInt(-100, 100));
+        sum[i] = static_cast<int16_t>(a[i] + b[i]);
+    }
+    forwardDct(a, ta);
+    forwardDct(b, tb);
+    forwardDct(sum, tsum);
+    for (int i = 0; i < kBlockSize; ++i)
+        EXPECT_NEAR(tsum[i], ta[i] + tb[i], 2) << "index " << i;
+}
+
+class DctRoundtrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DctRoundtrip, InverseRecoversInput)
+{
+    const int amplitude = GetParam();
+    Rng rng(1000 + amplitude);
+    for (int trial = 0; trial < 50; ++trial) {
+        Block in, freq, back;
+        for (auto &v : in)
+            v = static_cast<int16_t>(
+                rng.uniformInt(-amplitude, amplitude));
+        forwardDct(in, freq);
+        inverseDct(freq, back);
+        for (int i = 0; i < kBlockSize; ++i)
+            ASSERT_NEAR(back[i], in[i], 1)
+                << "amplitude " << amplitude << " index " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Amplitudes, DctRoundtrip,
+                         ::testing::Values(1, 16, 128, 255));
+
+TEST(Dct, CoefficientsBoundedForPixelInput)
+{
+    Rng rng(9);
+    for (int trial = 0; trial < 200; ++trial) {
+        Block in, out;
+        for (auto &v : in)
+            v = static_cast<int16_t>(rng.uniformInt(-255, 255));
+        forwardDct(in, out);
+        for (int16_t v : out) {
+            ASSERT_LE(v, 2048);
+            ASSERT_GE(v, -2048);
+        }
+    }
+}
+
+} // namespace
+} // namespace m4ps::codec

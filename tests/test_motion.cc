@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Motion estimation / compensation tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/interp.hh"
+#include "codec/motion.hh"
+#include "support/random.hh"
+#include "video/scene.hh"
+
+namespace m4ps::codec
+{
+namespace
+{
+
+memsim::SimContext gCtx;
+
+video::Plane
+texturedPlane(int w, int h, uint32_t seed)
+{
+    video::Plane p(gCtx, w, h);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            p.rawAt(x, y) = video::textureSample(seed, x, y);
+    return p;
+}
+
+/** Reference plane shifted by (dx, dy) integer pixels. */
+video::Plane
+shifted(const video::Plane &src, int dx, int dy)
+{
+    video::Plane p(gCtx, src.width(), src.height());
+    for (int y = 0; y < src.height(); ++y)
+        for (int x = 0; x < src.width(); ++x)
+            p.rawAt(x, y) = src.rawClamped(x - dx, y - dy);
+    return p;
+}
+
+TEST(Sad16, MatchesDirectComputation)
+{
+    video::Plane a = texturedPlane(64, 64, 1);
+    video::Plane b = texturedPlane(64, 64, 2);
+    int expect = 0;
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 16; ++x)
+            expect += std::abs(
+                static_cast<int>(a.rawAt(8 + x, 8 + y)) -
+                b.rawAt(16 + x, 24 + y));
+    EXPECT_EQ(sad16(a, 8, 8, b, 16, 24, INT32_MAX), expect);
+}
+
+TEST(Sad16, IdenticalBlocksGiveZero)
+{
+    video::Plane a = texturedPlane(64, 64, 3);
+    EXPECT_EQ(sad16(a, 16, 16, a, 16, 16, INT32_MAX), 0);
+}
+
+TEST(Sad16, EarlyExitReturnsAtLeastBest)
+{
+    video::Plane a = texturedPlane(64, 64, 4);
+    video::Plane b = texturedPlane(64, 64, 5);
+    const int full = sad16(a, 0, 0, b, 0, 0, INT32_MAX);
+    const int cut = sad16(a, 0, 0, b, 0, 0, full / 4);
+    EXPECT_GE(cut, full / 4);
+}
+
+class PlantedShift
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(PlantedShift, FullSearchRecoversShift)
+{
+    const auto [dx, dy] = GetParam();
+    video::Plane cur = texturedPlane(96, 96, 7);
+    // Reference = current shifted by (-dx, -dy); block content at
+    // (bx, by) in cur appears at (bx + dx, by + dy) in ref.
+    video::Plane ref = shifted(cur, dx, dy);
+    const SearchResult r =
+        motionSearch(cur, ref, 40, 40, 8, /*half_pel=*/false);
+    EXPECT_EQ(r.mv.x, 2 * dx);
+    EXPECT_EQ(r.mv.y, 2 * dy);
+    EXPECT_EQ(r.sad, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shifts, PlantedShift,
+    ::testing::Values(std::make_pair(0, 0), std::make_pair(3, 0),
+                      std::make_pair(0, -4), std::make_pair(-5, 2),
+                      std::make_pair(7, 7), std::make_pair(-8, -8)));
+
+TEST(MotionSearch, HalfPelRefinementFindsInterpolatedShift)
+{
+    // Build a reference whose half-pel interpolation at +0.5 in x
+    // reproduces the current block: cur[x] = (ref[x] + ref[x+1] + 1)/2.
+    video::Plane ref = texturedPlane(96, 96, 11);
+    video::Plane cur(gCtx, 96, 96);
+    for (int y = 0; y < 96; ++y)
+        for (int x = 0; x < 96; ++x)
+            cur.rawAt(x, y) = static_cast<uint8_t>(
+                (ref.rawAt(x, y) + ref.rawClamped(x + 1, y) + 1) / 2);
+    const SearchResult r = motionSearch(cur, ref, 40, 40, 4, true);
+    EXPECT_EQ(r.mv.x, 1); // +0.5 pel
+    EXPECT_EQ(r.mv.y, 0);
+    EXPECT_LE(r.sad, 16); // rounding noise only
+}
+
+TEST(MotionSearch, RestrictedWindowClampsAtBorders)
+{
+    video::Plane cur = texturedPlane(64, 64, 13);
+    video::Plane ref = texturedPlane(64, 64, 13);
+    // Block at the origin: candidates must stay inside the plane.
+    const SearchResult r = motionSearch(cur, ref, 0, 0, 8, true);
+    EXPECT_EQ(r.sad, 0);
+    EXPECT_TRUE(r.mv.isZero());
+}
+
+TEST(MotionSearch, PrefetchesIssuedOncePerWindowRow)
+{
+    memsim::MemoryHierarchy mem({32 * 1024, 2, 32},
+                                {1024 * 1024, 2, 128},
+                                memsim::CostModel{});
+    memsim::SimContext ctx(&mem);
+    video::Plane cur(ctx, 64, 64);
+    video::Plane ref(ctx, 64, 64);
+    cur.fill(100);
+    ref.fill(100);
+    motionSearch(cur, ref, 24, 24, 4, false);
+    // Window rows: y in [20, 28] -> 9 rows, prefetch for rows 2..9.
+    EXPECT_EQ(mem.counters().prefetches, 8u);
+    EXPECT_GT(mem.counters().gradLoads, 1000u);
+}
+
+TEST(ChromaVector, H263Rounding)
+{
+    EXPECT_EQ(chromaVector({0, 0}), (MotionVector{0, 0}));
+    EXPECT_EQ(chromaVector({2, 4}), (MotionVector{1, 2}));
+    EXPECT_EQ(chromaVector({3, -3}), (MotionVector{1, -1}));
+    EXPECT_EQ(chromaVector({1, -1}), (MotionVector{1, -1}));
+    EXPECT_EQ(chromaVector({6, -6}), (MotionVector{3, -3}));
+    EXPECT_EQ(chromaVector({5, -5}), (MotionVector{3, -3}));
+}
+
+TEST(PredictLuma, FullPelIsDirectCopy)
+{
+    video::Plane ref = texturedPlane(64, 64, 17);
+    uint8_t out[256];
+    predictLuma16(ref, 16, 16, {4, -6}, out); // +2, -3 full pel
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 16; ++x)
+            ASSERT_EQ(out[y * 16 + x], ref.rawAt(18 + x, 13 + y));
+}
+
+TEST(PredictLuma, HalfPelAveragesNeighbours)
+{
+    video::Plane ref = texturedPlane(64, 64, 19);
+    uint8_t out[256];
+    predictLuma16(ref, 16, 16, {1, 0}, out); // +0.5 in x
+    for (int y = 0; y < 16; ++y) {
+        for (int x = 0; x < 16; ++x) {
+            const int expect = (ref.rawAt(16 + x, 16 + y) +
+                                ref.rawAt(17 + x, 16 + y) + 1) / 2;
+            ASSERT_EQ(out[y * 16 + x], expect);
+        }
+    }
+}
+
+TEST(PredictLuma, DiagonalHalfPelUsesFourTaps)
+{
+    video::Plane ref = texturedPlane(64, 64, 23);
+    uint8_t out[256];
+    predictLuma16(ref, 16, 16, {1, 1}, out);
+    const int expect = (ref.rawAt(16, 16) + ref.rawAt(17, 16) +
+                        ref.rawAt(16, 17) + ref.rawAt(17, 17) + 2) / 4;
+    EXPECT_EQ(out[0], expect);
+}
+
+TEST(PredictChroma, UsesDerivedVector)
+{
+    video::Plane ref = texturedPlane(32, 32, 29);
+    uint8_t out[64];
+    predictChroma8(ref, 8, 8, {4, 4}, out); // luma (2,2) -> chroma (1,1)
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            ASSERT_EQ(out[y * 8 + x], ref.rawAt(9 + x, 9 + y));
+}
+
+TEST(PredictLuma, InterpPathIsBitIdenticalToOnTheFly)
+{
+    video::Plane ref = texturedPlane(96, 96, 37);
+    HalfPelPlanes interp(gCtx, 96, 96);
+    interp.build(ref);
+    Rng rng(99);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int bx = static_cast<int>(rng.uniformInt(0, 4)) * 16;
+        const int by = static_cast<int>(rng.uniformInt(0, 4)) * 16;
+        const MotionVector mv{
+            static_cast<int>(rng.uniformInt(-17, 17)),
+            static_cast<int>(rng.uniformInt(-17, 17))};
+        uint8_t direct[256], via_interp[256];
+        predictLuma16(ref, bx, by, mv, direct);
+        predictLuma16FromInterp(ref, interp, bx, by, mv, via_interp);
+        for (int i = 0; i < 256; ++i)
+            ASSERT_EQ(direct[i], via_interp[i])
+                << "trial " << trial << " mv (" << mv.x << ","
+                << mv.y << ") index " << i;
+    }
+}
+
+TEST(HalfPelPlanes, ValuesMatchBilinearFormulas)
+{
+    video::Plane ref = texturedPlane(32, 32, 41);
+    HalfPelPlanes interp(gCtx, 32, 32);
+    EXPECT_TRUE(HalfPelPlanes().empty());
+    EXPECT_FALSE(interp.empty());
+    interp.build(ref);
+    for (int y = 0; y < 31; ++y) {
+        for (int x = 0; x < 31; ++x) {
+            EXPECT_EQ(interp.h().rawAt(x, y),
+                      (ref.rawAt(x, y) + ref.rawAt(x + 1, y) + 1) / 2);
+            EXPECT_EQ(interp.v().rawAt(x, y),
+                      (ref.rawAt(x, y) + ref.rawAt(x, y + 1) + 1) / 2);
+            EXPECT_EQ(interp.hv().rawAt(x, y),
+                      (ref.rawAt(x, y) + ref.rawAt(x + 1, y) +
+                       ref.rawAt(x, y + 1) + ref.rawAt(x + 1, y + 1) +
+                       2) / 4);
+        }
+    }
+    EXPECT_EQ(interp.phase(0, 0), nullptr);
+    EXPECT_EQ(interp.phase(1, 0), &interp.h());
+    EXPECT_EQ(interp.phase(0, 1), &interp.v());
+    EXPECT_EQ(interp.phase(1, 1), &interp.hv());
+}
+
+TEST(AveragePrediction, RoundsUp)
+{
+    const uint8_t a[4] = {0, 10, 255, 3};
+    const uint8_t b[4] = {1, 20, 255, 4};
+    uint8_t out[4];
+    averagePrediction(a, b, 4, out);
+    EXPECT_EQ(out[0], 1);
+    EXPECT_EQ(out[1], 15);
+    EXPECT_EQ(out[2], 255);
+    EXPECT_EQ(out[3], 4);
+}
+
+TEST(BlockActivity, FlatBlockHasZeroDeviation)
+{
+    video::Plane p(gCtx, 32, 32);
+    p.fill(93);
+    int mean, dev;
+    blockActivity16(p, 8, 8, mean, dev);
+    EXPECT_EQ(mean, 93);
+    EXPECT_EQ(dev, 0);
+}
+
+TEST(BlockActivity, TexturedBlockHasPositiveDeviation)
+{
+    video::Plane p = texturedPlane(32, 32, 31);
+    int mean, dev;
+    blockActivity16(p, 0, 0, mean, dev);
+    EXPECT_GT(dev, 500);
+    EXPECT_GT(mean, 0);
+    EXPECT_LT(mean, 255);
+}
+
+} // namespace
+} // namespace m4ps::codec

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Cross-module invariants and property tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bitstream/expgolomb.hh"
+#include "codec/motion.hh"
+#include "codec/quant.hh"
+#include "codec/vop.hh"
+#include "core/runner.hh"
+#include "support/random.hh"
+#include "video/scene.hh"
+
+namespace m4ps
+{
+namespace
+{
+
+TEST(Properties, ExpGolombLengthMonotone)
+{
+    int last = 0;
+    for (uint32_t v = 0; v < 10000; ++v) {
+        const int len = bits::ueLength(v);
+        EXPECT_GE(len, last) << "value " << v;
+        last = len;
+    }
+}
+
+class QuantIdempotence
+    : public ::testing::TestWithParam<std::tuple<int, bool, bool>>
+{
+};
+
+TEST_P(QuantIdempotence, RequantizingReconstructionIsStable)
+{
+    // quantize(dequantize(levels)) == levels: the reconstruction
+    // levels are a fixed point of the quantizer.
+    const auto [q, intra, mpeg] = GetParam();
+    const codec::QuantParams qp{q, intra, mpeg, true};
+    Rng rng(400 + q);
+    for (int trial = 0; trial < 30; ++trial) {
+        codec::Block in, levels, coefs, levels2;
+        for (auto &v : in)
+            v = static_cast<int16_t>(rng.uniformInt(-2000, 2000));
+        codec::quantize(in, levels, qp);
+        codec::dequantize(levels, coefs, qp);
+        codec::quantize(coefs, levels2, qp);
+        for (int i = 0; i < codec::kBlockSize; ++i)
+            ASSERT_EQ(levels[i], levels2[i])
+                << "q=" << q << " intra=" << intra << " mpeg=" << mpeg
+                << " i=" << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuantIdempotence,
+    ::testing::Combine(::testing::Values(1, 4, 12, 31),
+                       ::testing::Bool(), ::testing::Bool()));
+
+TEST(Properties, WiderSearchNeverWorsensSad)
+{
+    memsim::SimContext ctx;
+    video::SceneGenerator gen(96, 96, 1, 21);
+    video::Yuv420Image a(ctx, 96, 96), b(ctx, 96, 96);
+    gen.renderFrame(0, a);
+    gen.renderFrame(2, b);
+    int last = INT32_MAX;
+    for (int range : {0, 1, 2, 4, 8, 16}) {
+        const codec::SearchResult r =
+            codec::motionSearch(b.y(), a.y(), 48, 48, range, false);
+        EXPECT_LE(r.sad, last) << "range " << range;
+        last = r.sad;
+    }
+}
+
+TEST(Properties, StaticSceneEncodesToMostlySkips)
+{
+    // Encoding the same frame twice: the P-VOP must be nearly free.
+    memsim::SimContext ctx;
+    codec::VolConfig cfg;
+    cfg.width = 96;
+    cfg.height = 96;
+    cfg.searchRange = 4;
+    codec::VopEncoder enc(ctx, cfg);
+
+    video::SceneGenerator gen(96, 96, 1, 33);
+    video::Yuv420Image frame(ctx, 96, 96), recon(ctx, 96, 96);
+    gen.renderFrame(0, frame);
+
+    bits::BitWriter bw_i, bw_p;
+    codec::VopHeader hdr;
+    hdr.qp = 6;
+    hdr.mbWindow = {0, 0, 6, 6};
+    hdr.type = codec::VopType::I;
+    enc.encode(bw_i, hdr, frame, nullptr, {}, &recon, nullptr);
+
+    hdr.type = codec::VopType::P;
+    codec::RefFrames refs;
+    refs.past = &recon;
+    const codec::VopStats s =
+        enc.encode(bw_p, hdr, frame, nullptr, refs, nullptr, nullptr);
+    EXPECT_GE(s.skippedMbs, 30); // 36 MBs, nearly all static
+    EXPECT_LT(s.bits, 1200u);
+}
+
+TEST(Properties, DecodedBitsMatchStreamSize)
+{
+    core::Workload w = core::paperWorkload(64, 64, 1, 1);
+    w.frames = 6;
+    w.targetBps = 1e6;
+    auto stream = core::ExperimentRunner::encodeUntraced(w);
+    memsim::SimContext ctx;
+    codec::Mpeg4Decoder dec(ctx);
+    const codec::DecodeStats stats = dec.decode(stream, nullptr);
+    // VOP sections dominate; headers and end code account for the
+    // small remainder.
+    EXPECT_GT(stats.totalBits, 8 * stream.size() * 80 / 100);
+    EXPECT_LE(stats.totalBits, 8 * stream.size());
+}
+
+TEST(Properties, EncoderCountersScaleWithFrameCount)
+{
+    // Twice the frames => roughly twice the graduated accesses
+    // (within 30%; GOP boundary effects allowed).
+    core::Workload w = core::paperWorkload(64, 64, 1, 1);
+    w.targetBps = 1e6;
+    w.frames = 6;
+    const core::RunResult a =
+        core::ExperimentRunner::runEncode(w, core::o2R12k1MB());
+    w.frames = 12;
+    const core::RunResult b =
+        core::ExperimentRunner::runEncode(w, core::o2R12k1MB());
+    const double ratio =
+        static_cast<double>(b.whole.ctrs.accesses()) /
+        static_cast<double>(a.whole.ctrs.accesses());
+    EXPECT_GT(ratio, 1.5);
+    EXPECT_LT(ratio, 2.6);
+}
+
+TEST(Properties, SceneSubsetDecomposition)
+{
+    // Multi-VO inputs decompose the single-VO scene: compositing
+    // background + objects reproduces the full frame exactly, at
+    // several times and sizes.
+    for (const auto &[w, h] : {std::pair{64, 64}, std::pair{96, 64}}) {
+        memsim::SimContext ctx;
+        video::SceneGenerator gen(w, h, 2, 11);
+        video::Yuv420Image full(ctx, w, h), acc(ctx, w, h),
+            obj(ctx, w, h);
+        video::Plane alpha(ctx, w, h);
+        for (int t : {0, 3, 9}) {
+            gen.renderFrame(t, full);
+            gen.renderBackground(t, acc);
+            for (int o = 0; o < 2; ++o) {
+                gen.renderObject(t, o, obj, alpha);
+                for (int y = 0; y < h; ++y)
+                    for (int x = 0; x < w; ++x)
+                        if (alpha.rawAt(x, y))
+                            acc.y().rawAt(x, y) = obj.y().rawAt(x, y);
+            }
+            for (int y = 0; y < h; ++y)
+                for (int x = 0; x < w; ++x)
+                    ASSERT_EQ(acc.y().rawAt(x, y),
+                              full.y().rawAt(x, y))
+                        << "t=" << t << " (" << x << "," << y << ")";
+        }
+    }
+}
+
+TEST(Properties, TracedDecodeMatchesUntracedOutput)
+{
+    // Instrumentation must not change decoded pixels: compare the
+    // per-frame luma checksums of a traced and an untraced decode.
+    core::Workload w = core::paperWorkload(64, 64, 1, 1);
+    w.frames = 6;
+    w.targetBps = 1e6;
+    auto stream = core::ExperimentRunner::encodeUntraced(w);
+
+    auto checksums = [&](memsim::SimContext &ctx) {
+        std::vector<uint64_t> sums;
+        codec::Mpeg4Decoder dec(ctx);
+        dec.decode(stream, [&](const codec::DecodedEvent &e) {
+            uint64_t acc = 1469598103934665603ull;
+            for (int y = 0; y < e.frame->height(); ++y) {
+                const uint8_t *row = e.frame->y().rowPtr(y);
+                for (int x = 0; x < e.frame->width(); ++x)
+                    acc = (acc ^ row[x]) * 1099511628211ull;
+            }
+            sums.push_back(acc);
+        });
+        return sums;
+    };
+
+    memsim::SimContext untraced;
+    auto mem = core::o2R12k1MB().makeHierarchy();
+    memsim::SimContext traced(mem.get());
+    EXPECT_EQ(checksums(untraced), checksums(traced));
+}
+
+} // namespace
+} // namespace m4ps

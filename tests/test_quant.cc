@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Quantizer tests: DC scaler, roundtrip error bounds, both methods.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "codec/quant.hh"
+#include "support/random.hh"
+
+namespace m4ps::codec
+{
+namespace
+{
+
+TEST(DcScaler, MatchesStandardShape)
+{
+    // Luma: 8 for qp<=4, 2qp to 8, qp+8 to 24, 2qp-16 above.
+    EXPECT_EQ(dcScaler(1, true), 8);
+    EXPECT_EQ(dcScaler(4, true), 8);
+    EXPECT_EQ(dcScaler(5, true), 10);
+    EXPECT_EQ(dcScaler(8, true), 16);
+    EXPECT_EQ(dcScaler(9, true), 17);
+    EXPECT_EQ(dcScaler(24, true), 32);
+    EXPECT_EQ(dcScaler(25, true), 34);
+    EXPECT_EQ(dcScaler(31, true), 46);
+    // Chroma.
+    EXPECT_EQ(dcScaler(4, false), 8);
+    EXPECT_EQ(dcScaler(5, false), 9);
+    EXPECT_EQ(dcScaler(24, false), 18);
+    EXPECT_EQ(dcScaler(25, false), 19);
+    EXPECT_EQ(dcScaler(31, false), 25);
+}
+
+TEST(DcScaler, MonotoneInQp)
+{
+    for (bool luma : {true, false}) {
+        for (int qp = 2; qp <= 31; ++qp) {
+            EXPECT_GE(dcScaler(qp, luma), dcScaler(qp - 1, luma))
+                << "qp " << qp << " luma " << luma;
+        }
+    }
+}
+
+TEST(Quant, ZeroBlockStaysZero)
+{
+    Block zero{}, levels, back;
+    QuantParams qp{8, false, false, true};
+    quantize(zero, levels, qp);
+    for (int16_t v : levels)
+        EXPECT_EQ(v, 0);
+    dequantize(levels, back, qp);
+    for (int16_t v : back)
+        EXPECT_EQ(v, 0);
+}
+
+TEST(Quant, SignSymmetry)
+{
+    Block pos{}, neg{}, lp, ln;
+    pos[5] = 300;
+    neg[5] = -300;
+    for (bool intra : {false, true}) {
+        for (bool mpeg : {false, true}) {
+            QuantParams qp{6, intra, mpeg, true};
+            quantize(pos, lp, qp);
+            quantize(neg, ln, qp);
+            EXPECT_EQ(lp[5], -ln[5])
+                << "intra " << intra << " mpeg " << mpeg;
+        }
+    }
+}
+
+TEST(Quant, InterDeadZoneKillsSmallCoefficients)
+{
+    Block in{}, levels;
+    QuantParams qp{8, false, false, true};
+    in[3] = 7; // below 2*qp
+    quantize(in, levels, qp);
+    EXPECT_EQ(levels[3], 0);
+}
+
+TEST(Quant, IntraDcUsesScaler)
+{
+    Block in{}, levels, back;
+    in[0] = 1024;
+    QuantParams qp{10, true, false, true};
+    quantize(in, levels, qp);
+    EXPECT_EQ(levels[0], (1024 + dcScaler(10, true) / 2) /
+                             dcScaler(10, true));
+    dequantize(levels, back, qp);
+    EXPECT_NEAR(back[0], 1024, dcScaler(10, true) / 2 + 1);
+}
+
+using QuantCase = std::tuple<int, bool, bool>;
+
+class QuantRoundtrip : public ::testing::TestWithParam<QuantCase>
+{
+};
+
+TEST_P(QuantRoundtrip, ErrorBoundedByStepSize)
+{
+    const auto [q, intra, mpeg] = GetParam();
+    QuantParams qp{q, intra, mpeg, true};
+    Rng rng(10 * q + intra + 2 * mpeg);
+    for (int trial = 0; trial < 50; ++trial) {
+        Block in, levels, back;
+        for (auto &v : in)
+            v = static_cast<int16_t>(rng.uniformInt(-2000, 2000));
+        quantize(in, levels, qp);
+        dequantize(levels, back, qp);
+        for (int i = 0; i < kBlockSize; ++i) {
+            // Effective step: 2q (H.263) or 2q*mat/16 (MPEG matrix);
+            // the dead zone adds up to another step of error.
+            double step = 2.0 * q;
+            if (mpeg) {
+                const int *mat = intra ? kIntraMatrix : kInterMatrix;
+                step = 2.0 * q * mat[i] / 16.0;
+            }
+            if (i == 0 && intra)
+                step = dcScaler(q, true);
+            const double bound = intra ? step : 2.0 * step;
+            ASSERT_LE(std::abs(back[i] - in[i]), bound + 1.0)
+                << "q=" << q << " intra=" << intra << " mpeg=" << mpeg
+                << " i=" << i << " in=" << in[i] << " back=" << back[i];
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuantRoundtrip,
+    ::testing::Combine(::testing::Values(1, 2, 5, 8, 16, 31),
+                       ::testing::Bool(), ::testing::Bool()));
+
+TEST(Quant, CoarserQpNeverIncreasesLevelMagnitude)
+{
+    Rng rng(44);
+    Block in;
+    for (auto &v : in)
+        v = static_cast<int16_t>(rng.uniformInt(-1500, 1500));
+    Block l_fine, l_coarse;
+    quantize(in, l_fine, {4, false, false, true});
+    quantize(in, l_coarse, {16, false, false, true});
+    for (int i = 0; i < kBlockSize; ++i)
+        EXPECT_LE(std::abs(l_coarse[i]), std::abs(l_fine[i]));
+}
+
+TEST(Quant, MatricesAreValid)
+{
+    for (int i = 0; i < kBlockSize; ++i) {
+        EXPECT_GT(kIntraMatrix[i], 0);
+        EXPECT_GT(kInterMatrix[i], 0);
+    }
+    // Low frequencies quantize more finely than high frequencies.
+    EXPECT_LT(kIntraMatrix[0], kIntraMatrix[63]);
+    EXPECT_LT(kInterMatrix[0], kInterMatrix[63]);
+}
+
+TEST(QuantDeathTest, QpOutOfRangeRejected)
+{
+    Block in{}, out;
+    EXPECT_DEATH(quantize(in, out, {0, false, false, true}),
+                 "qp out of range");
+    EXPECT_DEATH(dequantize(in, out, {32, false, false, true}),
+                 "qp out of range");
+}
+
+} // namespace
+} // namespace m4ps::codec

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Rate controller tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/ratecontrol.hh"
+
+namespace m4ps::codec
+{
+namespace
+{
+
+TEST(RateController, BudgetPerFrame)
+{
+    RateController rc(300000, 30, 10);
+    EXPECT_DOUBLE_EQ(rc.frameBudget(), 10000.0);
+}
+
+TEST(RateController, QpLadderOrdersTypes)
+{
+    RateController rc(100000, 30, 10);
+    EXPECT_LT(rc.qpForVop(VopType::I), rc.qpForVop(VopType::P));
+    EXPECT_LT(rc.qpForVop(VopType::P), rc.qpForVop(VopType::B));
+}
+
+TEST(RateController, OverBudgetRaisesQp)
+{
+    RateController rc(30000, 30, 10); // 1000 bits/frame
+    const int q0 = rc.baseQp();
+    for (int i = 0; i < 10; ++i)
+        rc.update(5000); // 5x over budget
+    EXPECT_GT(rc.baseQp(), q0);
+}
+
+TEST(RateController, UnderBudgetLowersQp)
+{
+    RateController rc(30000, 30, 20);
+    const int q0 = rc.baseQp();
+    for (int i = 0; i < 10; ++i)
+        rc.update(10);
+    EXPECT_LT(rc.baseQp(), q0);
+}
+
+TEST(RateController, QpStaysInLegalRange)
+{
+    RateController rc(1000, 30, 30);
+    for (int i = 0; i < 200; ++i)
+        rc.update(100000);
+    EXPECT_LE(rc.baseQp(), 31);
+    EXPECT_LE(rc.qpForVop(VopType::B), 31);
+    RateController rc2(1e9, 30, 2);
+    for (int i = 0; i < 200; ++i)
+        rc2.update(0);
+    EXPECT_GE(rc2.baseQp(), 1);
+    EXPECT_GE(rc2.qpForVop(VopType::I), 1);
+}
+
+TEST(RateController, FullnessIntegratesError)
+{
+    RateController rc(30000, 30, 10); // 1000/frame
+    rc.update(1500);
+    EXPECT_GT(rc.fullness(), 0);
+    rc.update(400);
+    rc.update(400);
+    EXPECT_LT(rc.fullness(), 500);
+}
+
+TEST(RateController, StableAtTargetRate)
+{
+    RateController rc(30000, 30, 10);
+    for (int i = 0; i < 50; ++i)
+        rc.update(1000);
+    EXPECT_EQ(rc.baseQp(), 10);
+    EXPECT_NEAR(rc.fullness(), 0, 100);
+}
+
+TEST(RateControllerDeathTest, NonPositiveRateRejected)
+{
+    EXPECT_DEATH(RateController(0, 30, 10), "positive");
+}
+
+TEST(RateController, InitialQpClamped)
+{
+    RateController hi(1000, 30, 99);
+    EXPECT_LE(hi.baseQp(), 31);
+    RateController lo(1000, 30, -5);
+    EXPECT_GE(lo.baseQp(), 1);
+}
+
+} // namespace
+} // namespace m4ps::codec

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Run-length event coding tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/rlc.hh"
+#include "support/random.hh"
+
+namespace m4ps::codec
+{
+namespace
+{
+
+TEST(Rlc, EmptyBlockYieldsNoEvents)
+{
+    Block zero{};
+    EXPECT_TRUE(runLengthEncode(zero).empty());
+    EXPECT_TRUE(runLengthEncode(zero, 1).empty());
+}
+
+TEST(Rlc, SingleCoefficient)
+{
+    Block b{};
+    b[5] = -17;
+    auto events = runLengthEncode(b);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].run, 5);
+    EXPECT_EQ(events[0].level, -17);
+    EXPECT_TRUE(events[0].last);
+}
+
+TEST(Rlc, LastFlagOnlyOnFinalEvent)
+{
+    Block b{};
+    b[0] = 1;
+    b[10] = 2;
+    b[63] = 3;
+    auto events = runLengthEncode(b);
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_FALSE(events[0].last);
+    EXPECT_FALSE(events[1].last);
+    EXPECT_TRUE(events[2].last);
+    EXPECT_EQ(events[1].run, 9);
+    EXPECT_EQ(events[2].run, 52);
+}
+
+TEST(Rlc, FirstIndexSkipsDc)
+{
+    Block b{};
+    b[0] = 99; // DC must be ignored when first = 1
+    b[2] = 5;
+    auto events = runLengthEncode(b, 1);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].run, 1);
+    EXPECT_EQ(events[0].level, 5);
+}
+
+TEST(Rlc, DecodePreservesPrefix)
+{
+    Block b{};
+    b[0] = 42;
+    std::vector<RunLevel> events{{3, 7, true}};
+    runLengthDecode(events, b, 1);
+    EXPECT_EQ(b[0], 42); // untouched DC
+    EXPECT_EQ(b[4], 7);
+}
+
+class RlcDensity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RlcDensity, RoundtripThroughEventsAndBits)
+{
+    const int percent = GetParam();
+    Rng rng(500 + percent);
+    for (int trial = 0; trial < 100; ++trial) {
+        Block in{};
+        for (auto &v : in) {
+            if (rng.uniformInt(0, 99) < percent)
+                v = static_cast<int16_t>(rng.uniformInt(-512, 512));
+        }
+        auto events = runLengthEncode(in);
+        Block mid{};
+        runLengthDecode(events, mid);
+        ASSERT_EQ(in, mid);
+
+        if (events.empty())
+            continue;
+        bits::BitWriter bw;
+        writeBlockEvents(bw, events);
+        auto bytes = bw.take();
+        bits::BitReader br(bytes);
+        auto decoded = readBlockEvents(br);
+        ASSERT_EQ(events.size(), decoded.size());
+        for (size_t i = 0; i < events.size(); ++i)
+            ASSERT_EQ(events[i], decoded[i]) << "event " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, RlcDensity,
+                         ::testing::Values(2, 10, 30, 60, 95));
+
+TEST(Rlc, ZeroLevelEventsRejectedOnEncode)
+{
+    // runLengthEncode never produces zero levels by construction;
+    // decode panics if handed one.
+    Block b{};
+    std::vector<RunLevel> bogus{{0, 0, true}};
+    EXPECT_DEATH(runLengthDecode(bogus, b), "zero level");
+}
+
+TEST(Rlc, OverlongRunRejected)
+{
+    Block b{};
+    std::vector<RunLevel> bogus{{70, 5, true}};
+    EXPECT_DEATH(runLengthDecode(bogus, b), "overflow");
+}
+
+TEST(Rlc, ReadStopsAtLastEvenWithTrailingBits)
+{
+    bits::BitWriter bw;
+    writeBlockEvents(bw, {{0, 3, false}, {2, -4, true}});
+    bw.putBits(0xfff, 12); // trailing garbage
+    auto bytes = bw.take();
+    bits::BitReader br(bytes);
+    auto events = readBlockEvents(br);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[1].level, -4);
+}
+
+} // namespace
+} // namespace m4ps::codec

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Binary shape coder tests: BAB classification and lossless CAE
+ * roundtrips over realistic masks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/shape.hh"
+#include "support/random.hh"
+
+namespace m4ps::codec
+{
+namespace
+{
+
+memsim::SimContext gCtx;
+
+video::Plane
+makeEllipseMask(int w, int h, double cx, double cy, double rx,
+                double ry)
+{
+    video::Plane p(gCtx, w, h);
+    p.fill(0);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const double dx = (x - cx) / rx;
+            const double dy = (y - cy) / ry;
+            if (dx * dx + dy * dy <= 1.0)
+                p.rawAt(x, y) = 255;
+        }
+    }
+    return p;
+}
+
+TEST(BabMode, ClassifiesUniformAndBoundaryBlocks)
+{
+    video::Plane mask = makeEllipseMask(64, 64, 32, 32, 20, 20);
+    // Corner block: fully transparent.
+    EXPECT_EQ(ShapeCoder::analyzeBab(mask, 0, 0),
+              BabMode::Transparent);
+    // Centre block: fully opaque.
+    EXPECT_EQ(ShapeCoder::analyzeBab(mask, 24, 24), BabMode::Opaque);
+    // Edge block: boundary.
+    EXPECT_EQ(ShapeCoder::analyzeBab(mask, 16, 16), BabMode::Coded);
+}
+
+/**
+ * Encode all BABs of a mask in raster order exactly as a VOP shape
+ * pass does, then decode into a fresh plane and compare losslessly.
+ */
+void
+roundtripMask(const video::Plane &mask)
+{
+    const int mbw = mask.width() / 16;
+    const int mbh = mask.height() / 16;
+
+    std::vector<BabMode> modes;
+    ShapeCoder enc_coder;
+    ArithEncoder enc;
+    for (int my = 0; my < mbh; ++my) {
+        for (int mx = 0; mx < mbw; ++mx) {
+            const BabMode m =
+                ShapeCoder::analyzeBab(mask, mx * 16, my * 16);
+            modes.push_back(m);
+        }
+    }
+    size_t i = 0;
+    for (int my = 0; my < mbh; ++my)
+        for (int mx = 0; mx < mbw; ++mx, ++i)
+            if (modes[i] == BabMode::Coded)
+                enc_coder.encodeBab(enc, mask, mx * 16, my * 16);
+    auto payload = enc.finish();
+
+    video::Plane out(gCtx, mask.width(), mask.height());
+    out.fill(0);
+    ShapeCoder dec_coder;
+    ArithDecoder dec(payload);
+    i = 0;
+    for (int my = 0; my < mbh; ++my) {
+        for (int mx = 0; mx < mbw; ++mx, ++i) {
+            switch (modes[i]) {
+              case BabMode::Transparent:
+                for (int y = 0; y < 16; ++y)
+                    for (int x = 0; x < 16; ++x)
+                        out.rawAt(mx * 16 + x, my * 16 + y) = 0;
+                break;
+              case BabMode::Opaque:
+                for (int y = 0; y < 16; ++y)
+                    for (int x = 0; x < 16; ++x)
+                        out.rawAt(mx * 16 + x, my * 16 + y) = 255;
+                break;
+              case BabMode::Coded:
+                dec_coder.decodeBab(dec, out, mx * 16, my * 16);
+                break;
+            }
+        }
+    }
+
+    for (int y = 0; y < mask.height(); ++y) {
+        for (int x = 0; x < mask.width(); ++x) {
+            ASSERT_EQ(mask.rawAt(x, y) != 0, out.rawAt(x, y) != 0)
+                << "pixel (" << x << "," << y << ")";
+        }
+    }
+}
+
+TEST(ShapeCoder, EllipseRoundtripLossless)
+{
+    roundtripMask(makeEllipseMask(64, 64, 30, 34, 22, 17));
+}
+
+TEST(ShapeCoder, OffCentreEllipseRoundtrip)
+{
+    roundtripMask(makeEllipseMask(96, 64, 10, 10, 25, 18));
+}
+
+class ShapeShapes : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ShapeShapes, RandomBlobsRoundtripLossless)
+{
+    const int seed = GetParam();
+    Rng rng(seed);
+    video::Plane mask(gCtx, 64, 48);
+    mask.fill(0);
+    // Union of random ellipses: ragged boundary BABs.
+    for (int k = 0; k < 4; ++k) {
+        const double cx = rng.uniformReal(8, 56);
+        const double cy = rng.uniformReal(8, 40);
+        const double rx = rng.uniformReal(5, 18);
+        const double ry = rng.uniformReal(5, 14);
+        for (int y = 0; y < 48; ++y) {
+            for (int x = 0; x < 64; ++x) {
+                const double dx = (x - cx) / rx;
+                const double dy = (y - cy) / ry;
+                if (dx * dx + dy * dy <= 1.0)
+                    mask.rawAt(x, y) = 255;
+            }
+        }
+    }
+    roundtripMask(mask);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShapeShapes,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(ShapeCoder, NoiseMaskRoundtripLossless)
+{
+    // Worst case for the context model: uncorrelated pixels.
+    Rng rng(31337);
+    video::Plane mask(gCtx, 32, 32);
+    for (int y = 0; y < 32; ++y)
+        for (int x = 0; x < 32; ++x)
+            mask.rawAt(x, y) = rng.chance(0.5) ? 255 : 0;
+    roundtripMask(mask);
+}
+
+TEST(ShapeCoder, SmoothShapeCompressesWellBelowBitmap)
+{
+    video::Plane mask = makeEllipseMask(128, 128, 64, 64, 50, 40);
+    ShapeCoder coder;
+    ArithEncoder enc;
+    int coded_babs = 0;
+    for (int my = 0; my < 8; ++my) {
+        for (int mx = 0; mx < 8; ++mx) {
+            if (ShapeCoder::analyzeBab(mask, mx * 16, my * 16) ==
+                BabMode::Coded) {
+                coder.encodeBab(enc, mask, mx * 16, my * 16);
+                ++coded_babs;
+            }
+        }
+    }
+    auto payload = enc.finish();
+    ASSERT_GT(coded_babs, 0);
+    // Raw bitmap would be 32 bytes per BAB; CAE should beat 50%.
+    EXPECT_LT(payload.size(),
+              static_cast<size_t>(coded_babs) * 16);
+}
+
+} // namespace
+} // namespace m4ps::codec

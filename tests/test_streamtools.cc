@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Stream manipulation tests: section parsing, layer extraction,
+ * VO-prefix extraction - all without re-encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bitstream/startcode.hh"
+#include "codec/decoder.hh"
+#include "codec/streamtools.hh"
+#include "core/runner.hh"
+#include "core/workload.hh"
+
+namespace m4ps::codec
+{
+namespace
+{
+
+core::Workload
+wl(int vos, int layers, int frames = 6)
+{
+    core::Workload w = core::paperWorkload(64, 64, vos, layers);
+    w.frames = frames;
+    w.gop = {6, 2};
+    w.targetBps = 1e6;
+    return w;
+}
+
+TEST(StreamTools, ParseSectionsFindsFullStructure)
+{
+    auto stream = core::ExperimentRunner::encodeUntraced(wl(2, 1));
+    const auto sections = parseSections(stream);
+    ASSERT_GE(sections.size(), 4u);
+    EXPECT_EQ(sections.front().code, 0xb0); // VOS
+    EXPECT_EQ(sections.back().code, 0xb1);  // VOS end
+
+    int vo_headers = 0, vol_headers = 0, vops = 0;
+    size_t covered = 0;
+    for (const auto &s : sections) {
+        covered += s.size;
+        if (bits::isVoCode(s.code))
+            ++vo_headers;
+        else if (bits::isVolCode(s.code))
+            ++vol_headers;
+        else if (s.code == 0xb6)
+            ++vops;
+    }
+    EXPECT_EQ(vo_headers, 2);
+    EXPECT_EQ(vol_headers, 2);
+    EXPECT_EQ(vops, 12); // 2 VOs x 6 frames
+    // Sections tile the stream (VOS header offset is 0).
+    EXPECT_EQ(covered, stream.size());
+}
+
+TEST(StreamTools, VopSectionsCarryIds)
+{
+    auto stream = core::ExperimentRunner::encodeUntraced(wl(2, 2));
+    const auto sections = parseSections(stream);
+    int by_vo[2] = {0, 0};
+    int by_vol[2] = {0, 0};
+    for (const auto &s : sections) {
+        if (s.code != 0xb6)
+            continue;
+        ASSERT_GE(s.voId, 0);
+        ASSERT_LT(s.voId, 2);
+        ASSERT_GE(s.volId, 0);
+        ASSERT_LT(s.volId, 2);
+        ++by_vo[s.voId];
+        ++by_vol[s.volId];
+    }
+    EXPECT_EQ(by_vo[0], 12); // base + enh per frame
+    EXPECT_EQ(by_vo[1], 12);
+    EXPECT_EQ(by_vol[0], 12);
+    EXPECT_EQ(by_vol[1], 12);
+}
+
+TEST(StreamTools, BaseLayerExtractDecodesAtBaseResolution)
+{
+    const core::Workload w = wl(1, 2);
+    auto stream = core::ExperimentRunner::encodeUntraced(w);
+    auto base = extractBaseLayer(stream);
+    EXPECT_LT(base.size(), stream.size());
+
+    memsim::SimContext ctx;
+    Mpeg4Decoder dec(ctx);
+    int shown = 0;
+    int width = 0;
+    const DecodeStats stats =
+        dec.decode(base, [&](const DecodedEvent &e) {
+            ++shown;
+            width = e.frame->width();
+            EXPECT_EQ(e.volId, 0);
+        });
+    EXPECT_EQ(stats.volsPerVo, 1);
+    EXPECT_EQ(shown, w.frames);
+    // Base layer is half resolution (possibly MB-padded).
+    EXPECT_GE(width, w.width / 2);
+    EXPECT_LT(width, w.width);
+}
+
+TEST(StreamTools, FullStreamStillDecodesAfterRoundtripThroughParse)
+{
+    // extractLayers with the full layer count must be lossless
+    // enough to decode identically (sections are copied verbatim).
+    const core::Workload w = wl(1, 2);
+    auto stream = core::ExperimentRunner::encodeUntraced(w);
+    auto copy = extractLayers(stream, 1);
+
+    memsim::SimContext ctx;
+    Mpeg4Decoder dec(ctx);
+    int shown = 0;
+    dec.decode(copy, [&](const DecodedEvent &e) {
+        ++shown;
+        EXPECT_EQ(e.volId, 1);
+    });
+    EXPECT_EQ(shown, w.frames);
+}
+
+TEST(StreamTools, VoPrefixDropsTrailingObjects)
+{
+    const core::Workload w = wl(3, 1);
+    auto stream = core::ExperimentRunner::encodeUntraced(w);
+    auto two = extractVoPrefix(stream, 2);
+    EXPECT_LT(two.size(), stream.size());
+
+    memsim::SimContext ctx;
+    Mpeg4Decoder dec(ctx);
+    int max_vo = -1;
+    int shown = 0;
+    const DecodeStats stats =
+        dec.decode(two, [&](const DecodedEvent &e) {
+            max_vo = std::max(max_vo, e.voId);
+            ++shown;
+        });
+    EXPECT_EQ(stats.vos, 2);
+    EXPECT_EQ(max_vo, 1);
+    EXPECT_EQ(shown, 2 * w.frames);
+}
+
+TEST(StreamTools, ExtractionsCompose)
+{
+    const core::Workload w = wl(2, 2);
+    auto stream = core::ExperimentRunner::encodeUntraced(w);
+    auto thin = extractVoPrefix(extractBaseLayer(stream), 1);
+
+    memsim::SimContext ctx;
+    Mpeg4Decoder dec(ctx);
+    int shown = 0;
+    dec.decode(thin, [&](const DecodedEvent &e) {
+        EXPECT_EQ(e.voId, 0);
+        EXPECT_EQ(e.volId, 0);
+        ++shown;
+    });
+    EXPECT_EQ(shown, w.frames);
+}
+
+TEST(StreamToolsDeathTest, BadArgumentsRejected)
+{
+    auto stream = core::ExperimentRunner::encodeUntraced(wl(2, 1));
+    EXPECT_DEATH(extractVoPrefix(stream, 0), "prefix out of range");
+    EXPECT_DEATH(extractVoPrefix(stream, 3), "prefix out of range");
+    std::vector<uint8_t> junk(64, 0x55);
+    EXPECT_DEATH(extractBaseLayer(junk),
+                 "not an m4ps elementary stream");
+}
+
+} // namespace
+} // namespace m4ps::codec

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the support module: RNG, tables, error discipline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "support/table.hh"
+
+namespace m4ps
+{
+namespace
+{
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntStaysInRange)
+{
+    Rng rng(7);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const int64_t v = rng.uniformInt(-3, 5);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 5);
+        seen.insert(v);
+    }
+    // All nine values should appear in 10k draws.
+    EXPECT_EQ(seen.size(), 9u);
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(4, 4), 4);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniformReal();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    double sum = 0, sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.gaussian();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t("Title");
+    t.header({"a", "long-header", "c"});
+    t.row({"xxxx", "y", "z"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("Title"), std::string::npos);
+    EXPECT_NE(s.find("long-header"), std::string::npos);
+    EXPECT_NE(s.find("xxxx"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(3.0, 1), "3.0");
+    EXPECT_EQ(TextTable::pct(0.1234, 2), "12.34%");
+    EXPECT_EQ(TextTable::pct(0.004, 1), "0.4%");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(M4PS_PANIC("boom ", 42), "panic: boom 42");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(M4PS_FATAL("bad config"),
+                ::testing::ExitedWithCode(1), "fatal: bad config");
+}
+
+TEST(LoggingDeathTest, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(M4PS_ASSERT(1 == 2, "math broke"),
+                 "assertion '1 == 2' failed");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    M4PS_ASSERT(2 + 2 == 4);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace m4ps

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for planes, YUV frames, scene generation, quality metrics,
+ * resampling, and composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "video/composite.hh"
+#include "video/plane.hh"
+#include "video/quality.hh"
+#include "video/resample.hh"
+#include "video/scene.hh"
+#include "video/yuv.hh"
+
+namespace m4ps::video
+{
+namespace
+{
+
+memsim::SimContext gCtx; // untraced
+
+TEST(Plane, StrideAddsBorderAndRoundsTo16)
+{
+    // stride = (width + 16-sample border) rounded up to 16; the
+    // border keeps power-of-two widths off identical cache sets.
+    Plane p(gCtx, 30, 10);
+    EXPECT_EQ(p.width(), 30);
+    EXPECT_EQ(p.stride(), 48);
+    Plane q(gCtx, 32, 10);
+    EXPECT_EQ(q.stride(), 48);
+    Plane r(gCtx, 1024, 8);
+    EXPECT_EQ(r.stride() % 16, 0);
+    EXPECT_GT(r.stride(), 1024);
+}
+
+TEST(Plane, FillAndCopy)
+{
+    Plane p(gCtx, 48, 16);
+    p.fill(77);
+    EXPECT_EQ(p.rawAt(0, 0), 77);
+    EXPECT_EQ(p.rawAt(47, 15), 77);
+    Plane q(gCtx, 48, 16);
+    q.fill(0);
+    q.copyFrom(p);
+    EXPECT_EQ(q.rawAt(20, 7), 77);
+}
+
+TEST(Plane, ClampedAccessAtBorders)
+{
+    Plane p(gCtx, 16, 16);
+    p.fill(1);
+    p.rawAt(0, 0) = 9;
+    p.rawAt(15, 15) = 4;
+    EXPECT_EQ(p.rawClamped(-5, -3), 9);
+    EXPECT_EQ(p.rawClamped(100, 100), 4);
+}
+
+TEST(Plane, TracedAccessCountsWhenTraced)
+{
+    memsim::MemoryHierarchy mem({1024, 2, 32}, {16 * 1024, 2, 128},
+                                memsim::CostModel{});
+    memsim::SimContext ctx(&mem);
+    Plane p(ctx, 32, 8);
+    p.storePx(3, 2, 9);
+    EXPECT_EQ(p.loadPx(3, 2), 9);
+    p.traceLoadRow(0, 1, 16);
+    EXPECT_EQ(mem.counters().gradStores, 1u);
+    EXPECT_EQ(mem.counters().gradLoads, 17u);
+}
+
+TEST(PlaneDeathTest, CopySizeMismatchPanics)
+{
+    Plane a(gCtx, 16, 16);
+    Plane b(gCtx, 32, 16);
+    EXPECT_DEATH(a.copyFrom(b), "size mismatch");
+}
+
+TEST(Yuv420, ChromaIsHalfSize)
+{
+    Yuv420Image img(gCtx, 64, 48);
+    EXPECT_EQ(img.y().width(), 64);
+    EXPECT_EQ(img.u().width(), 32);
+    EXPECT_EQ(img.v().height(), 24);
+    EXPECT_EQ(&img.plane(0), &img.y());
+    EXPECT_EQ(&img.plane(1), &img.u());
+    EXPECT_EQ(&img.plane(2), &img.v());
+}
+
+TEST(Yuv420DeathTest, OddDimensionsRejected)
+{
+    EXPECT_DEATH(Yuv420Image(gCtx, 63, 48), "even");
+}
+
+TEST(TextureSample, DeterministicAndFullRange)
+{
+    int lo = 255, hi = 0;
+    for (int y = 0; y < 64; ++y) {
+        for (int x = 0; x < 64; ++x) {
+            const int v = textureSample(5, x, y);
+            EXPECT_EQ(v, textureSample(5, x, y));
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+    EXPECT_LT(lo, 80);
+    EXPECT_GT(hi, 150);
+}
+
+TEST(SceneGenerator, DeterministicAcrossInstances)
+{
+    SceneGenerator a(64, 64, 2, 99);
+    SceneGenerator b(64, 64, 2, 99);
+    Yuv420Image fa(gCtx, 64, 64), fb(gCtx, 64, 64);
+    a.renderFrame(7, fa);
+    b.renderFrame(7, fb);
+    EXPECT_DOUBLE_EQ(mse(fa.y(), fb.y()), 0.0);
+    EXPECT_DOUBLE_EQ(mse(fa.u(), fb.u()), 0.0);
+}
+
+TEST(SceneGenerator, ObjectsMoveOverTime)
+{
+    SceneGenerator gen(128, 128, 1, 3);
+    double x0, y0, x1, y1;
+    gen.objectCenter(0, 0, x0, y0);
+    gen.objectCenter(5, 0, x1, y1);
+    const double dist = std::hypot(x1 - x0, y1 - y0);
+    EXPECT_GT(dist, 2.0);   // real motion...
+    EXPECT_LT(dist, 40.0);  // ...but trackable
+}
+
+TEST(SceneGenerator, ObjectStaysInsideFrame)
+{
+    SceneGenerator gen(96, 80, 3, 17);
+    for (int t = 0; t < 200; t += 7) {
+        for (int o = 0; o < 3; ++o) {
+            const Rect bb = gen.objectBBox(t, o);
+            EXPECT_GE(bb.x, 0);
+            EXPECT_GE(bb.y, 0);
+            EXPECT_LE(bb.x + bb.w, 96);
+            EXPECT_LE(bb.y + bb.h, 80);
+            EXPECT_GT(bb.w, 0);
+            EXPECT_GT(bb.h, 0);
+        }
+    }
+}
+
+TEST(SceneGenerator, AlphaMatchesObjectSupport)
+{
+    SceneGenerator gen(128, 96, 1, 23);
+    Yuv420Image frame(gCtx, 128, 96);
+    Plane alpha(gCtx, 128, 96);
+    gen.renderObject(4, 0, frame, alpha);
+    uint64_t set = 0;
+    for (int y = 0; y < 96; ++y)
+        for (int x = 0; x < 128; ++x)
+            set += alpha.rawAt(x, y) ? 1 : 0;
+    // The ellipse covers a nontrivial but partial area.
+    EXPECT_GT(set, 200u);
+    EXPECT_LT(set, 128u * 96 / 2);
+    // Pixels outside the object are mid-grey.
+    const Rect bb = gen.objectBBox(4, 0);
+    if (bb.x > 0) {
+        EXPECT_EQ(frame.y().rawAt(0, 0), 128);
+        EXPECT_EQ(alpha.rawAt(0, 0), 0);
+    }
+}
+
+TEST(SceneGenerator, CompositeEqualsBackgroundPlusObjects)
+{
+    SceneGenerator gen(64, 64, 1, 31);
+    Yuv420Image full(gCtx, 64, 64), bg(gCtx, 64, 64),
+        obj(gCtx, 64, 64);
+    Plane alpha(gCtx, 64, 64);
+    gen.renderFrame(3, full);
+    gen.renderBackground(3, bg);
+    gen.renderObject(3, 0, obj, alpha);
+    compositeOver(bg, obj, &alpha);
+    EXPECT_DOUBLE_EQ(mse(full.y(), bg.y()), 0.0);
+}
+
+TEST(Quality, PsnrIdentityIsMax)
+{
+    Plane a(gCtx, 32, 32);
+    a.fill(100);
+    EXPECT_DOUBLE_EQ(psnr(a, a), 99.0);
+}
+
+TEST(Quality, PsnrDecreasesWithNoise)
+{
+    Plane a(gCtx, 32, 32), b(gCtx, 32, 32), c(gCtx, 32, 32);
+    a.fill(100);
+    b.fill(102);
+    c.fill(110);
+    EXPECT_GT(psnr(a, b), psnr(a, c));
+    EXPECT_NEAR(mse(a, b), 4.0, 1e-9);
+    EXPECT_NEAR(meanAbsDiff(a, c), 10.0, 1e-9);
+}
+
+TEST(Quality, MaskedMseIgnoresOutside)
+{
+    Plane a(gCtx, 16, 16), b(gCtx, 16, 16), m(gCtx, 16, 16);
+    a.fill(0);
+    b.fill(0);
+    m.fill(0);
+    b.rawAt(3, 3) = 100;   // outside mask: ignored
+    m.rawAt(5, 5) = 255;
+    EXPECT_DOUBLE_EQ(maskedMse(a, b, m), 0.0);
+    b.rawAt(5, 5) = 10;
+    EXPECT_DOUBLE_EQ(maskedMse(a, b, m), 100.0);
+}
+
+TEST(Resample, DownUpIsCloseForSmoothContent)
+{
+    Plane src(gCtx, 64, 64), down(gCtx, 32, 32), up(gCtx, 64, 64);
+    for (int y = 0; y < 64; ++y)
+        for (int x = 0; x < 64; ++x)
+            src.rawAt(x, y) = static_cast<uint8_t>(x * 2 + y);
+    downsample2x(src, down);
+    upsample2x(down, up);
+    EXPECT_LT(meanAbsDiff(src, up), 2.5);
+}
+
+TEST(Resample, DownsampleAveragesQuads)
+{
+    Plane src(gCtx, 4, 4), dst(gCtx, 2, 2);
+    const uint8_t vals[4][4] = {{0, 4, 8, 12},
+                                {0, 4, 8, 12},
+                                {100, 100, 200, 200},
+                                {100, 100, 200, 200}};
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            src.rawAt(x, y) = vals[y][x];
+    downsample2x(src, dst);
+    EXPECT_EQ(dst.rawAt(0, 0), 2);
+    EXPECT_EQ(dst.rawAt(1, 0), 10);
+    EXPECT_EQ(dst.rawAt(0, 1), 100);
+    EXPECT_EQ(dst.rawAt(1, 1), 200);
+}
+
+TEST(Resample, AlphaDownsampleIsConservative)
+{
+    Plane src(gCtx, 4, 4), dst(gCtx, 2, 2);
+    src.fill(0);
+    src.rawAt(3, 3) = 255; // one opaque pixel in the last quad
+    downsampleAlpha(src, dst);
+    EXPECT_EQ(dst.rawAt(0, 0), 0);
+    EXPECT_EQ(dst.rawAt(1, 1), 255);
+}
+
+TEST(Composite, NullAlphaReplacesFrame)
+{
+    Yuv420Image dst(gCtx, 32, 32), src(gCtx, 32, 32);
+    dst.fill(0, 0);
+    src.fill(200, 90);
+    compositeOver(dst, src, nullptr);
+    EXPECT_EQ(dst.y().rawAt(5, 5), 200);
+    EXPECT_EQ(dst.u().rawAt(5, 5), 90);
+}
+
+TEST(Composite, AlphaSelectsPixels)
+{
+    Yuv420Image dst(gCtx, 32, 32), src(gCtx, 32, 32);
+    Plane alpha(gCtx, 32, 32);
+    dst.fill(10, 20);
+    src.fill(250, 120);
+    alpha.fill(0);
+    for (int y = 8; y < 16; ++y)
+        for (int x = 8; x < 16; ++x)
+            alpha.rawAt(x, y) = 255;
+    compositeOver(dst, src, &alpha);
+    EXPECT_EQ(dst.y().rawAt(9, 9), 250);
+    EXPECT_EQ(dst.y().rawAt(0, 0), 10);
+    EXPECT_EQ(dst.u().rawAt(5, 5), 120); // alpha[10,10] set
+    EXPECT_EQ(dst.u().rawAt(1, 1), 20);
+}
+
+} // namespace
+} // namespace m4ps::video

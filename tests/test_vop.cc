@@ -1,0 +1,451 @@
+/**
+ * @file
+ * VOP-level integration tests.  The load-bearing invariant: the
+ * decoder's reconstruction is bit-identical to the encoder's local
+ * reconstruction (drift-free closed loop), for I, P, and B VOPs,
+ * rectangular and shaped.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bitstream/startcode.hh"
+#include "codec/error.hh"
+#include "codec/vol.hh"
+#include "codec/vop.hh"
+#include "support/random.hh"
+#include "video/quality.hh"
+#include "video/scene.hh"
+
+namespace m4ps::codec
+{
+namespace
+{
+
+memsim::SimContext gCtx;
+
+constexpr int kW = 64;
+constexpr int kH = 64;
+
+VolConfig
+volCfg(bool shape = false)
+{
+    VolConfig cfg;
+    cfg.width = kW;
+    cfg.height = kH;
+    cfg.hasShape = shape;
+    cfg.searchRange = 6;
+    cfg.searchRangeB = 4;
+    return cfg;
+}
+
+VopHeader
+header(VopType type, int ts, int qp, const VolConfig &cfg)
+{
+    VopHeader hdr;
+    hdr.type = type;
+    hdr.timestamp = ts;
+    hdr.qp = qp;
+    hdr.mbWindow = {0, 0, cfg.mbWidth(), cfg.mbHeight()};
+    return hdr;
+}
+
+void
+renderScene(int t, video::Yuv420Image &out)
+{
+    static video::SceneGenerator gen(kW, kH, 1, 42);
+    gen.renderFrame(t, out);
+}
+
+void
+expectFramesIdentical(const video::Yuv420Image &a,
+                      const video::Yuv420Image &b)
+{
+    EXPECT_DOUBLE_EQ(video::mse(a.y(), b.y()), 0.0);
+    EXPECT_DOUBLE_EQ(video::mse(a.u(), b.u()), 0.0);
+    EXPECT_DOUBLE_EQ(video::mse(a.v(), b.v()), 0.0);
+}
+
+/** Decode one VOP from a freshly written stream. */
+VopStats
+decodeOne(VopDecoder &dec, const std::vector<uint8_t> &stream,
+          const RefFrames &refs, video::Yuv420Image &out,
+          video::Plane *alpha, VopHeader *hdr_out = nullptr)
+{
+    bits::BitReader br(stream);
+    auto code = bits::nextStartCode(br);
+    EXPECT_TRUE(code.has_value());
+    EXPECT_EQ(*code, static_cast<uint8_t>(bits::StartCode::Vop));
+    VopHeader hdr = readVopHeader(br);
+    if (hdr_out)
+        *hdr_out = hdr;
+    return dec.decode(br, hdr, refs, out, alpha);
+}
+
+TEST(VopHeader, RoundtripThroughBits)
+{
+    bits::BitWriter bw;
+    VopHeader hdr;
+    hdr.type = VopType::B;
+    hdr.voId = 3;
+    hdr.volId = 1;
+    hdr.timestamp = 29;
+    hdr.qp = 17;
+    hdr.mbWindow = {1, 2, 3, 2};
+    writeVopHeader(bw, hdr);
+    auto bytes = bw.take();
+    bits::BitReader br(bytes);
+    auto code = bits::nextStartCode(br);
+    ASSERT_TRUE(code);
+    VopHeader back = readVopHeader(br);
+    EXPECT_EQ(back.type, VopType::B);
+    EXPECT_EQ(back.voId, 3);
+    EXPECT_EQ(back.volId, 1);
+    EXPECT_EQ(back.timestamp, 29);
+    EXPECT_EQ(back.qp, 17);
+    EXPECT_EQ(back.mbWindow, (video::Rect{1, 2, 3, 2}));
+}
+
+TEST(Vop, IntraRoundtripMatchesEncoderRecon)
+{
+    VolConfig cfg = volCfg();
+    VopEncoder enc(gCtx, cfg);
+    VopDecoder dec(gCtx, cfg);
+
+    video::Yuv420Image cur(gCtx, kW, kH), recon(gCtx, kW, kH),
+        out(gCtx, kW, kH);
+    renderScene(0, cur);
+
+    bits::BitWriter bw;
+    const VopHeader hdr = header(VopType::I, 0, 6, cfg);
+    const VopStats es = enc.encode(bw, hdr, cur, nullptr, {}, &recon,
+                                   nullptr);
+    auto stream = bw.take();
+    EXPECT_EQ(es.intraMbs, cfg.mbWidth() * cfg.mbHeight());
+    EXPECT_GT(es.bits, 0u);
+
+    const VopStats ds = decodeOne(dec, stream, {}, out, nullptr);
+    EXPECT_EQ(ds.intraMbs, es.intraMbs);
+    expectFramesIdentical(recon, out);
+    // Lossy but useful quality at qp 6.
+    EXPECT_GT(video::psnrY(cur, out), 26.0);
+}
+
+TEST(Vop, IntraQualityImprovesWithFinerQp)
+{
+    VolConfig cfg = volCfg();
+    VopEncoder enc(gCtx, cfg);
+    video::Yuv420Image cur(gCtx, kW, kH), recon(gCtx, kW, kH);
+    renderScene(0, cur);
+
+    double psnr_fine, psnr_coarse;
+    uint64_t bits_fine, bits_coarse;
+    {
+        bits::BitWriter bw;
+        const VopStats s =
+            enc.encode(bw, header(VopType::I, 0, 2, cfg), cur, nullptr,
+                       {}, &recon, nullptr);
+        psnr_fine = video::psnrY(cur, recon);
+        bits_fine = s.bits;
+    }
+    {
+        bits::BitWriter bw;
+        const VopStats s =
+            enc.encode(bw, header(VopType::I, 0, 25, cfg), cur,
+                       nullptr, {}, &recon, nullptr);
+        psnr_coarse = video::psnrY(cur, recon);
+        bits_coarse = s.bits;
+    }
+    EXPECT_GT(psnr_fine, psnr_coarse + 3.0);
+    EXPECT_GT(bits_fine, bits_coarse);
+}
+
+TEST(Vop, PredictedRoundtripMatchesEncoderRecon)
+{
+    VolConfig cfg = volCfg();
+    VopEncoder enc(gCtx, cfg);
+    VopDecoder dec(gCtx, cfg);
+
+    video::Yuv420Image f0(gCtx, kW, kH), f1(gCtx, kW, kH);
+    video::Yuv420Image recon0(gCtx, kW, kH), recon1(gCtx, kW, kH);
+    video::Yuv420Image out0(gCtx, kW, kH), out1(gCtx, kW, kH);
+    renderScene(0, f0);
+    renderScene(1, f1);
+
+    bits::BitWriter bw0, bw1;
+    enc.encode(bw0, header(VopType::I, 0, 6, cfg), f0, nullptr, {},
+               &recon0, nullptr);
+    RefFrames refs;
+    refs.past = &recon0;
+    const VopStats es = enc.encode(bw1, header(VopType::P, 1, 6, cfg),
+                                   f1, nullptr, refs, &recon1,
+                                   nullptr);
+    // Motion is small: P coding must find inter/skip blocks.
+    EXPECT_GT(es.interMbs + es.skippedMbs, es.intraMbs);
+
+    auto s0 = bw0.take();
+    auto s1 = bw1.take();
+    decodeOne(dec, s0, {}, out0, nullptr);
+    expectFramesIdentical(recon0, out0);
+    RefFrames drefs;
+    drefs.past = &out0;
+    const VopStats ds = decodeOne(dec, s1, drefs, out1, nullptr);
+    expectFramesIdentical(recon1, out1);
+    EXPECT_EQ(ds.interMbs, es.interMbs);
+    EXPECT_EQ(ds.skippedMbs, es.skippedMbs);
+    EXPECT_EQ(ds.intraMbs, es.intraMbs);
+}
+
+TEST(Vop, PredictedCostsFewerBitsThanIntra)
+{
+    VolConfig cfg = volCfg();
+    VopEncoder enc(gCtx, cfg);
+    video::Yuv420Image f0(gCtx, kW, kH), f1(gCtx, kW, kH),
+        recon(gCtx, kW, kH);
+    renderScene(10, f0);
+    renderScene(11, f1);
+
+    bits::BitWriter bw_i, bw_ref, bw_p;
+    const VopStats si = enc.encode(
+        bw_i, header(VopType::I, 1, 8, cfg), f1, nullptr, {}, &recon,
+        nullptr);
+    enc.encode(bw_ref, header(VopType::I, 0, 8, cfg), f0, nullptr, {},
+               &recon, nullptr);
+    RefFrames refs;
+    refs.past = &recon;
+    const VopStats sp = enc.encode(
+        bw_p, header(VopType::P, 1, 8, cfg), f1, nullptr, refs,
+        nullptr, nullptr);
+    EXPECT_LT(sp.bits, si.bits / 2);
+}
+
+TEST(Vop, BidirectionalRoundtripMatchesEncoder)
+{
+    VolConfig cfg = volCfg();
+    VopEncoder enc(gCtx, cfg);
+    VopDecoder dec(gCtx, cfg);
+
+    video::Yuv420Image f0(gCtx, kW, kH), f1(gCtx, kW, kH),
+        f2(gCtx, kW, kH);
+    video::Yuv420Image r0(gCtx, kW, kH), r2(gCtx, kW, kH);
+    video::Yuv420Image o0(gCtx, kW, kH), o2(gCtx, kW, kH),
+        ob(gCtx, kW, kH);
+    renderScene(0, f0);
+    renderScene(1, f1);
+    renderScene(2, f2);
+
+    bits::BitWriter bw0, bw2, bwb;
+    enc.encode(bw0, header(VopType::I, 0, 6, cfg), f0, nullptr, {},
+               &r0, nullptr);
+    RefFrames refs_p;
+    refs_p.past = &r0;
+    enc.encode(bw2, header(VopType::P, 2, 6, cfg), f2, nullptr,
+               refs_p, &r2, nullptr);
+    RefFrames refs_b;
+    refs_b.past = &r0;
+    refs_b.future = &r2;
+    // Encoder B reconstruction for comparison.
+    video::Yuv420Image rb(gCtx, kW, kH);
+    const VopStats es = enc.encode(
+        bwb, header(VopType::B, 1, 8, cfg), f1, nullptr, refs_b, &rb,
+        nullptr);
+    EXPECT_EQ(es.intraMbs, 0); // B-VOPs carry no intra MBs
+    EXPECT_GT(es.codedMbs() + es.skippedMbs, 0);
+
+    auto s0 = bw0.take();
+    auto s2 = bw2.take();
+    auto sb = bwb.take();
+    decodeOne(dec, s0, {}, o0, nullptr);
+    RefFrames drefs_p;
+    drefs_p.past = &o0;
+    decodeOne(dec, s2, drefs_p, o2, nullptr);
+    RefFrames drefs_b;
+    drefs_b.past = &o0;
+    drefs_b.future = &o2;
+    const VopStats ds = decodeOne(dec, sb, drefs_b, ob, nullptr);
+    expectFramesIdentical(rb, ob);
+    EXPECT_EQ(ds.interMbs, es.interMbs);
+    EXPECT_EQ(ds.backwardMbs, es.backwardMbs);
+    EXPECT_EQ(ds.bidirectionalMbs, es.bidirectionalMbs);
+    EXPECT_GT(video::psnrY(f1, ob), 24.0);
+}
+
+TEST(Vop, ShapedRoundtripReconstructsAlphaLosslessly)
+{
+    VolConfig cfg = volCfg(/*shape=*/true);
+    VopEncoder enc(gCtx, cfg);
+    VopDecoder dec(gCtx, cfg);
+
+    video::SceneGenerator gen(kW, kH, 1, 77);
+    video::Yuv420Image cur(gCtx, kW, kH), recon(gCtx, kW, kH),
+        out(gCtx, kW, kH);
+    video::Plane alpha(gCtx, kW, kH), recon_alpha(gCtx, kW, kH),
+        out_alpha(gCtx, kW, kH);
+    gen.renderObject(2, 0, cur, alpha);
+
+    bits::BitWriter bw;
+    VopHeader hdr = header(VopType::I, 0, 6, cfg);
+    hdr.mbWindow = alphaBBoxMb(alpha);
+    const VopStats es = enc.encode(bw, hdr, cur, &alpha, {}, &recon,
+                                   &recon_alpha);
+    EXPECT_GT(es.transparentMbs + es.intraMbs, 0);
+
+    auto stream = bw.take();
+    out_alpha.fill(77); // garbage that decode must overwrite
+    const VopStats ds = decodeOne(dec, stream, {}, out, &out_alpha);
+    EXPECT_EQ(ds.transparentMbs, es.transparentMbs);
+
+    // Alpha is lossless.
+    for (int y = 0; y < kH; ++y)
+        for (int x = 0; x < kW; ++x)
+            ASSERT_EQ(alpha.rawAt(x, y) != 0,
+                      out_alpha.rawAt(x, y) != 0)
+                << "(" << x << "," << y << ")";
+
+    // Texture inside the window matches the encoder recon.
+    expectFramesIdentical(recon, out);
+    // Object interior is coded with reasonable quality.
+    EXPECT_LT(video::maskedMse(cur.y(), out.y(), alpha), 120.0);
+}
+
+TEST(Vop, WindowRestrictsCoding)
+{
+    VolConfig cfg = volCfg();
+    VopEncoder enc(gCtx, cfg);
+    VopDecoder dec(gCtx, cfg);
+    video::Yuv420Image cur(gCtx, kW, kH), recon(gCtx, kW, kH),
+        out(gCtx, kW, kH);
+    renderScene(5, cur);
+
+    bits::BitWriter bw;
+    VopHeader hdr = header(VopType::I, 0, 6, cfg);
+    hdr.mbWindow = {1, 1, 2, 2}; // 32x32 interior region
+    const VopStats es = enc.encode(bw, hdr, cur, nullptr, {}, &recon,
+                                   nullptr);
+    EXPECT_EQ(es.intraMbs, 4);
+    auto stream = bw.take();
+    out.fill(0, 0);
+    decodeOne(dec, stream, {}, out, nullptr);
+    // Inside the window output matches recon; outside untouched.
+    for (int y = 16; y < 48; ++y)
+        for (int x = 16; x < 48; ++x)
+            ASSERT_EQ(out.y().rawAt(x, y), recon.y().rawAt(x, y));
+    EXPECT_EQ(out.y().rawAt(0, 0), 0);
+    EXPECT_EQ(out.y().rawAt(63, 63), 0);
+}
+
+TEST(Vop, FourMvSelectedForDivergentMotionAndRoundtrips)
+{
+    VolConfig cfg = volCfg();
+    cfg.fourMv = true;
+    cfg.searchRange = 8;
+    VopEncoder enc(gCtx, cfg);
+    VopDecoder dec(gCtx, cfg);
+
+    // Reference: textured plane.  Current: each 8x8 quadrant of the
+    // frame shifts by a different vector, so a single 16x16 vector
+    // cannot match all four blocks of a macroblock that straddles
+    // quadrant content.
+    video::Yuv420Image ref_in(gCtx, kW, kH), cur(gCtx, kW, kH);
+    video::SceneGenerator gen(kW, kH, 0, 7);
+    gen.renderFrame(0, ref_in);
+    cur.fill(128, 128);
+    for (int y = 0; y < kH; ++y) {
+        for (int x = 0; x < kW; ++x) {
+            // Divergent motion field: left half shifts +3, right -3,
+            // top +2, bottom -2 (pixels fetched with clamping).
+            const int dx = x < kW / 2 ? 3 : -3;
+            const int dy = y < kH / 2 ? 2 : -2;
+            cur.y().rawAt(x, y) = ref_in.y().rawClamped(x - dx, y - dy);
+        }
+    }
+    cur.u().copyFrom(ref_in.u());
+    cur.v().copyFrom(ref_in.v());
+
+    video::Yuv420Image ref_recon(gCtx, kW, kH), p_recon(gCtx, kW, kH);
+    video::Yuv420Image out_i(gCtx, kW, kH), out_p(gCtx, kW, kH);
+
+    bits::BitWriter bw_i, bw_p;
+    enc.encode(bw_i, header(VopType::I, 0, 4, cfg), ref_in, nullptr,
+               {}, &ref_recon, nullptr);
+    RefFrames refs;
+    refs.past = &ref_recon;
+    const VopStats es = enc.encode(bw_p, header(VopType::P, 1, 4, cfg),
+                                   cur, nullptr, refs, &p_recon,
+                                   nullptr);
+    EXPECT_GT(es.fourMvMbs, 0) << "divergent motion should pick 4MV";
+
+    auto s_i = bw_i.take();
+    auto s_p = bw_p.take();
+    decodeOne(dec, s_i, {}, out_i, nullptr);
+    RefFrames drefs;
+    drefs.past = &out_i;
+    const VopStats ds = decodeOne(dec, s_p, drefs, out_p, nullptr);
+    EXPECT_EQ(ds.fourMvMbs, es.fourMvMbs);
+    expectFramesIdentical(p_recon, out_p);
+}
+
+TEST(Vop, FourMvDisabledWhenConfigOff)
+{
+    VolConfig cfg = volCfg();
+    cfg.fourMv = false;
+    VopEncoder enc(gCtx, cfg);
+    video::Yuv420Image f0(gCtx, kW, kH), f1(gCtx, kW, kH),
+        recon(gCtx, kW, kH);
+    renderScene(0, f0);
+    renderScene(1, f1);
+    bits::BitWriter bw0, bw1;
+    enc.encode(bw0, header(VopType::I, 0, 6, cfg), f0, nullptr, {},
+               &recon, nullptr);
+    RefFrames refs;
+    refs.past = &recon;
+    const VopStats es = enc.encode(bw1, header(VopType::P, 1, 6, cfg),
+                                   f1, nullptr, refs, nullptr,
+                                   nullptr);
+    EXPECT_EQ(es.fourMvMbs, 0);
+}
+
+TEST(VopDeathTest, PredictedVopWithoutReferencePanics)
+{
+    VolConfig cfg = volCfg();
+    VopEncoder enc(gCtx, cfg);
+    video::Yuv420Image cur(gCtx, kW, kH);
+    renderScene(0, cur);
+    bits::BitWriter bw;
+    EXPECT_DEATH(enc.encode(bw, header(VopType::P, 0, 6, cfg), cur,
+                            nullptr, {}, nullptr, nullptr),
+                 "reference");
+}
+
+TEST(Vop, TruncatedStreamThrowsStreamError)
+{
+    VolConfig cfg = volCfg();
+    VopEncoder enc(gCtx, cfg);
+    video::Yuv420Image cur(gCtx, kW, kH), recon(gCtx, kW, kH),
+        out(gCtx, kW, kH);
+    renderScene(0, cur);
+    bits::BitWriter bw;
+    enc.encode(bw, header(VopType::I, 0, 6, cfg), cur, nullptr, {},
+               &recon, nullptr);
+    auto stream = bw.take();
+    stream.resize(stream.size() / 3); // hard truncation
+    VopDecoder dec(gCtx, cfg);
+    EXPECT_THROW(decodeOne(dec, stream, {}, out, nullptr),
+                 StreamError);
+}
+
+TEST(Vop, BogusWindowThrowsStreamError)
+{
+    VolConfig cfg = volCfg();
+    VopDecoder dec(gCtx, cfg);
+    video::Yuv420Image out(gCtx, kW, kH);
+    bits::BitWriter bw;
+    VopHeader hdr = header(VopType::I, 0, 6, cfg);
+    hdr.mbWindow = {0, 0, 100, 100}; // far outside the VOL
+    writeVopHeader(bw, hdr);
+    auto stream = bw.take();
+    EXPECT_THROW(decodeOne(dec, stream, {}, out, nullptr),
+                 StreamError);
+}
+
+} // namespace
+} // namespace m4ps::codec

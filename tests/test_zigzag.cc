@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Scan-order tests: permutation property, roundtrips, frequency order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "codec/zigzag.hh"
+#include "support/random.hh"
+
+namespace m4ps::codec
+{
+namespace
+{
+
+class ScanOrders : public ::testing::TestWithParam<ScanOrder>
+{
+};
+
+TEST_P(ScanOrders, TableIsPermutation)
+{
+    const int *tab = scanTable(GetParam());
+    std::set<int> seen;
+    for (int i = 0; i < kBlockSize; ++i) {
+        ASSERT_GE(tab[i], 0);
+        ASSERT_LT(tab[i], kBlockSize);
+        seen.insert(tab[i]);
+    }
+    EXPECT_EQ(seen.size(), static_cast<size_t>(kBlockSize));
+}
+
+TEST_P(ScanOrders, ScanUnscanRoundtrip)
+{
+    Rng rng(3);
+    Block in, scanned, back;
+    for (auto &v : in)
+        v = static_cast<int16_t>(rng.uniformInt(-1000, 1000));
+    scan(in, scanned, GetParam());
+    unscan(scanned, back, GetParam());
+    EXPECT_EQ(in, back);
+}
+
+TEST_P(ScanOrders, DcAlwaysFirst)
+{
+    EXPECT_EQ(scanTable(GetParam())[0], 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, ScanOrders,
+    ::testing::Values(ScanOrder::Zigzag,
+                      ScanOrder::AlternateHorizontal,
+                      ScanOrder::AlternateVertical));
+
+TEST(Zigzag, LowFrequenciesComeEarly)
+{
+    const int *tab = scanTable(ScanOrder::Zigzag);
+    // Sum of (u + v) over the first 16 scan positions must be well
+    // below the average: zigzag visits low frequencies first.
+    int early = 0, late = 0;
+    for (int i = 0; i < 16; ++i)
+        early += tab[i] / 8 + tab[i] % 8;
+    for (int i = 48; i < 64; ++i)
+        late += tab[i] / 8 + tab[i] % 8;
+    EXPECT_LT(early, late / 2);
+}
+
+TEST(Zigzag, KnownPrefix)
+{
+    const int *tab = scanTable(ScanOrder::Zigzag);
+    const int expect[8] = {0, 1, 8, 16, 9, 2, 3, 10};
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(tab[i], expect[i]) << "position " << i;
+}
+
+TEST(Zigzag, AlternateVerticalPrefersColumns)
+{
+    const int *tab = scanTable(ScanOrder::AlternateVertical);
+    // The first few entries walk down the first column.
+    EXPECT_EQ(tab[1], 8);
+    EXPECT_EQ(tab[2], 16);
+    EXPECT_EQ(tab[3], 24);
+}
+
+} // namespace
+} // namespace m4ps::codec

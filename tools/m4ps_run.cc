@@ -1,0 +1,143 @@
+/**
+ * @file
+ * m4ps_run: command-line driver for one characterization experiment.
+ *
+ * Runs a workload (size, VOs, layers, frames, bitrate, tool flags)
+ * on one of the modelled machines, in encode or decode direction,
+ * and prints the nine paper metrics plus the fallacy verdicts.
+ *
+ * Examples:
+ *   m4ps_run --mode encode --width 720 --height 576 --machine o2
+ *   m4ps_run --mode decode --vos 3 --layers 2 --machine onyx2 \
+ *            --frames 12 --bitrate 384000
+ *   m4ps_run --mode both --width 352 --height 288 --l2kb 256
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/fallacies.hh"
+#include "core/runner.hh"
+#include "support/args.hh"
+#include "support/logging.hh"
+
+namespace
+{
+
+using namespace m4ps;
+
+const std::set<std::string> kFlags{
+    "mode",    "width",  "height", "frames",  "vos",
+    "layers",  "bitrate", "machine", "l2kb",  "search-range",
+    "b-frames", "intra-period", "no-half-pel", "no-4mv",
+    "mpeg-quant", "seed", "help",
+};
+
+void
+usage()
+{
+    std::printf(
+        "m4ps_run - run one MPEG-4 memory-characterization "
+        "experiment\n\n"
+        "  --mode encode|decode|both   direction (default both)\n"
+        "  --width N --height N        frame size (default 720x576)\n"
+        "  --frames N                  sequence length (default 30)\n"
+        "  --vos N                     visual objects (default 1)\n"
+        "  --layers 1|2                layers per VO (default 1)\n"
+        "  --bitrate BPS               target bit/s (default 38400)\n"
+        "  --machine o2|onyx|onyx2     platform model (default o2)\n"
+        "  --l2kb N                    custom L2 size instead\n"
+        "  --search-range N            full-pel ME range (default 8)\n"
+        "  --b-frames N                B-VOPs between anchors\n"
+        "  --intra-period N            I-VOP distance (default 12)\n"
+        "  --no-half-pel / --no-4mv / --mpeg-quant   tool toggles\n"
+        "  --seed N                    scene seed (default 7)\n");
+}
+
+void
+report(const char *what, const core::RunResult &r,
+       const core::MachineConfig &m)
+{
+    std::printf("\n%s on %s (%s): modelled time %.3f s, stream %zu "
+                "bytes, resident %.1f MB\n",
+                what, m.name.c_str(), m.label().c_str(),
+                r.modelledSeconds, static_cast<size_t>(r.streamBytes),
+                r.residentBytes / 1048576.0);
+    for (const auto &[name, value] : r.whole.rows())
+        std::printf("  %-20s %s\n", name.c_str(), value.c_str());
+    if (r.displayedFrames > 0)
+        std::printf("  %-20s %.2f dB over %d frames\n", "mean PSNR-Y",
+                    r.meanPsnrY, r.displayedFrames);
+    std::printf("  verdicts: %s\n",
+                core::judge(r.whole, m).str().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv, kFlags);
+    if (args.getBool("help")) {
+        usage();
+        return 0;
+    }
+
+    core::Workload wl;
+    wl.width = args.getInt("width", 720);
+    wl.height = args.getInt("height", 576);
+    wl.frames = args.getInt("frames", 30);
+    wl.numVos = args.getInt("vos", 1);
+    wl.layers = args.getInt("layers", 1);
+    wl.targetBps = args.getDouble("bitrate", 38400.0);
+    wl.searchRange = args.getInt("search-range", 8);
+    wl.gop.bFrames = args.getInt("b-frames", 2);
+    wl.gop.intraPeriod = args.getInt("intra-period", 12);
+    wl.halfPel = !args.getBool("no-half-pel");
+    wl.fourMv = !args.getBool("no-4mv");
+    wl.mpegQuant = args.getBool("mpeg-quant");
+    wl.seed = static_cast<uint64_t>(args.getInt("seed", 7));
+    wl.name = "cli";
+    wl.validate();
+
+    core::MachineConfig machine;
+    if (args.has("l2kb")) {
+        machine = core::customL2Machine(
+            static_cast<uint64_t>(args.getInt("l2kb", 1024)) * 1024);
+    } else {
+        const std::string name = args.get("machine", "o2");
+        if (name == "o2")
+            machine = core::o2R12k1MB();
+        else if (name == "onyx")
+            machine = core::onyxR10k2MB();
+        else if (name == "onyx2")
+            machine = core::onyx2R12k8MB();
+        else
+            M4PS_FATAL("unknown machine '", name,
+                       "' (o2, onyx, onyx2)");
+    }
+
+    const std::string mode = args.get("mode", "both");
+    if (mode != "encode" && mode != "decode" && mode != "both")
+        M4PS_FATAL("--mode must be encode, decode, or both");
+
+    std::printf("workload: %dx%d, %d frames, %d VO(s) x %d layer(s), "
+                "%.0f bit/s target\n",
+                wl.width, wl.height, wl.frames, wl.numVos, wl.layers,
+                wl.targetBps);
+
+    std::vector<uint8_t> stream;
+    if (mode == "encode" || mode == "both") {
+        const core::RunResult enc =
+            core::ExperimentRunner::runEncode(wl, machine, &stream);
+        report("encode", enc, machine);
+    } else {
+        stream = core::ExperimentRunner::encodeUntraced(wl);
+    }
+    if (mode == "decode" || mode == "both") {
+        const core::RunResult dec =
+            core::ExperimentRunner::runDecode(wl, machine, stream);
+        report("decode", dec, machine);
+    }
+    return 0;
+}
