@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig3_l1c_miss_objects_layers.
+# This may be replaced when dependencies are built.

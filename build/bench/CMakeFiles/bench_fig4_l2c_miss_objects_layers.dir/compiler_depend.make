@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_l2c_miss_objects_layers.
+# This may be replaced when dependencies are built.

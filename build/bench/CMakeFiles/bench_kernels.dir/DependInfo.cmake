@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_kernels.cc" "bench/CMakeFiles/bench_kernels.dir/bench_kernels.cc.o" "gcc" "bench/CMakeFiles/bench_kernels.dir/bench_kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m4ps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m4ps_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m4ps_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m4ps_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m4ps_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m4ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_encode_1vo.dir/bench_table2_encode_1vo.cc.o"
+  "CMakeFiles/bench_table2_encode_1vo.dir/bench_table2_encode_1vo.cc.o.d"
+  "bench_table2_encode_1vo"
+  "bench_table2_encode_1vo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_encode_1vo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

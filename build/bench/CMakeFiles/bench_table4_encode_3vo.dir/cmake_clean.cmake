@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_encode_3vo.dir/bench_table4_encode_3vo.cc.o"
+  "CMakeFiles/bench_table4_encode_3vo.dir/bench_table4_encode_3vo.cc.o.d"
+  "bench_table4_encode_3vo"
+  "bench_table4_encode_3vo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_encode_3vo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_decode_3vo_2vol.dir/bench_table7_decode_3vo_2vol.cc.o"
+  "CMakeFiles/bench_table7_decode_3vo_2vol.dir/bench_table7_decode_3vo_2vol.cc.o.d"
+  "bench_table7_decode_3vo_2vol"
+  "bench_table7_decode_3vo_2vol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_decode_3vo_2vol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table7_decode_3vo_2vol.
+# This may be replaced when dependencies are built.

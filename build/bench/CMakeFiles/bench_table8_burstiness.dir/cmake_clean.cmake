@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_burstiness.dir/bench_table8_burstiness.cc.o"
+  "CMakeFiles/bench_table8_burstiness.dir/bench_table8_burstiness.cc.o.d"
+  "bench_table8_burstiness"
+  "bench_table8_burstiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m4ps_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/m4ps_bench_util.dir/bench_util.cc.o.d"
+  "libm4ps_bench_util.a"
+  "libm4ps_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m4ps_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_object_scene.dir/multi_object_scene.cpp.o"
+  "CMakeFiles/multi_object_scene.dir/multi_object_scene.cpp.o.d"
+  "multi_object_scene"
+  "multi_object_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_object_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalable_streaming.dir/scalable_streaming.cpp.o"
+  "CMakeFiles/scalable_streaming.dir/scalable_streaming.cpp.o.d"
+  "scalable_streaming"
+  "scalable_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalable_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_playback.dir/streaming_playback.cpp.o"
+  "CMakeFiles/streaming_playback.dir/streaming_playback.cpp.o.d"
+  "streaming_playback"
+  "streaming_playback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_playback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitstream/bitstream.cc" "src/CMakeFiles/m4ps_bitstream.dir/bitstream/bitstream.cc.o" "gcc" "src/CMakeFiles/m4ps_bitstream.dir/bitstream/bitstream.cc.o.d"
+  "/root/repo/src/bitstream/expgolomb.cc" "src/CMakeFiles/m4ps_bitstream.dir/bitstream/expgolomb.cc.o" "gcc" "src/CMakeFiles/m4ps_bitstream.dir/bitstream/expgolomb.cc.o.d"
+  "/root/repo/src/bitstream/startcode.cc" "src/CMakeFiles/m4ps_bitstream.dir/bitstream/startcode.cc.o" "gcc" "src/CMakeFiles/m4ps_bitstream.dir/bitstream/startcode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m4ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m4ps_bitstream.dir/bitstream/bitstream.cc.o"
+  "CMakeFiles/m4ps_bitstream.dir/bitstream/bitstream.cc.o.d"
+  "CMakeFiles/m4ps_bitstream.dir/bitstream/expgolomb.cc.o"
+  "CMakeFiles/m4ps_bitstream.dir/bitstream/expgolomb.cc.o.d"
+  "CMakeFiles/m4ps_bitstream.dir/bitstream/startcode.cc.o"
+  "CMakeFiles/m4ps_bitstream.dir/bitstream/startcode.cc.o.d"
+  "libm4ps_bitstream.a"
+  "libm4ps_bitstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m4ps_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

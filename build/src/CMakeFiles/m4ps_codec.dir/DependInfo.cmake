@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/arith.cc" "src/CMakeFiles/m4ps_codec.dir/codec/arith.cc.o" "gcc" "src/CMakeFiles/m4ps_codec.dir/codec/arith.cc.o.d"
+  "/root/repo/src/codec/dct.cc" "src/CMakeFiles/m4ps_codec.dir/codec/dct.cc.o" "gcc" "src/CMakeFiles/m4ps_codec.dir/codec/dct.cc.o.d"
+  "/root/repo/src/codec/decoder.cc" "src/CMakeFiles/m4ps_codec.dir/codec/decoder.cc.o" "gcc" "src/CMakeFiles/m4ps_codec.dir/codec/decoder.cc.o.d"
+  "/root/repo/src/codec/encoder.cc" "src/CMakeFiles/m4ps_codec.dir/codec/encoder.cc.o" "gcc" "src/CMakeFiles/m4ps_codec.dir/codec/encoder.cc.o.d"
+  "/root/repo/src/codec/interp.cc" "src/CMakeFiles/m4ps_codec.dir/codec/interp.cc.o" "gcc" "src/CMakeFiles/m4ps_codec.dir/codec/interp.cc.o.d"
+  "/root/repo/src/codec/motion.cc" "src/CMakeFiles/m4ps_codec.dir/codec/motion.cc.o" "gcc" "src/CMakeFiles/m4ps_codec.dir/codec/motion.cc.o.d"
+  "/root/repo/src/codec/quant.cc" "src/CMakeFiles/m4ps_codec.dir/codec/quant.cc.o" "gcc" "src/CMakeFiles/m4ps_codec.dir/codec/quant.cc.o.d"
+  "/root/repo/src/codec/ratecontrol.cc" "src/CMakeFiles/m4ps_codec.dir/codec/ratecontrol.cc.o" "gcc" "src/CMakeFiles/m4ps_codec.dir/codec/ratecontrol.cc.o.d"
+  "/root/repo/src/codec/rlc.cc" "src/CMakeFiles/m4ps_codec.dir/codec/rlc.cc.o" "gcc" "src/CMakeFiles/m4ps_codec.dir/codec/rlc.cc.o.d"
+  "/root/repo/src/codec/shape.cc" "src/CMakeFiles/m4ps_codec.dir/codec/shape.cc.o" "gcc" "src/CMakeFiles/m4ps_codec.dir/codec/shape.cc.o.d"
+  "/root/repo/src/codec/streamtools.cc" "src/CMakeFiles/m4ps_codec.dir/codec/streamtools.cc.o" "gcc" "src/CMakeFiles/m4ps_codec.dir/codec/streamtools.cc.o.d"
+  "/root/repo/src/codec/vol.cc" "src/CMakeFiles/m4ps_codec.dir/codec/vol.cc.o" "gcc" "src/CMakeFiles/m4ps_codec.dir/codec/vol.cc.o.d"
+  "/root/repo/src/codec/vop.cc" "src/CMakeFiles/m4ps_codec.dir/codec/vop.cc.o" "gcc" "src/CMakeFiles/m4ps_codec.dir/codec/vop.cc.o.d"
+  "/root/repo/src/codec/zigzag.cc" "src/CMakeFiles/m4ps_codec.dir/codec/zigzag.cc.o" "gcc" "src/CMakeFiles/m4ps_codec.dir/codec/zigzag.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m4ps_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m4ps_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m4ps_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m4ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

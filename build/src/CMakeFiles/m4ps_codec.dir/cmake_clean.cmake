@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m4ps_codec.dir/codec/arith.cc.o"
+  "CMakeFiles/m4ps_codec.dir/codec/arith.cc.o.d"
+  "CMakeFiles/m4ps_codec.dir/codec/dct.cc.o"
+  "CMakeFiles/m4ps_codec.dir/codec/dct.cc.o.d"
+  "CMakeFiles/m4ps_codec.dir/codec/decoder.cc.o"
+  "CMakeFiles/m4ps_codec.dir/codec/decoder.cc.o.d"
+  "CMakeFiles/m4ps_codec.dir/codec/encoder.cc.o"
+  "CMakeFiles/m4ps_codec.dir/codec/encoder.cc.o.d"
+  "CMakeFiles/m4ps_codec.dir/codec/interp.cc.o"
+  "CMakeFiles/m4ps_codec.dir/codec/interp.cc.o.d"
+  "CMakeFiles/m4ps_codec.dir/codec/motion.cc.o"
+  "CMakeFiles/m4ps_codec.dir/codec/motion.cc.o.d"
+  "CMakeFiles/m4ps_codec.dir/codec/quant.cc.o"
+  "CMakeFiles/m4ps_codec.dir/codec/quant.cc.o.d"
+  "CMakeFiles/m4ps_codec.dir/codec/ratecontrol.cc.o"
+  "CMakeFiles/m4ps_codec.dir/codec/ratecontrol.cc.o.d"
+  "CMakeFiles/m4ps_codec.dir/codec/rlc.cc.o"
+  "CMakeFiles/m4ps_codec.dir/codec/rlc.cc.o.d"
+  "CMakeFiles/m4ps_codec.dir/codec/shape.cc.o"
+  "CMakeFiles/m4ps_codec.dir/codec/shape.cc.o.d"
+  "CMakeFiles/m4ps_codec.dir/codec/streamtools.cc.o"
+  "CMakeFiles/m4ps_codec.dir/codec/streamtools.cc.o.d"
+  "CMakeFiles/m4ps_codec.dir/codec/vol.cc.o"
+  "CMakeFiles/m4ps_codec.dir/codec/vol.cc.o.d"
+  "CMakeFiles/m4ps_codec.dir/codec/vop.cc.o"
+  "CMakeFiles/m4ps_codec.dir/codec/vop.cc.o.d"
+  "CMakeFiles/m4ps_codec.dir/codec/zigzag.cc.o"
+  "CMakeFiles/m4ps_codec.dir/codec/zigzag.cc.o.d"
+  "libm4ps_codec.a"
+  "libm4ps_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m4ps_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

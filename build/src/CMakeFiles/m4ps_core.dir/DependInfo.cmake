@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fallacies.cc" "src/CMakeFiles/m4ps_core.dir/core/fallacies.cc.o" "gcc" "src/CMakeFiles/m4ps_core.dir/core/fallacies.cc.o.d"
+  "/root/repo/src/core/machine.cc" "src/CMakeFiles/m4ps_core.dir/core/machine.cc.o" "gcc" "src/CMakeFiles/m4ps_core.dir/core/machine.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/m4ps_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/m4ps_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/CMakeFiles/m4ps_core.dir/core/runner.cc.o" "gcc" "src/CMakeFiles/m4ps_core.dir/core/runner.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/CMakeFiles/m4ps_core.dir/core/workload.cc.o" "gcc" "src/CMakeFiles/m4ps_core.dir/core/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m4ps_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m4ps_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m4ps_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m4ps_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m4ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

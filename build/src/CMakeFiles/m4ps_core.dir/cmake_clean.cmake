@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m4ps_core.dir/core/fallacies.cc.o"
+  "CMakeFiles/m4ps_core.dir/core/fallacies.cc.o.d"
+  "CMakeFiles/m4ps_core.dir/core/machine.cc.o"
+  "CMakeFiles/m4ps_core.dir/core/machine.cc.o.d"
+  "CMakeFiles/m4ps_core.dir/core/report.cc.o"
+  "CMakeFiles/m4ps_core.dir/core/report.cc.o.d"
+  "CMakeFiles/m4ps_core.dir/core/runner.cc.o"
+  "CMakeFiles/m4ps_core.dir/core/runner.cc.o.d"
+  "CMakeFiles/m4ps_core.dir/core/workload.cc.o"
+  "CMakeFiles/m4ps_core.dir/core/workload.cc.o.d"
+  "libm4ps_core.a"
+  "libm4ps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m4ps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/address_space.cc" "src/CMakeFiles/m4ps_memsim.dir/memsim/address_space.cc.o" "gcc" "src/CMakeFiles/m4ps_memsim.dir/memsim/address_space.cc.o.d"
+  "/root/repo/src/memsim/cache.cc" "src/CMakeFiles/m4ps_memsim.dir/memsim/cache.cc.o" "gcc" "src/CMakeFiles/m4ps_memsim.dir/memsim/cache.cc.o.d"
+  "/root/repo/src/memsim/cost_model.cc" "src/CMakeFiles/m4ps_memsim.dir/memsim/cost_model.cc.o" "gcc" "src/CMakeFiles/m4ps_memsim.dir/memsim/cost_model.cc.o.d"
+  "/root/repo/src/memsim/counters.cc" "src/CMakeFiles/m4ps_memsim.dir/memsim/counters.cc.o" "gcc" "src/CMakeFiles/m4ps_memsim.dir/memsim/counters.cc.o.d"
+  "/root/repo/src/memsim/hierarchy.cc" "src/CMakeFiles/m4ps_memsim.dir/memsim/hierarchy.cc.o" "gcc" "src/CMakeFiles/m4ps_memsim.dir/memsim/hierarchy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m4ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m4ps_memsim.dir/memsim/address_space.cc.o"
+  "CMakeFiles/m4ps_memsim.dir/memsim/address_space.cc.o.d"
+  "CMakeFiles/m4ps_memsim.dir/memsim/cache.cc.o"
+  "CMakeFiles/m4ps_memsim.dir/memsim/cache.cc.o.d"
+  "CMakeFiles/m4ps_memsim.dir/memsim/cost_model.cc.o"
+  "CMakeFiles/m4ps_memsim.dir/memsim/cost_model.cc.o.d"
+  "CMakeFiles/m4ps_memsim.dir/memsim/counters.cc.o"
+  "CMakeFiles/m4ps_memsim.dir/memsim/counters.cc.o.d"
+  "CMakeFiles/m4ps_memsim.dir/memsim/hierarchy.cc.o"
+  "CMakeFiles/m4ps_memsim.dir/memsim/hierarchy.cc.o.d"
+  "libm4ps_memsim.a"
+  "libm4ps_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m4ps_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

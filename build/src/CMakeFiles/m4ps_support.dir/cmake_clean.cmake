@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m4ps_support.dir/support/args.cc.o"
+  "CMakeFiles/m4ps_support.dir/support/args.cc.o.d"
+  "CMakeFiles/m4ps_support.dir/support/logging.cc.o"
+  "CMakeFiles/m4ps_support.dir/support/logging.cc.o.d"
+  "CMakeFiles/m4ps_support.dir/support/random.cc.o"
+  "CMakeFiles/m4ps_support.dir/support/random.cc.o.d"
+  "CMakeFiles/m4ps_support.dir/support/table.cc.o"
+  "CMakeFiles/m4ps_support.dir/support/table.cc.o.d"
+  "libm4ps_support.a"
+  "libm4ps_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m4ps_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

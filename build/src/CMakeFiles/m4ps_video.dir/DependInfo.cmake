@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/composite.cc" "src/CMakeFiles/m4ps_video.dir/video/composite.cc.o" "gcc" "src/CMakeFiles/m4ps_video.dir/video/composite.cc.o.d"
+  "/root/repo/src/video/plane.cc" "src/CMakeFiles/m4ps_video.dir/video/plane.cc.o" "gcc" "src/CMakeFiles/m4ps_video.dir/video/plane.cc.o.d"
+  "/root/repo/src/video/quality.cc" "src/CMakeFiles/m4ps_video.dir/video/quality.cc.o" "gcc" "src/CMakeFiles/m4ps_video.dir/video/quality.cc.o.d"
+  "/root/repo/src/video/resample.cc" "src/CMakeFiles/m4ps_video.dir/video/resample.cc.o" "gcc" "src/CMakeFiles/m4ps_video.dir/video/resample.cc.o.d"
+  "/root/repo/src/video/scene.cc" "src/CMakeFiles/m4ps_video.dir/video/scene.cc.o" "gcc" "src/CMakeFiles/m4ps_video.dir/video/scene.cc.o.d"
+  "/root/repo/src/video/yuv.cc" "src/CMakeFiles/m4ps_video.dir/video/yuv.cc.o" "gcc" "src/CMakeFiles/m4ps_video.dir/video/yuv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m4ps_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m4ps_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m4ps_video.dir/video/composite.cc.o"
+  "CMakeFiles/m4ps_video.dir/video/composite.cc.o.d"
+  "CMakeFiles/m4ps_video.dir/video/plane.cc.o"
+  "CMakeFiles/m4ps_video.dir/video/plane.cc.o.d"
+  "CMakeFiles/m4ps_video.dir/video/quality.cc.o"
+  "CMakeFiles/m4ps_video.dir/video/quality.cc.o.d"
+  "CMakeFiles/m4ps_video.dir/video/resample.cc.o"
+  "CMakeFiles/m4ps_video.dir/video/resample.cc.o.d"
+  "CMakeFiles/m4ps_video.dir/video/scene.cc.o"
+  "CMakeFiles/m4ps_video.dir/video/scene.cc.o.d"
+  "CMakeFiles/m4ps_video.dir/video/yuv.cc.o"
+  "CMakeFiles/m4ps_video.dir/video/yuv.cc.o.d"
+  "libm4ps_video.a"
+  "libm4ps_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m4ps_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

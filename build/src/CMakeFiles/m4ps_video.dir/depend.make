@@ -1,0 +1,2 @@
+# Empty dependencies file for m4ps_video.
+# This may be replaced when dependencies are built.

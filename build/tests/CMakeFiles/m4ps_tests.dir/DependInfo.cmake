@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_args.cc" "tests/CMakeFiles/m4ps_tests.dir/test_args.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_args.cc.o.d"
+  "/root/repo/tests/test_arith.cc" "tests/CMakeFiles/m4ps_tests.dir/test_arith.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_arith.cc.o.d"
+  "/root/repo/tests/test_bitstream.cc" "tests/CMakeFiles/m4ps_tests.dir/test_bitstream.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_bitstream.cc.o.d"
+  "/root/repo/tests/test_buffer.cc" "tests/CMakeFiles/m4ps_tests.dir/test_buffer.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_buffer.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/m4ps_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_codec_e2e.cc" "tests/CMakeFiles/m4ps_tests.dir/test_codec_e2e.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_codec_e2e.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/m4ps_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_dct.cc" "tests/CMakeFiles/m4ps_tests.dir/test_dct.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_dct.cc.o.d"
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/m4ps_tests.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_hierarchy.cc.o.d"
+  "/root/repo/tests/test_motion.cc" "tests/CMakeFiles/m4ps_tests.dir/test_motion.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_motion.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/m4ps_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_quant.cc" "tests/CMakeFiles/m4ps_tests.dir/test_quant.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_quant.cc.o.d"
+  "/root/repo/tests/test_ratecontrol.cc" "tests/CMakeFiles/m4ps_tests.dir/test_ratecontrol.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_ratecontrol.cc.o.d"
+  "/root/repo/tests/test_resilience.cc" "tests/CMakeFiles/m4ps_tests.dir/test_resilience.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_resilience.cc.o.d"
+  "/root/repo/tests/test_rlc.cc" "tests/CMakeFiles/m4ps_tests.dir/test_rlc.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_rlc.cc.o.d"
+  "/root/repo/tests/test_runner.cc" "tests/CMakeFiles/m4ps_tests.dir/test_runner.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_runner.cc.o.d"
+  "/root/repo/tests/test_shape.cc" "tests/CMakeFiles/m4ps_tests.dir/test_shape.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_shape.cc.o.d"
+  "/root/repo/tests/test_streamtools.cc" "tests/CMakeFiles/m4ps_tests.dir/test_streamtools.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_streamtools.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/m4ps_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_video.cc" "tests/CMakeFiles/m4ps_tests.dir/test_video.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_video.cc.o.d"
+  "/root/repo/tests/test_vol.cc" "tests/CMakeFiles/m4ps_tests.dir/test_vol.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_vol.cc.o.d"
+  "/root/repo/tests/test_vop.cc" "tests/CMakeFiles/m4ps_tests.dir/test_vop.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_vop.cc.o.d"
+  "/root/repo/tests/test_zigzag.cc" "tests/CMakeFiles/m4ps_tests.dir/test_zigzag.cc.o" "gcc" "tests/CMakeFiles/m4ps_tests.dir/test_zigzag.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m4ps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m4ps_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m4ps_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m4ps_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m4ps_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m4ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m4ps_run.dir/m4ps_run.cc.o"
+  "CMakeFiles/m4ps_run.dir/m4ps_run.cc.o.d"
+  "m4ps_run"
+  "m4ps_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m4ps_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
