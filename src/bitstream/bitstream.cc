@@ -44,6 +44,16 @@ BitWriter::byteAlignStuffing()
     byteAlign();
 }
 
+void
+BitWriter::append(const BitWriter &other)
+{
+    M4PS_ASSERT(&other != this, "cannot append a writer to itself");
+    for (uint8_t byte : other.buf_)
+        putBits(byte, 8);
+    if (other.accBits_ > 0)
+        putBits(other.acc_, other.accBits_);
+}
+
 std::vector<uint8_t>
 BitWriter::take()
 {

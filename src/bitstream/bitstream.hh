@@ -33,6 +33,14 @@ class BitWriter
     /** Pad with zero bits to the next byte boundary (no-op if aligned). */
     void byteAlign();
 
+    /**
+     * Append every bit written to @p other so far, preserving the
+     * exact bit sequence regardless of either writer's alignment.
+     * Used to merge independently produced sub-streams (per-row
+     * slice payloads) into the master stream deterministically.
+     */
+    void append(const BitWriter &other);
+
     /** Pad to byte boundary with a 1 bit then zero bits (MPEG style). */
     void byteAlignStuffing();
 

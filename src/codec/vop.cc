@@ -9,6 +9,7 @@
 #include "bitstream/startcode.hh"
 #include "codec/zigzag.hh"
 #include "support/logging.hh"
+#include "support/threadpool.hh"
 
 namespace m4ps::codec
 {
@@ -39,13 +40,6 @@ avg4(int sum)
     return sum < 0 ? -mag : mag;
 }
 
-/** Median of three integers. */
-int
-median3(int a, int b, int c)
-{
-    return std::max(std::min(a, b), std::min(std::max(a, b), c));
-}
-
 int
 vopTypeBits(VopType t)
 {
@@ -67,6 +61,34 @@ vopTypeFromBits(uint32_t v)
       default: return VopType::I; // corrupt stream; caller validates
     }
 }
+
+/**
+ * Scoped thread-local shard binding: while alive, every memsim
+ * access made on this thread is recorded instead of simulated, to be
+ * replayed in row order by MemoryHierarchy::merge().  A null shard
+ * is a no-op (sequential runs simulate directly).
+ */
+class ShardBinding
+{
+  public:
+    explicit ShardBinding(memsim::TraceShard *shard) : shard_(shard)
+    {
+        if (shard_)
+            memsim::MemoryHierarchy::bindShard(shard_);
+    }
+
+    ~ShardBinding()
+    {
+        if (shard_)
+            memsim::MemoryHierarchy::bindShard(nullptr);
+    }
+
+    ShardBinding(const ShardBinding &) = delete;
+    ShardBinding &operator=(const ShardBinding &) = delete;
+
+  private:
+    memsim::TraceShard *shard_;
+};
 
 } // namespace
 
@@ -115,24 +137,88 @@ readVopHeader(bits::BitReader &br)
     return hdr;
 }
 
+// ---------------------------------------------------------------------
+// Row-local predictors
+// ---------------------------------------------------------------------
+
+RowPredictors::RowPredictors(int mb_width, int mb_row)
+    : mbWidth_(mb_width), mbRow_(mb_row)
+{
+    dc_[0].resize(static_cast<size_t>(4) * mb_width);
+    dcValid_[0].resize(dc_[0].size());
+    for (int p = 1; p < 3; ++p) {
+        dc_[p].resize(mb_width);
+        dcValid_[p].resize(mb_width);
+    }
+}
+
+void
+RowPredictors::beginMb()
+{
+    for (int d = 0; d < 2; ++d) {
+        left_[d] = pending_[d];
+        leftValid_[d] = pendingValid_[d];
+        pendingValid_[d] = false;
+    }
+}
+
+MotionVector
+RowPredictors::predictMv(int dir) const
+{
+    return leftValid_[dir] ? left_[dir] : MotionVector{0, 0};
+}
+
+void
+RowPredictors::setMv(int dir, MotionVector mv)
+{
+    pending_[dir] = mv;
+    pendingValid_[dir] = true;
+}
+
+int
+RowPredictors::predictDc(int plane, int bx, int by) const
+{
+    if (plane == 0) {
+        const int w = 2 * mbWidth_;
+        const int rel = by - 2 * mbRow_;
+        // Left first, then above, as in the sequential H.263 scheme;
+        // "above" exists only for the lower block row of the MB row.
+        if (bx > 0 && dcValid_[0][static_cast<size_t>(rel) * w + bx - 1])
+            return dc_[0][static_cast<size_t>(rel) * w + bx - 1];
+        if (rel == 1 && dcValid_[0][bx])
+            return dc_[0][bx];
+        return 0;
+    }
+    (void)by; // chroma has one block row per MB row: left only.
+    if (bx > 0 && dcValid_[plane][bx - 1])
+        return dc_[plane][bx - 1];
+    return 0;
+}
+
+void
+RowPredictors::setDc(int plane, int bx, int by, int level)
+{
+    size_t i;
+    if (plane == 0) {
+        const int rel = by - 2 * mbRow_;
+        i = static_cast<size_t>(rel) * 2 * mbWidth_ + bx;
+    } else {
+        i = static_cast<size_t>(bx);
+    }
+    dc_[plane][i] = static_cast<int16_t>(level);
+    dcValid_[plane][i] = 1;
+}
+
+// ---------------------------------------------------------------------
+// Shared base
+// ---------------------------------------------------------------------
+
 VopCodecBase::VopCodecBase(memsim::SimContext &ctx, const VolConfig &cfg)
     : cfg_(cfg), mem_(ctx.mem()),
       blockScratch_(ctx, kBlockSize * kNumRegions),
       predFwd_(ctx, 384), predBwd_(ctx, 384), predBi_(ctx, 384)
 {
     cfg_.validate();
-    const size_t mbs =
-        static_cast<size_t>(cfg_.mbWidth()) * cfg_.mbHeight();
-    for (int d = 0; d < 2; ++d) {
-        mvGrid_[d].resize(mbs);
-        mvValid_[d].resize(mbs);
-    }
-    dcGrid_[0].resize(mbs * 4);
-    dcValid_[0].resize(mbs * 4);
-    for (int p = 1; p < 3; ++p) {
-        dcGrid_[p].resize(mbs);
-        dcValid_[p].resize(mbs);
-    }
 }
 
 void
@@ -165,81 +251,7 @@ VopCodecBase::resetVopState(const VopHeader &hdr)
                 window_.y + window_.h <= cfg_.mbHeight(),
                 "VOP window outside VOL: (", window_.x, ",", window_.y,
                 ",", window_.w, ",", window_.h, ")");
-    for (int d = 0; d < 2; ++d)
-        std::fill(mvValid_[d].begin(), mvValid_[d].end(), 0);
-    for (int p = 0; p < 3; ++p)
-        std::fill(dcValid_[p].begin(), dcValid_[p].end(), 0);
     shape_.reset();
-}
-
-MotionVector
-VopCodecBase::predictMv(int mbx, int mby, int dir) const
-{
-    const int w = cfg_.mbWidth();
-    auto candidate = [&](int x, int y, MotionVector &mv) {
-        if (!window_.contains(x, y))
-            return false;
-        if (!mvValid_[dir][static_cast<size_t>(y) * w + x])
-            return false;
-        mv = mvGrid_[dir][static_cast<size_t>(y) * w + x];
-        return true;
-    };
-    MotionVector a, b, c;
-    const bool ha = candidate(mbx - 1, mby, a);
-    const bool hb = candidate(mbx, mby - 1, b);
-    const bool hc = candidate(mbx + 1, mby - 1, c);
-    const int n = (ha ? 1 : 0) + (hb ? 1 : 0) + (hc ? 1 : 0);
-    if (n == 0)
-        return {0, 0};
-    if (n == 1)
-        return ha ? a : (hb ? b : c);
-    // Missing candidates participate as zero vectors, per H.263/MPEG-4.
-    if (!ha)
-        a = {0, 0};
-    if (!hb)
-        b = {0, 0};
-    if (!hc)
-        c = {0, 0};
-    return {median3(a.x, b.x, c.x), median3(a.y, b.y, c.y)};
-}
-
-void
-VopCodecBase::setMv(int mbx, int mby, int dir, MotionVector mv)
-{
-    const size_t i =
-        static_cast<size_t>(mby) * cfg_.mbWidth() + mbx;
-    mvGrid_[dir][i] = mv;
-    mvValid_[dir][i] = 1;
-}
-
-int
-VopCodecBase::predictDc(int plane, int bx, int by) const
-{
-    const int w = plane == 0 ? 2 * cfg_.mbWidth() : cfg_.mbWidth();
-    auto get = [&](int x, int y, int &dc) {
-        if (x < 0 || y < 0)
-            return false;
-        const size_t i = static_cast<size_t>(y) * w + x;
-        if (!dcValid_[plane][i])
-            return false;
-        dc = dcGrid_[plane][i];
-        return true;
-    };
-    int dc;
-    if (get(bx - 1, by, dc))
-        return dc;
-    if (get(bx, by - 1, dc))
-        return dc;
-    return 0;
-}
-
-void
-VopCodecBase::setDc(int plane, int bx, int by, int level)
-{
-    const int w = plane == 0 ? 2 * cfg_.mbWidth() : cfg_.mbWidth();
-    const size_t i = static_cast<size_t>(by) * w + bx;
-    dcGrid_[plane][i] = static_cast<int16_t>(level);
-    dcValid_[plane][i] = 1;
 }
 
 // ---------------------------------------------------------------------
@@ -252,10 +264,10 @@ VopEncoder::VopEncoder(memsim::SimContext &ctx, const VolConfig &cfg)
 }
 
 VopEncoder::BlockCode
-VopEncoder::analyzeBlock(const video::Plane &cur, int x0, int y0,
-                         const uint8_t *pred, int pred_stride,
-                         bool intra, bool luma, int qp, int plane_idx,
-                         int bx, int by)
+VopEncoder::analyzeBlock(RowPredictors &rp, const video::Plane &cur,
+                         int x0, int y0, const uint8_t *pred,
+                         int pred_stride, bool intra, bool luma, int qp,
+                         int plane_idx, int bx, int by)
 {
     BlockCode code;
     Block src;
@@ -295,9 +307,9 @@ VopEncoder::analyzeBlock(const video::Plane &cur, int x0, int y0,
     tick(kPassCycles);
 
     if (intra) {
-        const int pred_dc = predictDc(plane_idx, bx, by);
+        const int pred_dc = rp.predictDc(plane_idx, bx, by);
         code.dcDelta = levels[0] - pred_dc;
-        setDc(plane_idx, bx, by, levels[0]);
+        rp.setDc(plane_idx, bx, by, levels[0]);
         code.events = runLengthEncode(scanned, 1);
     } else {
         code.events = runLengthEncode(scanned, 0);
@@ -377,6 +389,342 @@ VopEncoder::encodeShapePass(bits::BitWriter &bw, const VopHeader &hdr,
 }
 
 VopStats
+VopEncoder::encodeTextureRow(bits::BitWriter &bw, const VopHeader &hdr,
+                             int my, const video::Yuv420Image &cur,
+                             const std::vector<BabMode> &modes,
+                             const RefFrames &refs,
+                             video::Yuv420Image *recon)
+{
+    const video::Rect &win = hdr.mbWindow;
+    const int qp = hdr.qp;
+    const bool is_b = hdr.type == VopType::B;
+    const bool fwd_ok = refs.past != nullptr;
+    const bool bwd_ok = is_b && refs.future != nullptr;
+
+    VopStats stats;
+    RowPredictors rp(cfg_.mbWidth(), my);
+    // Row-private prediction pixels.  The shared SimBuffers remain
+    // the canonical simulated addresses for tracing; their stored
+    // bytes are never touched here, so concurrent rows do not race.
+    uint8_t fwdData[384];
+    uint8_t bwdData[384];
+    uint8_t biData[384];
+
+    size_t mode_idx = static_cast<size_t>(my - win.y) * win.w;
+    for (int mx = win.x; mx < win.x + win.w; ++mx, ++mode_idx) {
+        rp.beginMb();
+        const int px = mx * kMb;
+        const int py = my * kMb;
+        const BabMode bab = cfg_.hasShape ? modes[mode_idx]
+                                          : BabMode::Opaque;
+        if (bab == BabMode::Transparent) {
+            ++stats.transparentMbs;
+            if (recon) {
+                for (int p = 0; p < 3; ++p) {
+                    video::Plane &pl = recon->plane(p);
+                    const int sh = p == 0 ? 0 : 1;
+                    for (int row = 0; row < kMb >> sh; ++row) {
+                        uint8_t *r = pl.rowPtr((py >> sh) + row)
+                                     + (px >> sh);
+                        std::fill(r, r + (kMb >> sh), 128);
+                        pl.traceStoreRow(px >> sh, (py >> sh) + row,
+                                         kMb >> sh);
+                    }
+                }
+            }
+            continue;
+        }
+
+        // ---------------- mode decision -------------------------
+        bool intra = hdr.type == VopType::I;
+        SearchResult fwd{}, bwd{};
+        int mode = 0; // B: 0=fwd, 1=bwd, 2=bi
+        bool use_4mv = false;
+        MotionVector mv4[4]{};
+        if (hdr.type == VopType::P) {
+            fwd = motionSearch(cur.y(), refs.past->y(), px, py,
+                               cfg_.searchRange, cfg_.halfPel);
+            int mean, dev;
+            blockActivity16(cur.y(), px, py, mean, dev);
+            intra = dev < fwd.sad - kIntraBias;
+            if (!intra && cfg_.fourMv) {
+                // INTER4V: refine one vector per 8x8 block in a
+                // small window around the 16x16 optimum.
+                int sad4 = 0;
+                for (int b = 0; b < 4; ++b) {
+                    const SearchResult r8 = motionSearch8(
+                        cur.y(), refs.past->y(), px + (b & 1) * 8,
+                        py + (b >> 1) * 8, fwd.mv, 2,
+                        cfg_.halfPel);
+                    mv4[b] = r8.mv;
+                    sad4 += r8.sad;
+                }
+                // MoMuSys-style bias against the 4MV overhead.
+                use_4mv = sad4 + 200 < fwd.sad;
+            }
+        } else if (is_b) {
+            int best = INT32_MAX;
+            if (fwd_ok) {
+                fwd = motionSearch(cur.y(), refs.past->y(), px, py,
+                                   cfg_.searchRangeB, cfg_.halfPel);
+                best = fwd.sad;
+                mode = 0;
+            }
+            if (bwd_ok) {
+                if (cfg_.enhancement) {
+                    // Spatial reference: co-located, zero vector.
+                    bwd.mv = {0, 0};
+                    bwd.sad = sad16(cur.y(), px, py,
+                                    refs.future->y(), px, py,
+                                    INT32_MAX);
+                } else {
+                    bwd = motionSearch(cur.y(), refs.future->y(),
+                                       px, py, cfg_.searchRangeB,
+                                       cfg_.halfPel);
+                }
+                if (!fwd_ok || bwd.sad < best) {
+                    best = bwd.sad;
+                    mode = 1;
+                }
+            }
+        }
+
+        // ---------------- prediction build ----------------------
+        const uint8_t *pred = nullptr; // 384-byte Y+U+V layout
+        if (!intra && hdr.type != VopType::I) {
+            auto build = [&](const video::Yuv420Image &ref,
+                             MotionVector mv, uint8_t *dst,
+                             memsim::SimBuffer<uint8_t> &trace) {
+                predictLuma16(ref.y(), px, py, mv, dst);
+                trace.traceStoreRow(0, 256);
+                predictChroma8(ref.u(), px / 2, py / 2, mv,
+                               dst + 256);
+                predictChroma8(ref.v(), px / 2, py / 2, mv,
+                               dst + 320);
+                trace.traceStoreRow(256, 128);
+            };
+            if (is_b) {
+                if (fwd_ok)
+                    build(*refs.past, fwd.mv, fwdData, predFwd_);
+                if (bwd_ok)
+                    build(*refs.future, bwd.mv, bwdData, predBwd_);
+                if (fwd_ok && bwd_ok) {
+                    predFwd_.traceLoadRow(0, 384);
+                    predBwd_.traceLoadRow(0, 384);
+                    averagePrediction(fwdData, bwdData, 384, biData);
+                    predBi_.traceStoreRow(0, 384);
+                    // Interpolated-mode SAD over luma.
+                    int sad_bi = 0;
+                    for (int row = 0; row < kMb; ++row) {
+                        cur.y().traceLoadRow(px, py + row, kMb);
+                        const uint8_t *c =
+                            cur.y().rowPtr(py + row) + px;
+                        const uint8_t *pb = biData + row * kMb;
+                        for (int i = 0; i < kMb; ++i) {
+                            sad_bi += std::abs(
+                                static_cast<int>(c[i]) - pb[i]);
+                        }
+                    }
+                    predBi_.traceLoadRow(0, 256);
+                    const int prev_best =
+                        mode == 0 ? fwd.sad : bwd.sad;
+                    if (sad_bi < prev_best)
+                        mode = 2;
+                }
+                pred = mode == 0 ? fwdData
+                       : mode == 1 ? bwdData : biData;
+            } else if (use_4mv) {
+                // Per-block luma prediction; chroma from the
+                // averaged vector.
+                uint8_t tmp[64];
+                for (int b = 0; b < 4; ++b) {
+                    predictLuma8(refs.past->y(), px + (b & 1) * 8,
+                                 py + (b >> 1) * 8, mv4[b], tmp);
+                    uint8_t *dst = fwdData +
+                                   (b >> 1) * 8 * 16 + (b & 1) * 8;
+                    for (int row = 0; row < 8; ++row) {
+                        std::copy(tmp + row * 8, tmp + row * 8 + 8,
+                                  dst + row * 16);
+                    }
+                }
+                predFwd_.traceStoreRow(0, 256);
+                const MotionVector cavg{
+                    avg4(mv4[0].x + mv4[1].x + mv4[2].x + mv4[3].x),
+                    avg4(mv4[0].y + mv4[1].y + mv4[2].y +
+                         mv4[3].y)};
+                predictChroma8(refs.past->u(), px / 2, py / 2,
+                               cavg, fwdData + 256);
+                predictChroma8(refs.past->v(), px / 2, py / 2,
+                               cavg, fwdData + 320);
+                predFwd_.traceStoreRow(256, 128);
+                pred = fwdData;
+            } else {
+                build(*refs.past, fwd.mv, fwdData, predFwd_);
+                pred = fwdData;
+            }
+        }
+
+        // ---------------- block analysis ------------------------
+        BlockCode blocks[6];
+        int cbp = 0;
+        const memsim::SimBuffer<uint8_t> *pred_buf =
+            is_b ? (mode == 0 ? &predFwd_
+                    : mode == 1 ? &predBwd_ : &predBi_)
+                 : &predFwd_;
+        for (int b = 0; b < 6; ++b) {
+            const bool luma = b < 4;
+            const video::Plane &pl = cur.plane(luma ? 0 : b - 3);
+            const int bx = b & 1;
+            const int by = (b >> 1) & 1;
+            int x0, y0, gx, gy, plane_idx;
+            const uint8_t *p = nullptr;
+            int pstride = 0;
+            if (luma) {
+                x0 = px + bx * 8;
+                y0 = py + by * 8;
+                gx = 2 * mx + bx;
+                gy = 2 * my + by;
+                plane_idx = 0;
+                if (pred) {
+                    p = pred + by * 8 * kMb + bx * 8;
+                    pstride = kMb;
+                    const_cast<memsim::SimBuffer<uint8_t> *>(pred_buf)
+                        ->traceLoadRow(
+                            static_cast<size_t>(by) * 128 + bx * 8, 64);
+                }
+            } else {
+                x0 = px / 2;
+                y0 = py / 2;
+                gx = mx;
+                gy = my;
+                plane_idx = b - 3;
+                if (pred) {
+                    p = pred + 256 + (b - 4) * 64;
+                    pstride = 8;
+                    const_cast<memsim::SimBuffer<uint8_t> *>(pred_buf)
+                        ->traceLoadRow(256 + (b - 4) * 64, 64);
+                }
+            }
+            blocks[b] = analyzeBlock(rp, pl, x0, y0, p, pstride,
+                                     intra, luma, qp, plane_idx, gx,
+                                     gy);
+            if (blocks[b].coded)
+                cbp |= 1 << b;
+        }
+
+        // ---------------- skip decision & bit writing -----------
+        if (hdr.type == VopType::P && !intra && !use_4mv &&
+            cbp == 0 && fwd.mv.isZero()) {
+            bw.putBit(true); // not_coded
+            ++stats.skippedMbs;
+            rp.setMv(0, {0, 0});
+        } else if (is_b && cbp == 0 &&
+                   ((mode == 0 && fwd.mv.isZero()) ||
+                    (mode == 1 && bwd.mv.isZero() && !fwd_ok))) {
+            bw.putBit(true); // B skip: default direction, mv 0
+            ++stats.skippedMbs;
+        } else {
+            if (hdr.type != VopType::I)
+                bw.putBit(false); // coded
+            if (hdr.type == VopType::P)
+                bw.putBit(intra);
+            if (is_b) {
+                bits::putUe(bw, static_cast<uint32_t>(mode));
+                if (mode != 1) { // uses forward mv
+                    const MotionVector pmv = rp.predictMv(0);
+                    bits::putSe(bw, fwd.mv.x - pmv.x);
+                    bits::putSe(bw, fwd.mv.y - pmv.y);
+                    rp.setMv(0, fwd.mv);
+                }
+                if (mode != 0 && !cfg_.enhancement) {
+                    const MotionVector pmv = rp.predictMv(1);
+                    bits::putSe(bw, bwd.mv.x - pmv.x);
+                    bits::putSe(bw, bwd.mv.y - pmv.y);
+                    rp.setMv(1, bwd.mv);
+                }
+                if (mode == 0)
+                    ++stats.interMbs;
+                else if (mode == 1)
+                    ++stats.backwardMbs;
+                else
+                    ++stats.bidirectionalMbs;
+            } else if (!intra) {
+                const MotionVector pmv = rp.predictMv(0);
+                bw.putBit(use_4mv);
+                if (use_4mv) {
+                    for (int b = 0; b < 4; ++b) {
+                        bits::putSe(bw, mv4[b].x - pmv.x);
+                        bits::putSe(bw, mv4[b].y - pmv.y);
+                    }
+                    // Neighbour prediction sees the average.
+                    rp.setMv(0,
+                             {avg4(mv4[0].x + mv4[1].x + mv4[2].x +
+                                   mv4[3].x),
+                              avg4(mv4[0].y + mv4[1].y + mv4[2].y +
+                                   mv4[3].y)});
+                    ++stats.fourMvMbs;
+                } else {
+                    bits::putSe(bw, fwd.mv.x - pmv.x);
+                    bits::putSe(bw, fwd.mv.y - pmv.y);
+                    rp.setMv(0, fwd.mv);
+                }
+                ++stats.interMbs;
+            } else {
+                ++stats.intraMbs;
+            }
+
+            if (intra) {
+                for (int b = 0; b < 6; ++b) {
+                    bits::putSe(bw, blocks[b].dcDelta);
+                    bw.putBit(blocks[b].coded);
+                    if (blocks[b].coded)
+                        writeBlockEvents(bw, blocks[b].events);
+                }
+            } else {
+                bw.putBits(static_cast<uint32_t>(cbp), 6);
+                for (int b = 0; b < 6; ++b) {
+                    if (blocks[b].coded)
+                        writeBlockEvents(bw, blocks[b].events);
+                }
+            }
+            stats.codedBlocks += std::popcount(
+                static_cast<unsigned>(cbp));
+        }
+
+        // ---------------- reconstruction ------------------------
+        if (recon) {
+            for (int b = 0; b < 6; ++b) {
+                const bool luma = b < 4;
+                const int bx = b & 1;
+                const int by = (b >> 1) & 1;
+                video::Plane &pl = recon->plane(luma ? 0 : b - 3);
+                int x0, y0;
+                const uint8_t *p = nullptr;
+                int pstride = 0;
+                if (luma) {
+                    x0 = px + bx * 8;
+                    y0 = py + by * 8;
+                    if (pred) {
+                        p = pred + by * 8 * kMb + bx * 8;
+                        pstride = kMb;
+                    }
+                } else {
+                    x0 = px / 2;
+                    y0 = py / 2;
+                    if (pred) {
+                        p = pred + 256 + (b - 4) * 64;
+                        pstride = 8;
+                    }
+                }
+                reconBlock(blocks[b], p, pstride, intra, b < 4, qp,
+                           &pl, x0, y0);
+            }
+        }
+    }
+    return stats;
+}
+
+VopStats
 VopEncoder::encode(bits::BitWriter &bw, const VopHeader &hdr,
                    const video::Yuv420Image &cur,
                    const video::Plane *alpha, const RefFrames &refs,
@@ -402,326 +750,43 @@ VopEncoder::encode(bits::BitWriter &bw, const VopHeader &hdr,
     if (cfg_.hasShape)
         encodeShapePass(bw, hdr, *alpha, modes);
 
-    const video::Rect &win = hdr.mbWindow;
-    const int qp = hdr.qp;
-    const bool is_b = hdr.type == VopType::B;
     const bool fwd_ok = refs.past != nullptr;
-    const bool bwd_ok = is_b && refs.future != nullptr;
+    const bool bwd_ok = hdr.type == VopType::B &&
+                        refs.future != nullptr;
     M4PS_ASSERT(hdr.type != VopType::P || fwd_ok,
                 "P-VOP needs a past reference");
-    M4PS_ASSERT(!is_b || fwd_ok || bwd_ok, "B-VOP needs a reference");
+    M4PS_ASSERT(hdr.type != VopType::B || fwd_ok || bwd_ok,
+                "B-VOP needs a reference");
 
-    size_t mode_idx = 0;
-    for (int my = win.y; my < win.y + win.h; ++my) {
-        for (int mx = win.x; mx < win.x + win.w; ++mx, ++mode_idx) {
-            const int px = mx * kMb;
-            const int py = my * kMb;
-            const BabMode bab = cfg_.hasShape ? modes[mode_idx]
-                                              : BabMode::Opaque;
-            if (bab == BabMode::Transparent) {
-                ++stats.transparentMbs;
-                if (recon) {
-                    for (int p = 0; p < 3; ++p) {
-                        video::Plane &pl = recon->plane(p);
-                        const int sh = p == 0 ? 0 : 1;
-                        for (int row = 0; row < kMb >> sh; ++row) {
-                            uint8_t *r = pl.rowPtr((py >> sh) + row)
-                                         + (px >> sh);
-                            std::fill(r, r + (kMb >> sh), 128);
-                            pl.traceStoreRow(px >> sh, (py >> sh) + row,
-                                             kMb >> sh);
-                        }
-                    }
-                }
-                continue;
-            }
+    const video::Rect &win = hdr.mbWindow;
+    const int rows = win.h;
+    support::ThreadPool &pool = support::ThreadPool::global();
+    std::vector<bits::BitWriter> rowBw(rows);
+    std::vector<VopStats> rowStats(rows);
+    // Shards defer each row's memory trace so a parallel run can
+    // replay it in raster order and land on the exact counters a
+    // sequential run produces.  Sequential runs (and untraced runs)
+    // skip the detour and simulate directly.
+    std::vector<memsim::TraceShard> shards;
+    if (mem_ && pool.threads() > 1 && rows > 1)
+        shards.resize(rows);
 
-            // ---------------- mode decision -------------------------
-            bool intra = hdr.type == VopType::I;
-            SearchResult fwd{}, bwd{};
-            int mode = 0; // B: 0=fwd, 1=bwd, 2=bi
-            bool use_4mv = false;
-            MotionVector mv4[4]{};
-            if (hdr.type == VopType::P) {
-                fwd = motionSearch(cur.y(), refs.past->y(), px, py,
-                                   cfg_.searchRange, cfg_.halfPel);
-                int mean, dev;
-                blockActivity16(cur.y(), px, py, mean, dev);
-                intra = dev < fwd.sad - kIntraBias;
-                if (!intra && cfg_.fourMv) {
-                    // INTER4V: refine one vector per 8x8 block in a
-                    // small window around the 16x16 optimum.
-                    int sad4 = 0;
-                    for (int b = 0; b < 4; ++b) {
-                        const SearchResult r8 = motionSearch8(
-                            cur.y(), refs.past->y(), px + (b & 1) * 8,
-                            py + (b >> 1) * 8, fwd.mv, 2,
-                            cfg_.halfPel);
-                        mv4[b] = r8.mv;
-                        sad4 += r8.sad;
-                    }
-                    // MoMuSys-style bias against the 4MV overhead.
-                    use_4mv = sad4 + 200 < fwd.sad;
-                }
-            } else if (is_b) {
-                int best = INT32_MAX;
-                if (fwd_ok) {
-                    fwd = motionSearch(cur.y(), refs.past->y(), px, py,
-                                       cfg_.searchRangeB, cfg_.halfPel);
-                    best = fwd.sad;
-                    mode = 0;
-                }
-                if (bwd_ok) {
-                    if (cfg_.enhancement) {
-                        // Spatial reference: co-located, zero vector.
-                        bwd.mv = {0, 0};
-                        bwd.sad = sad16(cur.y(), px, py,
-                                        refs.future->y(), px, py,
-                                        INT32_MAX);
-                    } else {
-                        bwd = motionSearch(cur.y(), refs.future->y(),
-                                           px, py, cfg_.searchRangeB,
-                                           cfg_.halfPel);
-                    }
-                    if (!fwd_ok || bwd.sad < best) {
-                        best = bwd.sad;
-                        mode = 1;
-                    }
-                }
-            }
+    pool.parallelFor(rows, [&](int r) {
+        ShardBinding bind(shards.empty() ? nullptr : &shards[r]);
+        rowStats[r] = encodeTextureRow(rowBw[r], hdr, win.y + r, cur,
+                                       modes, refs, recon);
+    });
 
-            // ---------------- prediction build ----------------------
-            const uint8_t *pred = nullptr; // 384-byte Y+U+V layout
-            if (!intra && hdr.type != VopType::I) {
-                auto build = [&](const video::Yuv420Image &ref,
-                                 MotionVector mv,
-                                 memsim::SimBuffer<uint8_t> &buf) {
-                    predictLuma16(ref.y(), px, py, mv, buf.data());
-                    buf.traceStoreRow(0, 256);
-                    predictChroma8(ref.u(), px / 2, py / 2, mv,
-                                   buf.data() + 256);
-                    predictChroma8(ref.v(), px / 2, py / 2, mv,
-                                   buf.data() + 320);
-                    buf.traceStoreRow(256, 128);
-                };
-                if (is_b) {
-                    if (fwd_ok)
-                        build(*refs.past, fwd.mv, predFwd_);
-                    if (bwd_ok)
-                        build(*refs.future, bwd.mv, predBwd_);
-                    if (fwd_ok && bwd_ok) {
-                        predFwd_.traceLoadRow(0, 384);
-                        predBwd_.traceLoadRow(0, 384);
-                        averagePrediction(predFwd_.data(),
-                                          predBwd_.data(), 384,
-                                          predBi_.data());
-                        predBi_.traceStoreRow(0, 384);
-                        // Interpolated-mode SAD over luma.
-                        int sad_bi = 0;
-                        for (int row = 0; row < kMb; ++row) {
-                            cur.y().traceLoadRow(px, py + row, kMb);
-                            const uint8_t *c =
-                                cur.y().rowPtr(py + row) + px;
-                            const uint8_t *pb =
-                                predBi_.data() + row * kMb;
-                            for (int i = 0; i < kMb; ++i) {
-                                sad_bi += std::abs(
-                                    static_cast<int>(c[i]) - pb[i]);
-                            }
-                        }
-                        predBi_.traceLoadRow(0, 256);
-                        const int prev_best =
-                            mode == 0 ? fwd.sad : bwd.sad;
-                        if (sad_bi < prev_best)
-                            mode = 2;
-                    }
-                    pred = (mode == 0 ? predFwd_
-                            : mode == 1 ? predBwd_ : predBi_).data();
-                } else if (use_4mv) {
-                    // Per-block luma prediction; chroma from the
-                    // averaged vector.
-                    uint8_t tmp[64];
-                    for (int b = 0; b < 4; ++b) {
-                        predictLuma8(refs.past->y(), px + (b & 1) * 8,
-                                     py + (b >> 1) * 8, mv4[b], tmp);
-                        uint8_t *dst = predFwd_.data() +
-                                       (b >> 1) * 8 * 16 + (b & 1) * 8;
-                        for (int row = 0; row < 8; ++row) {
-                            std::copy(tmp + row * 8, tmp + row * 8 + 8,
-                                      dst + row * 16);
-                        }
-                    }
-                    predFwd_.traceStoreRow(0, 256);
-                    const MotionVector cavg{
-                        avg4(mv4[0].x + mv4[1].x + mv4[2].x + mv4[3].x),
-                        avg4(mv4[0].y + mv4[1].y + mv4[2].y +
-                             mv4[3].y)};
-                    predictChroma8(refs.past->u(), px / 2, py / 2,
-                                   cavg, predFwd_.data() + 256);
-                    predictChroma8(refs.past->v(), px / 2, py / 2,
-                                   cavg, predFwd_.data() + 320);
-                    predFwd_.traceStoreRow(256, 128);
-                    pred = predFwd_.data();
-                } else {
-                    build(*refs.past, fwd.mv, predFwd_);
-                    pred = predFwd_.data();
-                }
-            }
-
-            // ---------------- block analysis ------------------------
-            BlockCode blocks[6];
-            int cbp = 0;
-            const memsim::SimBuffer<uint8_t> *pred_buf =
-                is_b ? (mode == 0 ? &predFwd_
-                        : mode == 1 ? &predBwd_ : &predBi_)
-                     : &predFwd_;
-            for (int b = 0; b < 6; ++b) {
-                const bool luma = b < 4;
-                const video::Plane &pl = cur.plane(luma ? 0 : b - 3);
-                const int bx = b & 1;
-                const int by = (b >> 1) & 1;
-                int x0, y0, gx, gy, plane_idx;
-                const uint8_t *p = nullptr;
-                int pstride = 0;
-                if (luma) {
-                    x0 = px + bx * 8;
-                    y0 = py + by * 8;
-                    gx = 2 * mx + bx;
-                    gy = 2 * my + by;
-                    plane_idx = 0;
-                    if (pred) {
-                        p = pred + by * 8 * kMb + bx * 8;
-                        pstride = kMb;
-                        pred_buf->traceLoadRow(
-                            static_cast<size_t>(by) * 128 + bx * 8, 64);
-                    }
-                } else {
-                    x0 = px / 2;
-                    y0 = py / 2;
-                    gx = mx;
-                    gy = my;
-                    plane_idx = b - 3;
-                    if (pred) {
-                        p = pred + 256 + (b - 4) * 64;
-                        pstride = 8;
-                        pred_buf->traceLoadRow(256 + (b - 4) * 64, 64);
-                    }
-                }
-                blocks[b] = analyzeBlock(pl, x0, y0, p, pstride, intra,
-                                         luma, qp, plane_idx, gx, gy);
-                if (blocks[b].coded)
-                    cbp |= 1 << b;
-            }
-
-            // ---------------- skip decision & bit writing -----------
-            if (hdr.type == VopType::P && !intra && !use_4mv &&
-                cbp == 0 && fwd.mv.isZero()) {
-                bw.putBit(true); // not_coded
-                ++stats.skippedMbs;
-                setMv(mx, my, 0, {0, 0});
-            } else if (is_b && cbp == 0 &&
-                       ((mode == 0 && fwd.mv.isZero()) ||
-                        (mode == 1 && bwd.mv.isZero() && !fwd_ok))) {
-                bw.putBit(true); // B skip: default direction, mv 0
-                ++stats.skippedMbs;
-            } else {
-                if (hdr.type != VopType::I)
-                    bw.putBit(false); // coded
-                if (hdr.type == VopType::P)
-                    bw.putBit(intra);
-                if (is_b) {
-                    bits::putUe(bw, static_cast<uint32_t>(mode));
-                    if (mode != 1) { // uses forward mv
-                        const MotionVector pmv = predictMv(mx, my, 0);
-                        bits::putSe(bw, fwd.mv.x - pmv.x);
-                        bits::putSe(bw, fwd.mv.y - pmv.y);
-                        setMv(mx, my, 0, fwd.mv);
-                    }
-                    if (mode != 0 && !cfg_.enhancement) {
-                        const MotionVector pmv = predictMv(mx, my, 1);
-                        bits::putSe(bw, bwd.mv.x - pmv.x);
-                        bits::putSe(bw, bwd.mv.y - pmv.y);
-                        setMv(mx, my, 1, bwd.mv);
-                    }
-                    if (mode == 0)
-                        ++stats.interMbs;
-                    else if (mode == 1)
-                        ++stats.backwardMbs;
-                    else
-                        ++stats.bidirectionalMbs;
-                } else if (!intra) {
-                    const MotionVector pmv = predictMv(mx, my, 0);
-                    bw.putBit(use_4mv);
-                    if (use_4mv) {
-                        for (int b = 0; b < 4; ++b) {
-                            bits::putSe(bw, mv4[b].x - pmv.x);
-                            bits::putSe(bw, mv4[b].y - pmv.y);
-                        }
-                        // Neighbour prediction sees the average.
-                        setMv(mx, my, 0,
-                              {avg4(mv4[0].x + mv4[1].x + mv4[2].x +
-                                    mv4[3].x),
-                               avg4(mv4[0].y + mv4[1].y + mv4[2].y +
-                                    mv4[3].y)});
-                        ++stats.fourMvMbs;
-                    } else {
-                        bits::putSe(bw, fwd.mv.x - pmv.x);
-                        bits::putSe(bw, fwd.mv.y - pmv.y);
-                        setMv(mx, my, 0, fwd.mv);
-                    }
-                    ++stats.interMbs;
-                } else {
-                    ++stats.intraMbs;
-                }
-
-                if (intra) {
-                    for (int b = 0; b < 6; ++b) {
-                        bits::putSe(bw, blocks[b].dcDelta);
-                        bw.putBit(blocks[b].coded);
-                        if (blocks[b].coded)
-                            writeBlockEvents(bw, blocks[b].events);
-                    }
-                } else {
-                    bw.putBits(static_cast<uint32_t>(cbp), 6);
-                    for (int b = 0; b < 6; ++b) {
-                        if (blocks[b].coded)
-                            writeBlockEvents(bw, blocks[b].events);
-                    }
-                }
-                stats.codedBlocks += std::popcount(
-                    static_cast<unsigned>(cbp));
-            }
-
-            // ---------------- reconstruction ------------------------
-            if (recon) {
-                for (int b = 0; b < 6; ++b) {
-                    const bool luma = b < 4;
-                    const int bx = b & 1;
-                    const int by = (b >> 1) & 1;
-                    video::Plane &pl = recon->plane(luma ? 0 : b - 3);
-                    int x0, y0;
-                    const uint8_t *p = nullptr;
-                    int pstride = 0;
-                    if (luma) {
-                        x0 = px + bx * 8;
-                        y0 = py + by * 8;
-                        if (pred) {
-                            p = pred + by * 8 * kMb + bx * 8;
-                            pstride = kMb;
-                        }
-                    } else {
-                        x0 = px / 2;
-                        y0 = py / 2;
-                        if (pred) {
-                            p = pred + 256 + (b - 4) * 64;
-                            pstride = 8;
-                        }
-                    }
-                    reconBlock(blocks[b], p, pstride, intra, b < 4, qp,
-                               &pl, x0, y0);
-                }
-            }
-        }
+    // Deterministic merge: the row-length table, then every row's
+    // payload bits and deferred trace, all in raster order.  The
+    // layout does not depend on the thread count.
+    for (int r = 0; r < rows; ++r)
+        bits::putUe(bw, static_cast<uint32_t>(rowBw[r].bitCount()));
+    for (int r = 0; r < rows; ++r) {
+        bw.append(rowBw[r]);
+        if (!shards.empty())
+            mem_->merge(shards[r]);
+        stats += rowStats[r];
     }
 
     if (recon_alpha && alpha)
@@ -837,8 +902,9 @@ VopDecoder::decodeShapePass(bits::BitReader &br, const VopHeader &hdr,
 }
 
 void
-VopDecoder::decodeBlockInto(bits::BitReader &br, bool intra, bool luma,
-                            int qp, int plane_idx, int bx, int by,
+VopDecoder::decodeBlockInto(RowPredictors &rp, bits::BitReader &br,
+                            bool intra, bool luma, int qp,
+                            int plane_idx, int bx, int by,
                             const uint8_t *pred, int pred_stride,
                             video::Plane &out, int x0, int y0,
                             bool coded)
@@ -849,8 +915,8 @@ VopDecoder::decodeBlockInto(bits::BitReader &br, bool intra, bool luma,
     bool any = false;
     if (intra) {
         const int dc_delta = bits::getSe(br);
-        dc_level = predictDc(plane_idx, bx, by) + dc_delta;
-        setDc(plane_idx, bx, by, dc_level);
+        dc_level = rp.predictDc(plane_idx, bx, by) + dc_delta;
+        rp.setDc(plane_idx, bx, by, dc_level);
         const bool has_ac = br.getBit();
         if (has_ac) {
             const auto events = readBlockEvents(br);
@@ -910,6 +976,255 @@ VopDecoder::decodeBlockInto(bits::BitReader &br, bool intra, bool luma,
 }
 
 VopStats
+VopDecoder::decodeTextureRow(bits::BitReader &br, const VopHeader &hdr,
+                             int my, const std::vector<BabMode> &modes,
+                             const RefFrames &refs,
+                             video::Yuv420Image &out)
+{
+    const video::Rect &win = hdr.mbWindow;
+    const int qp = hdr.qp;
+    const bool is_b = hdr.type == VopType::B;
+    const bool fwd_ok = refs.past != nullptr;
+    const bool bwd_ok = is_b && refs.future != nullptr;
+
+    VopStats stats;
+    RowPredictors rp(cfg_.mbWidth(), my);
+    // Row-private prediction pixels (see encodeTextureRow).
+    uint8_t fwdData[384];
+    uint8_t bwdData[384];
+    uint8_t biData[384];
+
+    size_t mode_idx = static_cast<size_t>(my - win.y) * win.w;
+    for (int mx = win.x; mx < win.x + win.w; ++mx, ++mode_idx) {
+        rp.beginMb();
+        const int px = mx * kMb;
+        const int py = my * kMb;
+        const BabMode bab = cfg_.hasShape ? modes[mode_idx]
+                                          : BabMode::Opaque;
+        if (bab == BabMode::Transparent) {
+            ++stats.transparentMbs;
+            for (int p = 0; p < 3; ++p) {
+                video::Plane &pl = out.plane(p);
+                const int sh = p == 0 ? 0 : 1;
+                for (int row = 0; row < kMb >> sh; ++row) {
+                    uint8_t *r = pl.rowPtr((py >> sh) + row)
+                                 + (px >> sh);
+                    std::fill(r, r + (kMb >> sh), 128);
+                    pl.traceStoreRow(px >> sh, (py >> sh) + row,
+                                     kMb >> sh);
+                }
+            }
+            continue;
+        }
+
+        bool intra = hdr.type == VopType::I;
+        bool skipped = false;
+        bool use_4mv = false;
+        int mode = 0;
+        MotionVector mvf{}, mvb{}, mv4[4]{};
+        int cbp = 0;
+
+        if (hdr.type != VopType::I) {
+            skipped = br.getBit();
+            if (skipped) {
+                ++stats.skippedMbs;
+                if (is_b)
+                    mode = fwd_ok ? 0 : 1;
+                if (!is_b)
+                    rp.setMv(0, {0, 0});
+                intra = false;
+            } else {
+                if (hdr.type == VopType::P)
+                    intra = br.getBit();
+                if (is_b) {
+                    mode = static_cast<int>(bits::getUe(br));
+                    if (mode > 2)
+                        mode = 0; // corrupt stream tolerance
+                    if (mode != 1) {
+                        const MotionVector pmv = rp.predictMv(0);
+                        mvf.x = pmv.x + bits::getSe(br);
+                        mvf.y = pmv.y + bits::getSe(br);
+                        rp.setMv(0, mvf);
+                    }
+                    if (mode != 0 && !cfg_.enhancement) {
+                        const MotionVector pmv = rp.predictMv(1);
+                        mvb.x = pmv.x + bits::getSe(br);
+                        mvb.y = pmv.y + bits::getSe(br);
+                        rp.setMv(1, mvb);
+                    }
+                    if (mode == 0)
+                        ++stats.interMbs;
+                    else if (mode == 1)
+                        ++stats.backwardMbs;
+                    else
+                        ++stats.bidirectionalMbs;
+                } else if (!intra) {
+                    const MotionVector pmv = rp.predictMv(0);
+                    use_4mv = br.getBit();
+                    if (use_4mv) {
+                        for (int b = 0; b < 4; ++b) {
+                            mv4[b].x = pmv.x + bits::getSe(br);
+                            mv4[b].y = pmv.y + bits::getSe(br);
+                        }
+                        rp.setMv(0,
+                                 {avg4(mv4[0].x + mv4[1].x +
+                                       mv4[2].x + mv4[3].x),
+                                  avg4(mv4[0].y + mv4[1].y +
+                                       mv4[2].y + mv4[3].y)});
+                        ++stats.fourMvMbs;
+                    } else {
+                        mvf.x = pmv.x + bits::getSe(br);
+                        mvf.y = pmv.y + bits::getSe(br);
+                        rp.setMv(0, mvf);
+                    }
+                    ++stats.interMbs;
+                } else {
+                    ++stats.intraMbs;
+                }
+                if (!intra)
+                    cbp = static_cast<int>(br.getBits(6));
+            }
+        } else {
+            ++stats.intraMbs;
+        }
+
+        // ---------------- prediction build ----------------------
+        const uint8_t *pred = nullptr;
+        if (!intra) {
+            auto build = [&](const video::Yuv420Image &ref,
+                             const HalfPelPlanes *interp,
+                             MotionVector mv, uint8_t *dst,
+                             memsim::SimBuffer<uint8_t> &trace) {
+                if (interp && !interp->empty()) {
+                    predictLuma16FromInterp(ref.y(), *interp, px,
+                                            py, mv, dst);
+                } else {
+                    predictLuma16(ref.y(), px, py, mv, dst);
+                }
+                trace.traceStoreRow(0, 256);
+                predictChroma8(ref.u(), px / 2, py / 2, mv,
+                               dst + 256);
+                predictChroma8(ref.v(), px / 2, py / 2, mv,
+                               dst + 320);
+                trace.traceStoreRow(256, 128);
+            };
+            if (is_b) {
+                if (mode == 0 || mode == 2) {
+                    M4PS_ASSERT(fwd_ok, "fwd mode without past ref");
+                    build(*refs.past, refs.pastInterp, mvf, fwdData,
+                          predFwd_);
+                }
+                if (mode == 1 || mode == 2) {
+                    M4PS_ASSERT(bwd_ok, "bwd mode without ref");
+                    build(*refs.future, refs.futureInterp, mvb,
+                          bwdData, predBwd_);
+                }
+                if (mode == 2) {
+                    predFwd_.traceLoadRow(0, 384);
+                    predBwd_.traceLoadRow(0, 384);
+                    averagePrediction(fwdData, bwdData, 384, biData);
+                    predBi_.traceStoreRow(0, 384);
+                }
+                pred = mode == 0 ? fwdData
+                       : mode == 1 ? bwdData : biData;
+            } else if (use_4mv) {
+                M4PS_ASSERT(fwd_ok, "4MV MB without past ref");
+                uint8_t tmp[64];
+                for (int b = 0; b < 4; ++b) {
+                    predictLuma8(refs.past->y(), px + (b & 1) * 8,
+                                 py + (b >> 1) * 8, mv4[b], tmp);
+                    uint8_t *dst = fwdData +
+                                   (b >> 1) * 8 * 16 + (b & 1) * 8;
+                    for (int row = 0; row < 8; ++row) {
+                        std::copy(tmp + row * 8, tmp + row * 8 + 8,
+                                  dst + row * 16);
+                    }
+                }
+                predFwd_.traceStoreRow(0, 256);
+                const MotionVector cavg{
+                    avg4(mv4[0].x + mv4[1].x + mv4[2].x + mv4[3].x),
+                    avg4(mv4[0].y + mv4[1].y + mv4[2].y +
+                         mv4[3].y)};
+                predictChroma8(refs.past->u(), px / 2, py / 2,
+                               cavg, fwdData + 256);
+                predictChroma8(refs.past->v(), px / 2, py / 2,
+                               cavg, fwdData + 320);
+                predFwd_.traceStoreRow(256, 128);
+                pred = fwdData;
+            } else {
+                M4PS_ASSERT(fwd_ok, "P-VOP without past ref");
+                build(*refs.past, refs.pastInterp, mvf, fwdData,
+                      predFwd_);
+                pred = fwdData;
+            }
+        }
+
+        // ---------------- block decode --------------------------
+        const memsim::SimBuffer<uint8_t> *pred_buf =
+            is_b ? (mode == 0 ? &predFwd_
+                    : mode == 1 ? &predBwd_ : &predBi_)
+                 : &predFwd_;
+        for (int b = 0; b < 6; ++b) {
+            const bool luma = b < 4;
+            const int bx = b & 1;
+            const int by = (b >> 1) & 1;
+            video::Plane &pl = out.plane(luma ? 0 : b - 3);
+            int x0, y0, gx, gy, plane_idx;
+            const uint8_t *p = nullptr;
+            int pstride = 0;
+            if (luma) {
+                x0 = px + bx * 8;
+                y0 = py + by * 8;
+                gx = 2 * mx + bx;
+                gy = 2 * my + by;
+                plane_idx = 0;
+                if (pred) {
+                    p = pred + by * 8 * kMb + bx * 8;
+                    pstride = kMb;
+                    const_cast<memsim::SimBuffer<uint8_t> *>(pred_buf)
+                        ->traceLoadRow(
+                            static_cast<size_t>(by) * 128 + bx * 8, 64);
+                }
+            } else {
+                x0 = px / 2;
+                y0 = py / 2;
+                gx = mx;
+                gy = my;
+                plane_idx = b - 3;
+                if (pred) {
+                    p = pred + 256 + (b - 4) * 64;
+                    pstride = 8;
+                    const_cast<memsim::SimBuffer<uint8_t> *>(pred_buf)
+                        ->traceLoadRow(256 + (b - 4) * 64, 64);
+                }
+            }
+            const bool coded =
+                !skipped && !intra && ((cbp >> b) & 1);
+            if (coded || intra || !skipped)
+                stats.codedBlocks += coded ? 1 : 0;
+            if (skipped) {
+                // Straight copy of the prediction.
+                for (int row = 0; row < kBlockEdge; ++row) {
+                    uint8_t *r = pl.rowPtr(y0 + row) + x0;
+                    for (int i = 0; i < kBlockEdge; ++i)
+                        r[i] = p[row * pstride + i];
+                    pl.traceStoreRow(x0, y0 + row, kBlockEdge);
+                }
+            } else {
+                decodeBlockInto(rp, br, intra, luma, qp, plane_idx,
+                                gx, gy, p, pstride, pl, x0, y0,
+                                coded);
+            }
+        }
+        marshalMacroblock();
+        if (br.overrun())
+            throw StreamError("bitstream exhausted mid-VOP "
+                              "(corrupt or truncated stream)");
+    }
+    return stats;
+}
+
+VopStats
 VopDecoder::decode(bits::BitReader &br, const VopHeader &hdr,
                    const RefFrames &refs, video::Yuv420Image &out,
                    video::Plane *out_alpha)
@@ -923,9 +1238,10 @@ VopDecoder::decode(bits::BitReader &br, const VopHeader &hdr,
     if (mem_)
         region.emplace(*mem_, "VopDecode");
 
-    const video::Rect &w = hdr.mbWindow;
-    if (w.x < 0 || w.y < 0 || w.w <= 0 || w.h <= 0 ||
-        w.x + w.w > cfg_.mbWidth() || w.y + w.h > cfg_.mbHeight()) {
+    const video::Rect &win = hdr.mbWindow;
+    if (win.x < 0 || win.y < 0 || win.w <= 0 || win.h <= 0 ||
+        win.x + win.w > cfg_.mbWidth() ||
+        win.y + win.h > cfg_.mbHeight()) {
         throw StreamError("VOP window outside the VOL");
     }
     const uint64_t start_bits = br.bitPos();
@@ -937,243 +1253,65 @@ VopDecoder::decode(bits::BitReader &br, const VopHeader &hdr,
     if (cfg_.hasShape)
         decodeShapePass(br, hdr, *out_alpha, modes);
 
-    const video::Rect &win = hdr.mbWindow;
-    const int qp = hdr.qp;
-    const bool is_b = hdr.type == VopType::B;
     const bool fwd_ok = refs.past != nullptr;
-    const bool bwd_ok = is_b && refs.future != nullptr;
+    const bool bwd_ok = hdr.type == VopType::B &&
+                        refs.future != nullptr;
     if (hdr.type == VopType::P && !fwd_ok)
         throw StreamError("P-VOP without a past reference");
-    if (is_b && !fwd_ok && !bwd_ok)
+    if (hdr.type == VopType::B && !fwd_ok && !bwd_ok)
         throw StreamError("B-VOP without references");
 
-    size_t mode_idx = 0;
-    for (int my = win.y; my < win.y + win.h; ++my) {
-        for (int mx = win.x; mx < win.x + win.w; ++mx, ++mode_idx) {
-            const int px = mx * kMb;
-            const int py = my * kMb;
-            const BabMode bab = cfg_.hasShape ? modes[mode_idx]
-                                              : BabMode::Opaque;
-            if (bab == BabMode::Transparent) {
-                ++stats.transparentMbs;
-                for (int p = 0; p < 3; ++p) {
-                    video::Plane &pl = out.plane(p);
-                    const int sh = p == 0 ? 0 : 1;
-                    for (int row = 0; row < kMb >> sh; ++row) {
-                        uint8_t *r = pl.rowPtr((py >> sh) + row)
-                                     + (px >> sh);
-                        std::fill(r, r + (kMb >> sh), 128);
-                        pl.traceStoreRow(px >> sh, (py >> sh) + row,
-                                         kMb >> sh);
-                    }
-                }
-                continue;
-            }
+    // Row-length table: per-row payload sizes in bits, raster order.
+    const int rows = win.h;
+    std::vector<uint64_t> rowBits(rows);
+    uint64_t total = 0;
+    for (int r = 0; r < rows; ++r) {
+        rowBits[r] = bits::getUe(br);
+        total += rowBits[r];
+    }
+    if (br.overrun() || total > br.bitsLeft())
+        throw StreamError("corrupt slice-row length table");
+    const uint64_t base = br.bitPos();
+    std::vector<uint64_t> rowStart(rows);
+    uint64_t off = base;
+    for (int r = 0; r < rows; ++r) {
+        rowStart[r] = off;
+        off += rowBits[r];
+    }
 
-            bool intra = hdr.type == VopType::I;
-            bool skipped = false;
-            bool use_4mv = false;
-            int mode = 0;
-            MotionVector mvf{}, mvb{}, mv4[4]{};
-            int cbp = 0;
+    support::ThreadPool &pool = support::ThreadPool::global();
+    std::vector<VopStats> rowStats(rows);
+    std::vector<memsim::TraceShard> shards;
+    if (mem_ && pool.threads() > 1 && rows > 1)
+        shards.resize(rows);
 
-            if (hdr.type != VopType::I) {
-                skipped = br.getBit();
-                if (skipped) {
-                    ++stats.skippedMbs;
-                    if (is_b)
-                        mode = fwd_ok ? 0 : 1;
-                    if (!is_b)
-                        setMv(mx, my, 0, {0, 0});
-                    intra = false;
-                } else {
-                    if (hdr.type == VopType::P)
-                        intra = br.getBit();
-                    if (is_b) {
-                        mode = static_cast<int>(bits::getUe(br));
-                        if (mode > 2)
-                            mode = 0; // corrupt stream tolerance
-                        if (mode != 1) {
-                            const MotionVector pmv =
-                                predictMv(mx, my, 0);
-                            mvf.x = pmv.x + bits::getSe(br);
-                            mvf.y = pmv.y + bits::getSe(br);
-                            setMv(mx, my, 0, mvf);
-                        }
-                        if (mode != 0 && !cfg_.enhancement) {
-                            const MotionVector pmv =
-                                predictMv(mx, my, 1);
-                            mvb.x = pmv.x + bits::getSe(br);
-                            mvb.y = pmv.y + bits::getSe(br);
-                            setMv(mx, my, 1, mvb);
-                        }
-                        if (mode == 0)
-                            ++stats.interMbs;
-                        else if (mode == 1)
-                            ++stats.backwardMbs;
-                        else
-                            ++stats.bidirectionalMbs;
-                    } else if (!intra) {
-                        const MotionVector pmv = predictMv(mx, my, 0);
-                        use_4mv = br.getBit();
-                        if (use_4mv) {
-                            for (int b = 0; b < 4; ++b) {
-                                mv4[b].x = pmv.x + bits::getSe(br);
-                                mv4[b].y = pmv.y + bits::getSe(br);
-                            }
-                            setMv(mx, my, 0,
-                                  {avg4(mv4[0].x + mv4[1].x +
-                                        mv4[2].x + mv4[3].x),
-                                   avg4(mv4[0].y + mv4[1].y +
-                                        mv4[2].y + mv4[3].y)});
-                            ++stats.fourMvMbs;
-                        } else {
-                            mvf.x = pmv.x + bits::getSe(br);
-                            mvf.y = pmv.y + bits::getSe(br);
-                            setMv(mx, my, 0, mvf);
-                        }
-                        ++stats.interMbs;
-                    } else {
-                        ++stats.intraMbs;
-                    }
-                    if (!intra)
-                        cbp = static_cast<int>(br.getBits(6));
-                }
-            } else {
-                ++stats.intraMbs;
+    pool.parallelFor(rows, [&](int r) {
+        ShardBinding bind(shards.empty() ? nullptr : &shards[r]);
+        bits::BitReader rbr = br;
+        rbr.seekBits(rowStart[r]);
+        try {
+            rowStats[r] = decodeTextureRow(rbr, hdr, win.y + r, modes,
+                                           refs, out);
+            if (rbr.overrun() ||
+                rbr.bitPos() != rowStart[r] + rowBits[r]) {
+                throw StreamError("slice row does not match its "
+                                  "coded length");
             }
-
-            // ---------------- prediction build ----------------------
-            const uint8_t *pred = nullptr;
-            if (!intra) {
-                auto build = [&](const video::Yuv420Image &ref,
-                                 const HalfPelPlanes *interp,
-                                 MotionVector mv,
-                                 memsim::SimBuffer<uint8_t> &buf) {
-                    if (interp && !interp->empty()) {
-                        predictLuma16FromInterp(ref.y(), *interp, px,
-                                                py, mv, buf.data());
-                    } else {
-                        predictLuma16(ref.y(), px, py, mv, buf.data());
-                    }
-                    buf.traceStoreRow(0, 256);
-                    predictChroma8(ref.u(), px / 2, py / 2, mv,
-                                   buf.data() + 256);
-                    predictChroma8(ref.v(), px / 2, py / 2, mv,
-                                   buf.data() + 320);
-                    buf.traceStoreRow(256, 128);
-                };
-                if (is_b) {
-                    if (mode == 0 || mode == 2) {
-                        M4PS_ASSERT(fwd_ok, "fwd mode without past ref");
-                        build(*refs.past, refs.pastInterp, mvf,
-                              predFwd_);
-                    }
-                    if (mode == 1 || mode == 2) {
-                        M4PS_ASSERT(bwd_ok, "bwd mode without ref");
-                        build(*refs.future, refs.futureInterp, mvb,
-                              predBwd_);
-                    }
-                    if (mode == 2) {
-                        predFwd_.traceLoadRow(0, 384);
-                        predBwd_.traceLoadRow(0, 384);
-                        averagePrediction(predFwd_.data(),
-                                          predBwd_.data(), 384,
-                                          predBi_.data());
-                        predBi_.traceStoreRow(0, 384);
-                    }
-                    pred = (mode == 0 ? predFwd_
-                            : mode == 1 ? predBwd_ : predBi_).data();
-                } else if (use_4mv) {
-                    M4PS_ASSERT(fwd_ok, "4MV MB without past ref");
-                    uint8_t tmp[64];
-                    for (int b = 0; b < 4; ++b) {
-                        predictLuma8(refs.past->y(), px + (b & 1) * 8,
-                                     py + (b >> 1) * 8, mv4[b], tmp);
-                        uint8_t *dst = predFwd_.data() +
-                                       (b >> 1) * 8 * 16 + (b & 1) * 8;
-                        for (int row = 0; row < 8; ++row) {
-                            std::copy(tmp + row * 8, tmp + row * 8 + 8,
-                                      dst + row * 16);
-                        }
-                    }
-                    predFwd_.traceStoreRow(0, 256);
-                    const MotionVector cavg{
-                        avg4(mv4[0].x + mv4[1].x + mv4[2].x + mv4[3].x),
-                        avg4(mv4[0].y + mv4[1].y + mv4[2].y +
-                             mv4[3].y)};
-                    predictChroma8(refs.past->u(), px / 2, py / 2,
-                                   cavg, predFwd_.data() + 256);
-                    predictChroma8(refs.past->v(), px / 2, py / 2,
-                                   cavg, predFwd_.data() + 320);
-                    predFwd_.traceStoreRow(256, 128);
-                    pred = predFwd_.data();
-                } else {
-                    M4PS_ASSERT(fwd_ok, "P-VOP without past ref");
-                    build(*refs.past, refs.pastInterp, mvf, predFwd_);
-                    pred = predFwd_.data();
-                }
-            }
-
-            // ---------------- block decode --------------------------
-            const memsim::SimBuffer<uint8_t> *pred_buf =
-                is_b ? (mode == 0 ? &predFwd_
-                        : mode == 1 ? &predBwd_ : &predBi_)
-                     : &predFwd_;
-            for (int b = 0; b < 6; ++b) {
-                const bool luma = b < 4;
-                const int bx = b & 1;
-                const int by = (b >> 1) & 1;
-                video::Plane &pl = out.plane(luma ? 0 : b - 3);
-                int x0, y0, gx, gy, plane_idx;
-                const uint8_t *p = nullptr;
-                int pstride = 0;
-                if (luma) {
-                    x0 = px + bx * 8;
-                    y0 = py + by * 8;
-                    gx = 2 * mx + bx;
-                    gy = 2 * my + by;
-                    plane_idx = 0;
-                    if (pred) {
-                        p = pred + by * 8 * kMb + bx * 8;
-                        pstride = kMb;
-                        pred_buf->traceLoadRow(
-                            static_cast<size_t>(by) * 128 + bx * 8, 64);
-                    }
-                } else {
-                    x0 = px / 2;
-                    y0 = py / 2;
-                    gx = mx;
-                    gy = my;
-                    plane_idx = b - 3;
-                    if (pred) {
-                        p = pred + 256 + (b - 4) * 64;
-                        pstride = 8;
-                        pred_buf->traceLoadRow(256 + (b - 4) * 64, 64);
-                    }
-                }
-                const bool coded =
-                    !skipped && !intra && ((cbp >> b) & 1);
-                if (coded || intra || !skipped)
-                    stats.codedBlocks += coded ? 1 : 0;
-                if (skipped) {
-                    // Straight copy of the prediction.
-                    for (int row = 0; row < kBlockEdge; ++row) {
-                        uint8_t *r = pl.rowPtr(y0 + row) + x0;
-                        for (int i = 0; i < kBlockEdge; ++i)
-                            r[i] = p[row * pstride + i];
-                        pl.traceStoreRow(x0, y0 + row, kBlockEdge);
-                    }
-                } else {
-                    decodeBlockInto(br, intra, luma, qp, plane_idx, gx,
-                                    gy, p, pstride, pl, x0, y0, coded);
-                }
-            }
-            marshalMacroblock();
-            if (br.overrun())
-                throw StreamError("bitstream exhausted mid-VOP "
-                                  "(corrupt or truncated stream)");
+        } catch (const StreamError &) {
+            // Slice concealment: rows are independent, so a corrupt
+            // payload costs exactly this row.  The frame store keeps
+            // whatever it held before; neighbours are unaffected and
+            // the outer reader continues at the table's offsets.
+            rowStats[r] = VopStats{};
+            rowStats[r].corruptedRows = 1;
         }
+    });
+
+    br.seekBits(base + total);
+    for (int r = 0; r < rows; ++r) {
+        if (!shards.empty())
+            mem_->merge(shards[r]);
+        stats += rowStats[r];
     }
 
     stats.bits = br.bitPos() - start_bits;

@@ -16,6 +16,13 @@
  * B machinery where the "backward" reference is the upsampled base
  * layer reconstruction at the same time instant (vector forced to
  * zero); see VolConfig::enhancement.
+ *
+ * Texture is coded in macroblock-row slices: every predictor
+ * dependency on the row above is severed (see RowPredictors) and
+ * each row's payload is an independently decodable sub-stream behind
+ * a row-length table, so rows can be encoded and decoded in parallel
+ * on the support::ThreadPool while producing a bitstream that is
+ * bit-identical for any thread count (docs/THREADING.md).
  */
 
 #ifndef M4PS_CODEC_VOP_HH
@@ -87,6 +94,12 @@ struct VopStats
     int skippedMbs = 0;
     int transparentMbs = 0;
     int codedBlocks = 0;
+    /**
+     * Decoder only: macroblock rows whose slice payload was corrupt
+     * and got concealed (dropped, frame store keeps its previous
+     * content).  Row independence limits the damage to one slice.
+     */
+    int corruptedRows = 0;
 
     int codedMbs() const
     {
@@ -105,6 +118,7 @@ struct VopStats
         skippedMbs += o.skippedMbs;
         transparentMbs += o.transparentMbs;
         codedBlocks += o.codedBlocks;
+        corruptedRows += o.corruptedRows;
         return *this;
     }
 };
@@ -125,13 +139,61 @@ struct RefFrames
 };
 
 /**
+ * Prediction state local to one macroblock row (slice).
+ *
+ * Rows are coded as independent slices so they can run concurrently:
+ * every predictor dependency that would reach into the row above is
+ * severed.  Motion vectors predict from the left neighbour only (the
+ * H.263 median's above and above-right candidates live in the
+ * previous row); intra DC predicts left-then-above where "above"
+ * never leaves the current macroblock row (the lower luma block row
+ * still predicts vertically from the upper one).  Encoder and
+ * decoder share this class, so the bitstream is identical for any
+ * thread count.
+ */
+class RowPredictors
+{
+  public:
+    RowPredictors(int mb_width, int mb_row);
+
+    /** Advance to the next macroblock: commit left-neighbour state. */
+    void beginMb();
+
+    /** Left-neighbour MV predictor for direction @p dir. */
+    MotionVector predictMv(int dir) const;
+
+    /** Record the coded MV of the current MB for direction @p dir. */
+    void setMv(int dir, MotionVector mv);
+
+    /** Intra DC prediction for absolute block position (bx, by). */
+    int predictDc(int plane, int bx, int by) const;
+
+    /** Record a reconstructed intra DC level. */
+    void setDc(int plane, int bx, int by, int level);
+
+  private:
+    int mbWidth_;
+    int mbRow_;
+    MotionVector left_[2]{};
+    MotionVector pending_[2]{};
+    bool leftValid_[2]{};
+    bool pendingValid_[2]{};
+    /** DC levels: plane 0 = Y (2 block rows x 2W), 1 = U, 2 = V (W). */
+    std::vector<int16_t> dc_[3];
+    std::vector<uint8_t> dcValid_[3];
+};
+
+/**
  * Shared scratch state for VOP coding.
  *
  * The block pipeline (fetch, DCT, quantize, scan, reconstruct) runs
  * through small scratch buffers that live in simulated memory: in
  * the reference software these are exactly the L1-resident work
  * arrays whose reuse produces the high primary-cache hit rates the
- * paper reports.
+ * paper reports.  Under row-parallel coding the SimBuffers keep
+ * providing the canonical simulated addresses while each row task
+ * carries its own real pixel scratch; the trace operations never
+ * touch the stored data, so concurrent rows only ever read them.
  */
 class VopCodecBase
 {
@@ -156,20 +218,8 @@ class VopCodecBase
     /** Charge pure-compute cycles (transform butterflies etc.). */
     void tick(double cycles) const;
 
-    /** Reset per-VOP prediction state (MV grids, DC grids). */
+    /** Validate the VOP window and reset per-VOP shape state. */
     void resetVopState(const VopHeader &hdr);
-
-    /** Median MV predictor at (mbx, mby) for direction @p dir. */
-    MotionVector predictMv(int mbx, int mby, int dir) const;
-
-    /** Record the coded MV at (mbx, mby) for direction @p dir. */
-    void setMv(int mbx, int mby, int dir, MotionVector mv);
-
-    /** Intra DC level prediction for the block grid position. */
-    int predictDc(int plane, int bx, int by) const;
-
-    /** Record a reconstructed intra DC level. */
-    void setDc(int plane, int bx, int by, int level);
 
     const VolConfig cfg_;
     memsim::MemoryHierarchy *mem_;
@@ -182,12 +232,6 @@ class VopCodecBase
     memsim::SimBuffer<uint8_t> predBwd_;
     memsim::SimBuffer<uint8_t> predBi_;
 
-    /** Per-direction MV grids (mbWidth x mbHeight), with validity. */
-    std::vector<MotionVector> mvGrid_[2];
-    std::vector<uint8_t> mvValid_[2];
-    /** DC level grids: plane 0 = Y (2W x 2H), 1 = U, 2 = V (W x H). */
-    std::vector<int16_t> dcGrid_[3];
-    std::vector<uint8_t> dcValid_[3];
     /** Window of the VOP being coded. */
     video::Rect window_;
 };
@@ -227,11 +271,22 @@ class VopEncoder : public VopCodecBase
         bool coded = false;
     };
 
+    /**
+     * Encode one macroblock row into @p bw (a fresh per-row writer).
+     * Thread-safe against other rows of the same VOP.
+     */
+    VopStats encodeTextureRow(bits::BitWriter &bw,
+                              const VopHeader &hdr, int my,
+                              const video::Yuv420Image &cur,
+                              const std::vector<BabMode> &modes,
+                              const RefFrames &refs,
+                              video::Yuv420Image *recon);
+
     /** Run the analysis half of the block pipeline. */
-    BlockCode analyzeBlock(const video::Plane &cur, int x0, int y0,
-                           const uint8_t *pred, int pred_stride,
-                           bool intra, bool luma, int qp,
-                           int plane_idx, int bx, int by);
+    BlockCode analyzeBlock(RowPredictors &rp, const video::Plane &cur,
+                           int x0, int y0, const uint8_t *pred,
+                           int pred_stride, bool intra, bool luma,
+                           int qp, int plane_idx, int bx, int by);
 
     /** Reconstruct a block into @p recon (if non-null). */
     void reconBlock(const BlockCode &code, const uint8_t *pred,
@@ -260,11 +315,22 @@ class VopDecoder : public VopCodecBase
                     video::Plane *out_alpha);
 
   private:
+    /**
+     * Decode one macroblock row from @p br (positioned at the row's
+     * slice payload).  Thread-safe against other rows.
+     */
+    VopStats decodeTextureRow(bits::BitReader &br,
+                              const VopHeader &hdr, int my,
+                              const std::vector<BabMode> &modes,
+                              const RefFrames &refs,
+                              video::Yuv420Image &out);
+
     /** Decode one block's levels; returns the events applied. */
-    void decodeBlockInto(bits::BitReader &br, bool intra, bool luma,
-                         int qp, int plane_idx, int bx, int by,
-                         const uint8_t *pred, int pred_stride,
-                         video::Plane &out, int x0, int y0, bool coded);
+    void decodeBlockInto(RowPredictors &rp, bits::BitReader &br,
+                         bool intra, bool luma, int qp, int plane_idx,
+                         int bx, int by, const uint8_t *pred,
+                         int pred_stride, video::Plane &out, int x0,
+                         int y0, bool coded);
 
     void decodeShapePass(bits::BitReader &br, const VopHeader &hdr,
                          video::Plane &alpha,

@@ -1,6 +1,7 @@
 #include "core/runner.hh"
 
 #include "support/logging.hh"
+#include "support/threadpool.hh"
 #include "video/composite.hh"
 #include "video/quality.hh"
 #include "video/scene.hh"
@@ -164,6 +165,7 @@ ExperimentRunner::runEncode(const Workload &w,
     r.streamBytes = stream.size();
     r.residentBytes = ctx.residentBytes();
     r.modelledSeconds = r.whole.seconds;
+    r.threads = support::ThreadPool::global().threads();
     if (stream_out)
         *stream_out = std::move(stream);
     return r;
@@ -197,6 +199,7 @@ ExperimentRunner::runDecode(const Workload &w,
     r.streamBytes = stream.size();
     r.residentBytes = ctx.residentBytes();
     r.modelledSeconds = r.whole.seconds;
+    r.threads = support::ThreadPool::global().threads();
     return r;
 }
 

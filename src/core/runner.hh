@@ -40,6 +40,13 @@ struct RunResult
     uint64_t streamBytes = 0;
     uint64_t residentBytes = 0;
     double modelledSeconds = 0;
+    /**
+     * Macroblock-row worker threads the codec ran with (the global
+     * support::ThreadPool width).  Bitstreams, counters, and every
+     * modelled metric are identical for any value; only host
+     * wall-clock time changes.
+     */
+    int threads = 1;
 };
 
 /** Static entry points for the experiment harness. */

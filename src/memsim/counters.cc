@@ -49,6 +49,20 @@ CounterSet::operator-(const CounterSet &o) const
     return r;
 }
 
+bool
+CounterSet::operator==(const CounterSet &o) const
+{
+    return gradLoads == o.gradLoads && gradStores == o.gradStores &&
+           l1Misses == o.l1Misses && l1Writebacks == o.l1Writebacks &&
+           l2Misses == o.l2Misses && l2Writebacks == o.l2Writebacks &&
+           prefetches == o.prefetches &&
+           prefetchL1Hits == o.prefetchL1Hits &&
+           prefetchFills == o.prefetchFills &&
+           computeCycles == o.computeCycles &&
+           stallL2Cycles == o.stallL2Cycles &&
+           stallDramCycles == o.stallDramCycles;
+}
+
 std::string
 CounterSet::str() const
 {

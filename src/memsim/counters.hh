@@ -59,6 +59,13 @@ struct CounterSet
     CounterSet &operator-=(const CounterSet &o);
     CounterSet operator-(const CounterSet &o) const;
 
+    /**
+     * Exact equality, including the cycle doubles: used to assert
+     * that parallel runs merge to bit-identical statistics.
+     */
+    bool operator==(const CounterSet &o) const;
+    bool operator!=(const CounterSet &o) const { return !(*this == o); }
+
     /** Human-readable multi-line dump (for debugging and examples). */
     std::string str() const;
 };

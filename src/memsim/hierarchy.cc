@@ -1,9 +1,19 @@
 #include "memsim/hierarchy.hh"
 
+#include <bit>
+
 #include "support/logging.hh"
 
 namespace m4ps::memsim
 {
+
+namespace
+{
+
+/** Recording target of the current thread (null = simulate now). */
+thread_local TraceShard *tlsShard = nullptr;
+
+} // namespace
 
 MemoryHierarchy::MemoryHierarchy(const CacheConfig &l1,
                                  const CacheConfig &l2,
@@ -13,6 +23,18 @@ MemoryHierarchy::MemoryHierarchy(const CacheConfig &l1,
 {
     M4PS_ASSERT(l2.lineBytes >= l1.lineBytes,
                 "L2 line must not be smaller than L1 line");
+}
+
+void
+MemoryHierarchy::bindShard(TraceShard *shard)
+{
+    tlsShard = shard;
+}
+
+TraceShard *
+MemoryHierarchy::boundShard()
+{
+    return tlsShard;
 }
 
 void
@@ -50,7 +72,7 @@ MemoryHierarchy::touchLine(uint64_t addr, bool is_write)
 }
 
 void
-MemoryHierarchy::load(uint64_t addr, int bytes)
+MemoryHierarchy::loadNow(uint64_t addr, int bytes)
 {
     ++ctrs_.gradLoads;
     ctrs_.computeCycles += cost_.cyclesPerAccess;
@@ -61,7 +83,7 @@ MemoryHierarchy::load(uint64_t addr, int bytes)
 }
 
 void
-MemoryHierarchy::store(uint64_t addr, int bytes)
+MemoryHierarchy::storeNow(uint64_t addr, int bytes)
 {
     ++ctrs_.gradStores;
     ctrs_.computeCycles += cost_.cyclesPerAccess;
@@ -72,7 +94,8 @@ MemoryHierarchy::store(uint64_t addr, int bytes)
 }
 
 void
-MemoryHierarchy::loadRow(uint64_t addr, uint64_t bytes, uint64_t elems)
+MemoryHierarchy::loadRowNow(uint64_t addr, uint64_t bytes,
+                            uint64_t elems)
 {
     if (bytes == 0)
         return;
@@ -85,7 +108,8 @@ MemoryHierarchy::loadRow(uint64_t addr, uint64_t bytes, uint64_t elems)
 }
 
 void
-MemoryHierarchy::storeRow(uint64_t addr, uint64_t bytes, uint64_t elems)
+MemoryHierarchy::storeRowNow(uint64_t addr, uint64_t bytes,
+                             uint64_t elems)
 {
     if (bytes == 0)
         return;
@@ -98,7 +122,7 @@ MemoryHierarchy::storeRow(uint64_t addr, uint64_t bytes, uint64_t elems)
 }
 
 void
-MemoryHierarchy::prefetch(uint64_t addr)
+MemoryHierarchy::prefetchNow(uint64_t addr)
 {
     ++ctrs_.prefetches;
     // A prefetch instruction still occupies an issue slot.
@@ -114,6 +138,116 @@ MemoryHierarchy::prefetch(uint64_t addr)
         ++ctrs_.l2Writebacks;
     if (r1.evictedDirty)
         writebackToL2(r1.evictedAddr);
+}
+
+void
+MemoryHierarchy::load(uint64_t addr, int bytes)
+{
+    if (TraceShard *s = tlsShard) {
+        s->ops_.push_back({addr, static_cast<uint32_t>(bytes),
+                           (1u << 3) | TraceShard::kOpLoad});
+        ++s->tallies_.gradLoads;
+        s->tallies_.computeCycles += cost_.cyclesPerAccess;
+        return;
+    }
+    loadNow(addr, bytes);
+}
+
+void
+MemoryHierarchy::store(uint64_t addr, int bytes)
+{
+    if (TraceShard *s = tlsShard) {
+        s->ops_.push_back({addr, static_cast<uint32_t>(bytes),
+                           (1u << 3) | TraceShard::kOpStore});
+        ++s->tallies_.gradStores;
+        s->tallies_.computeCycles += cost_.cyclesPerAccess;
+        return;
+    }
+    storeNow(addr, bytes);
+}
+
+void
+MemoryHierarchy::loadRow(uint64_t addr, uint64_t bytes, uint64_t elems)
+{
+    if (TraceShard *s = tlsShard) {
+        s->ops_.push_back(
+            {addr, static_cast<uint32_t>(bytes),
+             (static_cast<uint32_t>(elems) << 3) | TraceShard::kOpLoadRow});
+        s->tallies_.gradLoads += elems;
+        s->tallies_.computeCycles += cost_.cyclesPerAccess * elems;
+        return;
+    }
+    loadRowNow(addr, bytes, elems);
+}
+
+void
+MemoryHierarchy::storeRow(uint64_t addr, uint64_t bytes, uint64_t elems)
+{
+    if (TraceShard *s = tlsShard) {
+        s->ops_.push_back(
+            {addr, static_cast<uint32_t>(bytes),
+             (static_cast<uint32_t>(elems) << 3) |
+                 TraceShard::kOpStoreRow});
+        s->tallies_.gradStores += elems;
+        s->tallies_.computeCycles += cost_.cyclesPerAccess * elems;
+        return;
+    }
+    storeRowNow(addr, bytes, elems);
+}
+
+void
+MemoryHierarchy::prefetch(uint64_t addr)
+{
+    if (TraceShard *s = tlsShard) {
+        s->ops_.push_back({addr, 0, (1u << 3) | TraceShard::kOpPrefetch});
+        ++s->tallies_.prefetches;
+        s->tallies_.computeCycles += 1.0;
+        return;
+    }
+    prefetchNow(addr);
+}
+
+void
+MemoryHierarchy::tick(double cycles)
+{
+    if (TraceShard *s = tlsShard) {
+        s->ops_.push_back({std::bit_cast<uint64_t>(cycles), 0,
+                           TraceShard::kOpTick});
+        s->tallies_.computeCycles += cycles;
+        return;
+    }
+    ctrs_.computeCycles += cycles;
+}
+
+void
+MemoryHierarchy::merge(TraceShard &shard)
+{
+    M4PS_ASSERT(tlsShard == nullptr,
+                "merge() must run outside any recording region");
+    for (const TraceShard::Op &op : shard.ops_) {
+        const uint64_t elems = op.elemsKind >> 3;
+        switch (op.elemsKind & 7u) {
+          case TraceShard::kOpLoad:
+            loadNow(op.addr, static_cast<int>(op.bytes));
+            break;
+          case TraceShard::kOpStore:
+            storeNow(op.addr, static_cast<int>(op.bytes));
+            break;
+          case TraceShard::kOpLoadRow:
+            loadRowNow(op.addr, op.bytes, elems);
+            break;
+          case TraceShard::kOpStoreRow:
+            storeRowNow(op.addr, op.bytes, elems);
+            break;
+          case TraceShard::kOpPrefetch:
+            prefetchNow(op.addr);
+            break;
+          case TraceShard::kOpTick:
+            ctrs_.computeCycles += std::bit_cast<double>(op.addr);
+            break;
+        }
+    }
+    shard.clear();
 }
 
 } // namespace m4ps::memsim

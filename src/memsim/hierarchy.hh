@@ -8,12 +8,26 @@
  * each covered cache line once while still counting one graduated
  * access per element - identical line-granularity behaviour, much
  * faster simulation) and software prefetches.
+ *
+ * Parallel runs: cache state is inherently order dependent, so
+ * worker threads never touch it directly.  A task (one macroblock
+ * row) binds a TraceShard to its thread; every access the task
+ * performs is recorded into the shard instead of being simulated,
+ * together with thread-locally accumulated order-independent
+ * tallies (graduated accesses, prefetch counts, compute cycles).
+ * After the parallel region the coordinating thread merges the
+ * shards in deterministic row order, replaying each recorded access
+ * against the real cache model.  Because the sequential encoder
+ * processes rows in exactly that order, the merged counters are
+ * bit-identical to a single-threaded run - no locks, no atomics on
+ * the hot path, exact statistics.
  */
 
 #ifndef M4PS_MEMSIM_HIERARCHY_HH
 #define M4PS_MEMSIM_HIERARCHY_HH
 
 #include <string>
+#include <vector>
 
 #include "memsim/cache.hh"
 #include "memsim/cost_model.hh"
@@ -21,6 +35,59 @@
 
 namespace m4ps::memsim
 {
+
+/**
+ * Per-task recording of simulated accesses plus the order-independent
+ * counter tallies that can be accumulated without replay.  Single
+ * writer (the bound thread); merged by one thread after the region.
+ */
+class TraceShard
+{
+  public:
+    /** Drop recorded accesses and zero the tallies. */
+    void
+    clear()
+    {
+        ops_.clear();
+        tallies_ = CounterSet{};
+    }
+
+    bool empty() const { return ops_.empty(); }
+
+    /** Recorded access operations (loads, stores, prefetches, ticks). */
+    size_t size() const { return ops_.size(); }
+
+    /**
+     * Order-independent counters accumulated at record time:
+     * graduated loads/stores, prefetch issue counts, and compute
+     * cycles.  Cache hit/miss state is only known after replay.
+     */
+    const CounterSet &tallies() const { return tallies_; }
+
+  private:
+    friend class MemoryHierarchy;
+
+    enum OpKind : uint32_t
+    {
+        kOpLoad = 0,
+        kOpStore,
+        kOpLoadRow,
+        kOpStoreRow,
+        kOpPrefetch,
+        kOpTick,
+    };
+
+    /** One recorded access; 16 bytes.  Tick stores cycles in addr. */
+    struct Op
+    {
+        uint64_t addr;
+        uint32_t bytes;
+        uint32_t elemsKind; //!< (elems << 3) | OpKind.
+    };
+
+    std::vector<Op> ops_;
+    CounterSet tallies_;
+};
 
 /** L1 + L2 + DRAM model with perfex-style counters. */
 class MemoryHierarchy
@@ -53,7 +120,26 @@ class MemoryHierarchy
     void prefetch(uint64_t addr);
 
     /** Charge @p cycles of pure compute (entropy coding etc.). */
-    void tick(double cycles) { ctrs_.computeCycles += cycles; }
+    void tick(double cycles);
+
+    /**
+     * Bind @p shard as the current thread's recording target (null
+     * unbinds).  While bound, every access on this thread is
+     * recorded instead of simulated.
+     */
+    static void bindShard(TraceShard *shard);
+
+    /** The shard bound to the current thread, or null. */
+    static TraceShard *boundShard();
+
+    /**
+     * Replay @p shard's recorded accesses, in recording order,
+     * against the cache model, then clear the shard.  Call from one
+     * thread, in deterministic task order, after the workers have
+     * finished: the resulting counters are exactly those of a
+     * sequential run that executed the tasks in merge order.
+     */
+    void merge(TraceShard &shard);
 
     const CounterSet &counters() const { return ctrs_; }
     RegionProfiler &profiler() { return prof_; }
@@ -101,6 +187,13 @@ class MemoryHierarchy
 
     /** Write a dirty L1 victim down into L2. */
     void writebackToL2(uint64_t addr);
+
+    // Immediate (cache-touching) counterparts of the public API.
+    void loadNow(uint64_t addr, int bytes);
+    void storeNow(uint64_t addr, int bytes);
+    void loadRowNow(uint64_t addr, uint64_t bytes, uint64_t elems);
+    void storeRowNow(uint64_t addr, uint64_t bytes, uint64_t elems);
+    void prefetchNow(uint64_t addr);
 
     Cache l1_;
     Cache l2_;

@@ -61,6 +61,17 @@ ArgParser::getInt(const std::string &name, int fallback) const
     return static_cast<int>(v);
 }
 
+int
+ArgParser::getIntInRange(const std::string &name, int fallback,
+                         int min_v, int max_v) const
+{
+    const int v = getInt(name, fallback);
+    if (v < min_v || v > max_v)
+        M4PS_FATAL("flag --", name, " must be in [", min_v, ", ",
+                   max_v, "], got ", v);
+    return v;
+}
+
 double
 ArgParser::getDouble(const std::string &name, double fallback) const
 {

@@ -41,6 +41,10 @@ class ArgParser
     /** Integer value with validation; fatal() on garbage. */
     int getInt(const std::string &name, int fallback) const;
 
+    /** Integer restricted to [min_v, max_v]; fatal() outside it. */
+    int getIntInRange(const std::string &name, int fallback, int min_v,
+                      int max_v) const;
+
     /** Floating-point value with validation. */
     double getDouble(const std::string &name, double fallback) const;
 

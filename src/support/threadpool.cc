@@ -1,0 +1,210 @@
+#include "support/threadpool.hh"
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace m4ps::support
+{
+
+namespace
+{
+
+/** True while the current thread is executing inside parallelFor(). */
+thread_local bool tlsInParallelRegion = false;
+
+int
+envThreads()
+{
+    const char *env = std::getenv("M4PS_THREADS");
+    if (!env || !*env)
+        return 1;
+    char *end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 1 || v > 256)
+        return 1;
+    return static_cast<int>(v);
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+    : nThreads_(threads < 1 ? 1 : threads)
+{
+    workers_.reserve(nThreads_ - 1);
+    for (int slot = 1; slot < nThreads_; ++slot)
+        workers_.emplace_back([this, slot] { workerLoop(slot); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+bool
+ThreadPool::runOne(Job &job, int slot)
+{
+    int task = -1;
+    const int slots = static_cast<int>(job.queues.size());
+    // Own queue first (back: most recently queued, cache-warm)...
+    {
+        std::lock_guard<std::mutex> lock(*job.queueMu[slot]);
+        if (!job.queues[slot].empty()) {
+            task = job.queues[slot].back();
+            job.queues[slot].pop_back();
+        }
+    }
+    // ...then steal the oldest task from a neighbour.
+    for (int k = 1; task < 0 && k < slots; ++k) {
+        const int victim = (slot + k) % slots;
+        std::lock_guard<std::mutex> lock(*job.queueMu[victim]);
+        if (!job.queues[victim].empty()) {
+            task = job.queues[victim].front();
+            job.queues[victim].pop_front();
+        }
+    }
+    if (task < 0)
+        return false;
+
+    try {
+        (*job.body)(task);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(job.errorMu);
+        if (!job.error)
+            job.error = std::current_exception();
+    }
+    job.remaining.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+}
+
+void
+ThreadPool::drain(Job &job, int slot)
+{
+    while (job.remaining.load(std::memory_order_acquire) > 0) {
+        if (!runOne(job, slot)) {
+            // Every task is claimed; stragglers are still running on
+            // other threads.  Yield instead of blocking: regions are
+            // short (one VOP) and the tail is at most one row.
+            std::this_thread::yield();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop(int slot)
+{
+    uint64_t seen = 0;
+    while (true) {
+        Job *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [&] {
+                return stop_ || (job_ && generation_ != seen);
+            });
+            if (stop_)
+                return;
+            job = job_;
+            seen = generation_;
+            // Register under mu_: once the caller clears job_ (also
+            // under mu_), no new worker can enter the job, so the
+            // caller only has to wait for activeWorkers to hit zero
+            // before letting the stack-allocated Job die.
+            job->activeWorkers.fetch_add(1, std::memory_order_acq_rel);
+        }
+        tlsInParallelRegion = true;
+        drain(*job, slot);
+        tlsInParallelRegion = false;
+        job->activeWorkers.fetch_sub(1, std::memory_order_acq_rel);
+    }
+}
+
+void
+ThreadPool::parallelFor(int n, const std::function<void(int)> &body)
+{
+    if (n <= 0)
+        return;
+    // Inline when the pool is sequential, the region is trivial, or
+    // we are already inside a region (no nested parallelism).
+    if (nThreads_ <= 1 || n == 1 || tlsInParallelRegion) {
+        for (int i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    Job job;
+    job.body = &body;
+    job.queues.resize(nThreads_);
+    job.queueMu.reserve(nThreads_);
+    for (int s = 0; s < nThreads_; ++s)
+        job.queueMu.push_back(std::make_unique<std::mutex>());
+    // Round-robin seeding: contiguous rows land on different slots,
+    // so a cheap tail (e.g. rows below a shaped object) spreads out.
+    for (int i = 0; i < n; ++i)
+        job.queues[i % nThreads_].push_back(i);
+    job.remaining.store(n, std::memory_order_release);
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job_ = &job;
+        ++generation_;
+    }
+    cv_.notify_all();
+
+    tlsInParallelRegion = true;
+    drain(job, 0);
+    tlsInParallelRegion = false;
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job_ = nullptr;
+    }
+    // Workers that entered the job registered themselves under mu_
+    // before job_ was cleared; wait for the last to leave before the
+    // stack-allocated Job goes out of scope.
+    while (job.activeWorkers.load(std::memory_order_acquire) > 0)
+        std::this_thread::yield();
+    if (job.error)
+        std::rethrow_exception(job.error);
+}
+
+namespace
+{
+
+std::mutex gGlobalMu;
+// Leaked intentionally: a static destructor would join the workers
+// at process exit, which is pointless in a normal exit and crashes
+// in a fork()ed child (gtest death tests) where the worker threads
+// do not exist.  The pool's mutex/condvar must outlive any parked
+// worker, so the object is never destroyed at exit.
+ThreadPool *gGlobal = nullptr;
+
+} // namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(gGlobalMu);
+    if (!gGlobal)
+        gGlobal = new ThreadPool(envThreads());
+    return *gGlobal;
+}
+
+void
+ThreadPool::setGlobalThreads(int threads)
+{
+    M4PS_ASSERT(threads >= 1 && threads <= 256,
+                "thread count must be in [1, 256], got ", threads);
+    std::lock_guard<std::mutex> lock(gGlobalMu);
+    if (gGlobal && gGlobal->threads() == threads)
+        return;
+    delete gGlobal; // joins the old pool's workers (live parent only)
+    gGlobal = new ThreadPool(threads);
+}
+
+} // namespace m4ps::support

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Work-stealing thread pool for macroblock-row parallelism.
+ *
+ * The paper shows MPEG-4 is compute bound on general-purpose cores
+ * (DRAM stalls <= 12%, < 4% of bus bandwidth used), exactly the
+ * profile where row-level parallelism scales near-linearly.  The
+ * codec submits one task per macroblock row; rows at the bottom of a
+ * shaped VOP can be much cheaper than rows through the object, so
+ * idle workers steal queued rows from their neighbours instead of
+ * waiting on a static partition.
+ *
+ * Design: each worker slot owns a deque of task indices.  The owner
+ * pops from the back (LIFO, cache-warm); thieves steal from the
+ * front (FIFO, oldest first).  The thread that calls parallelFor()
+ * participates as slot 0, so a pool configured for N threads uses
+ * N-1 background workers.  One parallel region runs at a time;
+ * re-entrant calls degrade to inline execution, which keeps the pool
+ * safe to use from code that does not know whether it is already
+ * inside a parallel region.
+ */
+
+#ifndef M4PS_SUPPORT_THREADPOOL_HH
+#define M4PS_SUPPORT_THREADPOOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace m4ps::support
+{
+
+/** Fixed-size work-stealing pool executing integer-indexed tasks. */
+class ThreadPool
+{
+  public:
+    /**
+     * Create a pool that runs parallelFor() on @p threads threads
+     * total (the caller counts as one; @p threads - 1 workers are
+     * spawned).  threads <= 1 spawns nothing and runs inline.
+     */
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total execution width (callers + workers). */
+    int threads() const { return nThreads_; }
+
+    /**
+     * Run body(i) for every i in [0, n), distributed over the pool.
+     * Blocks until every task has finished.  Tasks run exactly once,
+     * in an unspecified order and on unspecified threads; if any
+     * task throws, the first exception (in completion order) is
+     * rethrown here after all tasks have drained.
+     */
+    void parallelFor(int n, const std::function<void(int)> &body);
+
+    /**
+     * The process-wide pool used by the codec.  Sized by the last
+     * setGlobalThreads() call, or the M4PS_THREADS environment
+     * variable, or 1 (sequential) by default.
+     */
+    static ThreadPool &global();
+
+    /** Resize the global pool (joins and respawns its workers). */
+    static void setGlobalThreads(int threads);
+
+  private:
+    /** One parallelFor() in flight. */
+    struct Job
+    {
+        const std::function<void(int)> *body = nullptr;
+        std::vector<std::deque<int>> queues;    //!< Per-slot tasks.
+        std::vector<std::unique_ptr<std::mutex>> queueMu;
+        std::atomic<int> remaining{0};          //!< Tasks not yet done.
+        std::atomic<int> activeWorkers{0};      //!< Workers inside drain().
+        std::mutex errorMu;
+        std::exception_ptr error;               //!< First failure.
+    };
+
+    void workerLoop(int slot);
+
+    /** Pop own back / steal another front; run it.  False if empty. */
+    bool runOne(Job &job, int slot);
+
+    /** Work a job until every task has been claimed and finished. */
+    void drain(Job &job, int slot);
+
+    int nThreads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    Job *job_ = nullptr;       //!< Non-null while a region is active.
+    uint64_t generation_ = 0;  //!< Bumped per parallelFor() wake-up.
+    bool stop_ = false;
+};
+
+} // namespace m4ps::support
+
+#endif // M4PS_SUPPORT_THREADPOOL_HH

@@ -20,6 +20,7 @@
 #include "core/runner.hh"
 #include "support/args.hh"
 #include "support/logging.hh"
+#include "support/threadpool.hh"
 
 namespace
 {
@@ -30,7 +31,7 @@ const std::set<std::string> kFlags{
     "mode",    "width",  "height", "frames",  "vos",
     "layers",  "bitrate", "machine", "l2kb",  "search-range",
     "b-frames", "intra-period", "no-half-pel", "no-4mv",
-    "mpeg-quant", "seed", "help",
+    "mpeg-quant", "seed", "threads", "help",
 };
 
 void
@@ -51,7 +52,11 @@ usage()
         "  --b-frames N                B-VOPs between anchors\n"
         "  --intra-period N            I-VOP distance (default 12)\n"
         "  --no-half-pel / --no-4mv / --mpeg-quant   tool toggles\n"
-        "  --seed N                    scene seed (default 7)\n");
+        "  --seed N                    scene seed (default 7)\n"
+        "  --threads N                 macroblock-row worker threads\n"
+        "                              (default $M4PS_THREADS or 1;\n"
+        "                              results are bit-identical for\n"
+        "                              any value)\n");
 }
 
 void
@@ -100,6 +105,11 @@ main(int argc, char **argv)
     wl.name = "cli";
     wl.validate();
 
+    if (args.has("threads")) {
+        support::ThreadPool::setGlobalThreads(
+            args.getIntInRange("threads", 1, 1, 256));
+    }
+
     core::MachineConfig machine;
     if (args.has("l2kb")) {
         machine = core::customL2Machine(
@@ -122,9 +132,10 @@ main(int argc, char **argv)
         M4PS_FATAL("--mode must be encode, decode, or both");
 
     std::printf("workload: %dx%d, %d frames, %d VO(s) x %d layer(s), "
-                "%.0f bit/s target\n",
+                "%.0f bit/s target, %d thread(s)\n",
                 wl.width, wl.height, wl.frames, wl.numVos, wl.layers,
-                wl.targetBps);
+                wl.targetBps,
+                support::ThreadPool::global().threads());
 
     std::vector<uint8_t> stream;
     if (mode == "encode" || mode == "both") {
