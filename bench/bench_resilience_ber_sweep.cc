@@ -1,0 +1,280 @@
+/**
+ * @file
+ * BER -> quality study for the error-resilience subsystem.
+ *
+ * The paper's target scenario is streaming delivery over lossy
+ * channels; this harness quantifies what the resilience tools buy
+ * there.  Three encodings of the same CIF sequence - marker-free,
+ * video packets every 5 MB rows, and packets plus data partitioning -
+ * are pushed through a modelled binary-symmetric channel at a sweep
+ * of bit-error rates (session headers protected, as a transport
+ * would).  For each (config, BER) cell, averaged over three channel
+ * seeds, we report the displayed-frame percentage, the concealment
+ * PSNR against that config's own clean decode (freeze-frame for
+ * frames that never arrive), and the corruption statistics; the
+ * resync overhead column prices the markers in bits.  A final traced
+ * decode at BER 1e-5 shows the memory behaviour of concealment.
+ *
+ * Self-check (exit 1 on violation): at BER 1e-5 the packetized
+ * decoder must display >= 90% of frames and beat the marker-free
+ * decoder on concealment PSNR.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "codec/faultinject.hh"
+#include "core/machine.hh"
+#include "support/table.hh"
+
+namespace
+{
+
+using namespace m4ps;
+
+struct Config
+{
+    const char *name;
+    int resyncInterval;
+    bool dataPartitioning;
+};
+
+const Config kConfigs[] = {
+    {"marker-free", 0, false},
+    {"resync-5", 5, false},
+    {"resync-5+dp", 5, true},
+};
+
+const double kBers[] = {0.0, 1e-6, 1e-5, 1e-4};
+const uint64_t kSeeds[] = {1, 2, 3};
+
+core::Workload
+sweepWorkload(const Config &c)
+{
+    core::Workload wl = bench::benchWorkload(352, 288, 1, 1);
+    wl.targetBps = 1.5e6;
+    wl.gop = {12, 2};
+    wl.resyncInterval = c.resyncInterval;
+    wl.dataPartitioning = c.dataPartitioning;
+    wl.name = c.name;
+    return wl;
+}
+
+/** Luma planes by timestamp from one tolerant untraced decode. */
+struct DecodeCapture
+{
+    std::map<int, std::vector<uint8_t>> lumaByTs;
+    codec::DecodeStats stats;
+};
+
+DecodeCapture
+decodeCapture(const std::vector<uint8_t> &stream)
+{
+    DecodeCapture cap;
+    memsim::SimContext ctx; // untraced
+    codec::Mpeg4Decoder dec(ctx);
+    codec::DecodeOptions opts;
+    opts.tolerant = true;
+    cap.stats = dec.decode(
+        stream,
+        [&](const codec::DecodedEvent &e) {
+            const video::Plane &y = e.frame->y();
+            auto &buf = cap.lumaByTs[e.timestamp];
+            buf.clear();
+            for (int r = 0; r < y.height(); ++r) {
+                const uint8_t *row = y.rowPtr(r);
+                buf.insert(buf.end(), row, row + y.width());
+            }
+        },
+        opts);
+    return cap;
+}
+
+double
+psnr(const std::vector<uint8_t> &a, const std::vector<uint8_t> &b)
+{
+    if (a.size() != b.size() || a.empty())
+        return 0.0;
+    double sse = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        sse += d * d;
+    }
+    if (sse == 0)
+        return 99.0; // identical; cap instead of infinity
+    const double mse = sse / static_cast<double>(a.size());
+    return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+/** One (config, BER) cell averaged over the channel seeds. */
+struct Cell
+{
+    double displayedPct = 0;
+    double meanPsnr = 0;
+    double corruptPackets = 0;
+    double concealedMbs = 0;
+    double corruptVops = 0;
+};
+
+Cell
+runCell(const std::vector<uint8_t> &stream, const DecodeCapture &clean,
+        int frames, double ber)
+{
+    Cell cell;
+    for (const uint64_t seed : kSeeds) {
+        std::vector<uint8_t> noisy = stream;
+        if (ber > 0) {
+            codec::FaultSpec spec;
+            spec.ber = ber;
+            spec.seed = seed;
+            spec.protectPrefixBytes =
+                codec::protectableHeaderBytes(stream);
+            noisy = codec::injectFaults(std::move(noisy), spec);
+        }
+        const DecodeCapture got = decodeCapture(noisy);
+
+        // Concealment PSNR vs this config's clean decode: a frame
+        // that never arrives freezes the last one that did.
+        double psnr_sum = 0;
+        int scored = 0;
+        const std::vector<uint8_t> *last = nullptr;
+        for (const auto &[ts, ref] : clean.lumaByTs) {
+            const auto it = got.lumaByTs.find(ts);
+            if (it != got.lumaByTs.end())
+                last = &it->second;
+            if (last) {
+                psnr_sum += psnr(ref, *last);
+                ++scored;
+            }
+        }
+        cell.displayedPct += 100.0 * got.stats.displayed / frames;
+        cell.meanPsnr += scored ? psnr_sum / scored : 0.0;
+        cell.corruptPackets += got.stats.mb.corruptPackets;
+        cell.concealedMbs += got.stats.mb.concealedMbs;
+        cell.corruptVops += got.stats.corruptedVops;
+    }
+    const double n = static_cast<double>(std::size(kSeeds));
+    cell.displayedPct /= n;
+    cell.meanPsnr /= n;
+    cell.corruptPackets /= n;
+    cell.concealedMbs /= n;
+    cell.corruptVops /= n;
+    return cell;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Resilience BER sweep: 352x288, "
+              << sweepWorkload(kConfigs[0]).frames
+              << " frames, 3 channel seeds per cell\n\n";
+
+    // Encode the three configurations once each.
+    std::vector<std::vector<uint8_t>> streams;
+    std::vector<DecodeCapture> cleans;
+    std::vector<core::Workload> wls;
+    for (const Config &c : kConfigs) {
+        wls.push_back(sweepWorkload(c));
+        streams.push_back(
+            core::ExperimentRunner::encodeUntraced(wls.back()));
+        cleans.push_back(decodeCapture(streams.back()));
+    }
+
+    TextTable overhead("Resync overhead: resilience syntax priced "
+                       "against the marker-free stream");
+    overhead.header({"config", "stream bytes", "overhead bits",
+                     "overhead %"});
+    for (size_t i = 0; i < std::size(kConfigs); ++i) {
+        const auto delta = 8.0 * (static_cast<double>(
+                                      streams[i].size()) -
+                                  static_cast<double>(
+                                      streams[0].size()));
+        overhead.row(
+            {kConfigs[i].name, TextTable::num(streams[i].size(), 0),
+             TextTable::num(delta, 0),
+             TextTable::num(100.0 * delta /
+                                (8.0 * streams[0].size()),
+                            2) +
+                 "%"});
+    }
+    overhead.print();
+    std::cout << "\n";
+
+    // The sweep proper.
+    Cell off1e5, resync1e5;
+    TextTable sweep("BER sweep: displayed frames and concealment "
+                    "PSNR vs each config's clean decode");
+    sweep.header({"config", "BER", "displayed %", "PSNR dB",
+                  "corrupt VOPs", "corrupt pkts", "concealed MBs"});
+    for (size_t i = 0; i < std::size(kConfigs); ++i) {
+        for (const double ber : kBers) {
+            const Cell cell =
+                runCell(streams[i], cleans[i], wls[i].frames, ber);
+            sweep.row({kConfigs[i].name,
+                       ber == 0 ? "0" : TextTable::num(ber, 7),
+                       TextTable::num(cell.displayedPct, 1),
+                       TextTable::num(cell.meanPsnr, 2),
+                       TextTable::num(cell.corruptVops, 1),
+                       TextTable::num(cell.corruptPackets, 1),
+                       TextTable::num(cell.concealedMbs, 1)});
+            if (ber == 1e-5 && i == 0)
+                off1e5 = cell;
+            if (ber == 1e-5 && i == 1)
+                resync1e5 = cell;
+        }
+    }
+    sweep.print();
+    std::cout
+        << "\nReading: without markers one flipped bit discards the "
+           "whole VOP, so displayed frames\nand PSNR collapse as BER "
+           "grows; video packets localize the damage to a few MB "
+           "rows\nthat motion-compensated concealment hides, and "
+           "data partitioning additionally keeps\nmotion vectors "
+           "decodable when only texture bits are hit.\n\n";
+
+    // Memory behaviour of concealment: one traced decode at 1e-5.
+    {
+        codec::FaultSpec spec;
+        spec.ber = 1e-5;
+        spec.seed = kSeeds[0];
+        spec.protectPrefixBytes =
+            codec::protectableHeaderBytes(streams[1]);
+        auto noisy = codec::injectFaults(
+            std::vector<uint8_t>(streams[1]), spec);
+        codec::DecodeOptions opts;
+        opts.tolerant = true;
+        const core::MachineConfig m = core::o2R12k1MB();
+        const core::RunResult r = core::ExperimentRunner::runDecode(
+            wls[1], m, noisy, opts);
+        std::cout << "Traced decode of resync-5 at BER 1e-5 on "
+                  << m.label() << ": modelled time "
+                  << r.modelledSeconds << " s\n";
+        for (const auto &[name, value] : r.whole.rows())
+            std::cout << "  " << name << ": " << value << "\n";
+        std::cout << "\n";
+    }
+
+    // Self-check: the subsystem must actually buy resilience.
+    if (off1e5.corruptVops <= 0.0) {
+        std::cout << "self-check skipped: the channel left the "
+                     "marker-free stream intact (short M4PS_FRAMES "
+                     "run)\n";
+        return 0;
+    }
+    const bool displays_enough = resync1e5.displayedPct >= 90.0;
+    const bool beats_off = resync1e5.meanPsnr > off1e5.meanPsnr;
+    std::cout << "self-check at BER 1e-5: resync-5 displays "
+              << resync1e5.displayedPct << "% (need >= 90), PSNR "
+              << resync1e5.meanPsnr << " dB vs marker-free "
+              << off1e5.meanPsnr << " dB\n";
+    if (!displays_enough || !beats_off) {
+        std::cerr << "FATAL: resilience self-check failed\n";
+        return 1;
+    }
+    return 0;
+}

@@ -22,7 +22,9 @@ getUe(BitReader &br)
 {
     int zeros = 0;
     while (!br.getBit()) {
-        if (++zeros > 32 || br.overrun())
+        // putUe() caps values below 2^32-1, so a legal prefix has at
+        // most 31 zeros; 32 would also make the shift below undefined.
+        if (++zeros >= 32 || br.overrun())
             return 0; // corrupt stream; caller checks overrun()
     }
     uint32_t suffix = zeros ? br.getBits(zeros) : 0;

@@ -57,4 +57,44 @@ isVolCode(uint8_t code)
     return code >= 0x20 && code < 0x30;
 }
 
+bool
+isVopCode(uint8_t code)
+{
+    return code == static_cast<uint8_t>(StartCode::Vop) ||
+           code == static_cast<uint8_t>(StartCode::VopResilient);
+}
+
+void
+putResyncMarker(BitWriter &bw)
+{
+    if (!bw.aligned())
+        bw.byteAlignStuffing();
+    bw.putBits(kResyncMarker, 24);
+}
+
+void
+putMotionMarker(BitWriter &bw)
+{
+    if (!bw.aligned())
+        bw.byteAlignStuffing();
+    bw.putBits(kMotionMarker, 24);
+}
+
+PacketScan
+nextPacketBoundary(BitReader &br)
+{
+    br.byteAlign();
+    while (br.bitsLeft() >= 24) {
+        const uint32_t window = br.peekBits(24);
+        if (window == 0x000001u)
+            return PacketScan::StartCode;
+        if (window == kResyncMarker) {
+            br.getBits(24);
+            return PacketScan::Resync;
+        }
+        br.getBits(8);
+    }
+    return PacketScan::End;
+}
+
 } // namespace m4ps::bits

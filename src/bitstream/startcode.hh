@@ -30,7 +30,22 @@ enum class StartCode : uint8_t
     VisualObjectSequence = 0xb0,
     VisualObjectSequenceEnd = 0xb1,
     Vop = 0xb6,
+    /**
+     * Error-resilient VOP: same header as Vop plus a data-
+     * partitioning flag, with the texture rows carried in video
+     * packets behind byte-aligned resync markers (docs/RESILIENCE.md).
+     */
+    VopResilient = 0xb7,
 };
+
+/**
+ * Byte-aligned in-VOP markers.  They deliberately do not share the
+ * 0x000001 startcode prefix, so a scan for the next *section* skips
+ * straight over them while a scan for the next *packet* can stop at
+ * either.
+ */
+constexpr uint32_t kResyncMarker = 0x000002u; //!< Video packet start.
+constexpr uint32_t kMotionMarker = 0x000003u; //!< Motion|texture split.
 
 /** Write a byte-aligned startcode (aligns the writer first). */
 void putStartCode(BitWriter &bw, uint8_t code);
@@ -54,6 +69,30 @@ bool isVoCode(uint8_t code);
 
 /** True if @p code marks a video object layer header. */
 bool isVolCode(uint8_t code);
+
+/** True if @p code marks a VOP (plain or resilient). */
+bool isVopCode(uint8_t code);
+
+/** Write a byte-aligned resync marker (stuffs to alignment first). */
+void putResyncMarker(BitWriter &bw);
+
+/** Write a byte-aligned motion marker (stuffs to alignment first). */
+void putMotionMarker(BitWriter &bw);
+
+/** What a packet-boundary scan stopped at. */
+enum class PacketScan
+{
+    Resync,    //!< Found (and consumed) a resync marker.
+    StartCode, //!< Stopped just before a 0x000001 startcode prefix.
+    End,       //!< Ran out of stream.
+};
+
+/**
+ * Scan byte-aligned from the reader's position for the next packet
+ * boundary: a resync marker (consumed) or a startcode prefix (left
+ * unconsumed so section-level scanning can take over).
+ */
+PacketScan nextPacketBoundary(BitReader &br);
 
 } // namespace m4ps::bits
 

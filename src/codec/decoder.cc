@@ -9,55 +9,110 @@
 namespace m4ps::codec
 {
 
+namespace
+{
+
+/** Preserve the kind of an escaping DecodeError; classify the rest. */
+DecodeError
+asDecodeError(const StreamError &e, DecodeErrorKind fallback)
+{
+    if (const auto *de = dynamic_cast<const DecodeError *>(&e))
+        return *de;
+    return DecodeError(fallback, e.what());
+}
+
+/**
+ * Frame-store footprint one VolDecoder implies for @p cfg: two
+ * anchors, the B store, half-pel planes, and (for enhancement
+ * chains) the upsampled base - roughly 12 bytes per luma pixel.
+ */
+uint64_t
+estimateFrameStoreBytes(const VolConfig &cfg)
+{
+    return static_cast<uint64_t>(cfg.width) * cfg.height * 12;
+}
+
+} // namespace
+
 Mpeg4Decoder::Mpeg4Decoder(memsim::SimContext &ctx) : ctx_(ctx) {}
 
-DecodeStats
-Mpeg4Decoder::decode(const std::vector<uint8_t> &stream, const Sink &sink,
-                     bool tolerant)
+void
+Mpeg4Decoder::parseHeaders(bits::BitReader &br, std::vector<VoState> &vos,
+                           int &layers, DecodeStats &stats,
+                           const DecodeOptions &opts)
 {
-    bits::BitReader br(stream);
-    DecodeStats stats;
+    const DecodeLimits &limits = opts.limits;
+    auto checkBudget = [&] {
+        if (br.bitPos() > limits.maxHeaderBits)
+            throw DecodeError(DecodeErrorKind::LimitExceeded,
+                              "header section exceeds its bit budget");
+    };
 
-    // ---- sequence header -------------------------------------------
     auto code = bits::nextStartCode(br);
+    checkBudget();
     if (!code ||
         *code != static_cast<uint8_t>(
                      bits::StartCode::VisualObjectSequence)) {
-        M4PS_FATAL("stream does not begin with a VOS startcode");
+        throw DecodeError(DecodeErrorKind::BadSequenceHeader,
+                          "stream does not begin with a VOS startcode");
     }
     const int num_vos = static_cast<int>(bits::getUe(br));
-    if (num_vos < 1 || num_vos > 16)
-        M4PS_FATAL("corrupt VO count ", num_vos);
+    if (br.overrun() || num_vos < 1 || num_vos > limits.maxVos)
+        throw DecodeError(DecodeErrorKind::BadSequenceHeader,
+                          "corrupt VO count " + std::to_string(num_vos));
     stats.vos = num_vos;
+    vos.resize(num_vos);
 
-    std::vector<VoState> vos(num_vos);
-    int layers = 0;
     for (int v = 0; v < num_vos; ++v) {
         code = bits::nextStartCode(br);
-        if (!code || !bits::isVoCode(*code) || *code != v)
-            M4PS_FATAL("expected VO startcode for VO ", v);
+        checkBudget();
+        if (!code || !bits::isVoCode(*code) || *code != v) {
+            throw DecodeError(DecodeErrorKind::BadVoHeader,
+                              "expected VO startcode for VO " +
+                                  std::to_string(v));
+        }
         const int vo_layers = static_cast<int>(bits::getUe(br));
-        if (vo_layers < 1 || vo_layers > 2)
-            M4PS_FATAL("corrupt layer count ", vo_layers);
+        if (br.overrun() || vo_layers < 1 ||
+            vo_layers > limits.maxLayersPerVo) {
+            throw DecodeError(DecodeErrorKind::BadVoHeader,
+                              "corrupt layer count " +
+                                  std::to_string(vo_layers));
+        }
         if (layers == 0)
             layers = vo_layers;
         else if (layers != vo_layers)
-            M4PS_FATAL("VOs with differing layer counts");
+            throw DecodeError(DecodeErrorKind::BadVoHeader,
+                              "VOs with differing layer counts");
 
         for (int l = 0; l < vo_layers; ++l) {
             code = bits::nextStartCode(br);
+            checkBudget();
             if (!code || !bits::isVolCode(*code))
-                M4PS_FATAL("expected VOL startcode");
+                throw DecodeError(DecodeErrorKind::BadVolHeader,
+                                  "expected VOL startcode");
             const int vol_id =
                 *code - static_cast<uint8_t>(
                             bits::StartCode::VideoObjectLayer);
-            VolConfig cfg = readVolHeader(br, v, vol_id);
+            VolConfig cfg = readVolHeader(br, v, vol_id, limits);
+            // Layer roles are part of the syntax: a base layer that
+            // claims to be an enhancement layer (or vice versa) would
+            // otherwise trip internal invariants during VOP decode.
+            if (l == 0 && cfg.enhancement)
+                throw DecodeError(DecodeErrorKind::BadVolHeader,
+                                  "layer 0 cannot be an enhancement "
+                                  "layer");
+            if (l == 1 && !cfg.enhancement)
+                throw DecodeError(DecodeErrorKind::BadVolHeader,
+                                  "layer 1 must be an enhancement "
+                                  "layer");
+            if (estimateFrameStoreBytes(cfg) > limits.maxFrameStoreBytes)
+                throw DecodeError(DecodeErrorKind::LimitExceeded,
+                                  "VOL frame stores exceed the decode "
+                                  "limit");
             auto dec = std::make_unique<VolDecoder>(ctx_, cfg);
             if (l == 0) {
                 vos[v].base = std::move(dec);
             } else {
-                M4PS_ASSERT(cfg.enhancement,
-                            "layer 1 must be an enhancement layer");
                 vos[v].enh = std::move(dec);
                 // Sized from the (possibly padded) base layer; may
                 // exceed the enhancement frame.
@@ -67,7 +122,46 @@ Mpeg4Decoder::decode(const std::vector<uint8_t> &stream, const Sink &sink,
             }
         }
     }
+}
+
+DecodeStats
+Mpeg4Decoder::decode(const std::vector<uint8_t> &stream, const Sink &sink,
+                     bool tolerant)
+{
+    DecodeOptions opts;
+    opts.tolerant = tolerant;
+    return decode(stream, sink, opts);
+}
+
+DecodeStats
+Mpeg4Decoder::decode(const std::vector<uint8_t> &stream, const Sink &sink,
+                     const DecodeOptions &opts)
+{
+    bits::BitReader br(stream);
+    DecodeStats stats;
+
+    auto record = [&stats](const DecodeError &e, uint64_t pos) {
+        if (stats.incidents.size() < kMaxIncidents)
+            stats.incidents.push_back({e.kind(), pos, e.what()});
+    };
+
+    // ---- sequence header -------------------------------------------
+    std::vector<VoState> vos;
+    int layers = 0;
+    try {
+        parseHeaders(br, vos, layers, stats, opts);
+    } catch (const StreamError &e) {
+        const DecodeError de =
+            asDecodeError(e, DecodeErrorKind::BadSequenceHeader);
+        if (!opts.tolerant)
+            throw de;
+        // Keep whatever parsed; VOPs aimed at the missing structure
+        // are counted as corrupt below.
+        ++stats.headerErrors;
+        record(de, br.bitPos());
+    }
     stats.volsPerVo = layers;
+    const int num_vos = static_cast<int>(vos.size());
 
     auto emit = [&](int vo, int vol,
                     const std::vector<DisplayFrame> &frames) {
@@ -80,19 +174,21 @@ Mpeg4Decoder::decode(const std::vector<uint8_t> &stream, const Sink &sink,
 
     // ---- VOPs -------------------------------------------------------
     while (true) {
-        code = bits::nextStartCode(br);
+        auto code = bits::nextStartCode(br);
         if (!code ||
             *code == static_cast<uint8_t>(
                          bits::StartCode::VisualObjectSequenceEnd)) {
             break;
         }
-        if (*code != static_cast<uint8_t>(bits::StartCode::Vop)) {
+        if (!bits::isVopCode(*code)) {
             // Unknown section: resynchronize at the next startcode.
             continue;
         }
+        const bool packetized =
+            *code == static_cast<uint8_t>(bits::StartCode::VopResilient);
         const uint64_t vop_start = br.bitPos();
         try {
-            VopHeader hdr = readVopHeader(br);
+            VopHeader hdr = readVopHeader(br, packetized);
             if (br.overrun())
                 throw StreamError("truncated VOP header");
             if (hdr.voId < 0 || hdr.voId >= num_vos)
@@ -103,6 +199,9 @@ Mpeg4Decoder::decode(const std::vector<uint8_t> &stream, const Sink &sink,
             ++stats.vops;
 
             if (hdr.volId == 0) {
+                if (!vo.base)
+                    throw StreamError("VOP for a VO whose VOL header "
+                                      "was lost");
                 auto frames = vo.base->decodeVop(br, hdr, nullptr);
                 if (layers == 1) {
                     emit(hdr.voId, 0, frames);
@@ -113,6 +212,9 @@ Mpeg4Decoder::decode(const std::vector<uint8_t> &stream, const Sink &sink,
                     vo.lastBaseTs = hdr.timestamp;
                 }
             } else {
+                if (!vo.base || !vo.enh)
+                    throw StreamError("VOP for a VO whose VOL header "
+                                      "was lost");
                 if (vo.lastBaseTs != hdr.timestamp) {
                     throw StreamError(
                         "enhancement VOP without matching base VOP");
@@ -123,21 +225,26 @@ Mpeg4Decoder::decode(const std::vector<uint8_t> &stream, const Sink &sink,
                 emit(hdr.voId, 1, frames);
             }
         } catch (const StreamError &e) {
-            if (!tolerant)
-                M4PS_FATAL("corrupt stream: ", e.what());
+            const DecodeError de =
+                asDecodeError(e, DecodeErrorKind::CorruptVop);
+            if (!opts.tolerant)
+                throw de;
             // Conceal: skip this section; the next nextStartCode()
             // call resynchronizes, and the frame stores keep their
             // previous (or partially decoded) content.
             ++stats.corruptedVops;
+            record(de, vop_start);
         }
         stats.totalBits += br.bitPos() - vop_start;
     }
 
     // ---- end of stream: flush held anchors --------------------------
     for (int v = 0; v < num_vos; ++v) {
+        if (!vos[v].base)
+            continue;
         if (layers == 1) {
             emit(v, 0, vos[v].base->flush());
-        } else {
+        } else if (vos[v].enh) {
             emit(v, 1, vos[v].enh->flush());
         }
         stats.mb += vos[v].base->totals();

@@ -33,6 +33,17 @@ struct DecodedEvent
     const video::Plane *alpha = nullptr;
 };
 
+/** One recorded decode failure (tolerant mode). */
+struct DecodeIncident
+{
+    DecodeErrorKind kind = DecodeErrorKind::CorruptVop;
+    uint64_t bitPos = 0; //!< Where in the stream it was detected.
+    std::string what;
+};
+
+/** Incidents kept per decode; later ones are counted but dropped. */
+constexpr size_t kMaxIncidents = 32;
+
 /** Aggregate decoding statistics. */
 struct DecodeStats
 {
@@ -40,9 +51,13 @@ struct DecodeStats
     int volsPerVo = 0;
     int vops = 0;
     int corruptedVops = 0; //!< Tolerant mode: sections skipped.
+    int headerErrors = 0;  //!< Tolerant mode: damaged header sections.
     int displayed = 0;
     VopStats mb;
     uint64_t totalBits = 0;
+
+    /** First kMaxIncidents failures, in stream order. */
+    std::vector<DecodeIncident> incidents;
 };
 
 /** Multi-VO, multi-layer MPEG-4 visual decoder. */
@@ -61,12 +76,18 @@ class Mpeg4Decoder
      * Decode a complete elementary stream, emitting display frames
      * through @p sink (which may be empty).
      *
-     * In strict mode (default) a corrupt VOP terminates the process
-     * via fatal().  With @p tolerant set, the decoder instead
-     * resynchronizes at the next startcode and conceals the damaged
-     * VOP (its frame store keeps the previous content) - the
-     * behaviour a streaming player needs on a lossy channel.
+     * In strict mode (default) the first corrupt section throws a
+     * DecodeError classifying what went wrong.  With opts.tolerant
+     * the decoder instead records the failure in DecodeStats,
+     * resynchronizes at the next startcode or resync marker, and
+     * conceals the damage - the behaviour a streaming player needs
+     * on a lossy channel.  Header fields are validated against
+     * opts.limits before any allocation they would size.
      */
+    DecodeStats decode(const std::vector<uint8_t> &stream,
+                       const Sink &sink, const DecodeOptions &opts);
+
+    /** Convenience overload: default limits, strictness by flag. */
     DecodeStats decode(const std::vector<uint8_t> &stream,
                        const Sink &sink, bool tolerant = false);
 
@@ -78,6 +99,15 @@ class Mpeg4Decoder
         video::Yuv420Image upsampled;
         int lastBaseTs = -1;
     };
+
+    /**
+     * Parse the VOS/VO/VOL header section, filling @p vos and
+     * @p layers progressively so a tolerant caller keeps whatever
+     * parsed before a DecodeError was thrown.
+     */
+    void parseHeaders(bits::BitReader &br, std::vector<VoState> &vos,
+                      int &layers, DecodeStats &stats,
+                      const DecodeOptions &opts);
 
     memsim::SimContext &ctx_;
 };

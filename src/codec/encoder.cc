@@ -22,6 +22,10 @@ EncoderConfig::validate() const
     M4PS_ASSERT(layers == 1 || layers == 2, "layers must be 1 or 2");
     gop.validate();
     M4PS_ASSERT(targetBps > 0 && frameRate > 0, "bad rate targets");
+    M4PS_ASSERT(resyncInterval >= 0, "negative resync interval");
+    M4PS_ASSERT(!dataPartitioning || resyncInterval > 0,
+                "data partitioning requires video packets "
+                "(resyncInterval > 0)");
 }
 
 Mpeg4Encoder::Mpeg4Encoder(memsim::SimContext &ctx,
@@ -78,6 +82,8 @@ Mpeg4Encoder::Mpeg4Encoder(memsim::SimContext &ctx,
         base.halfPel = cfg_.halfPel;
         base.mpegQuant = cfg_.mpegQuant;
         base.fourMv = cfg_.fourMv;
+        base.resyncInterval = cfg_.resyncInterval;
+        base.dataPartitioning = cfg_.dataPartitioning;
 
         vo.rcBase = std::make_unique<RateController>(
             bps_per_vol, cfg_.frameRate, initial_qp);

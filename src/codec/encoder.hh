@@ -52,6 +52,20 @@ struct EncoderConfig
     /** Starting quantizer; <= 0 derives it from the target rate. */
     int initialQp = 0;
 
+    /**
+     * Error resilience: insert a resync marker (video packet) every
+     * N macroblock rows.  0 disables packets, and the bitstream is
+     * byte-identical to one from a build without this feature.
+     */
+    int resyncInterval = 0;
+
+    /**
+     * Split each video packet into motion and texture partitions so
+     * a corrupted texture area still yields usable motion vectors.
+     * Requires resyncInterval > 0.
+     */
+    bool dataPartitioning = false;
+
     void validate() const;
 };
 

@@ -1,17 +1,22 @@
 /**
  * @file
- * Decode-error signalling.
+ * Decode-error signalling and decode policy.
  *
  * Streaming delivery (the paper's motivating scenario) implies
- * damaged bitstreams.  Syntax-level failures inside a VOP raise
- * StreamError; Mpeg4Decoder either converts that to fatal() (strict
- * mode, the default) or resynchronizes at the next startcode and
- * conceals the lost VOP (tolerant mode).
+ * damaged bitstreams.  Syntax-level failures raise StreamError;
+ * failures classified by the top-level decoder carry a
+ * DecodeErrorKind so callers can report what went wrong.  Whether an
+ * error aborts the decode (strict) or is concealed and recorded
+ * (tolerant) is policy, expressed through DecodeOptions rather than
+ * control flow inside the parser; DecodeLimits bounds every
+ * allocation a header field can request, so a flipped bit can never
+ * turn into a multi-gigabyte frame store.  See docs/RESILIENCE.md.
  */
 
 #ifndef M4PS_CODEC_ERROR_HH
 #define M4PS_CODEC_ERROR_HH
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -25,6 +30,95 @@ class StreamError : public std::runtime_error
     explicit StreamError(const std::string &what)
         : std::runtime_error(what)
     {}
+};
+
+/** What a DecodeError is about, coarsest structure first. */
+enum class DecodeErrorKind
+{
+    BadSequenceHeader, //!< VOS startcode / VO count damaged.
+    BadVoHeader,       //!< VO startcode / layer count damaged.
+    BadVolHeader,      //!< VOL header syntax or semantics damaged.
+    LimitExceeded,     //!< A header field exceeds DecodeLimits.
+    BadVopHeader,      //!< VOP header implausible or truncated.
+    CorruptVop,        //!< VOP payload failed to parse.
+    CorruptPacket,     //!< A video packet inside a VOP was lost.
+    Truncated,         //!< The stream ended mid-section.
+};
+
+/** Stable display name for a DecodeErrorKind. */
+inline const char *
+decodeErrorKindName(DecodeErrorKind kind)
+{
+    switch (kind) {
+      case DecodeErrorKind::BadSequenceHeader: return "bad-sequence-header";
+      case DecodeErrorKind::BadVoHeader:       return "bad-vo-header";
+      case DecodeErrorKind::BadVolHeader:      return "bad-vol-header";
+      case DecodeErrorKind::LimitExceeded:     return "limit-exceeded";
+      case DecodeErrorKind::BadVopHeader:      return "bad-vop-header";
+      case DecodeErrorKind::CorruptVop:        return "corrupt-vop";
+      case DecodeErrorKind::CorruptPacket:     return "corrupt-packet";
+      case DecodeErrorKind::Truncated:         return "truncated";
+    }
+    return "unknown";
+}
+
+/**
+ * A classified decode failure.  Layered on StreamError so the
+ * lower-level parsers (which know syntax, not structure) keep
+ * throwing StreamError and the top-level decoder wraps what escapes.
+ */
+class DecodeError : public StreamError
+{
+  public:
+    DecodeError(DecodeErrorKind kind, const std::string &what)
+        : StreamError(std::string(decodeErrorKindName(kind)) + ": " +
+                      what),
+          kind_(kind)
+    {}
+
+    DecodeErrorKind kind() const { return kind_; }
+
+  private:
+    DecodeErrorKind kind_;
+};
+
+/**
+ * Resource bounds a decoder enforces before acting on header fields.
+ * Every limit is checked before the allocation it protects.
+ */
+struct DecodeLimits
+{
+    int maxWidth = 4096;       //!< Per-VOL luma width in pixels.
+    int maxHeight = 4096;      //!< Per-VOL luma height in pixels.
+    int maxVos = 16;           //!< Visual objects per sequence.
+    int maxLayersPerVo = 2;    //!< VOLs per VO.
+
+    /**
+     * Upper bound on the frame stores one VOL decoder allocates
+     * (anchors, B store, half-pel planes, upsampled base), estimated
+     * before construction.
+     */
+    uint64_t maxFrameStoreBytes = 512ull << 20;
+
+    /**
+     * Bit budget for the sequence/VO/VOL header section; parsing
+     * that wanders past it (e.g. scanning a corrupt prefix for
+     * startcodes that never validate) is cut off.
+     */
+    uint64_t maxHeaderBits = 1ull << 23;
+};
+
+/** Decode policy: strictness plus resource limits. */
+struct DecodeOptions
+{
+    /**
+     * Tolerant decoders record errors in DecodeStats, resynchronize,
+     * and conceal; strict decoders (default) throw DecodeError at
+     * the first failure.
+     */
+    bool tolerant = false;
+
+    DecodeLimits limits;
 };
 
 } // namespace m4ps::codec

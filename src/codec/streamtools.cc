@@ -59,7 +59,9 @@ parseSections(const std::vector<uint8_t> &stream)
         s.offset = i;
 
         bool accept = false;
-        if (s.code == static_cast<uint8_t>(bits::StartCode::Vop)) {
+        if (bits::isVopCode(s.code)) {
+            // Resilient VOPs (0xb7) append a data-partitioning flag,
+            // but the prefix fields checked here are identical.
             accept = plausibleVopHeader(stream.data() + i + 4,
                                         stream.size() - i - 4,
                                         s.voId, s.volId);
@@ -136,8 +138,7 @@ filterStream(const std::vector<uint8_t> &stream, int new_num_vos,
                              bits::StartCode::VideoObjectLayer);
             if (!keep_vo(current_vo) || !keep_vol(vol_id))
                 continue;
-        } else if (s.code ==
-                   static_cast<uint8_t>(bits::StartCode::Vop)) {
+        } else if (bits::isVopCode(s.code)) {
             if (!keep_vo(s.voId) || !keep_vol(s.volId))
                 continue;
         }

@@ -33,20 +33,32 @@ writeVolHeader(bits::BitWriter &bw, const VolConfig &cfg)
 }
 
 VolConfig
-readVolHeader(bits::BitReader &br, int vo_id, int vol_id)
+readVolHeader(bits::BitReader &br, int vo_id, int vol_id,
+              const DecodeLimits &limits)
 {
     VolConfig cfg;
     cfg.voId = vo_id;
     cfg.volId = vol_id;
-    cfg.width = static_cast<int>(bits::getUe(br)) * 16;
-    cfg.height = static_cast<int>(bits::getUe(br)) * 16;
+    // Widen before multiplying: a corrupt exp-Golomb value times 16
+    // must not overflow int before the limit check sees it.
+    const int64_t mbw = static_cast<int64_t>(bits::getUe(br));
+    const int64_t mbh = static_cast<int64_t>(bits::getUe(br));
     cfg.hasShape = br.getBit();
     cfg.enhancement = br.getBit();
     cfg.mpegQuant = br.getBit();
     cfg.halfPel = br.getBit();
     cfg.fourMv = br.getBit();
-    if (br.overrun() || cfg.width <= 0 || cfg.height <= 0)
-        M4PS_FATAL("corrupt VOL header");
+    if (br.overrun() || mbw <= 0 || mbh <= 0)
+        throw DecodeError(DecodeErrorKind::BadVolHeader,
+                          "corrupt VOL header");
+    if (mbw * 16 > limits.maxWidth || mbh * 16 > limits.maxHeight) {
+        throw DecodeError(
+            DecodeErrorKind::LimitExceeded,
+            "VOL dimensions " + std::to_string(mbw * 16) + "x" +
+                std::to_string(mbh * 16) + " exceed decode limits");
+    }
+    cfg.width = static_cast<int>(mbw) * 16;
+    cfg.height = static_cast<int>(mbh) * 16;
     return cfg;
 }
 
@@ -123,6 +135,21 @@ VolEncoder::vopWindow(const video::Plane *alpha) const
     return alphaBBoxMb(*alpha);
 }
 
+VopHeader
+VolEncoder::makeHeader(VopType type, int timestamp,
+                       const video::Plane *alpha) const
+{
+    VopHeader hdr;
+    hdr.type = type;
+    hdr.voId = cfg_.voId;
+    hdr.volId = cfg_.volId;
+    hdr.timestamp = timestamp;
+    hdr.mbWindow = vopWindow(alpha);
+    hdr.packetized = cfg_.resyncInterval > 0;
+    hdr.dataPartitioned = cfg_.dataPartitioning;
+    return hdr;
+}
+
 const video::Yuv420Image &
 VolEncoder::lastAnchorRecon() const
 {
@@ -141,13 +168,8 @@ VolEncoder::encodeAnchor(bits::BitWriter &bw,
                          VopType type)
 {
     const int target = curAnchor_ < 0 ? 0 : 1 - curAnchor_;
-    VopHeader hdr;
-    hdr.type = type;
-    hdr.voId = cfg_.voId;
-    hdr.volId = cfg_.volId;
-    hdr.timestamp = timestamp;
+    VopHeader hdr = makeHeader(type, timestamp, alpha);
     hdr.qp = rc_->qpForVop(type);
-    hdr.mbWindow = vopWindow(alpha);
 
     RefFrames refs;
     if (type == VopType::P)
@@ -166,13 +188,8 @@ VopStats
 VolEncoder::encodeB(bits::BitWriter &bw, const video::Yuv420Image &frame,
                     const video::Plane *alpha, int timestamp)
 {
-    VopHeader hdr;
-    hdr.type = VopType::B;
-    hdr.voId = cfg_.voId;
-    hdr.volId = cfg_.volId;
-    hdr.timestamp = timestamp;
+    VopHeader hdr = makeHeader(VopType::B, timestamp, alpha);
     hdr.qp = rc_->qpForVop(VopType::B);
-    hdr.mbWindow = vopWindow(alpha);
 
     RefFrames refs;
     refs.past = &reconStore_[1 - curAnchor_];
@@ -235,13 +252,8 @@ VolEncoder::encodeEnhanced(bits::BitWriter &bw,
 {
     M4PS_ASSERT(cfg_.enhancement, "not an enhancement layer");
     const int target = curEnh_ < 0 ? 0 : 1 - curEnh_;
-    VopHeader hdr;
-    hdr.type = VopType::B;
-    hdr.voId = cfg_.voId;
-    hdr.volId = cfg_.volId;
-    hdr.timestamp = timestamp;
+    VopHeader hdr = makeHeader(VopType::B, timestamp, alpha);
     hdr.qp = rc_->qpForVop(VopType::P);
-    hdr.mbWindow = vopWindow(alpha);
 
     RefFrames refs;
     if (haveEnhPast_)

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "codec/error.hh"
 #include "codec/vop.hh"
 
 namespace m4ps::codec
@@ -37,8 +38,15 @@ struct GopConfig
 /** Write the VOL startcode and configuration header. */
 void writeVolHeader(bits::BitWriter &bw, const VolConfig &cfg);
 
-/** Read the VOL configuration following its startcode. */
-VolConfig readVolHeader(bits::BitReader &br, int vo_id, int vol_id);
+/**
+ * Read the VOL configuration following its startcode.
+ *
+ * Dimensions are validated against @p limits before the caller gets
+ * a chance to allocate frame stores from them; violations throw
+ * DecodeError (BadVolHeader or LimitExceeded).
+ */
+VolConfig readVolHeader(bits::BitReader &br, int vo_id, int vol_id,
+                        const DecodeLimits &limits = DecodeLimits{});
 
 /** Tight macroblock-aligned bounding box of an alpha plane. */
 video::Rect alphaBBoxMb(const video::Plane &alpha);
@@ -94,6 +102,13 @@ class VolEncoder
     const VolConfig &config() const { return cfg_; }
 
   private:
+    /**
+     * Common VOP header fields, including the resilience flags
+     * derived from the VOL config; the caller fills in qp.
+     */
+    VopHeader makeHeader(VopType type, int timestamp,
+                         const video::Plane *alpha) const;
+
     VopStats encodeAnchor(bits::BitWriter &bw,
                           const video::Yuv420Image &frame,
                           const video::Plane *alpha, int timestamp,

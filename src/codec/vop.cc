@@ -103,13 +103,19 @@ VolConfig::validate() const
                 "negative search range");
     M4PS_ASSERT(voId >= 0 && voId < 32 && volId >= 0 && volId < 16,
                 "vo/vol id out of range");
+    M4PS_ASSERT(resyncInterval >= 0, "negative resync interval");
+    M4PS_ASSERT(!dataPartitioning || resyncInterval > 0,
+                "data partitioning requires video packets "
+                "(resyncInterval > 0)");
 }
 
 void
 writeVopHeader(bits::BitWriter &bw, const VopHeader &hdr)
 {
     bits::putStartCode(
-        bw, static_cast<uint8_t>(bits::StartCode::Vop));
+        bw, static_cast<uint8_t>(hdr.packetized
+                                     ? bits::StartCode::VopResilient
+                                     : bits::StartCode::Vop));
     bw.putBits(static_cast<uint32_t>(vopTypeBits(hdr.type)), 2);
     bits::putUe(bw, static_cast<uint32_t>(hdr.voId));
     bits::putUe(bw, static_cast<uint32_t>(hdr.volId));
@@ -119,21 +125,53 @@ writeVopHeader(bits::BitWriter &bw, const VopHeader &hdr)
     bits::putUe(bw, static_cast<uint32_t>(hdr.mbWindow.y));
     bits::putUe(bw, static_cast<uint32_t>(hdr.mbWindow.w));
     bits::putUe(bw, static_cast<uint32_t>(hdr.mbWindow.h));
+    if (hdr.packetized)
+        bw.putBit(hdr.dataPartitioned);
 }
 
+namespace
+{
+
+/**
+ * Bound for raw header ue fields.  Large enough for any stream our
+ * encoder can write (timestamps, macroblock coordinates), small
+ * enough that downstream int arithmetic (window sums, row tables)
+ * cannot overflow.
+ */
+constexpr uint32_t kMaxHeaderField = 1u << 20;
+
+int
+boundedUe(bits::BitReader &br, const char *what)
+{
+    const uint32_t v = bits::getUe(br);
+    if (v > kMaxHeaderField)
+        throw StreamError(std::string("implausible VOP header field (") +
+                          what + ")");
+    return static_cast<int>(v);
+}
+
+} // namespace
+
 VopHeader
-readVopHeader(bits::BitReader &br)
+readVopHeader(bits::BitReader &br, bool packetized)
 {
     VopHeader hdr;
+    hdr.packetized = packetized;
     hdr.type = vopTypeFromBits(br.getBits(2));
-    hdr.voId = static_cast<int>(bits::getUe(br));
-    hdr.volId = static_cast<int>(bits::getUe(br));
-    hdr.timestamp = static_cast<int>(bits::getUe(br));
+    hdr.voId = boundedUe(br, "voId");
+    hdr.volId = boundedUe(br, "volId");
+    hdr.timestamp = boundedUe(br, "timestamp");
     hdr.qp = static_cast<int>(br.getBits(5));
-    hdr.mbWindow.x = static_cast<int>(bits::getUe(br));
-    hdr.mbWindow.y = static_cast<int>(bits::getUe(br));
-    hdr.mbWindow.w = static_cast<int>(bits::getUe(br));
-    hdr.mbWindow.h = static_cast<int>(bits::getUe(br));
+    hdr.mbWindow.x = boundedUe(br, "window x");
+    hdr.mbWindow.y = boundedUe(br, "window y");
+    hdr.mbWindow.w = boundedUe(br, "window w");
+    hdr.mbWindow.h = boundedUe(br, "window h");
+    if (packetized)
+        hdr.dataPartitioned = br.getBit();
+    if (br.overrun())
+        throw StreamError("truncated VOP header");
+    if (hdr.qp < 1)
+        throw StreamError("VOP quantizer out of range");
     return hdr;
 }
 
@@ -389,12 +427,18 @@ VopEncoder::encodeShapePass(bits::BitWriter &bw, const VopHeader &hdr,
 }
 
 VopStats
-VopEncoder::encodeTextureRow(bits::BitWriter &bw, const VopHeader &hdr,
+VopEncoder::encodeTextureRow(bits::BitWriter &bw, bits::BitWriter *tex,
+                             const VopHeader &hdr,
                              int my, const video::Yuv420Image &cur,
                              const std::vector<BabMode> &modes,
                              const RefFrames &refs,
                              video::Yuv420Image *recon)
 {
+    // Data partitioning: texture bits (coded flags, cbp, coefficient
+    // events) land in *tex while motion/mode/DC bits stay in bw.
+    // Without it both aliases write the same stream, preserving the
+    // exact legacy interleaving bit for bit.
+    bits::BitWriter &txw = tex ? *tex : bw;
     const video::Rect &win = hdr.mbWindow;
     const int qp = hdr.qp;
     const bool is_b = hdr.type == VopType::B;
@@ -676,15 +720,15 @@ VopEncoder::encodeTextureRow(bits::BitWriter &bw, const VopHeader &hdr,
             if (intra) {
                 for (int b = 0; b < 6; ++b) {
                     bits::putSe(bw, blocks[b].dcDelta);
-                    bw.putBit(blocks[b].coded);
+                    txw.putBit(blocks[b].coded);
                     if (blocks[b].coded)
-                        writeBlockEvents(bw, blocks[b].events);
+                        writeBlockEvents(txw, blocks[b].events);
                 }
             } else {
-                bw.putBits(static_cast<uint32_t>(cbp), 6);
+                txw.putBits(static_cast<uint32_t>(cbp), 6);
                 for (int b = 0; b < 6; ++b) {
                     if (blocks[b].coded)
-                        writeBlockEvents(bw, blocks[b].events);
+                        writeBlockEvents(txw, blocks[b].events);
                 }
             }
             stats.codedBlocks += std::popcount(
@@ -761,7 +805,9 @@ VopEncoder::encode(bits::BitWriter &bw, const VopHeader &hdr,
     const video::Rect &win = hdr.mbWindow;
     const int rows = win.h;
     support::ThreadPool &pool = support::ThreadPool::global();
+    const bool dp = hdr.packetized && hdr.dataPartitioned;
     std::vector<bits::BitWriter> rowBw(rows);
+    std::vector<bits::BitWriter> rowTex(dp ? rows : 0);
     std::vector<VopStats> rowStats(rows);
     // Shards defer each row's memory trace so a parallel run can
     // replay it in raster order and land on the exact counters a
@@ -773,20 +819,33 @@ VopEncoder::encode(bits::BitWriter &bw, const VopHeader &hdr,
 
     pool.parallelFor(rows, [&](int r) {
         ShardBinding bind(shards.empty() ? nullptr : &shards[r]);
-        rowStats[r] = encodeTextureRow(rowBw[r], hdr, win.y + r, cur,
-                                       modes, refs, recon);
+        rowStats[r] = encodeTextureRow(rowBw[r],
+                                       dp ? &rowTex[r] : nullptr, hdr,
+                                       win.y + r, cur, modes, refs,
+                                       recon);
     });
 
-    // Deterministic merge: the row-length table, then every row's
-    // payload bits and deferred trace, all in raster order.  The
-    // layout does not depend on the thread count.
-    for (int r = 0; r < rows; ++r)
-        bits::putUe(bw, static_cast<uint32_t>(rowBw[r].bitCount()));
-    for (int r = 0; r < rows; ++r) {
-        bw.append(rowBw[r]);
-        if (!shards.empty())
-            mem_->merge(shards[r]);
-        stats += rowStats[r];
+    if (hdr.packetized) {
+        appendPackets(bw, hdr, rowBw, dp ? &rowTex : nullptr);
+        // Trace replay and stats stay raster-ordered regardless of
+        // how the rows were grouped into packets.
+        for (int r = 0; r < rows; ++r) {
+            if (!shards.empty())
+                mem_->merge(shards[r]);
+            stats += rowStats[r];
+        }
+    } else {
+        // Deterministic merge: the row-length table, then every row's
+        // payload bits and deferred trace, all in raster order.  The
+        // layout does not depend on the thread count.
+        for (int r = 0; r < rows; ++r)
+            bits::putUe(bw, static_cast<uint32_t>(rowBw[r].bitCount()));
+        for (int r = 0; r < rows; ++r) {
+            bw.append(rowBw[r]);
+            if (!shards.empty())
+                mem_->merge(shards[r]);
+            stats += rowStats[r];
+        }
     }
 
     if (recon_alpha && alpha)
@@ -795,6 +854,43 @@ VopEncoder::encode(bits::BitWriter &bw, const VopHeader &hdr,
     stats.bits = bw.bitCount() - start_bits;
     tick(static_cast<double>(stats.bits) * kEncodeCyclesPerBit);
     return stats;
+}
+
+void
+VopEncoder::appendPackets(bits::BitWriter &bw, const VopHeader &hdr,
+                          const std::vector<bits::BitWriter> &rowBw,
+                          const std::vector<bits::BitWriter> *rowTex)
+{
+    const int rows = static_cast<int>(rowBw.size());
+    const int interval = std::max(1, cfg_.resyncInterval);
+    for (int r0 = 0; r0 < rows; r0 += interval) {
+        const int n = std::min(interval, rows - r0);
+        // Packet header.  The quantizer, VOP type, and timestamp
+        // duplicate fields from the VOP header (header-extension-code
+        // style redundancy) so a decoder that lost the VOP header can
+        // still validate the packet belongs here.
+        bits::putResyncMarker(bw);
+        bits::putUe(bw, static_cast<uint32_t>(r0));
+        bits::putUe(bw, static_cast<uint32_t>(n));
+        bw.putBits(static_cast<uint32_t>(hdr.qp), 5);
+        bw.putBits(static_cast<uint32_t>(vopTypeBits(hdr.type)), 2);
+        bits::putUe(bw, static_cast<uint32_t>(hdr.timestamp));
+        for (int r = r0; r < r0 + n; ++r)
+            bits::putUe(bw, static_cast<uint32_t>(rowBw[r].bitCount()));
+        for (int r = r0; r < r0 + n; ++r)
+            bw.append(rowBw[r]);
+        if (rowTex) {
+            // Data partitioning: motion/mode/DC bits above, then the
+            // motion marker, then the texture partition.
+            bits::putMotionMarker(bw);
+            for (int r = r0; r < r0 + n; ++r) {
+                bits::putUe(bw, static_cast<uint32_t>(
+                    (*rowTex)[r].bitCount()));
+            }
+            for (int r = r0; r < r0 + n; ++r)
+                bw.append((*rowTex)[r]);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -903,12 +999,15 @@ VopDecoder::decodeShapePass(bits::BitReader &br, const VopHeader &hdr,
 
 void
 VopDecoder::decodeBlockInto(RowPredictors &rp, bits::BitReader &br,
-                            bool intra, bool luma, int qp,
-                            int plane_idx, int bx, int by,
+                            bits::BitReader &tex, bool intra, bool luma,
+                            int qp, int plane_idx, int bx, int by,
                             const uint8_t *pred, int pred_stride,
                             video::Plane &out, int x0, int y0,
                             bool coded)
 {
+    // Mirrors the encoder's partition split: DC deltas travel with
+    // the motion partition (br), coefficient data with the texture
+    // partition (tex).  Callers alias the two when not partitioned.
     Block scanned;
     scanned.fill(0);
     int dc_level = 0;
@@ -917,9 +1016,9 @@ VopDecoder::decodeBlockInto(RowPredictors &rp, bits::BitReader &br,
         const int dc_delta = bits::getSe(br);
         dc_level = rp.predictDc(plane_idx, bx, by) + dc_delta;
         rp.setDc(plane_idx, bx, by, dc_level);
-        const bool has_ac = br.getBit();
+        const bool has_ac = tex.getBit();
         if (has_ac) {
-            const auto events = readBlockEvents(br);
+            const auto events = readBlockEvents(tex);
             if (!validEvents(events, 1))
                 throw StreamError("corrupt intra block events");
             runLengthDecode(events, scanned, 1);
@@ -927,7 +1026,7 @@ VopDecoder::decodeBlockInto(RowPredictors &rp, bits::BitReader &br,
         any = has_ac || dc_level != 0;
         traceBlockStore(kScanned);
     } else if (coded) {
-        const auto events = readBlockEvents(br);
+        const auto events = readBlockEvents(tex);
         if (!validEvents(events, 0))
             throw StreamError("corrupt inter block events");
         runLengthDecode(events, scanned, 0);
@@ -976,11 +1075,14 @@ VopDecoder::decodeBlockInto(RowPredictors &rp, bits::BitReader &br,
 }
 
 VopStats
-VopDecoder::decodeTextureRow(bits::BitReader &br, const VopHeader &hdr,
+VopDecoder::decodeTextureRow(bits::BitReader &br, bits::BitReader *tex,
+                             const VopHeader &hdr,
                              int my, const std::vector<BabMode> &modes,
                              const RefFrames &refs,
-                             video::Yuv420Image &out)
+                             video::Yuv420Image &out,
+                             MotionVector *mv_row)
 {
+    bits::BitReader &txr = tex ? *tex : br;
     const video::Rect &win = hdr.mbWindow;
     const int qp = hdr.qp;
     const bool is_b = hdr.type == VopType::B;
@@ -1082,10 +1184,26 @@ VopDecoder::decodeTextureRow(bits::BitReader &br, const VopHeader &hdr,
                     ++stats.intraMbs;
                 }
                 if (!intra)
-                    cbp = static_cast<int>(br.getBits(6));
+                    cbp = static_cast<int>(txr.getBits(6));
             }
         } else {
             ++stats.intraMbs;
+        }
+
+        // Record a concealment-candidate forward vector for this MB.
+        if (mv_row) {
+            MotionVector cand{0, 0};
+            if (!intra) {
+                if (use_4mv) {
+                    cand = {avg4(mv4[0].x + mv4[1].x + mv4[2].x +
+                                 mv4[3].x),
+                            avg4(mv4[0].y + mv4[1].y + mv4[2].y +
+                                 mv4[3].y)};
+                } else if (!is_b || mode == 0 || mode == 2) {
+                    cand = mvf;
+                }
+            }
+            mv_row[mx - win.x] = cand;
         }
 
         // ---------------- prediction build ----------------------
@@ -1109,13 +1227,17 @@ VopDecoder::decodeTextureRow(bits::BitReader &br, const VopHeader &hdr,
                 trace.traceStoreRow(256, 128);
             };
             if (is_b) {
+                // Corrupt mode bits can ask for a reference that is
+                // not there; that is a stream error, not a bug.
                 if (mode == 0 || mode == 2) {
-                    M4PS_ASSERT(fwd_ok, "fwd mode without past ref");
+                    if (!fwd_ok)
+                        throw StreamError("fwd mode without past ref");
                     build(*refs.past, refs.pastInterp, mvf, fwdData,
                           predFwd_);
                 }
                 if (mode == 1 || mode == 2) {
-                    M4PS_ASSERT(bwd_ok, "bwd mode without ref");
+                    if (!bwd_ok)
+                        throw StreamError("bwd mode without ref");
                     build(*refs.future, refs.futureInterp, mvb,
                           bwdData, predBwd_);
                 }
@@ -1128,7 +1250,8 @@ VopDecoder::decodeTextureRow(bits::BitReader &br, const VopHeader &hdr,
                 pred = mode == 0 ? fwdData
                        : mode == 1 ? bwdData : biData;
             } else if (use_4mv) {
-                M4PS_ASSERT(fwd_ok, "4MV MB without past ref");
+                if (!fwd_ok)
+                    throw StreamError("4MV MB without past ref");
                 uint8_t tmp[64];
                 for (int b = 0; b < 4; ++b) {
                     predictLuma8(refs.past->y(), px + (b & 1) * 8,
@@ -1152,7 +1275,8 @@ VopDecoder::decodeTextureRow(bits::BitReader &br, const VopHeader &hdr,
                 predFwd_.traceStoreRow(256, 128);
                 pred = fwdData;
             } else {
-                M4PS_ASSERT(fwd_ok, "P-VOP without past ref");
+                if (!fwd_ok)
+                    throw StreamError("P-VOP without past ref");
                 build(*refs.past, refs.pastInterp, mvf, fwdData,
                       predFwd_);
                 pred = fwdData;
@@ -1211,13 +1335,13 @@ VopDecoder::decodeTextureRow(bits::BitReader &br, const VopHeader &hdr,
                     pl.traceStoreRow(x0, y0 + row, kBlockEdge);
                 }
             } else {
-                decodeBlockInto(rp, br, intra, luma, qp, plane_idx,
-                                gx, gy, p, pstride, pl, x0, y0,
-                                coded);
+                decodeBlockInto(rp, br, txr, intra, luma, qp,
+                                plane_idx, gx, gy, p, pstride, pl,
+                                x0, y0, coded);
             }
         }
         marshalMacroblock();
-        if (br.overrun())
+        if (br.overrun() || txr.overrun())
             throw StreamError("bitstream exhausted mid-VOP "
                               "(corrupt or truncated stream)");
     }
@@ -1244,6 +1368,8 @@ VopDecoder::decode(bits::BitReader &br, const VopHeader &hdr,
         win.y + win.h > cfg_.mbHeight()) {
         throw StreamError("VOP window outside the VOL");
     }
+    if (hdr.qp < 1 || hdr.qp > 31)
+        throw StreamError("VOP quantizer out of range");
     const uint64_t start_bits = br.bitPos();
     resetVopState(hdr);
 
@@ -1261,62 +1387,280 @@ VopDecoder::decode(bits::BitReader &br, const VopHeader &hdr,
     if (hdr.type == VopType::B && !fwd_ok && !bwd_ok)
         throw StreamError("B-VOP without references");
 
-    // Row-length table: per-row payload sizes in bits, raster order.
     const int rows = win.h;
-    std::vector<uint64_t> rowBits(rows);
-    uint64_t total = 0;
-    for (int r = 0; r < rows; ++r) {
-        rowBits[r] = bits::getUe(br);
-        total += rowBits[r];
-    }
-    if (br.overrun() || total > br.bitsLeft())
-        throw StreamError("corrupt slice-row length table");
-    const uint64_t base = br.bitPos();
-    std::vector<uint64_t> rowStart(rows);
-    uint64_t off = base;
-    for (int r = 0; r < rows; ++r) {
-        rowStart[r] = off;
-        off += rowBits[r];
-    }
-
     support::ThreadPool &pool = support::ThreadPool::global();
     std::vector<VopStats> rowStats(rows);
     std::vector<memsim::TraceShard> shards;
     if (mem_ && pool.threads() > 1 && rows > 1)
         shards.resize(rows);
 
-    pool.parallelFor(rows, [&](int r) {
-        ShardBinding bind(shards.empty() ? nullptr : &shards[r]);
-        bits::BitReader rbr = br;
-        rbr.seekBits(rowStart[r]);
-        try {
-            rowStats[r] = decodeTextureRow(rbr, hdr, win.y + r, modes,
-                                           refs, out);
-            if (rbr.overrun() ||
-                rbr.bitPos() != rowStart[r] + rowBits[r]) {
-                throw StreamError("slice row does not match its "
-                                  "coded length");
-            }
-        } catch (const StreamError &) {
-            // Slice concealment: rows are independent, so a corrupt
-            // payload costs exactly this row.  The frame store keeps
-            // whatever it held before; neighbours are unaffected and
-            // the outer reader continues at the table's offsets.
-            rowStats[r] = VopStats{};
-            rowStats[r].corruptedRows = 1;
-        }
-    });
+    if (hdr.packetized) {
+        // Resilient VOP: rows arrive in video packets.  Packets that
+        // fail validation are skipped (their rows stay uncovered);
+        // rows whose payload fails to parse are flagged bad.  Both
+        // classes are concealed after the good rows land.
+        std::vector<RowSpan> spans(rows);
+        parsePackets(br, hdr, spans, stats);
 
-    br.seekBits(base + total);
-    for (int r = 0; r < rows; ++r) {
-        if (!shards.empty())
-            mem_->merge(shards[r]);
-        stats += rowStats[r];
+        std::vector<MotionVector> mvField(
+            static_cast<size_t>(rows) * win.w);
+        std::vector<uint8_t> rowGood(rows, 0);
+
+        pool.parallelFor(rows, [&](int r) {
+            if (!spans[r].covered)
+                return;
+            ShardBinding bind(shards.empty() ? nullptr : &shards[r]);
+            bits::BitReader rbr = br;
+            rbr.seekBits(spans[r].start);
+            bits::BitReader texr = br;
+            const bool dp = hdr.dataPartitioned;
+            if (dp)
+                texr.seekBits(spans[r].texStart);
+            try {
+                rowStats[r] = decodeTextureRow(
+                    rbr, dp ? &texr : nullptr, hdr, win.y + r, modes,
+                    refs, out,
+                    mvField.data() + static_cast<size_t>(r) * win.w);
+                if (rbr.overrun() ||
+                    rbr.bitPos() != spans[r].start + spans[r].bits ||
+                    (dp && (texr.overrun() ||
+                            texr.bitPos() !=
+                                spans[r].texStart + spans[r].texBits))) {
+                    throw StreamError("slice row does not match its "
+                                      "coded length");
+                }
+                rowGood[r] = 1;
+            } catch (const StreamError &) {
+                rowStats[r] = VopStats{};
+            }
+        });
+
+        for (int r = 0; r < rows; ++r) {
+            if (!shards.empty())
+                mem_->merge(shards[r]);
+            stats += rowStats[r];
+        }
+
+        // Sequential concealment pass over everything that was lost.
+        for (int r = 0; r < rows; ++r) {
+            if (!rowGood[r])
+                concealRow(r, hdr, refs, mvField, rowGood, out, stats);
+        }
+    } else {
+        // Row-length table: per-row payload sizes in bits, raster
+        // order.
+        std::vector<uint64_t> rowBits(rows);
+        uint64_t total = 0;
+        for (int r = 0; r < rows; ++r) {
+            rowBits[r] = bits::getUe(br);
+            total += rowBits[r];
+        }
+        if (br.overrun() || total > br.bitsLeft())
+            throw StreamError("corrupt slice-row length table");
+        const uint64_t base = br.bitPos();
+        std::vector<uint64_t> rowStart(rows);
+        uint64_t off = base;
+        for (int r = 0; r < rows; ++r) {
+            rowStart[r] = off;
+            off += rowBits[r];
+        }
+
+        pool.parallelFor(rows, [&](int r) {
+            ShardBinding bind(shards.empty() ? nullptr : &shards[r]);
+            bits::BitReader rbr = br;
+            rbr.seekBits(rowStart[r]);
+            try {
+                rowStats[r] = decodeTextureRow(rbr, nullptr, hdr,
+                                               win.y + r, modes, refs,
+                                               out, nullptr);
+                if (rbr.overrun() ||
+                    rbr.bitPos() != rowStart[r] + rowBits[r]) {
+                    throw StreamError("slice row does not match its "
+                                      "coded length");
+                }
+            } catch (const StreamError &) {
+                // Slice concealment: rows are independent, so a
+                // corrupt payload costs exactly this row.  The frame
+                // store keeps whatever it held before; neighbours are
+                // unaffected and the outer reader continues at the
+                // table's offsets.
+                rowStats[r] = VopStats{};
+                rowStats[r].corruptedRows = 1;
+            }
+        });
+
+        br.seekBits(base + total);
+        for (int r = 0; r < rows; ++r) {
+            if (!shards.empty())
+                mem_->merge(shards[r]);
+            stats += rowStats[r];
+        }
     }
 
     stats.bits = br.bitPos() - start_bits;
     tick(static_cast<double>(stats.bits) * kDecodeCyclesPerBit);
     return stats;
+}
+
+void
+VopDecoder::parsePackets(bits::BitReader &br, const VopHeader &hdr,
+                         std::vector<RowSpan> &spans, VopStats &stats)
+{
+    const video::Rect &win = hdr.mbWindow;
+    const int rows = win.h;
+    for (;;) {
+        const bits::PacketScan scan = bits::nextPacketBoundary(br);
+        if (scan != bits::PacketScan::Resync)
+            break; // Next startcode (left unconsumed) or stream end.
+
+        // Packet header; every field is validated against the VOP
+        // header before the payload is trusted.
+        const int r0 = static_cast<int>(bits::getUe(br));
+        const int n = static_cast<int>(bits::getUe(br));
+        const int qp = static_cast<int>(br.getBits(5));
+        const int type_bits = static_cast<int>(br.getBits(2));
+        const int ts = static_cast<int>(bits::getUe(br));
+        if (br.overrun() || r0 < 0 || n < 1 || r0 >= rows ||
+            n > rows - r0 || qp != hdr.qp ||
+            type_bits != vopTypeBits(hdr.type) ||
+            ts != hdr.timestamp) {
+            ++stats.corruptPackets;
+            continue; // Rescan for the next marker.
+        }
+
+        const bool dp = hdr.dataPartitioned;
+        std::vector<uint64_t> lens(n);
+        uint64_t total = 0;
+        for (int i = 0; i < n; ++i) {
+            lens[i] = bits::getUe(br);
+            total += lens[i];
+        }
+        if (br.overrun() || total > br.bitsLeft()) {
+            ++stats.corruptPackets;
+            continue;
+        }
+        uint64_t off = br.bitPos();
+        const uint64_t motion_end = off + total;
+        std::vector<uint64_t> starts(n);
+        for (int i = 0; i < n; ++i) {
+            starts[i] = off;
+            off += lens[i];
+        }
+
+        std::vector<uint64_t> texLens(dp ? n : 0);
+        std::vector<uint64_t> texStarts(dp ? n : 0);
+        if (dp) {
+            // The texture partition sits behind a byte-aligned motion
+            // marker at the end of the motion partition.
+            br.seekBits(motion_end);
+            br.byteAlign();
+            if (br.bitsLeft() < 24 ||
+                br.getBits(24) != bits::kMotionMarker) {
+                ++stats.corruptPackets;
+                br.seekBits(motion_end);
+                continue;
+            }
+            uint64_t tex_total = 0;
+            for (int i = 0; i < n; ++i) {
+                texLens[i] = bits::getUe(br);
+                tex_total += texLens[i];
+            }
+            if (br.overrun() || tex_total > br.bitsLeft()) {
+                ++stats.corruptPackets;
+                continue;
+            }
+            uint64_t tex_off = br.bitPos();
+            for (int i = 0; i < n; ++i) {
+                texStarts[i] = tex_off;
+                tex_off += texLens[i];
+            }
+            br.seekBits(tex_off);
+        } else {
+            br.seekBits(motion_end);
+        }
+
+        ++stats.packets;
+        for (int i = 0; i < n; ++i) {
+            RowSpan &s = spans[r0 + i];
+            if (s.covered)
+                continue; // First packet claiming a row wins.
+            s.start = starts[i];
+            s.bits = lens[i];
+            if (dp) {
+                s.texStart = texStarts[i];
+                s.texBits = texLens[i];
+            }
+            s.covered = true;
+        }
+    }
+}
+
+void
+VopDecoder::concealRow(int r, const VopHeader &hdr,
+                       const RefFrames &refs,
+                       const std::vector<MotionVector> &mvField,
+                       const std::vector<uint8_t> &rowGood,
+                       video::Yuv420Image &out, VopStats &stats)
+{
+    const video::Rect &win = hdr.mbWindow;
+    const int rows = win.h;
+
+    // Nearest surviving row donates its motion field; ties prefer
+    // the row above (its vectors were predicted top-down, like ours
+    // would have been).
+    int donor = -1;
+    for (int d = 1; d < rows && donor < 0; ++d) {
+        if (r - d >= 0 && rowGood[r - d])
+            donor = r - d;
+        else if (r + d < rows && rowGood[r + d])
+            donor = r + d;
+    }
+
+    const video::Yuv420Image *src = refs.past;
+    const bool use_mv = src != nullptr;
+    if (!src)
+        src = refs.future; // Zero-MV fallback for a lost B/I row.
+
+    if (!src) {
+        // No reference at all (lost I-VOP rows): the frame store
+        // keeps whatever it held, which is the best we can do.
+        stats.corruptedRows += 1;
+        return;
+    }
+
+    uint8_t buf[384];
+    const int my = win.y + r;
+    for (int mx = win.x; mx < win.x + win.w; ++mx) {
+        MotionVector mv{0, 0};
+        if (use_mv && donor >= 0) {
+            mv = mvField[static_cast<size_t>(donor) * win.w +
+                         (mx - win.x)];
+        }
+        const int px = mx * kMb;
+        const int py = my * kMb;
+        predictLuma16(src->y(), px, py, mv, buf);
+        predFwd_.traceStoreRow(0, 256);
+        predictChroma8(src->u(), px / 2, py / 2, mv, buf + 256);
+        predictChroma8(src->v(), px / 2, py / 2, mv, buf + 320);
+        predFwd_.traceStoreRow(256, 128);
+        predFwd_.traceLoadRow(0, 384);
+        for (int row = 0; row < kMb; ++row) {
+            uint8_t *dst = out.y().rowPtr(py + row) + px;
+            std::copy(buf + row * kMb, buf + (row + 1) * kMb, dst);
+            out.y().traceStoreRow(px, py + row, kMb);
+        }
+        for (int p = 1; p < 3; ++p) {
+            const uint8_t *s = buf + 256 + (p - 1) * 64;
+            video::Plane &pl = out.plane(p);
+            for (int row = 0; row < 8; ++row) {
+                uint8_t *dst = pl.rowPtr(py / 2 + row) + px / 2;
+                std::copy(s + row * 8, s + (row + 1) * 8, dst);
+                pl.traceStoreRow(px / 2, py / 2 + row, 8);
+            }
+        }
+        ++stats.concealedMbs;
+    }
+    stats.corruptedRows += 1;
 }
 
 } // namespace m4ps::codec

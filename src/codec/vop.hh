@@ -23,6 +23,12 @@
  * a row-length table, so rows can be encoded and decoded in parallel
  * on the support::ThreadPool while producing a bitstream that is
  * bit-identical for any thread count (docs/THREADING.md).
+ *
+ * With error resilience enabled (VolConfig::resyncInterval), the
+ * same row sub-streams are carried in video packets behind
+ * byte-aligned resync markers, optionally split into motion and
+ * texture partitions, and lost packets are concealed by motion-
+ * compensated copy from the previous VOP (docs/RESILIENCE.md).
  */
 
 #ifndef M4PS_CODEC_VOP_HH
@@ -58,6 +64,15 @@ struct VolConfig
     int voId = 0;
     int volId = 0;
 
+    /**
+     * Encoder-side resilience tools (never serialized in the VOL
+     * header; the VOP startcode signals packetization per VOP, so
+     * streams coded with these off are byte-identical to streams
+     * from builds that predate them).
+     */
+    int resyncInterval = 0;        //!< MB rows per video packet; 0 = off.
+    bool dataPartitioning = false; //!< Split motion/DC from texture.
+
     int mbWidth() const { return width / 16; }
     int mbHeight() const { return height / 16; }
 
@@ -73,13 +88,27 @@ struct VopHeader
     int timestamp = 0;        //!< Display time index.
     int qp = 8;
     video::Rect mbWindow;     //!< Coded region in macroblock units.
+    /**
+     * Resilient VOP (startcode 0xb7): texture rows travel in video
+     * packets behind resync markers instead of one monolithic
+     * row-table payload, so a corruption event costs one packet.
+     */
+    bool packetized = false;
+    /** Packets split motion/DC data from texture (resilient only). */
+    bool dataPartitioned = false;
 };
 
-/** Write a VOP startcode plus header. */
+/** Write a VOP startcode (0xb6, or 0xb7 when packetized) plus header. */
 void writeVopHeader(bits::BitWriter &bw, const VopHeader &hdr);
 
-/** Read the header following a VOP startcode. */
-VopHeader readVopHeader(bits::BitReader &br);
+/**
+ * Read the header following a VOP startcode.  @p packetized selects
+ * the resilient (0xb7) layout, known from the startcode just
+ * consumed.  Throws StreamError on truncated or implausible fields
+ * (values that could overflow window arithmetic or request absurd
+ * allocations downstream).
+ */
+VopHeader readVopHeader(bits::BitReader &br, bool packetized = false);
 
 /** Outcome statistics of coding one VOP. */
 struct VopStats
@@ -96,10 +125,21 @@ struct VopStats
     int codedBlocks = 0;
     /**
      * Decoder only: macroblock rows whose slice payload was corrupt
-     * and got concealed (dropped, frame store keeps its previous
-     * content).  Row independence limits the damage to one slice.
+     * (or never arrived) and got concealed.  Row independence limits
+     * the damage to one slice.
      */
     int corruptedRows = 0;
+    /** Decoder only: video packets parsed successfully. */
+    int packets = 0;
+    /** Decoder only: video packets rejected as corrupt. */
+    int corruptPackets = 0;
+    /**
+     * Decoder only: macroblocks replaced by motion-compensated copy
+     * from a reference (packetized concealment).  Rows counted in
+     * corruptedRows without a usable reference keep stale content
+     * and do not count here.
+     */
+    int concealedMbs = 0;
 
     int codedMbs() const
     {
@@ -119,6 +159,9 @@ struct VopStats
         transparentMbs += o.transparentMbs;
         codedBlocks += o.codedBlocks;
         corruptedRows += o.corruptedRows;
+        packets += o.packets;
+        corruptPackets += o.corruptPackets;
+        concealedMbs += o.concealedMbs;
         return *this;
     }
 };
@@ -273,14 +316,27 @@ class VopEncoder : public VopCodecBase
 
     /**
      * Encode one macroblock row into @p bw (a fresh per-row writer).
-     * Thread-safe against other rows of the same VOP.
+     * When @p tex is non-null (data partitioning), texture bits (cbp,
+     * coded flags, coefficient events) go there while motion, mode,
+     * and intra-DC bits stay in @p bw.  Thread-safe against other
+     * rows of the same VOP.
      */
-    VopStats encodeTextureRow(bits::BitWriter &bw,
+    VopStats encodeTextureRow(bits::BitWriter &bw, bits::BitWriter *tex,
                               const VopHeader &hdr, int my,
                               const video::Yuv420Image &cur,
                               const std::vector<BabMode> &modes,
                               const RefFrames &refs,
                               video::Yuv420Image *recon);
+
+    /**
+     * Emit the coded rows as video packets: resync marker, packet
+     * header with redundant VOP fields, row-length table(s), and the
+     * row payloads (motion and texture partitions separated by a
+     * motion marker when @p rowTex is non-null).
+     */
+    void appendPackets(bits::BitWriter &bw, const VopHeader &hdr,
+                       const std::vector<bits::BitWriter> &rowBw,
+                       const std::vector<bits::BitWriter> *rowTex);
 
     /** Run the analysis half of the block pipeline. */
     BlockCode analyzeBlock(RowPredictors &rp, const video::Plane &cur,
@@ -315,22 +371,57 @@ class VopDecoder : public VopCodecBase
                     video::Plane *out_alpha);
 
   private:
+    /** Where one row's partitions live inside the bitstream. */
+    struct RowSpan
+    {
+        uint64_t start = 0;    //!< Motion (or whole-row) bit offset.
+        uint64_t bits = 0;
+        uint64_t texStart = 0; //!< Texture partition (dp only).
+        uint64_t texBits = 0;
+        bool covered = false;  //!< A packet carried this row.
+    };
+
     /**
      * Decode one macroblock row from @p br (positioned at the row's
-     * slice payload).  Thread-safe against other rows.
+     * slice payload).  With data partitioning, @p tex reads the
+     * texture partition while @p br stays on motion/DC data.  When
+     * @p mv_row is non-null it receives one concealment-candidate
+     * forward vector per macroblock.  Thread-safe against other rows.
      */
-    VopStats decodeTextureRow(bits::BitReader &br,
+    VopStats decodeTextureRow(bits::BitReader &br, bits::BitReader *tex,
                               const VopHeader &hdr, int my,
                               const std::vector<BabMode> &modes,
                               const RefFrames &refs,
-                              video::Yuv420Image &out);
+                              video::Yuv420Image &out,
+                              MotionVector *mv_row);
+
+    /**
+     * Parse the video packets of a resilient VOP, filling @p spans
+     * and advancing @p br to the end of the VOP payload.  Corrupt
+     * packets are skipped via a resync-marker scan and counted in
+     * @p stats; the rows they covered stay uncovered.
+     */
+    void parsePackets(bits::BitReader &br, const VopHeader &hdr,
+                      std::vector<RowSpan> &spans, VopStats &stats);
+
+    /**
+     * Conceal one lost macroblock row by motion-compensated copy
+     * from @p refs, steering each macroblock with its nearest
+     * surviving neighbour's vector from @p mvField (or zero).
+     * Falls back to stale frame-store content when no reference
+     * exists (I-VOP loss).
+     */
+    void concealRow(int r, const VopHeader &hdr, const RefFrames &refs,
+                    const std::vector<MotionVector> &mvField,
+                    const std::vector<uint8_t> &rowGood,
+                    video::Yuv420Image &out, VopStats &stats);
 
     /** Decode one block's levels; returns the events applied. */
     void decodeBlockInto(RowPredictors &rp, bits::BitReader &br,
-                         bool intra, bool luma, int qp, int plane_idx,
-                         int bx, int by, const uint8_t *pred,
-                         int pred_stride, video::Plane &out, int x0,
-                         int y0, bool coded);
+                         bits::BitReader &tex, bool intra, bool luma,
+                         int qp, int plane_idx, int bx, int by,
+                         const uint8_t *pred, int pred_stride,
+                         video::Plane &out, int x0, int y0, bool coded);
 
     void decodeShapePass(bits::BitReader &br, const VopHeader &hdr,
                          video::Plane &alpha,

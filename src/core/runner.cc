@@ -103,7 +103,16 @@ class CompositeAssembler
                     break;
                 }
             }
-            M4PS_ASSERT(slot >= 0, "composite slot pool exhausted");
+            if (slot < 0) {
+                // Lossy decodes can leave frames forever incomplete
+                // (a VO's VOP was concealed away): evict the oldest
+                // pending timestamp rather than aborting the run.
+                slot = 0;
+                for (int i = 1; i < kSlots; ++i) {
+                    if (slotTs_[i] < slotTs_[slot])
+                        slot = i;
+                }
+            }
             slotTs_[slot] = e.timestamp;
             received_[slot] = 0;
         }
@@ -174,7 +183,8 @@ ExperimentRunner::runEncode(const Workload &w,
 RunResult
 ExperimentRunner::runDecode(const Workload &w,
                             const MachineConfig &machine,
-                            const std::vector<uint8_t> &stream)
+                            const std::vector<uint8_t> &stream,
+                            const codec::DecodeOptions &opts)
 {
     w.validate();
     auto mem = machine.makeHierarchy();
@@ -185,7 +195,8 @@ ExperimentRunner::runDecode(const Workload &w,
     codec::Mpeg4Decoder dec(ctx);
     codec::DecodeStats stats = dec.decode(
         stream,
-        [&](const codec::DecodedEvent &e) { assembler.onEvent(e); });
+        [&](const codec::DecodedEvent &e) { assembler.onEvent(e); },
+        opts);
 
     RunResult r;
     r.workload = w.name;

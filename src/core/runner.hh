@@ -62,10 +62,15 @@ class ExperimentRunner
                                std::vector<uint8_t> *stream_out =
                                    nullptr);
 
-    /** Decode @p stream (produced from @p w) on @p machine. */
+    /**
+     * Decode @p stream (produced from @p w) on @p machine.  @p opts
+     * selects strict vs tolerant decoding and resource limits; pass
+     * tolerant options when the stream went through a lossy channel.
+     */
     static RunResult runDecode(const Workload &w,
                                const MachineConfig &machine,
-                               const std::vector<uint8_t> &stream);
+                               const std::vector<uint8_t> &stream,
+                               const codec::DecodeOptions &opts = {});
 
     /** Fast untraced encode, for producing decode-run inputs. */
     static std::vector<uint8_t> encodeUntraced(const Workload &w);

@@ -24,6 +24,8 @@ Workload::encoderConfig() const
     cfg.fourMv = fourMv;
     cfg.targetBps = targetBps;
     cfg.frameRate = frameRate;
+    cfg.resyncInterval = resyncInterval;
+    cfg.dataPartitioning = dataPartitioning;
     return cfg;
 }
 

@@ -36,6 +36,8 @@ struct Workload
     bool halfPel = true;
     bool mpegQuant = false;
     bool fourMv = true;
+    int resyncInterval = 0;       //!< MB rows per video packet; 0 = off.
+    bool dataPartitioning = false;
     uint64_t seed = 7;
 
     /** Encoder configuration equivalent to this workload. */

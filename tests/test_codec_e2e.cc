@@ -243,24 +243,28 @@ TEST(CodecE2e, TracedAndUntracedStreamsAreIdentical)
     EXPECT_EQ(untraced, traced);
 }
 
-TEST(CodecE2eDeathTest, GarbageStreamIsFatal)
+TEST(CodecE2e, GarbageStreamThrowsInStrictMode)
 {
     std::vector<uint8_t> garbage(100, 0x42);
     memsim::SimContext ctx;
     Mpeg4Decoder dec(ctx);
-    EXPECT_EXIT(dec.decode(garbage, nullptr),
-                ::testing::ExitedWithCode(1), "VOS");
+    try {
+        dec.decode(garbage, nullptr);
+        FAIL() << "garbage stream decoded without error";
+    } catch (const DecodeError &e) {
+        EXPECT_EQ(e.kind(), DecodeErrorKind::BadSequenceHeader);
+        EXPECT_NE(std::string(e.what()).find("VOS"), std::string::npos);
+    }
 }
 
-TEST(CodecE2eDeathTest, TruncatedStreamIsFatal)
+TEST(CodecE2e, TruncatedStreamThrowsInStrictMode)
 {
     const Workload w = smallWorkload(1, 1, 4);
     auto stream = ExperimentRunner::encodeUntraced(w);
     stream.resize(stream.size() / 2);
     memsim::SimContext ctx;
     Mpeg4Decoder dec(ctx);
-    EXPECT_EXIT(dec.decode(stream, nullptr),
-                ::testing::ExitedWithCode(1), ".*");
+    EXPECT_THROW(dec.decode(stream, nullptr), DecodeError);
 }
 
 TEST(CodecE2e, FlushHandlesTrailingBFrames)

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Fault-injection harness: every corruption class must be a pure,
+ * reproducible function of (stream, spec), respect the protected
+ * header prefix, and hit the statistics its parameters promise.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/faultinject.hh"
+#include "codec/streamtools.hh"
+#include "core/runner.hh"
+#include "core/workload.hh"
+
+namespace m4ps::codec
+{
+namespace
+{
+
+/** Count bit positions at which @p a and @p b differ. */
+size_t
+bitDiff(const std::vector<uint8_t> &a, const std::vector<uint8_t> &b)
+{
+    EXPECT_EQ(a.size(), b.size());
+    size_t diff = 0;
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+        uint8_t x = a[i] ^ b[i];
+        while (x) {
+            diff += x & 1;
+            x >>= 1;
+        }
+    }
+    return diff;
+}
+
+TEST(FaultInject, DefaultSpecIsIdentity)
+{
+    std::vector<uint8_t> stream(4096, 0x5a);
+    const auto out = injectFaults(stream, FaultSpec{});
+    EXPECT_EQ(out, stream);
+}
+
+TEST(FaultInject, SameSpecSameDamage)
+{
+    std::vector<uint8_t> stream(8192);
+    for (size_t i = 0; i < stream.size(); ++i)
+        stream[i] = static_cast<uint8_t>(i * 131);
+    FaultSpec spec;
+    spec.ber = 1e-3;
+    spec.bursts = 2;
+    spec.startcodeEmulations = 3;
+    spec.truncateFraction = 0.9;
+    spec.seed = 42;
+    const auto a = injectFaults(stream, spec);
+    const auto b = injectFaults(stream, spec);
+    EXPECT_EQ(a, b);
+
+    spec.seed = 43;
+    const auto c = injectFaults(stream, spec);
+    EXPECT_NE(a, c) << "different seeds must damage differently";
+}
+
+TEST(FaultInject, FlipRateTracksBer)
+{
+    // 1 MiB of zeros at BER 1e-4: expect ~839 flips; allow wide
+    // stochastic slack but catch off-by-8 (bit/byte) mistakes.
+    const std::vector<uint8_t> zeros(1 << 20, 0x00);
+    const auto flipped = flipBits(zeros, 1e-4, /*seed=*/7);
+    const double expected = (1 << 20) * 8 * 1e-4;
+    const auto got = static_cast<double>(bitDiff(zeros, flipped));
+    EXPECT_GT(got, expected * 0.6);
+    EXPECT_LT(got, expected * 1.6);
+}
+
+TEST(FaultInject, ProtectedPrefixIsNeverTouched)
+{
+    std::vector<uint8_t> stream(4096, 0xa5);
+    const size_t prefix = 512;
+    FaultSpec spec;
+    spec.ber = 0.05; // heavy damage everywhere else
+    spec.bursts = 4;
+    spec.startcodeEmulations = 4;
+    spec.seed = 9;
+    spec.protectPrefixBytes = prefix;
+    const auto out = injectFaults(stream, spec);
+    ASSERT_GE(out.size(), prefix);
+    for (size_t i = 0; i < prefix; ++i)
+        ASSERT_EQ(out[i], stream[i]) << "byte " << i;
+    EXPECT_NE(out, stream);
+}
+
+TEST(FaultInject, TruncationKeepsFractionButNotLessThanPrefix)
+{
+    std::vector<uint8_t> stream(1000, 0x11);
+    EXPECT_EQ(truncateStream(stream, 0.4).size(), 400u);
+    EXPECT_EQ(truncateStream(stream, 0.4, /*prefix=*/600).size(), 600u);
+    EXPECT_EQ(truncateStream(stream, 1.0).size(), 1000u);
+}
+
+TEST(FaultInject, StartcodeEmulationForgesPrefixes)
+{
+    std::vector<uint8_t> stream(4096, 0xaa); // no 0x000001 anywhere
+    const auto out = emulateStartcodes(stream, 6, /*seed=*/3);
+    ASSERT_EQ(out.size(), stream.size());
+    int prefixes = 0;
+    for (size_t i = 0; i + 2 < out.size(); ++i) {
+        if (out[i] == 0x00 && out[i + 1] == 0x00 && out[i + 2] == 0x01)
+            ++prefixes;
+    }
+    EXPECT_GE(prefixes, 1);
+    EXPECT_LE(prefixes, 6);
+}
+
+TEST(FaultInject, ProtectableHeaderBytesStopAtFirstVop)
+{
+    core::Workload w = core::paperWorkload(64, 64, 1, 1);
+    w.frames = 4;
+    const auto stream = core::ExperimentRunner::encodeUntraced(w);
+    const size_t prefix = protectableHeaderBytes(stream);
+
+    const auto sections = parseSections(stream);
+    size_t first_vop = stream.size();
+    for (const auto &s : sections) {
+        if (s.code == 0xb6 || s.code == 0xb7) {
+            first_vop = s.offset;
+            break;
+        }
+    }
+    EXPECT_EQ(prefix, first_vop);
+    EXPECT_GT(prefix, 0u);
+    EXPECT_LT(prefix, stream.size());
+
+    const std::vector<uint8_t> no_vops(64, 0x00);
+    EXPECT_EQ(protectableHeaderBytes(no_vops), no_vops.size());
+}
+
+} // namespace
+} // namespace m4ps::codec

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Deterministic fuzz smoke test: with tolerant decoding enabled, no
+ * input - pure noise or a valid stream with seeded corruptions - may
+ * crash, hang, or produce incoherent statistics.  Strict mode may
+ * throw DecodeError but nothing else.  Run under ASan/UBSan in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/decoder.hh"
+#include "codec/faultinject.hh"
+#include "core/runner.hh"
+#include "core/workload.hh"
+#include "support/random.hh"
+
+namespace m4ps::codec
+{
+namespace
+{
+
+core::Workload
+fuzzWorkload(int resync_interval, bool dp)
+{
+    core::Workload w = core::paperWorkload(64, 64, 1, 1);
+    w.frames = 5;
+    w.gop = {6, 2};
+    w.targetBps = 1e6;
+    w.resyncInterval = resync_interval;
+    w.dataPartitioning = dp;
+    return w;
+}
+
+/** Stats invariants that must hold no matter how damaged the input. */
+void
+expectSane(const DecodeStats &stats, int shown, uint64_t seed)
+{
+    EXPECT_GE(stats.displayed, 0) << "seed " << seed;
+    EXPECT_EQ(shown, stats.displayed) << "seed " << seed;
+    EXPECT_LE(stats.displayed, stats.vops + 1) << "seed " << seed;
+    EXPECT_GE(stats.corruptedVops, 0) << "seed " << seed;
+    EXPECT_GE(stats.headerErrors, 0) << "seed " << seed;
+    EXPECT_GE(stats.mb.corruptPackets, 0) << "seed " << seed;
+    EXPECT_LE(stats.incidents.size(), kMaxIncidents) << "seed " << seed;
+}
+
+TEST(FuzzSmoke, PureNoiseSurvivesTolerantDecode)
+{
+    for (uint64_t seed = 0; seed < 100; ++seed) {
+        Rng rng(seed * 7919 + 1);
+        std::vector<uint8_t> junk(
+            static_cast<size_t>(rng.uniformInt(0, 4096)));
+        for (auto &b : junk)
+            b = static_cast<uint8_t>(rng.next());
+
+        memsim::SimContext ctx;
+        Mpeg4Decoder dec(ctx);
+        int shown = 0;
+        const DecodeStats stats = dec.decode(
+            junk, [&](const DecodedEvent &) { ++shown; },
+            /*tolerant=*/true);
+        expectSane(stats, shown, seed);
+    }
+}
+
+TEST(FuzzSmoke, SeededCorruptionsSurviveTolerantDecode)
+{
+    // 50 seeds against a plain stream, 50 against a packetized,
+    // data-partitioned one: every corruption class at once, with the
+    // headers fair game too.
+    const auto plain =
+        core::ExperimentRunner::encodeUntraced(fuzzWorkload(0, false));
+    const auto packetized =
+        core::ExperimentRunner::encodeUntraced(fuzzWorkload(2, true));
+
+    for (uint64_t seed = 0; seed < 100; ++seed) {
+        const auto &clean = seed < 50 ? plain : packetized;
+        auto bad = clean;
+        Rng rng(seed);
+        for (int k = 0; k < 8; ++k) {
+            const size_t at = static_cast<size_t>(rng.uniformInt(
+                0, static_cast<int64_t>(bad.size()) - 1));
+            bad[at] = static_cast<uint8_t>(rng.next());
+        }
+        if (rng.chance(0.25))
+            bad = truncateStream(std::move(bad),
+                                 rng.uniformReal(0.1, 0.9));
+
+        memsim::SimContext ctx;
+        Mpeg4Decoder dec(ctx);
+        int shown = 0;
+        const DecodeStats stats = dec.decode(
+            bad, [&](const DecodedEvent &) { ++shown; },
+            /*tolerant=*/true);
+        expectSane(stats, shown, seed);
+    }
+}
+
+TEST(FuzzSmoke, StrictModeThrowsDecodeErrorOrSucceeds)
+{
+    // Strict mode gets the same damaged inputs; any escape hatch
+    // other than DecodeError (abort, raw M4PS_FATAL, other exception
+    // types) fails the test.
+    const auto clean =
+        core::ExperimentRunner::encodeUntraced(fuzzWorkload(2, true));
+    for (uint64_t seed = 0; seed < 50; ++seed) {
+        auto bad = clean;
+        Rng rng(seed ^ 0xf22u);
+        for (int k = 0; k < 8; ++k) {
+            const size_t at = static_cast<size_t>(rng.uniformInt(
+                0, static_cast<int64_t>(bad.size()) - 1));
+            bad[at] = static_cast<uint8_t>(rng.next());
+        }
+        memsim::SimContext ctx;
+        Mpeg4Decoder dec(ctx);
+        try {
+            dec.decode(bad, nullptr, /*tolerant=*/false);
+        } catch (const DecodeError &) {
+            // Expected for most seeds.
+        }
+    }
+}
+
+} // namespace
+} // namespace m4ps::codec

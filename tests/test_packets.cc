@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Video packets and data partitioning: resilience syntax must cost
+ * nothing in fidelity (uncorrupted packetized streams decode to the
+ * exact frames of marker-free streams, at any thread count) and must
+ * buy concealment when a packet is lost.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/decoder.hh"
+#include "codec/streamtools.hh"
+#include "core/runner.hh"
+#include "core/workload.hh"
+#include "support/threadpool.hh"
+
+namespace m4ps::codec
+{
+namespace
+{
+
+core::Workload
+packetWorkload(int resync_interval, bool dp, int frames = 6)
+{
+    core::Workload w = core::paperWorkload(64, 64, 1, 1);
+    w.frames = frames;
+    w.gop = {6, 2};
+    w.targetBps = 1e6;
+    w.resyncInterval = resync_interval;
+    w.dataPartitioning = dp;
+    return w;
+}
+
+/** Flatten every decoded plane, in display order, for comparison. */
+std::vector<uint8_t>
+decodedPixels(const std::vector<uint8_t> &stream, DecodeStats *stats)
+{
+    std::vector<uint8_t> pixels;
+    memsim::SimContext ctx;
+    Mpeg4Decoder dec(ctx);
+    const DecodeStats s =
+        dec.decode(stream, [&](const DecodedEvent &e) {
+            for (int p = 0; p < 3; ++p) {
+                const video::Plane &pl = e.frame->plane(p);
+                for (int y = 0; y < pl.height(); ++y) {
+                    const uint8_t *row = pl.rowPtr(y);
+                    pixels.insert(pixels.end(), row, row + pl.width());
+                }
+            }
+        });
+    if (stats)
+        *stats = s;
+    return pixels;
+}
+
+/** RAII: run a scope at @p n worker threads, restore to 1 after. */
+struct ThreadGuard
+{
+    explicit ThreadGuard(int n)
+    {
+        support::ThreadPool::setGlobalThreads(n);
+    }
+    ~ThreadGuard() { support::ThreadPool::setGlobalThreads(1); }
+};
+
+TEST(Packets, ResilienceOffLeavesStreamSyntaxUnchanged)
+{
+    const auto stream = core::ExperimentRunner::encodeUntraced(
+        packetWorkload(0, false));
+    for (const auto &s : parseSections(stream))
+        EXPECT_NE(s.code, 0xb7) << "resilient VOP in a default stream";
+    // And the flags are genuinely dormant: the workload with explicit
+    // zeros encodes byte-identically to the untouched default.
+    core::Workload plain = packetWorkload(0, false);
+    plain.resyncInterval = 0;
+    plain.dataPartitioning = false;
+    EXPECT_EQ(core::ExperimentRunner::encodeUntraced(plain), stream);
+}
+
+TEST(Packets, ResyncStreamsUseResilientVops)
+{
+    const auto stream = core::ExperimentRunner::encodeUntraced(
+        packetWorkload(2, false));
+    int resilient = 0;
+    for (const auto &s : parseSections(stream)) {
+        EXPECT_NE(s.code, 0xb6) << "plain VOP in a packetized stream";
+        resilient += s.code == 0xb7 ? 1 : 0;
+    }
+    EXPECT_EQ(resilient, 6);
+}
+
+TEST(Packets, UncorruptedPacketsDecodeIdenticalFrames)
+{
+    // Satellite round-trip check: markers and partitioning reorganize
+    // the bits but reconstruct the same pixels, serial or parallel.
+    for (int threads : {1, 4}) {
+        ThreadGuard guard(threads);
+        DecodeStats off_stats, resync_stats, dp_stats;
+        const auto off = decodedPixels(
+            core::ExperimentRunner::encodeUntraced(
+                packetWorkload(0, false)),
+            &off_stats);
+        const auto resync = decodedPixels(
+            core::ExperimentRunner::encodeUntraced(
+                packetWorkload(2, false)),
+            &resync_stats);
+        const auto dp = decodedPixels(
+            core::ExperimentRunner::encodeUntraced(
+                packetWorkload(2, true)),
+            &dp_stats);
+
+        ASSERT_FALSE(off.empty());
+        EXPECT_EQ(off, resync) << threads << " thread(s)";
+        EXPECT_EQ(off, dp) << threads << " thread(s)";
+        EXPECT_EQ(off_stats.displayed, 6);
+        EXPECT_EQ(resync_stats.displayed, 6);
+        EXPECT_EQ(dp_stats.displayed, 6);
+        EXPECT_GT(resync_stats.mb.packets, 0);
+        EXPECT_EQ(resync_stats.mb.corruptPackets, 0);
+        EXPECT_EQ(dp_stats.mb.concealedMbs, 0);
+    }
+}
+
+TEST(Packets, PacketizedStreamIsBitIdenticalAcrossThreadCounts)
+{
+    std::vector<uint8_t> serial, parallel;
+    {
+        ThreadGuard guard(1);
+        serial = core::ExperimentRunner::encodeUntraced(
+            packetWorkload(2, true));
+    }
+    {
+        ThreadGuard guard(4);
+        parallel = core::ExperimentRunner::encodeUntraced(
+            packetWorkload(2, true));
+    }
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(Packets, LostPacketIsConcealedNotFatal)
+{
+    // Smash the header of the second video packet inside the second
+    // VOP (a P-VOP): its rows must be concealed from the previous
+    // frame while every frame still displays.
+    core::Workload w = packetWorkload(2, false);
+    w.gop = {6, 0}; // I P P P P P: concealment always has a past ref
+    auto stream = core::ExperimentRunner::encodeUntraced(w);
+
+    const auto sections = parseSections(stream);
+    size_t smash_at = 0;
+    int vops = 0;
+    for (const auto &s : sections) {
+        if (s.code != 0xb7)
+            continue;
+        if (++vops != 2)
+            continue;
+        int markers = 0;
+        for (size_t i = s.offset + 4; i + 2 < s.offset + s.size; ++i) {
+            if (stream[i] == 0x00 && stream[i + 1] == 0x00 &&
+                stream[i + 2] == 0x02 && ++markers == 2) {
+                smash_at = i + 3; // the packet header fields
+                break;
+            }
+        }
+        break;
+    }
+    ASSERT_GT(smash_at, 0u) << "second packet of VOP 2 not found";
+    for (size_t i = smash_at; i < smash_at + 4 && i < stream.size(); ++i)
+        stream[i] = 0xff;
+
+    memsim::SimContext ctx;
+    Mpeg4Decoder dec(ctx);
+    int shown = 0;
+    const DecodeStats stats = dec.decode(
+        stream, [&](const DecodedEvent &) { ++shown; },
+        /*tolerant=*/true);
+    EXPECT_EQ(shown, 6);
+    EXPECT_GE(stats.mb.corruptPackets, 1);
+    EXPECT_GE(stats.mb.concealedMbs, 1);
+    EXPECT_EQ(stats.corruptedVops, 0)
+        << "packet loss must not discard the whole VOP";
+}
+
+} // namespace
+} // namespace m4ps::codec

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "bitstream/expgolomb.hh"
+#include "bitstream/startcode.hh"
 #include "codec/decoder.hh"
 #include "codec/streamtools.hh"
 #include "core/runner.hh"
@@ -121,7 +123,7 @@ TEST(Resilience, CleanStreamReportsNoCorruption)
     EXPECT_EQ(stats.displayed, w.frames);
 }
 
-TEST(ResilienceDeathTest, StrictModeRefusesCorruption)
+TEST(Resilience, StrictModeRefusesCorruption)
 {
     const core::Workload w = wl(6);
     auto clean = core::ExperimentRunner::encodeUntraced(w);
@@ -139,8 +141,83 @@ TEST(ResilienceDeathTest, StrictModeRefusesCorruption)
     }
     memsim::SimContext ctx;
     Mpeg4Decoder dec(ctx);
-    EXPECT_EXIT(dec.decode(bad, nullptr, /*tolerant=*/false),
-                ::testing::ExitedWithCode(1), "corrupt stream");
+    EXPECT_THROW(dec.decode(bad, nullptr, /*tolerant=*/false),
+                 DecodeError);
+}
+
+TEST(Resilience, HeaderCorruptionSurvivesTolerantDecode)
+{
+    // Satellite regression: flipping bytes anywhere in the VOS/VO/VOL
+    // header prefix used to hit M4PS_FATAL before the tolerant flag
+    // could apply.  Now it must always come back with stats.
+    const core::Workload w = wl(4);
+    auto clean = core::ExperimentRunner::encodeUntraced(w);
+    const auto sections = parseSections(clean);
+    size_t first_vop = clean.size();
+    for (const auto &s : sections) {
+        if (s.code == 0xb6) {
+            first_vop = s.offset;
+            break;
+        }
+    }
+    ASSERT_GT(first_vop, 0u);
+
+    for (uint64_t seed = 0; seed < 64; ++seed) {
+        auto bad = clean;
+        Rng rng(seed);
+        for (int k = 0; k < 3; ++k) {
+            const size_t at = static_cast<size_t>(
+                rng.uniformInt(0, static_cast<int64_t>(first_vop) - 1));
+            bad[at] = static_cast<uint8_t>(rng.next());
+        }
+        memsim::SimContext ctx;
+        Mpeg4Decoder dec(ctx);
+        int shown = 0;
+        const DecodeStats stats = dec.decode(
+            bad, [&](const DecodedEvent &) { ++shown; },
+            /*tolerant=*/true);
+        // Survival is the contract; how much decodes depends on what
+        // was hit.  Stats must stay coherent either way.
+        EXPECT_GE(stats.headerErrors, 0) << "seed " << seed;
+        EXPECT_LE(stats.displayed, w.frames) << "seed " << seed;
+        EXPECT_EQ(shown, stats.displayed) << "seed " << seed;
+    }
+}
+
+TEST(Resilience, OversizedVolDimensionsHitDecodeLimits)
+{
+    // Hand-build a header whose VOL claims a ~16-million-MB frame:
+    // strict mode must classify it, tolerant mode must survive it,
+    // and neither may attempt the multi-gigabyte allocation.
+    bits::BitWriter bw;
+    bits::putStartCode(bw, static_cast<uint8_t>(
+        bits::StartCode::VisualObjectSequence));
+    bits::putUe(bw, 1); // one VO
+    bits::putVoStartCode(bw, 0);
+    bits::putUe(bw, 1); // one layer
+    bits::putVolStartCode(bw, 0);
+    bits::putUe(bw, (1u << 20));   // width in MBs
+    bits::putUe(bw, (1u << 20));   // height in MBs
+    for (int i = 0; i < 5; ++i)
+        bw.putBit(false);          // shape/enh/quant/halfpel/4mv
+    bits::putStartCode(bw, static_cast<uint8_t>(
+        bits::StartCode::VisualObjectSequenceEnd));
+    const std::vector<uint8_t> stream = bw.take();
+
+    memsim::SimContext ctx;
+    Mpeg4Decoder strict(ctx);
+    try {
+        strict.decode(stream, nullptr);
+        FAIL() << "oversized VOL accepted";
+    } catch (const DecodeError &e) {
+        EXPECT_EQ(e.kind(), DecodeErrorKind::LimitExceeded);
+    }
+
+    Mpeg4Decoder tolerant(ctx);
+    const DecodeStats stats = tolerant.decode(stream, nullptr, true);
+    EXPECT_GE(stats.headerErrors, 1);
+    ASSERT_FALSE(stats.incidents.empty());
+    EXPECT_EQ(stats.incidents[0].kind, DecodeErrorKind::LimitExceeded);
 }
 
 } // namespace

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <string>
 
+#include "codec/faultinject.hh"
 #include "core/fallacies.hh"
 #include "core/runner.hh"
 #include "support/args.hh"
@@ -31,7 +32,8 @@ const std::set<std::string> kFlags{
     "mode",    "width",  "height", "frames",  "vos",
     "layers",  "bitrate", "machine", "l2kb",  "search-range",
     "b-frames", "intra-period", "no-half-pel", "no-4mv",
-    "mpeg-quant", "seed", "threads", "help",
+    "mpeg-quant", "seed", "threads", "resync-interval",
+    "data-partition", "ber", "fault-seed", "tolerant", "help",
 };
 
 void
@@ -56,7 +58,17 @@ usage()
         "  --threads N                 macroblock-row worker threads\n"
         "                              (default $M4PS_THREADS or 1;\n"
         "                              results are bit-identical for\n"
-        "                              any value)\n");
+        "                              any value)\n"
+        "  --resync-interval N         MB rows per video packet\n"
+        "                              (default 0 = no resync markers)\n"
+        "  --data-partition            split motion/texture partitions\n"
+        "                              (needs --resync-interval)\n"
+        "  --ber P                     corrupt the stream at bit-error\n"
+        "                              rate P before decoding (implies\n"
+        "                              --tolerant; headers protected)\n"
+        "  --fault-seed N              channel noise seed (default 1)\n"
+        "  --tolerant                  conceal decode errors instead\n"
+        "                              of aborting\n");
 }
 
 void
@@ -102,8 +114,16 @@ main(int argc, char **argv)
     wl.fourMv = !args.getBool("no-4mv");
     wl.mpegQuant = args.getBool("mpeg-quant");
     wl.seed = static_cast<uint64_t>(args.getInt("seed", 7));
+    wl.resyncInterval = args.getInt("resync-interval", 0);
+    wl.dataPartitioning = args.getBool("data-partition");
     wl.name = "cli";
     wl.validate();
+
+    const double ber = args.getDouble("ber", 0.0);
+    const uint64_t fault_seed =
+        static_cast<uint64_t>(args.getInt("fault-seed", 1));
+    codec::DecodeOptions decode_opts;
+    decode_opts.tolerant = args.getBool("tolerant") || ber > 0;
 
     if (args.has("threads")) {
         support::ThreadPool::setGlobalThreads(
@@ -146,9 +166,39 @@ main(int argc, char **argv)
         stream = core::ExperimentRunner::encodeUntraced(wl);
     }
     if (mode == "decode" || mode == "both") {
-        const core::RunResult dec =
-            core::ExperimentRunner::runDecode(wl, machine, stream);
-        report("decode", dec, machine);
+        if (ber > 0) {
+            // Model the lossy channel: protect the session headers
+            // (as a transport would) and flip payload bits.
+            codec::FaultSpec spec;
+            spec.ber = ber;
+            spec.seed = fault_seed;
+            spec.protectPrefixBytes =
+                codec::protectableHeaderBytes(stream);
+            stream = codec::injectFaults(std::move(stream), spec);
+            std::printf("channel: BER %.2g, seed %llu, %zu header "
+                        "bytes protected\n",
+                        ber,
+                        static_cast<unsigned long long>(fault_seed),
+                        spec.protectPrefixBytes);
+        }
+        try {
+            const core::RunResult dec = core::ExperimentRunner::runDecode(
+                wl, machine, stream, decode_opts);
+            report("decode", dec, machine);
+            if (decode_opts.tolerant) {
+                std::printf(
+                    "  resilience: %d/%d VOPs corrupt, %d header "
+                    "error(s), %d packet(s) (%d corrupt), %d MB(s) "
+                    "concealed, %d row(s) lost\n",
+                    dec.dec.corruptedVops, dec.dec.vops,
+                    dec.dec.headerErrors, dec.dec.mb.packets,
+                    dec.dec.mb.corruptPackets, dec.dec.mb.concealedMbs,
+                    dec.dec.mb.corruptedRows);
+            }
+        } catch (const codec::DecodeError &e) {
+            M4PS_FATAL("decode failed (", e.what(),
+                       "); rerun with --tolerant to conceal");
+        }
     }
     return 0;
 }
