@@ -21,6 +21,7 @@
  */
 
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <vector>
@@ -205,7 +206,8 @@ main()
     overhead.print();
     std::cout << "\n";
 
-    // The sweep proper.
+    // The sweep proper.  Cells are kept for the JSON artifact below.
+    std::vector<std::vector<Cell>> cells(std::size(kConfigs));
     Cell off1e5, resync1e5;
     TextTable sweep("BER sweep: displayed frames and concealment "
                     "PSNR vs each config's clean decode");
@@ -215,6 +217,7 @@ main()
         for (const double ber : kBers) {
             const Cell cell =
                 runCell(streams[i], cleans[i], wls[i].frames, ber);
+            cells[i].push_back(cell);
             sweep.row({kConfigs[i].name,
                        ber == 0 ? "0" : TextTable::num(ber, 7),
                        TextTable::num(cell.displayedPct, 1),
@@ -236,6 +239,45 @@ main()
            "rows\nthat motion-compensated concealment hides, and "
            "data partitioning additionally keeps\nmotion vectors "
            "decodable when only texture bits are hit.\n\n";
+
+    // Machine-readable artifact: the same sweep (plus the overhead
+    // pricing) as JSON, for trajectory tracking and CI diffing.
+    {
+        std::ofstream json("BENCH_resilience.json", std::ios::trunc);
+        json << "{\n  \"bench\": \"resilience_ber_sweep\",\n"
+             << "  \"width\": " << wls[0].width
+             << ", \"height\": " << wls[0].height
+             << ", \"frames\": " << wls[0].frames
+             << ", \"channel_seeds\": " << std::size(kSeeds) << ",\n"
+             << "  \"configs\": [\n";
+        for (size_t i = 0; i < std::size(kConfigs); ++i) {
+            const double bits = 8.0 * (static_cast<double>(
+                                           streams[i].size()) -
+                                       static_cast<double>(
+                                           streams[0].size()));
+            json << "    {\"name\": \"" << kConfigs[i].name
+                 << "\", \"stream_bytes\": " << streams[i].size()
+                 << ", \"overhead_bits\": " << bits
+                 << ", \"overhead_pct\": "
+                 << 100.0 * bits / (8.0 * streams[0].size())
+                 << ",\n     \"cells\": [\n";
+            for (size_t k = 0; k < std::size(kBers); ++k) {
+                const Cell &c = cells[i][k];
+                json << "       {\"ber\": " << kBers[k]
+                     << ", \"displayed_pct\": " << c.displayedPct
+                     << ", \"psnr_db\": " << c.meanPsnr
+                     << ", \"corrupt_vops\": " << c.corruptVops
+                     << ", \"corrupt_packets\": " << c.corruptPackets
+                     << ", \"concealed_mbs\": " << c.concealedMbs
+                     << "}"
+                     << (k + 1 < std::size(kBers) ? "," : "") << "\n";
+            }
+            json << "     ]}"
+                 << (i + 1 < std::size(kConfigs) ? "," : "") << "\n";
+        }
+        json << "  ]\n}\n";
+        std::cout << "wrote BENCH_resilience.json\n\n";
+    }
 
     // Memory behaviour of concealment: one traced decode at 1e-5.
     {

@@ -1,6 +1,7 @@
 #include "bitstream/bitstream.hh"
 
 #include "support/logging.hh"
+#include "support/serialize.hh"
 
 namespace m4ps::bits
 {
@@ -59,6 +60,27 @@ BitWriter::take()
 {
     byteAlign();
     return std::move(buf_);
+}
+
+void
+BitWriter::saveState(support::StateWriter &sw) const
+{
+    sw.bytes(buf_.data(), buf_.size());
+    sw.u32(acc_);
+    sw.i32(accBits_);
+    sw.u64(bitCount_);
+}
+
+void
+BitWriter::restoreState(support::StateReader &sr)
+{
+    sr.bytes(buf_);
+    acc_ = sr.u32();
+    accBits_ = sr.i32();
+    bitCount_ = sr.u64();
+    if (accBits_ < 0 || accBits_ > 7 ||
+        bitCount_ != buf_.size() * 8 + static_cast<uint64_t>(accBits_))
+        throw support::SerializeError("inconsistent BitWriter state");
 }
 
 uint32_t

@@ -15,6 +15,12 @@
 #include <cstdint>
 #include <vector>
 
+namespace m4ps::support
+{
+class StateWriter;
+class StateReader;
+} // namespace m4ps::support
+
 namespace m4ps::bits
 {
 
@@ -55,6 +61,14 @@ class BitWriter
 
     /** Read-only view of the bytes written so far (excludes partial byte). */
     const std::vector<uint8_t> &bytes() const { return buf_; }
+
+    /**
+     * Checkpoint support: capture / restore the exact writer state,
+     * including any partial byte, so an interrupted producer can
+     * continue and emit a bit-identical stream.
+     */
+    void saveState(support::StateWriter &sw) const;
+    void restoreState(support::StateReader &sr);
 
   private:
     std::vector<uint8_t> buf_;

@@ -6,10 +6,56 @@
 #include "bitstream/expgolomb.hh"
 #include "bitstream/startcode.hh"
 #include "support/logging.hh"
+#include "support/serialize.hh"
 #include "video/resample.hh"
 
 namespace m4ps::codec
 {
+
+namespace
+{
+
+constexpr uint8_t kEncStateMarker = 0xe5;
+
+void
+saveVopStats(support::StateWriter &sw, const VopStats &s)
+{
+    sw.u8(static_cast<uint8_t>(s.type));
+    sw.u64(s.bits);
+    sw.i32(s.intraMbs);
+    sw.i32(s.interMbs);
+    sw.i32(s.backwardMbs);
+    sw.i32(s.bidirectionalMbs);
+    sw.i32(s.fourMvMbs);
+    sw.i32(s.skippedMbs);
+    sw.i32(s.transparentMbs);
+    sw.i32(s.codedBlocks);
+    sw.i32(s.corruptedRows);
+    sw.i32(s.packets);
+    sw.i32(s.corruptPackets);
+    sw.i32(s.concealedMbs);
+}
+
+void
+restoreVopStats(support::StateReader &sr, VopStats &s)
+{
+    s.type = static_cast<VopType>(sr.u8());
+    s.bits = sr.u64();
+    s.intraMbs = sr.i32();
+    s.interMbs = sr.i32();
+    s.backwardMbs = sr.i32();
+    s.bidirectionalMbs = sr.i32();
+    s.fourMvMbs = sr.i32();
+    s.skippedMbs = sr.i32();
+    s.transparentMbs = sr.i32();
+    s.codedBlocks = sr.i32();
+    s.corruptedRows = sr.i32();
+    s.packets = sr.i32();
+    s.corruptPackets = sr.i32();
+    s.concealedMbs = sr.i32();
+}
+
+} // namespace
 
 void
 EncoderConfig::validate() const
@@ -198,6 +244,61 @@ Mpeg4Encoder::encodeFrame(const std::vector<VoInput> &inputs,
         VopStats enh_stats = vo.enh->encodeEnhanced(
             bw_, *in.frame, in.alpha, timestamp, vo.upsampled);
         account(VopType::B, enh_stats);
+    }
+}
+
+void
+Mpeg4Encoder::saveState(support::StateWriter &sw) const
+{
+    sw.u8(kEncStateMarker);
+    sw.b(finished_);
+    bw_.saveState(sw);
+    sw.i32(stats_.vops);
+    sw.i32(stats_.iVops);
+    sw.i32(stats_.pVops);
+    sw.i32(stats_.bVops);
+    saveVopStats(sw, stats_.mb);
+    sw.u64(stats_.totalBits);
+    sw.i32(static_cast<int32_t>(vos_.size()));
+    for (const VoState &vo : vos_) {
+        vo.rcBase->saveState(sw);
+        vo.base->saveState(sw);
+        sw.b(vo.enh != nullptr);
+        if (vo.enh) {
+            vo.rcEnh->saveState(sw);
+            vo.enh->saveState(sw);
+        }
+    }
+}
+
+void
+Mpeg4Encoder::restoreState(support::StateReader &sr)
+{
+    sr.expect(kEncStateMarker, "Mpeg4Encoder");
+    finished_ = sr.b();
+    bw_.restoreState(sr);
+    stats_.vops = sr.i32();
+    stats_.iVops = sr.i32();
+    stats_.pVops = sr.i32();
+    stats_.bVops = sr.i32();
+    restoreVopStats(sr, stats_.mb);
+    stats_.totalBits = sr.u64();
+    const int32_t n = sr.i32();
+    if (n != static_cast<int32_t>(vos_.size()))
+        throw support::SerializeError(
+            "checkpoint VO count " + std::to_string(n) +
+            " != configured " + std::to_string(vos_.size()));
+    for (VoState &vo : vos_) {
+        vo.rcBase->restoreState(sr);
+        vo.base->restoreState(sr);
+        const bool has_enh = sr.b();
+        if (has_enh != (vo.enh != nullptr))
+            throw support::SerializeError(
+                "checkpoint layer structure mismatch");
+        if (vo.enh) {
+            vo.rcEnh->restoreState(sr);
+            vo.enh->restoreState(sr);
+        }
     }
 }
 

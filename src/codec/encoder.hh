@@ -109,6 +109,19 @@ class Mpeg4Encoder
 
     const EncoderConfig &config() const { return cfg_; }
 
+    /**
+     * Checkpoint support (service/checkpoint.hh): capture / restore
+     * the complete mutable encoder state - partial bitstream,
+     * statistics, rate-controller feedback, and every VOL's frame
+     * stores and buffered B candidates - such that an encoder
+     * constructed with the identical EncoderConfig, restored, and fed
+     * the remaining frames produces a bitstream byte-identical to an
+     * uninterrupted run.  restoreState() throws
+     * support::SerializeError on truncated or mismatched blobs.
+     */
+    void saveState(support::StateWriter &sw) const;
+    void restoreState(support::StateReader &sr);
+
   private:
     struct VoState
     {

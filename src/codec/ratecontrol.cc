@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/serialize.hh"
 
 namespace m4ps::codec
 {
@@ -58,6 +59,22 @@ RateController::update(uint64_t bits_used)
     // Leak the buffer slightly so a long-past burst does not pin the
     // quantizer forever.
     fullness_ *= 0.995;
+}
+
+void
+RateController::saveState(support::StateWriter &sw) const
+{
+    sw.f64(fullness_);
+    sw.i32(qp_);
+}
+
+void
+RateController::restoreState(support::StateReader &sr)
+{
+    fullness_ = sr.f64();
+    qp_ = sr.i32();
+    if (qp_ < 1 || qp_ > 31)
+        throw support::SerializeError("rate controller qp out of range");
 }
 
 } // namespace m4ps::codec

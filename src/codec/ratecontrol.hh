@@ -14,6 +14,12 @@
 
 #include <cstdint>
 
+namespace m4ps::support
+{
+class StateWriter;
+class StateReader;
+} // namespace m4ps::support
+
 namespace m4ps::codec
 {
 
@@ -50,6 +56,14 @@ class RateController
 
     /** Bit budget per frame. */
     double frameBudget() const { return budget_; }
+
+    /**
+     * Checkpoint support: the controller's feedback state (buffer
+     * fullness and adapted quantizer); budget_ is configuration and
+     * is re-derived on construction.
+     */
+    void saveState(support::StateWriter &sw) const;
+    void restoreState(support::StateReader &sr);
 
   private:
     double budget_;

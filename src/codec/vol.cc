@@ -5,9 +5,74 @@
 #include "codec/error.hh"
 #include "codec/ratecontrol.hh"
 #include "support/logging.hh"
+#include "support/serialize.hh"
 
 namespace m4ps::codec
 {
+
+namespace
+{
+
+// Checkpoint capture dumps the full stride x height buffer of each
+// plane - padding columns included - so restored state is byte-exact
+// even where prediction reads touch the pad.
+
+void
+savePlane(support::StateWriter &sw, const video::Plane &p)
+{
+    sw.i32(p.width());
+    sw.i32(p.height());
+    sw.i32(p.stride());
+    if (p.empty())
+        sw.bytes(nullptr, 0);
+    else
+        sw.bytes(p.rowPtr(0),
+                 static_cast<size_t>(p.stride()) * p.height());
+}
+
+void
+restorePlane(support::StateReader &sr, video::Plane &p)
+{
+    const int w = sr.i32();
+    const int h = sr.i32();
+    const int stride = sr.i32();
+    if (w != p.width() || h != p.height() || stride != p.stride())
+        throw support::SerializeError(
+            "plane geometry mismatch: checkpoint " +
+            std::to_string(w) + "x" + std::to_string(h) + "/" +
+            std::to_string(stride) + " vs live " +
+            std::to_string(p.width()) + "x" +
+            std::to_string(p.height()) + "/" +
+            std::to_string(p.stride()));
+    if (p.empty()) {
+        std::vector<uint8_t> none;
+        sr.bytes(none);
+        if (!none.empty())
+            throw support::SerializeError(
+                "pixel payload for an empty plane");
+        return;
+    }
+    sr.bytesInto(p.rowPtr(0),
+                 static_cast<size_t>(p.stride()) * p.height());
+}
+
+void
+saveImage(support::StateWriter &sw, const video::Yuv420Image &img)
+{
+    for (int i = 0; i < 3; ++i)
+        savePlane(sw, img.plane(i));
+}
+
+void
+restoreImage(support::StateReader &sr, video::Yuv420Image &img)
+{
+    for (int i = 0; i < 3; ++i)
+        restorePlane(sr, img.plane(i));
+}
+
+constexpr uint8_t kVolStateMarker = 0x5b;
+
+} // namespace
 
 void
 GopConfig::validate() const
@@ -285,6 +350,68 @@ VolEncoder::flush(bits::BitWriter &bw)
     }
     numPending_ = 0;
     return out;
+}
+
+void
+VolEncoder::saveState(support::StateWriter &sw) const
+{
+    sw.u8(kVolStateMarker);
+    sw.i32(curAnchor_);
+    sw.b(havePast_);
+    sw.i32(frameCount_);
+    sw.i32(numPending_);
+    sw.i32(curEnh_);
+    sw.b(haveEnhPast_);
+    if (cfg_.enhancement) {
+        for (int i = 0; i < 2; ++i) {
+            saveImage(sw, enhRecon_[i]);
+            savePlane(sw, enhAlpha_[i]);
+        }
+        return;
+    }
+    for (int i = 0; i < 2; ++i) {
+        saveImage(sw, reconStore_[i]);
+        savePlane(sw, alphaStore_[i]);
+    }
+    for (int i = 0; i < numPending_; ++i) {
+        const Pending &p = pending_[i];
+        sw.i32(p.timestamp);
+        saveImage(sw, p.frame);
+        savePlane(sw, p.alpha);
+    }
+}
+
+void
+VolEncoder::restoreState(support::StateReader &sr)
+{
+    sr.expect(kVolStateMarker, "VolEncoder");
+    curAnchor_ = sr.i32();
+    havePast_ = sr.b();
+    frameCount_ = sr.i32();
+    numPending_ = sr.i32();
+    curEnh_ = sr.i32();
+    haveEnhPast_ = sr.b();
+    if (curAnchor_ < -1 || curAnchor_ > 1 || curEnh_ < -1 ||
+        curEnh_ > 1 || frameCount_ < 0 || numPending_ < 0 ||
+        numPending_ > static_cast<int>(pending_.size()))
+        throw support::SerializeError("VolEncoder state out of range");
+    if (cfg_.enhancement) {
+        for (int i = 0; i < 2; ++i) {
+            restoreImage(sr, enhRecon_[i]);
+            restorePlane(sr, enhAlpha_[i]);
+        }
+        return;
+    }
+    for (int i = 0; i < 2; ++i) {
+        restoreImage(sr, reconStore_[i]);
+        restorePlane(sr, alphaStore_[i]);
+    }
+    for (int i = 0; i < numPending_; ++i) {
+        Pending &p = pending_[i];
+        p.timestamp = sr.i32();
+        restoreImage(sr, p.frame);
+        restorePlane(sr, p.alpha);
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -101,6 +101,17 @@ class VolEncoder
 
     const VolConfig &config() const { return cfg_; }
 
+    /**
+     * Checkpoint support: capture / restore all cross-frame encoder
+     * state (reference reconstructions, buffered B candidates, GOP
+     * position).  restoreState() requires a VolEncoder constructed
+     * with the identical VolConfig/GopConfig - frame stores are
+     * preallocated by the constructor and only their contents are
+     * replayed - and throws support::SerializeError on any mismatch.
+     */
+    void saveState(support::StateWriter &sw) const;
+    void restoreState(support::StateReader &sr);
+
   private:
     /**
      * Common VOP header fields, including the resilience flags

@@ -9,53 +9,39 @@
 namespace m4ps::core
 {
 
+SceneFeeder::SceneFeeder(memsim::SimContext &ctx, const Workload &w)
+    : gen_(w.width, w.height, w.numVos - 1, w.seed),
+      scene_(ctx, w.width, w.height)
+{
+    for (int o = 0; o + 1 < w.numVos; ++o) {
+        objFrames_.emplace_back(ctx, w.width, w.height);
+        objAlphas_.emplace_back(ctx, w.width, w.height);
+    }
+}
+
+std::vector<codec::VoInput>
+SceneFeeder::inputs(int t)
+{
+    std::vector<codec::VoInput> in;
+    if (objFrames_.empty()) {
+        // Single rectangular VO: the full composited scene.
+        gen_.renderFrame(t, scene_);
+        in.push_back({&scene_, nullptr});
+    } else {
+        // VO 0 is the background; the rest are shaped objects.
+        gen_.renderBackground(t, scene_);
+        in.push_back({&scene_, nullptr});
+        for (size_t o = 0; o < objFrames_.size(); ++o) {
+            gen_.renderObject(t, static_cast<int>(o),
+                              objFrames_[o], objAlphas_[o]);
+            in.push_back({&objFrames_[o], &objAlphas_[o]});
+        }
+    }
+    return in;
+}
+
 namespace
 {
-
-/** Per-frame VO inputs rendered from the scene generator. */
-class SceneFeeder
-{
-  public:
-    SceneFeeder(memsim::SimContext &ctx, const Workload &w)
-        : gen_(w.width, w.height, w.numVos - 1, w.seed),
-          scene_(ctx, w.width, w.height)
-    {
-        for (int o = 0; o + 1 < w.numVos; ++o) {
-            objFrames_.emplace_back(ctx, w.width, w.height);
-            objAlphas_.emplace_back(ctx, w.width, w.height);
-        }
-    }
-
-    /** Render frame @p t and return the per-VO inputs. */
-    std::vector<codec::VoInput>
-    inputs(int t)
-    {
-        std::vector<codec::VoInput> in;
-        if (objFrames_.empty()) {
-            // Single rectangular VO: the full composited scene.
-            gen_.renderFrame(t, scene_);
-            in.push_back({&scene_, nullptr});
-        } else {
-            // VO 0 is the background; the rest are shaped objects.
-            gen_.renderBackground(t, scene_);
-            in.push_back({&scene_, nullptr});
-            for (size_t o = 0; o < objFrames_.size(); ++o) {
-                gen_.renderObject(t, static_cast<int>(o),
-                                  objFrames_[o], objAlphas_[o]);
-                in.push_back({&objFrames_[o], &objAlphas_[o]});
-            }
-        }
-        return in;
-    }
-
-    const video::SceneGenerator &generator() const { return gen_; }
-
-  private:
-    video::SceneGenerator gen_;
-    video::Yuv420Image scene_;
-    std::vector<video::Yuv420Image> objFrames_;
-    std::vector<video::Plane> objAlphas_;
-};
 
 std::vector<uint8_t>
 encodeImpl(memsim::SimContext &ctx, const Workload &w,

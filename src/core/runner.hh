@@ -19,9 +19,35 @@
 #include "codec/decoder.hh"
 #include "core/report.hh"
 #include "core/workload.hh"
+#include "video/scene.hh"
 
 namespace m4ps::core
 {
+
+/**
+ * Renders the per-frame VO inputs of a workload from its scene
+ * generator.  One frame time = one inputs() call; rendering is
+ * untraced (it models the capture path, not codec work).  Public so
+ * incremental encode loops - the checkpointing job worker
+ * (src/service/worker.cc) foremost - feed an Mpeg4Encoder the exact
+ * frames ExperimentRunner would.
+ */
+class SceneFeeder
+{
+  public:
+    SceneFeeder(memsim::SimContext &ctx, const Workload &w);
+
+    /** Render frame @p t and return the per-VO inputs. */
+    std::vector<codec::VoInput> inputs(int t);
+
+    const video::SceneGenerator &generator() const { return gen_; }
+
+  private:
+    video::SceneGenerator gen_;
+    video::Yuv420Image scene_;
+    std::vector<video::Yuv420Image> objFrames_;
+    std::vector<video::Plane> objAlphas_;
+};
 
 /** Everything measured in one experiment run. */
 struct RunResult

@@ -26,6 +26,7 @@ Workload::encoderConfig() const
     cfg.frameRate = frameRate;
     cfg.resyncInterval = resyncInterval;
     cfg.dataPartitioning = dataPartitioning;
+    cfg.initialQp = initialQp;
     return cfg;
 }
 

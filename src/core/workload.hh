@@ -39,6 +39,12 @@ struct Workload
     int resyncInterval = 0;       //!< MB rows per video packet; 0 = off.
     bool dataPartitioning = false;
     uint64_t seed = 7;
+    /**
+     * Starting quantizer; <= 0 derives it from the target rate.  The
+     * job supervisor's degradation ladder (docs/OPERATIONS.md) pins
+     * this high to cheapen encodes that keep blowing their deadline.
+     */
+    int initialQp = 0;
 
     /** Encoder configuration equivalent to this workload. */
     codec::EncoderConfig encoderConfig() const;

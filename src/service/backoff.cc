@@ -1,0 +1,78 @@
+#include "service/backoff.hh"
+
+#include <algorithm>
+
+namespace m4ps::service
+{
+
+Backoff::Backoff(int64_t baseMs, int64_t capMs, uint64_t seed)
+    : baseMs_(std::max<int64_t>(1, baseMs)),
+      capMs_(std::max(capMs, baseMs_)), rng_(seed)
+{}
+
+int64_t
+Backoff::nextDelayMs()
+{
+    // Decorrelated jitter per the AWS architecture blog: each delay
+    // is drawn from [base, 3 * previous], clamped to the cap, so
+    // consecutive delays grow roughly exponentially while two
+    // failing jobs with different seeds never synchronize.
+    const int64_t hi = std::max(baseMs_, 3 * prevMs_);
+    prevMs_ = std::min(capMs_, rng_.uniformInt(baseMs_, hi));
+    return prevMs_;
+}
+
+CircuitBreaker::CircuitBreaker(int threshold, int64_t cooldownMs)
+    : threshold_(std::max(1, threshold)),
+      cooldownMs_(std::max<int64_t>(0, cooldownMs))
+{}
+
+CircuitBreaker::State
+CircuitBreaker::state(int64_t nowMs) const
+{
+    if (!open_)
+        return State::Closed;
+    if (nowMs - openedAtMs_ >= cooldownMs_)
+        return State::HalfOpen;
+    return State::Open;
+}
+
+bool
+CircuitBreaker::allow(int64_t nowMs)
+{
+    switch (state(nowMs)) {
+      case State::Closed:
+        return true;
+      case State::Open:
+        return false;
+      case State::HalfOpen:
+        if (probing_)
+            return false;
+        probing_ = true;
+        return true;
+    }
+    return false;
+}
+
+void
+CircuitBreaker::recordSuccess()
+{
+    failures_ = 0;
+    open_ = false;
+    probing_ = false;
+}
+
+void
+CircuitBreaker::recordPermanentFailure(int64_t nowMs)
+{
+    ++failures_;
+    probing_ = false;
+    if (open_ || failures_ >= threshold_) {
+        // A failed half-open probe re-opens and restarts the
+        // cooldown; so does crossing the threshold while closed.
+        open_ = true;
+        openedAtMs_ = nowMs;
+    }
+}
+
+} // namespace m4ps::service

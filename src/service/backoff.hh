@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Retry pacing and failure containment for the job supervisor.
+ *
+ * Backoff implements exponential backoff with decorrelated jitter
+ * (delay = min(cap, uniform(base, 3 * previous))): retries spread out
+ * instead of thundering in lockstep, and the jitter stream is a
+ * seeded m4ps::Rng so schedules are reproducible.  CircuitBreaker
+ * stops re-dispatching a job class that keeps failing permanently:
+ * after `threshold` permanent failures it opens (requests rejected),
+ * after `cooldownMs` it half-opens to admit a single probe whose
+ * outcome closes or re-opens it.
+ *
+ * Both classes take the current time as an explicit parameter and
+ * never sleep, so unit tests drive them with a fake clock.
+ */
+
+#ifndef M4PS_SERVICE_BACKOFF_HH
+#define M4PS_SERVICE_BACKOFF_HH
+
+#include <cstdint>
+
+#include "support/random.hh"
+
+namespace m4ps::service
+{
+
+/** Decorrelated-jitter exponential backoff delay generator. */
+class Backoff
+{
+  public:
+    Backoff(int64_t baseMs, int64_t capMs, uint64_t seed);
+
+    /** Delay before the next retry, in ms. */
+    int64_t nextDelayMs();
+
+    /** Forget history; the next delay starts from the base again. */
+    void reset() { prevMs_ = 0; }
+
+  private:
+    int64_t baseMs_;
+    int64_t capMs_;
+    int64_t prevMs_ = 0;
+    Rng rng_;
+};
+
+/** Closed -> Open -> HalfOpen circuit breaker for one job class. */
+class CircuitBreaker
+{
+  public:
+    enum class State
+    {
+        Closed,   //!< Normal operation.
+        Open,     //!< Rejecting requests until the cooldown passes.
+        HalfOpen, //!< Cooldown elapsed; one probe may run.
+    };
+
+    CircuitBreaker(int threshold, int64_t cooldownMs);
+
+    State state(int64_t nowMs) const;
+
+    /**
+     * May a request run at @p nowMs?  True when closed, or when
+     * half-open and no probe is already outstanding (the caller is
+     * then the probe and must report its outcome).
+     */
+    bool allow(int64_t nowMs);
+
+    /** A request succeeded: close and clear the failure count. */
+    void recordSuccess();
+
+    /** A request failed permanently at @p nowMs. */
+    void recordPermanentFailure(int64_t nowMs);
+
+    int failures() const { return failures_; }
+
+  private:
+    int threshold_;
+    int64_t cooldownMs_;
+    int failures_ = 0;
+    bool open_ = false;
+    bool probing_ = false;
+    int64_t openedAtMs_ = 0;
+};
+
+} // namespace m4ps::service
+
+#endif // M4PS_SERVICE_BACKOFF_HH

@@ -1,0 +1,98 @@
+#include "service/events.hh"
+
+#include <cstdio>
+
+namespace m4ps::service
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n";  break;
+          case '\r': out += "\\r";  break;
+          case '\t': out += "\\t";  break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+JsonEvent::JsonEvent(const std::string &type)
+    : body_("{\"event\":\"" + jsonEscape(type) + "\"")
+{}
+
+JsonEvent &
+JsonEvent::str(const char *key, const std::string &v)
+{
+    body_ += ",\"";
+    body_ += key;
+    body_ += "\":\"" + jsonEscape(v) + "\"";
+    return *this;
+}
+
+JsonEvent &
+JsonEvent::num(const char *key, int64_t v)
+{
+    body_ += ",\"";
+    body_ += key;
+    body_ += "\":" + std::to_string(v);
+    return *this;
+}
+
+JsonEvent &
+JsonEvent::real(const char *key, double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    body_ += ",\"";
+    body_ += key;
+    body_ += "\":";
+    body_ += buf;
+    return *this;
+}
+
+JsonEvent &
+JsonEvent::boolean(const char *key, bool v)
+{
+    body_ += ",\"";
+    body_ += key;
+    body_ += v ? "\":true" : "\":false";
+    return *this;
+}
+
+void
+EventLog::emit(const JsonEvent &e)
+{
+    lines_.push_back(e.line());
+    if (os_) {
+        *os_ << lines_.back() << '\n';
+        os_->flush();
+    }
+}
+
+int
+EventLog::count(const std::string &type) const
+{
+    const std::string needle = "{\"event\":\"" + jsonEscape(type) + "\"";
+    int n = 0;
+    for (const std::string &l : lines_) {
+        if (l.compare(0, needle.size(), needle) == 0)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace m4ps::service

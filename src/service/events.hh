@@ -1,0 +1,75 @@
+/**
+ * @file
+ * JSON-lines lifecycle events for the job supervisor.
+ *
+ * Every supervision decision - queueing, attempt start/exit, watchdog
+ * and storm kills, retry scheduling, degradation, breaker trips, and
+ * terminal outcomes - is emitted as one self-describing JSON object
+ * per line so a run can be audited or replayed after the fact
+ * (docs/OPERATIONS.md lists the schema).  The log is deliberately a
+ * sink, not a bus: only the supervisor writes, workers stay silent
+ * except for their exit status and stderr.
+ */
+
+#ifndef M4PS_SERVICE_EVENTS_HH
+#define M4PS_SERVICE_EVENTS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace m4ps::service
+{
+
+/** Builder for one JSON event object. */
+class JsonEvent
+{
+  public:
+    /** Starts {"event":"<type>" ... */
+    explicit JsonEvent(const std::string &type);
+
+    JsonEvent &str(const char *key, const std::string &v);
+    JsonEvent &num(const char *key, int64_t v);
+    JsonEvent &real(const char *key, double v);
+    JsonEvent &boolean(const char *key, bool v);
+
+    /** The finished object (no trailing newline). */
+    std::string line() const { return body_ + "}"; }
+
+  private:
+    std::string body_;
+};
+
+/** Escape a string for embedding in a JSON literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * An append-only JSON-lines event log.  Events are always retained
+ * in memory (tests assert on them); attach() additionally streams
+ * each line to an ostream, flushed per event so a crashing
+ * supervisor leaves a complete prefix behind.
+ */
+class EventLog
+{
+  public:
+    EventLog() = default;
+
+    /** Also write each event line to @p os (not owned; may be null). */
+    void attach(std::ostream *os) { os_ = os; }
+
+    void emit(const JsonEvent &e);
+
+    const std::vector<std::string> &lines() const { return lines_; }
+
+    /** Count of events whose type field equals @p type. */
+    int count(const std::string &type) const;
+
+  private:
+    std::ostream *os_ = nullptr;
+    std::vector<std::string> lines_;
+};
+
+} // namespace m4ps::service
+
+#endif // M4PS_SERVICE_EVENTS_HH

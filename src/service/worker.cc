@@ -1,0 +1,247 @@
+#include "service/worker.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+
+#include "codec/decoder.hh"
+#include "codec/error.hh"
+#include "core/runner.hh"
+#include "service/checkpoint.hh"
+#include "support/args.hh"
+#include "support/serialize.hh"
+
+namespace m4ps::service
+{
+
+namespace
+{
+
+/** Environment fault-injection override; @p fallback from the spec. */
+int
+envVopTrigger(const char *name, int fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    return std::atoi(v);
+}
+
+/** Fire an injected fault when the VOP count crossed its trigger. */
+void
+maybeInjectFault(const JobSpec &spec, int vopsBefore, int vopsAfter)
+{
+    const int crashAt = envVopTrigger("M4PS_CRASH_AT", spec.crashAtVop);
+    const int hangAt = envVopTrigger("M4PS_HANG_AT", spec.hangAtVop);
+    if (crashAt >= 0 && vopsBefore < crashAt && crashAt <= vopsAfter) {
+        std::fprintf(stderr, "worker %s: injected crash at vop %d\n",
+                     spec.id.c_str(), crashAt);
+        std::abort();
+    }
+    if (hangAt >= 0 && vopsBefore < hangAt && hangAt <= vopsAfter) {
+        std::fprintf(stderr, "worker %s: injected hang at vop %d\n",
+                     spec.id.c_str(), hangAt);
+        for (;;) // the watchdog's job now
+            std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
+}
+
+/** Atomic whole-file write (temp + rename). */
+void
+writeFileAtomic(const std::string &path, const uint8_t *data, size_t n)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw std::runtime_error("cannot write '" + tmp + "'");
+        out.write(reinterpret_cast<const char *>(data),
+                  static_cast<std::streamsize>(n));
+        out.flush();
+        if (!out)
+            throw std::runtime_error("short write to '" + tmp + "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("cannot rename into '" + path + "'");
+    }
+}
+
+bool
+readFile(const std::string &path, std::vector<uint8_t> &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    out.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+    return true;
+}
+
+/**
+ * Encode the spec's workload, checkpointing after every frame time.
+ * Returns the finished elementary stream.
+ */
+std::vector<uint8_t>
+encodeSupervised(const JobSpec &spec)
+{
+    const core::Workload &w = spec.workload;
+    memsim::SimContext ctx; // untraced: the service runs for output,
+                            // not for memory measurements
+    core::SceneFeeder feeder(ctx, w);
+    codec::Mpeg4Encoder enc(ctx, w.encoderConfig());
+
+    const std::string ckpt = checkpointPath(spec.output);
+    int start = 0;
+    if (spec.checkpoint) {
+        Checkpoint c;
+        if (loadCheckpoint(ckpt, spec.configHash(), &c)) {
+            support::StateReader sr(c.state);
+            enc.restoreState(sr);
+            start = c.nextFrame;
+            std::fprintf(stderr,
+                         "worker %s: resumed from checkpoint, "
+                         "frame %d of %d\n",
+                         spec.id.c_str(), start, w.frames);
+        }
+    }
+
+    for (int t = start; t < w.frames; ++t) {
+        const int vopsBefore = enc.stats().vops;
+        enc.encodeFrame(feeder.inputs(t), t);
+        if (spec.checkpoint) {
+            Checkpoint c;
+            c.configHash = spec.configHash();
+            c.nextFrame = t + 1;
+            support::StateWriter sw;
+            enc.saveState(sw);
+            c.state = sw.take();
+            saveCheckpoint(ckpt, c);
+        }
+        // After the checkpoint: a resumed attempt starts past the
+        // trigger and the fault does not fire twice.
+        maybeInjectFault(spec, vopsBefore, enc.stats().vops);
+    }
+
+    std::vector<uint8_t> stream = enc.finish();
+    writeFileAtomic(spec.output, stream.data(), stream.size());
+    if (spec.checkpoint)
+        removeCheckpoint(ckpt);
+    return stream;
+}
+
+/** Decode @p stream; throws codec::DecodeError in strict mode. */
+codec::DecodeStats
+decodeStream(const JobSpec &spec, const std::vector<uint8_t> &stream)
+{
+    memsim::SimContext ctx;
+    codec::Mpeg4Decoder dec(ctx);
+    return dec.decode(stream, codec::Mpeg4Decoder::Sink(),
+                      spec.tolerant);
+}
+
+void
+writeDecodeReport(const std::string &path, const codec::DecodeStats &s)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        throw std::runtime_error("cannot write report '" + path + "'");
+    out << "vops " << s.vops << "\n"
+        << "displayed " << s.displayed << "\n"
+        << "corrupted_vops " << s.corruptedVops << "\n"
+        << "header_errors " << s.headerErrors << "\n"
+        << "total_bits " << s.totalBits << "\n";
+}
+
+int
+runEncode(const JobSpec &spec)
+{
+    encodeSupervised(spec);
+    return kWorkerOk;
+}
+
+int
+runDecode(const JobSpec &spec)
+{
+    std::vector<uint8_t> stream;
+    if (!readFile(spec.input, stream)) {
+        std::fprintf(stderr, "worker %s: missing input '%s'\n",
+                     spec.id.c_str(), spec.input.c_str());
+        return kWorkerPermanent;
+    }
+    const codec::DecodeStats stats = decodeStream(spec, stream);
+    if (!spec.output.empty())
+        writeDecodeReport(spec.output, stats);
+    return kWorkerOk;
+}
+
+int
+runTranscode(const JobSpec &spec)
+{
+    const std::vector<uint8_t> stream = encodeSupervised(spec);
+    const codec::DecodeStats stats = decodeStream(spec, stream);
+    if (stats.vops == 0) {
+        std::fprintf(stderr,
+                     "worker %s: transcode verify decoded no VOPs\n",
+                     spec.id.c_str());
+        return kWorkerPermanent;
+    }
+    return kWorkerOk;
+}
+
+} // namespace
+
+int
+runJob(const JobSpec &spec)
+{
+    try {
+        spec.validate();
+        switch (spec.type) {
+          case JobType::Encode:    return runEncode(spec);
+          case JobType::Decode:    return runDecode(spec);
+          case JobType::Transcode: return runTranscode(spec);
+        }
+        return kWorkerPermanent;
+    } catch (const ManifestError &e) {
+        std::fprintf(stderr, "worker %s: bad spec: %s\n",
+                     spec.id.c_str(), e.what());
+        return kWorkerUsage;
+    } catch (const codec::DecodeError &e) {
+        std::fprintf(stderr, "worker %s: decode failed: %s\n",
+                     spec.id.c_str(), e.what());
+        return kWorkerPermanent;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "worker %s: %s\n", spec.id.c_str(),
+                     e.what());
+        return kWorkerPermanent;
+    }
+}
+
+int
+workerMain(int argc, const char *const *argv)
+{
+    const ArgParser args(argc, argv, {"id", "spec", "help"});
+    if (args.getBool("help")) {
+        std::printf(
+            "usage: m4ps_worker --id <job> --spec \"k=v k=v ...\"\n"
+            "Runs one supervised job; see docs/OPERATIONS.md for the\n"
+            "spec keys and the exit-code contract.\n");
+        return kWorkerOk;
+    }
+    const std::string id = args.get("id", "job");
+    if (!args.has("spec"))
+        throw ArgError("--spec is required");
+    JobSpec spec;
+    try {
+        spec = parseSpecLine(id, args.get("spec"));
+        spec.validate();
+    } catch (const ManifestError &e) {
+        std::fprintf(stderr, "m4ps_worker: %s\n", e.what());
+        return kWorkerUsage;
+    }
+    return runJob(spec);
+}
+
+} // namespace m4ps::service

@@ -1,11 +1,60 @@
 #include "support/args.hh"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
-
-#include "support/logging.hh"
 
 namespace m4ps
 {
+
+namespace
+{
+
+/** Levenshtein distance, for did-you-mean flag suggestions. */
+size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<size_t> row(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        size_t diag = row[0];
+        row[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            const size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+            const size_t next =
+                std::min({row[j] + 1, row[j - 1] + 1, diag + cost});
+            diag = row[j];
+            row[j] = next;
+        }
+    }
+    return row[b.size()];
+}
+
+std::string
+suggestion(const std::string &flag, const std::set<std::string> &known)
+{
+    std::string best;
+    size_t best_d = flag.size() / 2 + 1; // only near misses qualify
+    for (const auto &k : known) {
+        const size_t d = editDistance(flag, k);
+        if (d < best_d) {
+            best_d = d;
+            best = k;
+        }
+    }
+    return best.empty() ? "" : " (did you mean --" + best + "?)";
+}
+
+} // namespace
+
+int
+reportArgError(const char *prog, const ArgError &e)
+{
+    std::fprintf(stderr, "%s: %s\nrun '%s --help' for usage\n", prog,
+                 e.what(), prog);
+    return ArgError::kExitCode;
+}
 
 ArgParser::ArgParser(int argc, const char *const *argv,
                      const std::set<std::string> &known)
@@ -29,7 +78,11 @@ ArgParser::ArgParser(int argc, const char *const *argv,
             value = "true";
         }
         if (!known.count(arg))
-            M4PS_FATAL("unknown flag --", arg);
+            throw ArgError("unknown flag --" + arg +
+                           suggestion(arg, known));
+        if (values_.count(arg))
+            throw ArgError("duplicate flag --" + arg +
+                           " (given more than once; keep one)");
         values_[arg] = value;
     }
 }
@@ -56,8 +109,8 @@ ArgParser::getInt(const std::string &name, int fallback) const
     char *end = nullptr;
     const long v = std::strtol(it->second.c_str(), &end, 10);
     if (end == it->second.c_str() || *end != '\0')
-        M4PS_FATAL("flag --", name, " expects an integer, got '",
-                   it->second, "'");
+        throw ArgError("flag --" + name + " expects an integer, got '" +
+                       it->second + "'");
     return static_cast<int>(v);
 }
 
@@ -67,8 +120,10 @@ ArgParser::getIntInRange(const std::string &name, int fallback,
 {
     const int v = getInt(name, fallback);
     if (v < min_v || v > max_v)
-        M4PS_FATAL("flag --", name, " must be in [", min_v, ", ",
-                   max_v, "], got ", v);
+        throw ArgError("flag --" + name + " must be in [" +
+                       std::to_string(min_v) + ", " +
+                       std::to_string(max_v) + "], got " +
+                       std::to_string(v));
     return v;
 }
 
@@ -81,8 +136,8 @@ ArgParser::getDouble(const std::string &name, double fallback) const
     char *end = nullptr;
     const double v = std::strtod(it->second.c_str(), &end);
     if (end == it->second.c_str() || *end != '\0')
-        M4PS_FATAL("flag --", name, " expects a number, got '",
-                   it->second, "'");
+        throw ArgError("flag --" + name + " expects a number, got '" +
+                       it->second + "'");
     return v;
 }
 

@@ -3,8 +3,13 @@
  * Minimal command-line flag parsing for the tool binaries.
  *
  * Supports "--name value" and "--name=value" pairs plus boolean
- * switches; unknown flags are errors so typos do not silently run
- * the wrong experiment.
+ * switches; unknown or duplicate flags are errors so typos do not
+ * silently run the wrong experiment.  Usage problems throw ArgError
+ * (with a did-you-mean hint for near-miss flag names) rather than
+ * terminating the process, so tools can print the message, point at
+ * --help, and exit with the conventional usage status 2 - a bad
+ * manifest or mistyped flag is the caller's mistake, not a fatal
+ * condition of ours.
  */
 
 #ifndef M4PS_SUPPORT_ARGS_HH
@@ -13,11 +18,31 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace m4ps
 {
+
+/** A command line that cannot be honored (unknown flag, bad value). */
+class ArgError : public std::runtime_error
+{
+  public:
+    explicit ArgError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+
+    /** Conventional exit status for usage errors. */
+    static constexpr int kExitCode = 2;
+};
+
+/**
+ * Catch-all main() wrapper policy: report @p e on stderr with the
+ * program name and a pointer at --help, returning ArgError::kExitCode
+ * for the caller to pass to exit.
+ */
+int reportArgError(const char *prog, const ArgError &e);
 
 /** Parsed command line: flag/value pairs with typed accessors. */
 class ArgParser
@@ -25,9 +50,9 @@ class ArgParser
   public:
     /**
      * Parse argv.  @p known lists every accepted flag name (without
-     * the leading dashes); anything else raises a usage error via
-     * fatal().  Flags without a following value (or followed by
-     * another flag) parse as boolean "true".
+     * the leading dashes); anything else - or the same flag given
+     * twice - throws ArgError.  Flags without a following value (or
+     * followed by another flag) parse as boolean "true".
      */
     ArgParser(int argc, const char *const *argv,
               const std::set<std::string> &known);
@@ -38,10 +63,10 @@ class ArgParser
     std::string get(const std::string &name,
                     const std::string &fallback = "") const;
 
-    /** Integer value with validation; fatal() on garbage. */
+    /** Integer value with validation; ArgError on garbage. */
     int getInt(const std::string &name, int fallback) const;
 
-    /** Integer restricted to [min_v, max_v]; fatal() outside it. */
+    /** Integer restricted to [min_v, max_v]; ArgError outside it. */
     int getIntInRange(const std::string &name, int fallback, int min_v,
                       int max_v) const;
 

@@ -63,16 +63,53 @@ TEST(ArgParser, PositionalArgumentsPreserved)
     EXPECT_EQ(a.positional()[1], "out");
 }
 
-TEST(ArgParserDeathTest, UnknownFlagIsFatal)
+TEST(ArgParser, UnknownFlagThrowsWithSuggestion)
 {
-    EXPECT_EXIT(parse({"--bogus", "1"}),
-                ::testing::ExitedWithCode(1), "unknown flag");
+    try {
+        parse({"--widht", "720"});
+        FAIL() << "expected ArgError";
+    } catch (const ArgError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("unknown flag --widht"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("did you mean --width?"), std::string::npos)
+            << what;
+    }
 }
 
-TEST(ArgParserDeathTest, NonNumericIntIsFatal)
+TEST(ArgParser, UnknownFlagWithoutNearMissHasNoSuggestion)
 {
-    EXPECT_EXIT(parse({"--width", "abc"}).getInt("width", 0),
-                ::testing::ExitedWithCode(1), "expects an integer");
+    try {
+        parse({"--zzzzzzzz"});
+        FAIL() << "expected ArgError";
+    } catch (const ArgError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("unknown flag --zzzzzzzz"),
+                  std::string::npos)
+            << what;
+        EXPECT_EQ(what.find("did you mean"), std::string::npos) << what;
+    }
+}
+
+TEST(ArgParser, DuplicateFlagThrows)
+{
+    EXPECT_THROW(parse({"--width", "1", "--width", "2"}), ArgError);
+    EXPECT_THROW(parse({"--width=1", "--width=1"}), ArgError);
+}
+
+TEST(ArgParser, NonNumericValuesThrow)
+{
+    EXPECT_THROW(parse({"--width", "abc"}).getInt("width", 0), ArgError);
+    EXPECT_THROW(parse({"--rate", "fast"}).getDouble("rate", 0),
+                 ArgError);
+    EXPECT_THROW(parse({"--width", "512"}).getIntInRange("width", 1, 1,
+                                                         256),
+                 ArgError);
+}
+
+TEST(ArgParser, UsageErrorsUseExitCodeTwo)
+{
+    EXPECT_EQ(ArgError::kExitCode, 2);
 }
 
 } // namespace

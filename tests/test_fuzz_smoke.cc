@@ -96,6 +96,39 @@ TEST(FuzzSmoke, SeededCorruptionsSurviveTolerantDecode)
     }
 }
 
+TEST(FuzzSmoke, StructuredFaultClassesSurviveTolerantDecode)
+{
+    // The channel-model fault classes - bit flips, burst errors, and
+    // startcode emulation (the nastiest: noise that *looks* like a
+    // sync point) - against all three resilience corpora: plain,
+    // packetized, and packetized + data-partitioned.
+    const std::vector<uint8_t> corpora[] = {
+        core::ExperimentRunner::encodeUntraced(fuzzWorkload(0, false)),
+        core::ExperimentRunner::encodeUntraced(fuzzWorkload(2, false)),
+        core::ExperimentRunner::encodeUntraced(fuzzWorkload(2, true)),
+    };
+
+    for (uint64_t seed = 0; seed < 60; ++seed) {
+        const auto &clean = corpora[seed % std::size(corpora)];
+        FaultSpec spec;
+        spec.seed = seed * 131 + 7;
+        spec.ber = seed % 2 ? 1e-4 : 0.0;
+        spec.bursts = static_cast<int>(seed % 3);
+        spec.burstBytes = 16;
+        spec.startcodeEmulations = static_cast<int>(seed % 4);
+        auto bad =
+            injectFaults(std::vector<uint8_t>(clean), spec);
+
+        memsim::SimContext ctx;
+        Mpeg4Decoder dec(ctx);
+        int shown = 0;
+        const DecodeStats stats = dec.decode(
+            bad, [&](const DecodedEvent &) { ++shown; },
+            /*tolerant=*/true);
+        expectSane(stats, shown, seed);
+    }
+}
+
 TEST(FuzzSmoke, StrictModeThrowsDecodeErrorOrSucceeds)
 {
     // Strict mode gets the same damaged inputs; any escape hatch

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the supervision building blocks: manifest parsing,
+ * backoff pacing, the circuit breaker, and the event log.  The
+ * backoff and breaker tests drive time with a fake clock - plain
+ * int64 milliseconds passed explicitly - so they are exact and never
+ * sleep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "service/backoff.hh"
+#include "service/events.hh"
+#include "service/jobspec.hh"
+
+namespace m4ps::service
+{
+namespace
+{
+
+// --- manifest / jobspec ------------------------------------------------
+
+TEST(Manifest, ParsesDefaultsAndJobs)
+{
+    const auto jobs = parseManifest(
+        "# a comment\n"
+        "default width=64 height=64 frames=4 deadline-ms=500\n"
+        "\n"
+        "job a type=encode out=a.m4v retries=1\n"
+        "job b type=decode input=a.m4v frames=9 # trailing comment\n");
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].id, "a");
+    EXPECT_EQ(jobs[0].type, JobType::Encode);
+    EXPECT_EQ(jobs[0].workload.width, 64);
+    EXPECT_EQ(jobs[0].workload.frames, 4);
+    EXPECT_EQ(jobs[0].deadlineMs, 500);
+    EXPECT_EQ(jobs[0].retries, 1);
+    EXPECT_EQ(jobs[1].type, JobType::Decode);
+    EXPECT_EQ(jobs[1].workload.frames, 9);  // job overrides default
+    EXPECT_EQ(jobs[1].retries, -1);         // not set: supervisor default
+}
+
+TEST(Manifest, ErrorsCarryLineNumbers)
+{
+    try {
+        parseManifest("default width=64\njob a type=warble\n");
+        FAIL() << "expected ManifestError";
+    } catch (const ManifestError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Manifest, RejectsUnknownKeyDuplicateIdAndGarbage)
+{
+    EXPECT_THROW(parseManifest("job a type=encode warble=3 out=x\n"),
+                 ManifestError);
+    EXPECT_THROW(
+        parseManifest("default width=64 height=64\n"
+                      "job a type=encode out=x.m4v\n"
+                      "job a type=encode out=y.m4v\n"),
+        ManifestError);
+    EXPECT_THROW(parseManifest("job a width=sixteen\n"), ManifestError);
+    EXPECT_THROW(parseManifest("banana a=b\n"), ManifestError);
+    EXPECT_THROW(parseManifest("# nothing but comments\n"),
+                 ManifestError);
+}
+
+TEST(Manifest, ValidateCatchesUnrunnableSpecs)
+{
+    // Not multiple of 16.
+    EXPECT_THROW(parseManifest("job a type=encode width=100 "
+                               "height=64 out=x\n"),
+                 ManifestError);
+    // Decode without input.
+    EXPECT_THROW(parseManifest("job a type=decode\n"), ManifestError);
+    // Encode without output.
+    EXPECT_THROW(parseManifest("job a type=encode\n"), ManifestError);
+    // Data partitioning without resync packets.
+    EXPECT_THROW(parseManifest("job a type=encode out=x "
+                               "data-partition=1\n"),
+                 ManifestError);
+}
+
+TEST(JobSpec, SpecLineRoundTrips)
+{
+    JobSpec spec;
+    spec.id = "j1";
+    spec.type = JobType::Transcode;
+    spec.workload.width = 128;
+    spec.workload.height = 96;
+    spec.workload.frames = 5;
+    spec.workload.resyncInterval = 2;
+    spec.workload.dataPartitioning = true;
+    spec.workload.halfPel = false;
+    spec.output = "j1.m4v";
+    spec.deadlineMs = 750;
+    spec.retries = 2;
+    spec.jobClass = "gold";
+    spec.crashAtVop = 3;
+
+    const JobSpec back = parseSpecLine("j1", spec.toSpecLine());
+    EXPECT_EQ(back.toSpecLine(), spec.toSpecLine());
+    EXPECT_EQ(back.type, JobType::Transcode);
+    EXPECT_EQ(back.workload.dataPartitioning, true);
+    EXPECT_EQ(back.deadlineMs, 750);
+    EXPECT_EQ(back.jobClass, "gold");
+    EXPECT_EQ(back.crashAtVop, 3);
+    EXPECT_EQ(back.configHash(), spec.configHash());
+}
+
+TEST(JobSpec, EffectiveClassDefaultsToTypeName)
+{
+    JobSpec spec;
+    spec.type = JobType::Decode;
+    EXPECT_EQ(spec.effectiveClass(), "decode");
+    spec.jobClass = "bulk";
+    EXPECT_EQ(spec.effectiveClass(), "bulk");
+}
+
+// --- backoff ----------------------------------------------------------
+
+TEST(Backoff, DelaysStayInBoundsAndGrow)
+{
+    Backoff b(100, 5000, 42);
+    int64_t prev = 0;
+    int64_t maxSeen = 0;
+    for (int i = 0; i < 50; ++i) {
+        const int64_t d = b.nextDelayMs();
+        // Decorrelated jitter invariant: base <= d <= min(cap, 3*prev).
+        EXPECT_GE(d, 100);
+        EXPECT_LE(d, 5000);
+        if (prev > 0) {
+            EXPECT_LE(d, std::max<int64_t>(100, 3 * prev));
+        }
+        prev = d;
+        maxSeen = std::max(maxSeen, d);
+    }
+    // With 50 draws the schedule must have escaped the base band.
+    EXPECT_GT(maxSeen, 300);
+}
+
+TEST(Backoff, SeededSchedulesAreReproducible)
+{
+    Backoff a(50, 2000, 7), b(50, 2000, 7), c(50, 2000, 8);
+    bool anyDiffer = false;
+    for (int i = 0; i < 20; ++i) {
+        const int64_t da = a.nextDelayMs();
+        EXPECT_EQ(da, b.nextDelayMs());
+        if (da != c.nextDelayMs())
+            anyDiffer = true;
+    }
+    EXPECT_TRUE(anyDiffer) << "different seeds, identical schedule";
+}
+
+TEST(Backoff, ResetRestartsFromBase)
+{
+    Backoff b(100, 10000, 3);
+    for (int i = 0; i < 10; ++i)
+        b.nextDelayMs();
+    b.reset();
+    EXPECT_LE(b.nextDelayMs(), 100); // uniform(base, base) == base
+}
+
+// --- circuit breaker --------------------------------------------------
+
+TEST(CircuitBreaker, OpensAtThresholdAndRejects)
+{
+    CircuitBreaker cb(3, 1000);
+    int64_t now = 0;
+    EXPECT_TRUE(cb.allow(now));
+    cb.recordPermanentFailure(now);
+    cb.recordPermanentFailure(now);
+    EXPECT_EQ(cb.state(now), CircuitBreaker::State::Closed);
+    EXPECT_TRUE(cb.allow(now));
+    cb.recordPermanentFailure(now); // third strike
+    EXPECT_EQ(cb.state(now), CircuitBreaker::State::Open);
+    EXPECT_FALSE(cb.allow(now));
+    EXPECT_FALSE(cb.allow(now + 999));
+}
+
+TEST(CircuitBreaker, HalfOpenAdmitsExactlyOneProbe)
+{
+    CircuitBreaker cb(1, 1000);
+    cb.recordPermanentFailure(0);
+    EXPECT_EQ(cb.state(500), CircuitBreaker::State::Open);
+    EXPECT_EQ(cb.state(1000), CircuitBreaker::State::HalfOpen);
+    EXPECT_TRUE(cb.allow(1000));   // the probe
+    EXPECT_FALSE(cb.allow(1001));  // everyone else still waits
+    cb.recordSuccess();
+    EXPECT_EQ(cb.state(1002), CircuitBreaker::State::Closed);
+    EXPECT_TRUE(cb.allow(1002));
+}
+
+TEST(CircuitBreaker, FailedProbeReopensWithFreshCooldown)
+{
+    CircuitBreaker cb(1, 1000);
+    cb.recordPermanentFailure(0);
+    ASSERT_TRUE(cb.allow(1000));
+    cb.recordPermanentFailure(1500); // probe failed
+    EXPECT_EQ(cb.state(1600), CircuitBreaker::State::Open);
+    EXPECT_FALSE(cb.allow(2400));   // cooldown restarted at 1500
+    EXPECT_EQ(cb.state(2500), CircuitBreaker::State::HalfOpen);
+    EXPECT_TRUE(cb.allow(2500));
+}
+
+TEST(CircuitBreaker, SuccessClearsFailureCount)
+{
+    CircuitBreaker cb(2, 100);
+    cb.recordPermanentFailure(0);
+    cb.recordSuccess();
+    cb.recordPermanentFailure(0);
+    // Never two consecutive failures: still closed.
+    EXPECT_EQ(cb.state(0), CircuitBreaker::State::Closed);
+}
+
+// --- events -----------------------------------------------------------
+
+TEST(Events, EmitsWellFormedJsonLines)
+{
+    EventLog log;
+    log.emit(JsonEvent("attempt_exit")
+                 .str("job", "enc \"1\"\n")
+                 .num("exit_code", -3)
+                 .real("ratio", 0.5)
+                 .boolean("ok", false));
+    ASSERT_EQ(log.lines().size(), 1u);
+    EXPECT_EQ(log.lines()[0],
+              "{\"event\":\"attempt_exit\","
+              "\"job\":\"enc \\\"1\\\"\\n\","
+              "\"exit_code\":-3,\"ratio\":0.5,\"ok\":false}");
+}
+
+TEST(Events, CountsByType)
+{
+    EventLog log;
+    log.emit(JsonEvent("a").num("x", 1));
+    log.emit(JsonEvent("b"));
+    log.emit(JsonEvent("a"));
+    EXPECT_EQ(log.count("a"), 2);
+    EXPECT_EQ(log.count("b"), 1);
+    EXPECT_EQ(log.count("c"), 0);
+}
+
+TEST(Events, StreamsToAttachedSink)
+{
+    std::ostringstream os;
+    EventLog log;
+    log.attach(&os);
+    log.emit(JsonEvent("tick").num("n", 1));
+    log.emit(JsonEvent("tock").num("n", 2));
+    EXPECT_EQ(os.str(), "{\"event\":\"tick\",\"n\":1}\n"
+                        "{\"event\":\"tock\",\"n\":2}\n");
+}
+
+} // namespace
+} // namespace m4ps::service

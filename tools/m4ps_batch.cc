@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Batch front-end for the fault-tolerant job supervisor.
+ *
+ * Reads a manifest (docs/OPERATIONS.md), runs every job under
+ * supervision - isolated worker processes, watchdog deadlines,
+ * retry/backoff, checkpoint/resume, degradation - and emits one JSON
+ * event per lifecycle transition.  Exit status: 0 when every job
+ * completed (possibly degraded), 1 when any failed or was skipped,
+ * 2 for usage or manifest errors.
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "service/supervisor.hh"
+#include "support/args.hh"
+
+namespace
+{
+
+using namespace m4ps;
+
+/**
+ * Default worker binary: an m4ps_worker sitting next to this
+ * executable.  Empty (in-process fork) when that cannot be resolved.
+ */
+std::string
+siblingWorkerPath()
+{
+    char buf[4096];
+    const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return "";
+    buf[n] = '\0';
+    std::string path(buf);
+    const size_t slash = path.rfind('/');
+    if (slash == std::string::npos)
+        return "";
+    path.resize(slash + 1);
+    path += "m4ps_worker";
+    return access(path.c_str(), X_OK) == 0 ? path : "";
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: m4ps_batch --manifest <file> [options]\n"
+        "\n"
+        "  --manifest F      job manifest (docs/OPERATIONS.md)\n"
+        "  --events F        write JSON-lines event log to F\n"
+        "                    (default: stderr)\n"
+        "  --worker F        worker binary (default: m4ps_worker next\n"
+        "                    to this tool; falls back to in-process\n"
+        "                    fork)\n"
+        "  --parallel N      concurrent workers (default 4)\n"
+        "  --deadline-ms N   default per-attempt watchdog deadline\n"
+        "  --retries N       default transient-retry budget\n"
+        "  --storm-chance P  kill-storm drill probability per tick\n"
+        "  --seed N          backoff/storm seed (default 1)\n");
+}
+
+int
+batchMain(int argc, char **argv)
+{
+    const ArgParser args(argc, argv,
+                         {"manifest", "events", "worker", "parallel",
+                          "deadline-ms", "retries", "storm-chance",
+                          "seed", "help"});
+    if (args.getBool("help")) {
+        usage();
+        return 0;
+    }
+    if (!args.has("manifest"))
+        throw ArgError("--manifest is required");
+
+    std::vector<service::JobSpec> jobs;
+    try {
+        jobs = service::loadManifest(args.get("manifest"));
+    } catch (const service::ManifestError &e) {
+        std::fprintf(stderr, "m4ps_batch: %s\n", e.what());
+        return ArgError::kExitCode;
+    }
+
+    service::SupervisorConfig cfg;
+    cfg.defaultDeadlineMs =
+        args.getIntInRange("deadline-ms", cfg.defaultDeadlineMs, 1,
+                           3600000);
+    cfg.defaultRetries =
+        args.getIntInRange("retries", cfg.defaultRetries, 0, 100);
+    cfg.maxParallel = args.getIntInRange("parallel", 4, 1, 64);
+    cfg.stormKillChance = args.getDouble("storm-chance", 0.0);
+    cfg.seed = static_cast<uint64_t>(args.getInt("seed", 1));
+    cfg.workerPath = args.has("worker") ? args.get("worker")
+                                        : siblingWorkerPath();
+
+    std::ofstream eventFile;
+    service::EventLog log;
+    if (args.has("events")) {
+        eventFile.open(args.get("events"), std::ios::trunc);
+        if (!eventFile)
+            throw ArgError("cannot write events file '" +
+                           args.get("events") + "'");
+        log.attach(&eventFile);
+    } else {
+        log.attach(&std::cerr);
+    }
+
+    service::Supervisor sup(cfg, log);
+    const service::BatchResult batch = sup.run(jobs);
+
+    std::printf("jobs %zu completed %d degraded %d failed %d "
+                "skipped %d\n",
+                batch.jobs.size(), batch.completed, batch.degraded,
+                batch.failed, batch.skipped);
+    return (batch.failed || batch.skipped) ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return batchMain(argc, argv);
+    } catch (const ArgError &e) {
+        return reportArgError("m4ps_batch", e);
+    }
+}

@@ -89,10 +89,8 @@ report(const char *what, const core::RunResult &r,
                 core::judge(r.whole, m).str().c_str());
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     ArgParser args(argc, argv, kFlags);
     if (args.getBool("help")) {
@@ -201,4 +199,16 @@ main(int argc, char **argv)
         }
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runMain(argc, argv);
+    } catch (const ArgError &e) {
+        return reportArgError("m4ps_run", e);
+    }
 }

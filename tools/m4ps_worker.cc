@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Sandboxed worker child for the batch supervisor.
+ *
+ * Runs exactly one job described by `--spec "k=v ..."` and reports
+ * through its exit status (0 ok, 2 bad spec, 3 permanent failure,
+ * anything else - including death by signal - transient).  m4ps_batch
+ * fork+execs this binary so a crashing or hanging encode never takes
+ * the supervisor down; it is equally usable standalone to run or
+ * debug a single job.
+ */
+
+#include "service/worker.hh"
+#include "support/args.hh"
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return m4ps::service::workerMain(argc, argv);
+    } catch (const m4ps::ArgError &e) {
+        return m4ps::reportArgError("m4ps_worker", e);
+    }
+}
