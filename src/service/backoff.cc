@@ -63,6 +63,12 @@ CircuitBreaker::recordSuccess()
 }
 
 void
+CircuitBreaker::probeAborted()
+{
+    probing_ = false;
+}
+
+void
 CircuitBreaker::recordPermanentFailure(int64_t nowMs)
 {
     ++failures_;

@@ -9,7 +9,8 @@
  * stops re-dispatching a job class that keeps failing permanently:
  * after `threshold` permanent failures it opens (requests rejected),
  * after `cooldownMs` it half-opens to admit a single probe whose
- * outcome closes or re-opens it.
+ * outcome closes or re-opens it (a probe killed before reaching a
+ * verdict must call probeAborted() to release the slot).
  *
  * Both classes take the current time as an explicit parameter and
  * never sleep, so unit tests drive them with a fake clock.
@@ -71,6 +72,14 @@ class CircuitBreaker
 
     /** A request failed permanently at @p nowMs. */
     void recordPermanentFailure(int64_t nowMs);
+
+    /**
+     * The outstanding half-open probe died without a verdict (a
+     * transient kill, not a permanent failure): release the probe
+     * slot so the next request may probe.  The breaker stays
+     * half-open and the failure count is untouched.
+     */
+    void probeAborted();
 
     int failures() const { return failures_; }
 

@@ -85,6 +85,10 @@ applyKey(JobSpec &spec, const std::string &key, const std::string &v)
         w.targetBps = parseDouble(key, v);
     } else if (key == "search-range") {
         w.searchRange = parseInt(key, v);
+    } else if (key == "search-range-b") {
+        w.searchRangeB = parseInt(key, v);
+    } else if (key == "frame-rate") {
+        w.frameRate = parseDouble(key, v);
     } else if (key == "b-frames") {
         w.gop.bFrames = parseInt(key, v);
     } else if (key == "intra-period") {
@@ -175,8 +179,12 @@ JobSpec::validate() const
         reject("data-partition requires resync-interval > 0");
     if (type == JobType::Decode && input.empty())
         reject("decode jobs need input=<stream file>");
-    if (type == JobType::Encode && output.empty())
-        reject("encode jobs need out=<stream file>");
+    // Transcode writes the encoded stream too, so it is encode-like
+    // here: without out= it would pass validation and then fail
+    // permanently on every attempt at the atomic rename into "".
+    if (type != JobType::Decode && output.empty())
+        reject(std::string(jobTypeName(type)) +
+               " jobs need out=<stream file>");
 }
 
 std::string
@@ -188,7 +196,9 @@ JobSpec::toSpecLine() const
     os << " width=" << w.width << " height=" << w.height;
     os << " frames=" << w.frames << " vos=" << w.numVos;
     os << " layers=" << w.layers << " bitrate=" << w.targetBps;
+    os << " frame-rate=" << w.frameRate;
     os << " search-range=" << w.searchRange;
+    os << " search-range-b=" << w.searchRangeB;
     os << " b-frames=" << w.gop.bFrames;
     os << " intra-period=" << w.gop.intraPeriod;
     os << " half-pel=" << (w.halfPel ? 1 : 0);

@@ -81,6 +81,7 @@ struct Supervisor::Tracked
     int64_t deadlineAtMs = 0;   //!< Running: watchdog expiry.
     JobErrorKind killReason = JobErrorKind::None;
     int deadlineExpiries = 0;   //!< Since the last degradation step.
+    bool isProbe = false;       //!< This attempt is a half-open probe.
 };
 
 namespace
@@ -179,6 +180,15 @@ Supervisor::run(const std::vector<JobSpec> &specs)
 
     auto scheduleRetry = [&](Tracked &t, JobErrorKind err,
                              int64_t now) {
+        if (t.isProbe) {
+            // The half-open probe died transiently, with no verdict
+            // on the class.  Release the probe slot: the breaker
+            // stays half-open and the next eligible attempt probes,
+            // instead of probing_ wedging allow() - and the whole
+            // class - forever.
+            breakerFor(t.spec.effectiveClass()).probeAborted();
+            t.isProbe = false;
+        }
         t.result.lastError = err;
         if (err == JobErrorKind::DeadlineExpired) {
             ++t.result.watchdogKills;
@@ -230,6 +240,7 @@ Supervisor::run(const std::vector<JobSpec> &specs)
             if (code == kWorkerOk) {
                 exitEv.str("class", "success");
                 log_.emit(exitEv);
+                t.isProbe = false;
                 breaker.recordSuccess();
                 finishJob(t,
                           t.result.degradeLevel > 0
@@ -250,6 +261,7 @@ Supervisor::run(const std::vector<JobSpec> &specs)
                 return;
             }
             const CircuitBreaker::State before = breaker.state(now);
+            t.isProbe = false;
             breaker.recordPermanentFailure(now);
             if (before != CircuitBreaker::State::Open &&
                 breaker.state(now) == CircuitBreaker::State::Open)
@@ -373,6 +385,8 @@ Supervisor::run(const std::vector<JobSpec> &specs)
                 continue;
             CircuitBreaker &breaker =
                 breakerFor(t.spec.effectiveClass());
+            const bool wasHalfOpen =
+                breaker.state(now) == CircuitBreaker::State::HalfOpen;
             if (!breaker.allow(now)) {
                 if (breaker.state(now) == CircuitBreaker::State::Open) {
                     log_.emit(JsonEvent("job_skipped")
@@ -386,6 +400,10 @@ Supervisor::run(const std::vector<JobSpec> &specs)
                 // until the probe resolves the breaker either way.
                 continue;
             }
+            // An attempt admitted through a half-open breaker is the
+            // probe; it must report back via recordSuccess /
+            // recordPermanentFailure / probeAborted.
+            t.isProbe = wasHalfOpen;
             spawn(t, now);
             if (t.phase == Tracked::Phase::Running)
                 ++running;

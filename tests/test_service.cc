@@ -15,6 +15,7 @@
 #include "service/backoff.hh"
 #include "service/events.hh"
 #include "service/jobspec.hh"
+#include "service/supervisor.hh"
 
 namespace m4ps::service
 {
@@ -79,6 +80,8 @@ TEST(Manifest, ValidateCatchesUnrunnableSpecs)
     EXPECT_THROW(parseManifest("job a type=decode\n"), ManifestError);
     // Encode without output.
     EXPECT_THROW(parseManifest("job a type=encode\n"), ManifestError);
+    // Transcode writes a stream too: out= is just as mandatory.
+    EXPECT_THROW(parseManifest("job a type=transcode\n"), ManifestError);
     // Data partitioning without resync packets.
     EXPECT_THROW(parseManifest("job a type=encode out=x "
                                "data-partition=1\n"),
@@ -96,6 +99,8 @@ TEST(JobSpec, SpecLineRoundTrips)
     spec.workload.resyncInterval = 2;
     spec.workload.dataPartitioning = true;
     spec.workload.halfPel = false;
+    spec.workload.searchRangeB = 3;
+    spec.workload.frameRate = 25.0;
     spec.output = "j1.m4v";
     spec.deadlineMs = 750;
     spec.retries = 2;
@@ -109,6 +114,26 @@ TEST(JobSpec, SpecLineRoundTrips)
     EXPECT_EQ(back.deadlineMs, 750);
     EXPECT_EQ(back.jobClass, "gold");
     EXPECT_EQ(back.crashAtVop, 3);
+    EXPECT_EQ(back.workload.searchRangeB, 3);
+    EXPECT_EQ(back.workload.frameRate, 25.0);
+    EXPECT_EQ(back.configHash(), spec.configHash());
+}
+
+TEST(JobSpec, DegradedSpecSurvivesTheSpecLine)
+{
+    // Degradation level 1 halves searchRangeB; the spec line shipped
+    // to an exec'd worker must carry that (and keep the config-hash
+    // domains of supervisor and worker in agreement).
+    JobSpec spec;
+    spec.id = "d";
+    spec.output = "d.m4v";
+    spec.workload.searchRange = 8;
+    spec.workload.searchRangeB = 4;
+    Supervisor::applyDegradation(spec, 1);
+
+    const JobSpec back = parseSpecLine("d", spec.toSpecLine());
+    EXPECT_EQ(back.workload.searchRange, 4);
+    EXPECT_EQ(back.workload.searchRangeB, 2);
     EXPECT_EQ(back.configHash(), spec.configHash());
 }
 
@@ -205,6 +230,18 @@ TEST(CircuitBreaker, FailedProbeReopensWithFreshCooldown)
     EXPECT_FALSE(cb.allow(2400));   // cooldown restarted at 1500
     EXPECT_EQ(cb.state(2500), CircuitBreaker::State::HalfOpen);
     EXPECT_TRUE(cb.allow(2500));
+}
+
+TEST(CircuitBreaker, AbortedProbeReleasesTheHalfOpenSlot)
+{
+    CircuitBreaker cb(1, 1000);
+    cb.recordPermanentFailure(0);
+    ASSERT_TRUE(cb.allow(1000));  // the probe
+    EXPECT_FALSE(cb.allow(1001)); // slot taken
+    cb.probeAborted();            // probe died with no verdict
+    EXPECT_EQ(cb.state(1002), CircuitBreaker::State::HalfOpen);
+    EXPECT_TRUE(cb.allow(1002));  // next request may probe
+    EXPECT_EQ(cb.failures(), 1);  // an abort is not a verdict
 }
 
 TEST(CircuitBreaker, SuccessClearsFailureCount)

@@ -262,6 +262,44 @@ TEST(Supervisor, BreakerSkipsAClassAfterRepeatedPermanentFailures)
     expectNoChildren();
 }
 
+TEST(Supervisor, TransientlyKilledProbeDoesNotWedgeTheBreaker)
+{
+    const std::string dir = testing::TempDir();
+    SupervisorConfig cfg = fastConfig();
+    cfg.breakerThreshold = 1;
+    cfg.breakerCooldownMs = 0; // half-open the instant it opens
+    cfg.maxParallel = 1;       // the permanent failure lands first
+    EventLog log;
+    Supervisor sup(cfg, log);
+
+    JobSpec bad;
+    bad.id = "sup_probe_bad";
+    bad.type = JobType::Decode;
+    bad.input = "/nonexistent/stream.m4v"; // permanent: opens breaker
+    bad.retries = 0;
+    bad.jobClass = "mix";
+
+    // Same class, so its first attempt is the half-open probe - and
+    // the injected crash kills that probe transiently, mid-verdict.
+    JobSpec probe = tinyEncode(dir, "sup_probe_enc");
+    probe.crashAtVop = 1;
+    probe.retries = 2;
+    probe.jobClass = "mix";
+
+    const BatchResult batch = sup.run({bad, probe});
+
+    // Without probeAborted() the crashed probe left probing_ stuck:
+    // the breaker stayed half-open, allow() rejected every retry,
+    // the job was never skipped (that needs state Open), and run()
+    // spun forever.  Now the retry is admitted as a fresh probe,
+    // resumes past the crash trigger, and closes the breaker.
+    ASSERT_EQ(batch.jobs.size(), 2u);
+    EXPECT_EQ(batch.jobs[0].outcome, JobOutcome::Failed);
+    EXPECT_EQ(batch.jobs[1].outcome, JobOutcome::Completed);
+    EXPECT_EQ(batch.jobs[1].attempts, 2);
+    expectNoChildren();
+}
+
 TEST(Supervisor, KillStormEveryJobReachesATerminalState)
 {
     const std::string dir = testing::TempDir();

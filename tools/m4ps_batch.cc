@@ -94,6 +94,12 @@ batchMain(int argc, char **argv)
         args.getIntInRange("retries", cfg.defaultRetries, 0, 100);
     cfg.maxParallel = args.getIntInRange("parallel", 4, 1, 64);
     cfg.stormKillChance = args.getDouble("storm-chance", 0.0);
+    // chance(p) is uniformReal() < p: p >= 1 would SIGKILL every
+    // worker on every poll tick (the batch could never finish) and
+    // p < 0 silently disables the drill.
+    if (cfg.stormKillChance < 0.0 || cfg.stormKillChance >= 1.0)
+        throw ArgError("--storm-chance must be in [0, 1), got " +
+                       std::to_string(cfg.stormKillChance));
     cfg.seed = static_cast<uint64_t>(args.getInt("seed", 1));
     cfg.workerPath = args.has("worker") ? args.get("worker")
                                         : siblingWorkerPath();
