@@ -4,6 +4,7 @@
 #include "bitstream/startcode.hh"
 #include "codec/error.hh"
 #include "support/logging.hh"
+#include "support/obs/obs.hh"
 #include "video/resample.hh"
 
 namespace m4ps::codec
@@ -140,6 +141,13 @@ Mpeg4Decoder::decode(const std::vector<uint8_t> &stream, const Sink &sink,
     bits::BitReader br(stream);
     DecodeStats stats;
 
+    obs::Span streamSpan("codec", "dec.stream");
+    if (streamSpan.active())
+        streamSpan.setArgs("{\"bytes\":" +
+                           std::to_string(stream.size()) + "}");
+    static obs::Counter &streamsC = obs::counter("dec.streams");
+    streamsC.add();
+
     auto record = [&stats](const DecodeError &e, uint64_t pos) {
         if (stats.incidents.size() < kMaxIncidents)
             stats.incidents.push_back({e.kind(), pos, e.what()});
@@ -251,6 +259,12 @@ Mpeg4Decoder::decode(const std::vector<uint8_t> &stream, const Sink &sink,
         if (vos[v].enh)
             stats.mb += vos[v].enh->totals();
     }
+
+    static obs::Counter &displayedC = obs::counter("dec.displayed");
+    static obs::Counter &corruptVopsC =
+        obs::counter("dec.corrupted_vops");
+    displayedC.add(static_cast<uint64_t>(stats.displayed));
+    corruptVopsC.add(static_cast<uint64_t>(stats.corruptedVops));
     return stats;
 }
 

@@ -6,6 +6,7 @@
 #include "bitstream/expgolomb.hh"
 #include "bitstream/startcode.hh"
 #include "support/logging.hh"
+#include "support/obs/obs.hh"
 #include "support/serialize.hh"
 #include "video/resample.hh"
 
@@ -199,6 +200,14 @@ Mpeg4Encoder::encodeFrame(const std::vector<VoInput> &inputs,
     M4PS_ASSERT(static_cast<int>(inputs.size()) == cfg_.numVos,
                 "expected ", cfg_.numVos, " VO inputs, got ",
                 inputs.size());
+
+    obs::Span frameSpan("codec", "enc.frame");
+    if (frameSpan.active())
+        frameSpan.setArgs("{\"timestamp\":" + std::to_string(timestamp) +
+                          ",\"vos\":" + std::to_string(cfg_.numVos) +
+                          "}");
+    static obs::Counter &framesC = obs::counter("enc.frames");
+    framesC.add();
 
     for (int v = 0; v < cfg_.numVos; ++v) {
         VoState &vo = vos_[v];

@@ -9,6 +9,7 @@
 #include "bitstream/startcode.hh"
 #include "codec/zigzag.hh"
 #include "support/logging.hh"
+#include "support/obs/obs.hh"
 #include "support/threadpool.hh"
 
 namespace m4ps::codec
@@ -454,6 +455,12 @@ VopEncoder::encodeTextureRow(bits::BitWriter &bw, bits::BitWriter *tex,
     uint8_t bwdData[384];
     uint8_t biData[384];
 
+    obs::Span rowSpan("codec", "enc.row");
+    if (rowSpan.active())
+        rowSpan.setArgs("{\"row\":" + std::to_string(my) + "}");
+    obs::StageTimes st;
+    obs::beginStages(st);
+
     size_t mode_idx = static_cast<size_t>(my - win.y) * win.w;
     for (int mx = win.x; mx < win.x + win.w; ++mx, ++mode_idx) {
         rp.beginMb();
@@ -485,6 +492,8 @@ VopEncoder::encodeTextureRow(bits::BitWriter &bw, bits::BitWriter *tex,
         int mode = 0; // B: 0=fwd, 1=bwd, 2=bi
         bool use_4mv = false;
         MotionVector mv4[4]{};
+        {
+        obs::StageScope motionScope(st, obs::Stage::Motion);
         if (hdr.type == VopType::P) {
             fwd = motionSearch(cur.y(), refs.past->y(), px, py,
                                cfg_.searchRange, cfg_.halfPel);
@@ -532,10 +541,12 @@ VopEncoder::encodeTextureRow(bits::BitWriter &bw, bits::BitWriter *tex,
                 }
             }
         }
+        } // motion stage
 
         // ---------------- prediction build ----------------------
         const uint8_t *pred = nullptr; // 384-byte Y+U+V layout
         if (!intra && hdr.type != VopType::I) {
+            obs::StageScope reconScope(st, obs::Stage::Recon);
             auto build = [&](const video::Yuv420Image &ref,
                              MotionVector mv, uint8_t *dst,
                              memsim::SimBuffer<uint8_t> &trace) {
@@ -615,6 +626,8 @@ VopEncoder::encodeTextureRow(bits::BitWriter &bw, bits::BitWriter *tex,
             is_b ? (mode == 0 ? &predFwd_
                     : mode == 1 ? &predBwd_ : &predBi_)
                  : &predFwd_;
+        {
+        obs::StageScope dctScope(st, obs::Stage::DctQuant);
         for (int b = 0; b < 6; ++b) {
             const bool luma = b < 4;
             const video::Plane &pl = cur.plane(luma ? 0 : b - 3);
@@ -655,8 +668,11 @@ VopEncoder::encodeTextureRow(bits::BitWriter &bw, bits::BitWriter *tex,
             if (blocks[b].coded)
                 cbp |= 1 << b;
         }
+        } // dct_quant stage
 
         // ---------------- skip decision & bit writing -----------
+        {
+        obs::StageScope rlcScope(st, obs::Stage::Rlc);
         if (hdr.type == VopType::P && !intra && !use_4mv &&
             cbp == 0 && fwd.mv.isZero()) {
             bw.putBit(true); // not_coded
@@ -734,9 +750,11 @@ VopEncoder::encodeTextureRow(bits::BitWriter &bw, bits::BitWriter *tex,
             stats.codedBlocks += std::popcount(
                 static_cast<unsigned>(cbp));
         }
+        } // rlc stage
 
         // ---------------- reconstruction ------------------------
         if (recon) {
+            obs::StageScope reconScope(st, obs::Stage::Recon);
             for (int b = 0; b < 6; ++b) {
                 const bool luma = b < 4;
                 const int bx = b & 1;
@@ -765,6 +783,15 @@ VopEncoder::encodeTextureRow(bits::BitWriter &bw, bits::BitWriter *tex,
             }
         }
     }
+
+    obs::emitStageSpans("codec", "enc", st);
+    static obs::Counter &rowsC = obs::counter("enc.rows");
+    static obs::Counter &mbsC = obs::counter("enc.mbs");
+    static obs::Histogram &rowMbsH =
+        obs::histogram("enc.row_mb_count", {8, 16, 32, 64, 128});
+    rowsC.add();
+    mbsC.add(static_cast<uint64_t>(win.w));
+    rowMbsH.observe(static_cast<double>(win.w));
     return stats;
 }
 
@@ -780,6 +807,7 @@ VopEncoder::encode(bits::BitWriter &bw, const VopHeader &hdr,
     M4PS_ASSERT(hdr.type == VopType::I || refs.past || refs.future,
                 "predicted VOP without references");
 
+    obs::Span vopSpan("codec", "enc.vop");
     std::optional<memsim::MemoryHierarchy::ScopedRegion> region;
     if (mem_)
         region.emplace(*mem_, "VopEncode");
@@ -853,6 +881,18 @@ VopEncoder::encode(bits::BitWriter &bw, const VopHeader &hdr,
 
     stats.bits = bw.bitCount() - start_bits;
     tick(static_cast<double>(stats.bits) * kEncodeCyclesPerBit);
+
+    static obs::Counter &vopsC = obs::counter("enc.vops");
+    static obs::Counter &bitsC = obs::counter("enc.bits");
+    vopsC.add();
+    bitsC.add(stats.bits);
+    if (vopSpan.active()) {
+        vopSpan.setArgs("{\"type\":" +
+                        std::to_string(vopTypeBits(hdr.type)) +
+                        ",\"rows\":" + std::to_string(rows) +
+                        ",\"bits\":" + std::to_string(stats.bits) +
+                        "}");
+    }
     return stats;
 }
 
@@ -1003,7 +1043,7 @@ VopDecoder::decodeBlockInto(RowPredictors &rp, bits::BitReader &br,
                             int qp, int plane_idx, int bx, int by,
                             const uint8_t *pred, int pred_stride,
                             video::Plane &out, int x0, int y0,
-                            bool coded)
+                            bool coded, obs::StageTimes &st)
 {
     // Mirrors the encoder's partition split: DC deltas travel with
     // the motion partition (br), coefficient data with the texture
@@ -1012,6 +1052,8 @@ VopDecoder::decodeBlockInto(RowPredictors &rp, bits::BitReader &br,
     scanned.fill(0);
     int dc_level = 0;
     bool any = false;
+    {
+    obs::StageScope rlcScope(st, obs::Stage::Rlc);
     if (intra) {
         const int dc_delta = bits::getSe(br);
         dc_level = rp.predictDc(plane_idx, bx, by) + dc_delta;
@@ -1033,9 +1075,11 @@ VopDecoder::decodeBlockInto(RowPredictors &rp, bits::BitReader &br,
         any = true;
         traceBlockStore(kScanned);
     }
+    } // rlc stage
 
     Block idct;
     if (any) {
+        obs::StageScope dctScope(st, obs::Stage::DctQuant);
         Block levels;
         traceBlockLoad(kScanned);
         unscan(scanned, levels);
@@ -1060,6 +1104,7 @@ VopDecoder::decodeBlockInto(RowPredictors &rp, bits::BitReader &br,
         idct.fill(0);
     }
 
+    obs::StageScope reconScope(st, obs::Stage::Recon);
     traceBlockLoad(kIdct);
     // Saturation via the reference decoder's clip lookup table.
     clipTable_.traceLoadRow(0, kBlockSize);
@@ -1096,6 +1141,12 @@ VopDecoder::decodeTextureRow(bits::BitReader &br, bits::BitReader *tex,
     uint8_t bwdData[384];
     uint8_t biData[384];
 
+    obs::Span rowSpan("codec", "dec.row");
+    if (rowSpan.active())
+        rowSpan.setArgs("{\"row\":" + std::to_string(my) + "}");
+    obs::StageTimes st;
+    obs::beginStages(st);
+
     size_t mode_idx = static_cast<size_t>(my - win.y) * win.w;
     for (int mx = win.x; mx < win.x + win.w; ++mx, ++mode_idx) {
         rp.beginMb();
@@ -1126,6 +1177,8 @@ VopDecoder::decodeTextureRow(bits::BitReader &br, bits::BitReader *tex,
         MotionVector mvf{}, mvb{}, mv4[4]{};
         int cbp = 0;
 
+        {
+        obs::StageScope motionScope(st, obs::Stage::Motion);
         if (hdr.type != VopType::I) {
             skipped = br.getBit();
             if (skipped) {
@@ -1205,10 +1258,12 @@ VopDecoder::decodeTextureRow(bits::BitReader &br, bits::BitReader *tex,
             }
             mv_row[mx - win.x] = cand;
         }
+        } // motion stage
 
         // ---------------- prediction build ----------------------
         const uint8_t *pred = nullptr;
         if (!intra) {
+            obs::StageScope reconScope(st, obs::Stage::Recon);
             auto build = [&](const video::Yuv420Image &ref,
                              const HalfPelPlanes *interp,
                              MotionVector mv, uint8_t *dst,
@@ -1328,6 +1383,7 @@ VopDecoder::decodeTextureRow(bits::BitReader &br, bits::BitReader *tex,
                 stats.codedBlocks += coded ? 1 : 0;
             if (skipped) {
                 // Straight copy of the prediction.
+                obs::StageScope reconScope(st, obs::Stage::Recon);
                 for (int row = 0; row < kBlockEdge; ++row) {
                     uint8_t *r = pl.rowPtr(y0 + row) + x0;
                     for (int i = 0; i < kBlockEdge; ++i)
@@ -1337,7 +1393,7 @@ VopDecoder::decodeTextureRow(bits::BitReader &br, bits::BitReader *tex,
             } else {
                 decodeBlockInto(rp, br, txr, intra, luma, qp,
                                 plane_idx, gx, gy, p, pstride, pl,
-                                x0, y0, coded);
+                                x0, y0, coded, st);
             }
         }
         marshalMacroblock();
@@ -1345,6 +1401,12 @@ VopDecoder::decodeTextureRow(bits::BitReader &br, bits::BitReader *tex,
             throw StreamError("bitstream exhausted mid-VOP "
                               "(corrupt or truncated stream)");
     }
+
+    obs::emitStageSpans("codec", "dec", st);
+    static obs::Counter &rowsC = obs::counter("dec.rows");
+    static obs::Counter &mbsC = obs::counter("dec.mbs");
+    rowsC.add();
+    mbsC.add(static_cast<uint64_t>(win.w));
     return stats;
 }
 
@@ -1358,6 +1420,7 @@ VopDecoder::decode(bits::BitReader &br, const VopHeader &hdr,
     M4PS_ASSERT(!cfg_.hasShape || out_alpha,
                 "shaped VOL needs an alpha output");
 
+    obs::Span vopSpan("codec", "dec.vop");
     std::optional<memsim::MemoryHierarchy::ScopedRegion> region;
     if (mem_)
         region.emplace(*mem_, "VopDecode");
@@ -1499,6 +1562,20 @@ VopDecoder::decode(bits::BitReader &br, const VopHeader &hdr,
 
     stats.bits = br.bitPos() - start_bits;
     tick(static_cast<double>(stats.bits) * kDecodeCyclesPerBit);
+
+    static obs::Counter &vopsC = obs::counter("dec.vops");
+    static obs::Counter &concealedC = obs::counter("dec.concealed_mbs");
+    static obs::Counter &corruptC = obs::counter("dec.corrupt_packets");
+    vopsC.add();
+    concealedC.add(static_cast<uint64_t>(stats.concealedMbs));
+    corruptC.add(static_cast<uint64_t>(stats.corruptPackets));
+    if (vopSpan.active()) {
+        vopSpan.setArgs("{\"type\":" +
+                        std::to_string(vopTypeBits(hdr.type)) +
+                        ",\"rows\":" + std::to_string(rows) +
+                        ",\"bits\":" + std::to_string(stats.bits) +
+                        "}");
+    }
     return stats;
 }
 

@@ -44,6 +44,7 @@
 #include "codec/rlc.hh"
 #include "codec/shape.hh"
 #include "memsim/buffer.hh"
+#include "support/obs/obs.hh"
 #include "video/yuv.hh"
 
 namespace m4ps::codec
@@ -416,12 +417,17 @@ class VopDecoder : public VopCodecBase
                     const std::vector<uint8_t> &rowGood,
                     video::Yuv420Image &out, VopStats &stats);
 
-    /** Decode one block's levels; returns the events applied. */
+    /**
+     * Decode one block's levels; @p st accumulates per-stage wall
+     * time (RLC read, dequant+IDCT, reconstruction) for the row's
+     * trace spans.
+     */
     void decodeBlockInto(RowPredictors &rp, bits::BitReader &br,
                          bits::BitReader &tex, bool intra, bool luma,
                          int qp, int plane_idx, int bx, int by,
                          const uint8_t *pred, int pred_stride,
-                         video::Plane &out, int x0, int y0, bool coded);
+                         video::Plane &out, int x0, int y0, bool coded,
+                         obs::StageTimes &st);
 
     void decodeShapePass(bits::BitReader &br, const VopHeader &hdr,
                          video::Plane &alpha,

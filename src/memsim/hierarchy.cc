@@ -219,11 +219,35 @@ MemoryHierarchy::tick(double cycles)
     ctrs_.computeCycles += cycles;
 }
 
+std::string
+MemoryHierarchy::counterArgsJson(const CounterSet &c)
+{
+    return "{\"gradLoads\":" + std::to_string(c.gradLoads) +
+           ",\"gradStores\":" + std::to_string(c.gradStores) +
+           ",\"l1Misses\":" + std::to_string(c.l1Misses) +
+           ",\"l2Misses\":" + std::to_string(c.l2Misses) +
+           ",\"l1Writebacks\":" + std::to_string(c.l1Writebacks) +
+           ",\"l2Writebacks\":" + std::to_string(c.l2Writebacks) +
+           ",\"prefetches\":" + std::to_string(c.prefetches) +
+           ",\"computeCycles\":" +
+           std::to_string(static_cast<uint64_t>(c.computeCycles)) +
+           ",\"stallL2Cycles\":" +
+           std::to_string(static_cast<uint64_t>(c.stallL2Cycles)) +
+           ",\"stallDramCycles\":" +
+           std::to_string(static_cast<uint64_t>(c.stallDramCycles)) +
+           "}";
+}
+
 void
 MemoryHierarchy::merge(TraceShard &shard)
 {
     M4PS_ASSERT(tlsShard == nullptr,
                 "merge() must run outside any recording region");
+    obs::Span span("memsim", "memsim.merge");
+    if (span.active())
+        span.setArgs("{\"ops\":" + std::to_string(shard.ops_.size()) +
+                     "}");
+    const CounterSet before = span.active() ? ctrs_ : CounterSet{};
     for (const TraceShard::Op &op : shard.ops_) {
         const uint64_t elems = op.elemsKind >> 3;
         switch (op.elemsKind & 7u) {
@@ -246,6 +270,12 @@ MemoryHierarchy::merge(TraceShard &shard)
             ctrs_.computeCycles += std::bit_cast<double>(op.addr);
             break;
         }
+    }
+    if (span.active()) {
+        std::string args = counterArgsJson(ctrs_ - before);
+        args.back() = ',';
+        args += "\"ops\":" + std::to_string(shard.ops_.size()) + "}";
+        span.setArgs(std::move(args));
     }
     shard.clear();
 }

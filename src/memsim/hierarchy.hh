@@ -32,6 +32,7 @@
 #include "memsim/cache.hh"
 #include "memsim/cost_model.hh"
 #include "memsim/counters.hh"
+#include "support/obs/obs.hh"
 
 namespace m4ps::memsim
 {
@@ -165,11 +166,23 @@ class MemoryHierarchy
       public:
         ScopedRegion(MemoryHierarchy &mh, std::string name)
             : mh_(mh), name_(std::move(name)), start_(mh.counters())
-        {}
+        {
+            if (obs::tracingEnabled())
+                obsStartNs_ = obs::nowNs();
+        }
 
         ~ScopedRegion()
         {
-            mh_.profiler().add(name_, mh_.counters() - start_);
+            const CounterSet delta = mh_.counters() - start_;
+            mh_.profiler().add(name_, delta);
+            if (obsStartNs_) {
+                // Trace span named after the region, carrying the
+                // counter delta (the paper's perfex numbers) as args.
+                obs::completeEvent("memsim", "memsim." + name_,
+                                   obsStartNs_,
+                                   obs::nowNs() - obsStartNs_,
+                                   counterArgsJson(delta));
+            }
         }
 
         ScopedRegion(const ScopedRegion &) = delete;
@@ -179,7 +192,11 @@ class MemoryHierarchy
         MemoryHierarchy &mh_;
         std::string name_;
         CounterSet start_;
+        uint64_t obsStartNs_ = 0;
     };
+
+    /** JSON object of a CounterSet's headline events (span args). */
+    static std::string counterArgsJson(const CounterSet &c);
 
   private:
     /** Demand access to one L1 line. */

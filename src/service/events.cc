@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "support/obs/obs.hh"
+
 namespace m4ps::service
 {
 
@@ -31,7 +33,7 @@ jsonEscape(const std::string &s)
 }
 
 JsonEvent::JsonEvent(const std::string &type)
-    : body_("{\"event\":\"" + jsonEscape(type) + "\"")
+    : type_(type), body_("{\"event\":\"" + jsonEscape(type) + "\"")
 {}
 
 JsonEvent &
@@ -81,6 +83,12 @@ EventLog::emit(const JsonEvent &e)
         *os_ << lines_.back() << '\n';
         os_->flush();
     }
+    // Mirror into the observability stream (the EventLog is one sink
+    // of it): the full event object rides along as the args payload.
+    if (obs::tracingEnabled())
+        obs::instant("service", "event." + e.type(), lines_.back());
+    static obs::Counter &eventsC = obs::counter("service.events");
+    eventsC.add();
 }
 
 int

@@ -37,7 +37,11 @@ class JsonEvent
     /** The finished object (no trailing newline). */
     std::string line() const { return body_ + "}"; }
 
+    /** The event type this object was started with. */
+    const std::string &type() const { return type_; }
+
   private:
+    std::string type_;
     std::string body_;
 };
 
@@ -49,6 +53,13 @@ std::string jsonEscape(const std::string &s);
  * in memory (tests assert on them); attach() additionally streams
  * each line to an ostream, flushed per event so a crashing
  * supervisor leaves a complete prefix behind.
+ *
+ * The log is one sink of the shared observability stream: every
+ * emitted event is also forwarded as an obs instant event (category
+ * "service", the event object as args), so a Chrome trace of a
+ * supervised batch interleaves job lifecycle markers with the spans.
+ * The JSON-lines schema documented in docs/OPERATIONS.md is
+ * unchanged by this forwarding.
  */
 class EventLog
 {

@@ -12,6 +12,7 @@
 
 #include "service/checkpoint.hh"
 #include "service/worker.hh"
+#include "support/obs/obs.hh"
 #include "support/serialize.hh"
 
 namespace m4ps::service
@@ -82,6 +83,7 @@ struct Supervisor::Tracked
     JobErrorKind killReason = JobErrorKind::None;
     int deadlineExpiries = 0;   //!< Since the last degradation step.
     bool isProbe = false;       //!< This attempt is a half-open probe.
+    uint64_t attemptStartNs = 0; //!< Running: obs span start (0 = off).
 };
 
 namespace
@@ -133,6 +135,22 @@ Supervisor::applyDegradation(JobSpec &spec, int level)
 BatchResult
 Supervisor::run(const std::vector<JobSpec> &specs)
 {
+    // Injected clock/sleep (tests) or the real monotonic clock.
+    const auto clockNow = cfg_.nowMs ? cfg_.nowMs
+                                     : std::function<int64_t()>(
+                                           &monotonicNowMs);
+    const auto doSleep =
+        cfg_.sleepMs ? cfg_.sleepMs
+                     : std::function<void(int64_t)>([](int64_t ms) {
+                           std::this_thread::sleep_for(
+                               std::chrono::milliseconds(ms));
+                       });
+
+    obs::Span batchSpan("service", "service.batch");
+    if (batchSpan.active())
+        batchSpan.setArgs(
+            "{\"jobs\":" + std::to_string(specs.size()) + "}");
+
     std::vector<Tracked> jobs;
     jobs.reserve(specs.size());
     for (const JobSpec &s : specs) {
@@ -170,6 +188,9 @@ Supervisor::run(const std::vector<JobSpec> &specs)
         t.phase = Tracked::Phase::Done;
         t.result.outcome = outcome;
         t.result.lastError = err;
+        obs::counter(std::string("service.jobs_") +
+                     jobOutcomeName(outcome))
+            .add();
         log_.emit(JsonEvent("job_done")
                       .str("job", t.spec.id)
                       .str("outcome", jobOutcomeName(outcome))
@@ -231,6 +252,18 @@ Supervisor::run(const std::vector<JobSpec> &specs)
         const JobErrorKind killReason = t.killReason;
         t.killReason = JobErrorKind::None;
         t.pid = -1;
+
+        // The attempt's lifetime becomes a trace span (timed by the
+        // real clock even when a fake clock drives the policy).
+        if (t.attemptStartNs) {
+            obs::completeEvent(
+                "service", "job.attempt", t.attemptStartNs,
+                obs::nowNs() - t.attemptStartNs,
+                "{\"job\":\"" + jsonEscape(t.spec.id) +
+                    "\",\"attempt\":" +
+                    std::to_string(t.result.attempts) + "}");
+            t.attemptStartNs = 0;
+        }
 
         JsonEvent exitEv("attempt_exit");
         exitEv.str("job", t.spec.id).num("attempt", t.result.attempts);
@@ -317,6 +350,10 @@ Supervisor::run(const std::vector<JobSpec> &specs)
         t.pid = pid;
         t.deadlineAtMs = now + t.deadlineMs;
         t.killReason = JobErrorKind::None;
+        t.attemptStartNs = obs::tracingEnabled() ? obs::nowNs() : 0;
+        static obs::Counter &attemptsC =
+            obs::counter("service.attempts");
+        attemptsC.add();
         log_.emit(JsonEvent("attempt_start")
                       .str("job", t.spec.id)
                       .num("attempt", t.result.attempts)
@@ -326,7 +363,7 @@ Supervisor::run(const std::vector<JobSpec> &specs)
     };
 
     for (;;) {
-        const int64_t now = monotonicNowMs();
+        const int64_t now = clockNow();
 
         // Reap every child that has exited.
         int status = 0;
@@ -348,6 +385,9 @@ Supervisor::run(const std::vector<JobSpec> &specs)
                 now >= t.deadlineAtMs) {
                 t.killReason = JobErrorKind::DeadlineExpired;
                 kill(t.pid, SIGKILL);
+                static obs::Counter &wdC =
+                    obs::counter("service.watchdog_kills");
+                wdC.add();
                 log_.emit(JsonEvent("watchdog_kill")
                               .str("job", t.spec.id)
                               .num("attempt", t.result.attempts)
@@ -363,6 +403,9 @@ Supervisor::run(const std::vector<JobSpec> &specs)
                     storm.chance(cfg_.stormKillChance)) {
                     t.killReason = JobErrorKind::StormKilled;
                     kill(t.pid, SIGKILL);
+                    static obs::Counter &stC =
+                        obs::counter("service.storm_kills");
+                    stC.add();
                     log_.emit(JsonEvent("storm_kill")
                                   .str("job", t.spec.id)
                                   .num("attempt", t.result.attempts)
@@ -419,8 +462,7 @@ Supervisor::run(const std::vector<JobSpec> &specs)
         if (allDone)
             break;
 
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(cfg_.pollMs));
+        doSleep(cfg_.pollMs);
     }
 
     // No zombie may survive: every child was reaped above, so the

@@ -31,6 +31,8 @@
 #ifndef M4PS_SERVICE_SUPERVISOR_HH
 #define M4PS_SERVICE_SUPERVISOR_HH
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -136,6 +138,19 @@ struct SupervisorConfig
      * is identical either way since isolation comes from fork().
      */
     std::string workerPath;
+
+    /**
+     * Clock and sleep injection, following the Backoff/CircuitBreaker
+     * fake-clock convention: when set, every supervision decision
+     * (watchdog deadlines, retry eligibility, breaker cooldowns) uses
+     * nowMs() and the poll loop waits via sleepMs(ms) instead of the
+     * real monotonic clock and std::this_thread::sleep_for.  Tests
+     * drive these with a tick clock so deadline arithmetic is immune
+     * to scheduler load (e.g. under TSan); production leaves both
+     * unset.
+     */
+    std::function<int64_t()> nowMs;
+    std::function<void(int64_t)> sleepMs;
 };
 
 /** Runs one batch of jobs to terminal outcomes. */

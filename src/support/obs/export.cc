@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Exporters: Chrome trace_event JSON and flat metrics text.
+ *
+ * The trace exporter emits the format documented at
+ * https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+ * (the "JSON Array Format" with a traceEvents wrapper), which loads
+ * directly in Perfetto and chrome://tracing.  Timestamps convert
+ * from our ns epoch to the microseconds the format expects.
+ *
+ * This file also hosts the definitions shared by the M4PS_OBS=0
+ * build: exporters that emit valid-but-empty documents, and dummy
+ * registry accessors, so tools link unchanged either way.
+ */
+
+#include "support/obs/obs.hh"
+
+#include <cstdio>
+#include <ostream>
+
+namespace m4ps::obs
+{
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+    case Stage::Motion:
+        return "motion";
+    case Stage::DctQuant:
+        return "dct_quant";
+    case Stage::Rlc:
+        return "rlc";
+    case Stage::Recon:
+        return "recon";
+    }
+    return "?";
+}
+
+#if M4PS_OBS
+
+namespace
+{
+
+/**
+ * ns -> "microseconds.with-3-decimals".  Fixed-point, not ostream
+ * default formatting: 6-significant-digit output would quantize
+ * timestamps to whole microseconds a millisecond into the trace,
+ * breaking the strict nesting the recorder guarantees.
+ */
+void
+writeUs(std::ostream &os, uint64_t ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    os << buf;
+}
+
+void
+jsonEscapeTo(std::ostream &os, std::string_view s)
+{
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            os << "\\\"";
+            break;
+        case '\\':
+            os << "\\\\";
+            break;
+        case '\n':
+            os << "\\n";
+            break;
+        case '\t':
+            os << "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os)
+{
+    const std::vector<TraceEvent> events = snapshotTrace();
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &e : events) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"name\":\"";
+        jsonEscapeTo(os, e.name);
+        os << "\",\"cat\":\"" << e.cat << "\",\"ph\":\"" << e.phase
+           << "\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":";
+        writeUs(os, e.tsNs);
+        if (e.phase == 'X') {
+            os << ",\"dur\":";
+            writeUs(os, e.durNs);
+        }
+        if (e.phase == 'i')
+            os << ",\"s\":\"t\"";
+        if (!e.args.empty())
+            os << ",\"args\":" << e.args;
+        os << "}";
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void
+writeMetricsText(std::ostream &os)
+{
+    const MetricsSnapshot snap = snapshotMetrics();
+    os << "# m4ps metrics dump (counters monotonic, gauges report the\n"
+          "# high-watermark, histogram buckets are non-cumulative)\n";
+    for (const auto &[name, v] : snap.counters)
+        os << "counter " << name << " " << v << "\n";
+    for (const auto &[name, v] : snap.gauges)
+        os << "gauge " << name << " max=" << v << "\n";
+    for (const auto &[name, h] : snap.histograms) {
+        os << "histogram " << name << " count=" << h.count
+           << " sum=" << h.sum;
+        for (size_t i = 0; i < h.buckets.size(); ++i) {
+            os << " le";
+            if (i < h.bounds.size())
+                os << h.bounds[i];
+            else
+                os << "_inf";
+            os << "=" << h.buckets[i];
+        }
+        os << "\n";
+    }
+}
+
+#else // !M4PS_OBS
+
+void
+writeChromeTrace(std::ostream &os)
+{
+    os << "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void
+writeMetricsText(std::ostream &os)
+{
+    os << "# m4ps metrics dump (observability compiled out)\n";
+}
+
+Counter &
+counter(std::string_view)
+{
+    static Counter c;
+    return c;
+}
+
+Gauge &
+gauge(std::string_view)
+{
+    static Gauge g;
+    return g;
+}
+
+Histogram &
+histogram(std::string_view, const std::vector<double> &)
+{
+    static Histogram h;
+    return h;
+}
+
+const std::vector<double> &
+timingBoundsUs()
+{
+    static const std::vector<double> kEmpty;
+    return kEmpty;
+}
+
+#endif // M4PS_OBS
+
+} // namespace m4ps::obs

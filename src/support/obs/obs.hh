@@ -1,0 +1,472 @@
+/**
+ * @file
+ * Low-overhead observability: tracing spans + metrics registry.
+ *
+ * The paper's method is measurement (perfex/SpeedShop counters turned
+ * into Tables 2-8); this module gives the reproduction's own runtime
+ * the same first-class treatment.  Two independent facilities share
+ * one header:
+ *
+ *  - Tracing: RAII Span objects record Chrome trace_event "complete"
+ *    events (name, category, thread id, start, duration, JSON args)
+ *    into per-thread buffers.  Because a thread's spans destruct in
+ *    LIFO order, events on one thread always nest strictly; the
+ *    exporter (writeChromeTrace) emits JSON loadable in Perfetto or
+ *    about:tracing.
+ *  - Metrics: named counters, gauges and fixed-bucket histograms in a
+ *    lock-sharded registry.  Handles are stable for the process
+ *    lifetime, so hot paths cache a reference once and then pay one
+ *    relaxed atomic per update.  writeMetricsText dumps a flat text
+ *    report; snapshotMetrics returns structured values for tests.
+ *
+ * Cost model (see bench_obs_overhead and docs/OBSERVABILITY.md):
+ *  - Compiled out (M4PS_OBS=0): every entry point is an empty inline;
+ *    zero code and zero data at call sites.
+ *  - Compiled in, disabled (default): one relaxed atomic load and a
+ *    predictable branch per site.
+ *  - Enabled: a clock read plus a buffer append per span; a relaxed
+ *    fetch_add per counter update.
+ *
+ * Naming scheme (docs/OBSERVABILITY.md): dotted lower_snake names,
+ * "<subsystem>.<thing>"; timing histograms end in "_us" or "_ns" and
+ * scheduling metrics live under "pool." -- both are nondeterministic
+ * by design, everything else must be bit-deterministic for a fixed
+ * workload and seed (tests/test_obs.cc enforces this split).
+ */
+
+#ifndef M4PS_SUPPORT_OBS_OBS_HH
+#define M4PS_SUPPORT_OBS_OBS_HH
+
+#ifndef M4PS_OBS
+#define M4PS_OBS 1
+#endif
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#if M4PS_OBS
+#include <atomic>
+#endif
+
+namespace m4ps::obs
+{
+
+// ------------------------------------------------------------------
+// Shared value types (defined in both build flavours so tests and
+// exporters compile unchanged).
+// ------------------------------------------------------------------
+
+/** One recorded trace event (Chrome trace_event model). */
+struct TraceEvent
+{
+    std::string name;  //!< Event name, e.g. "enc.row".
+    const char *cat;   //!< Static category string, e.g. "codec".
+    char phase;        //!< 'X' complete, 'i' instant.
+    int tid;           //!< Dense per-thread id (see threadId()).
+    uint64_t tsNs;     //!< Start, ns since process trace epoch.
+    uint64_t durNs;    //!< Duration in ns ('X' only).
+    std::string args;  //!< JSON object text ("{...}") or empty.
+};
+
+/** Structured copy of every metric, for tests and exporters. */
+struct MetricsSnapshot
+{
+    struct Hist
+    {
+        std::vector<double> bounds;    //!< Upper bucket bounds.
+        std::vector<uint64_t> buckets; //!< Per-bucket counts (+inf last).
+        uint64_t count = 0;
+        double sum = 0.0;
+    };
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, int64_t> gauges;
+    std::map<std::string, Hist> histograms;
+};
+
+/** Per-macroblock-row stage accumulator (encoder and decoder). */
+enum class Stage
+{
+    Motion = 0,   //!< Mode decision + motion search / MV decode.
+    DctQuant, //!< Forward/inverse DCT + (de)quantisation.
+    Rlc,      //!< Zigzag + run-length (de)coding, bit I/O.
+    Recon,    //!< Prediction build + reconstruction/clamp.
+};
+inline constexpr int kStageCount = 4;
+const char *stageName(Stage s);
+
+/**
+ * Per-row accumulated stage times.  A row records its trace-epoch
+ * base timestamp once, accumulates wall ns per stage across all its
+ * macroblocks, then emits the total as four back-to-back child spans
+ * of the row span (emitStageSpans).  This keeps the trace readable:
+ * one span per stage per row rather than six per macroblock.
+ */
+struct StageTimes
+{
+    uint64_t baseNs = 0;
+    uint64_t ns[kStageCount] = {};
+    bool active = false; //!< Tracing was on when the row started.
+};
+
+#if M4PS_OBS
+
+// ------------------------------------------------------------------
+// Runtime switches.  Tracing and metrics toggle independently; both
+// default to off so instrumented code costs one relaxed load per
+// site until a tool or test opts in.
+// ------------------------------------------------------------------
+
+namespace detail
+{
+extern std::atomic<bool> gTracing;
+extern std::atomic<bool> gMetrics;
+} // namespace detail
+
+void setTracing(bool on);
+void setMetrics(bool on);
+
+inline bool
+tracingEnabled()
+{
+    return detail::gTracing.load(std::memory_order_relaxed);
+}
+
+inline bool
+metricsEnabled()
+{
+    return detail::gMetrics.load(std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------
+// Tracing.
+// ------------------------------------------------------------------
+
+/** Monotonic ns since the process trace epoch (first use). */
+uint64_t nowNs();
+
+/** Dense id of the calling thread (0, 1, 2, ... in first-use order). */
+int threadId();
+
+/**
+ * Record a complete ('X') event with explicit timing, for spans whose
+ * lifetime does not match a C++ scope (supervisor job attempts,
+ * synthesized per-stage row spans).  @p args, when non-empty, must be
+ * a complete JSON object ("{...}"); it is embedded verbatim.
+ */
+void completeEvent(const char *cat, std::string name, uint64_t tsNs,
+                   uint64_t durNs, std::string args = {});
+
+/** Record an instant ('i') event at the current time. */
+void instant(const char *cat, std::string name, std::string args = {});
+
+/**
+ * RAII scoped span.  Construction samples the clock only when tracing
+ * is enabled; destruction records a complete event on this thread's
+ * buffer.  Spans on one thread therefore nest strictly.
+ */
+class Span
+{
+  public:
+    Span(const char *cat, const char *name)
+    {
+        if (tracingEnabled()) {
+            cat_ = cat;
+            name_ = name;
+            startNs_ = nowNs();
+            active_ = true;
+        }
+    }
+
+    ~Span()
+    {
+        if (active_)
+            completeEvent(cat_, name_, startNs_, nowNs() - startNs_,
+                          std::move(args_));
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** True when this span is recording (tracing was on at entry). */
+    bool active() const { return active_; }
+
+    /** Start timestamp (valid only when active()). */
+    uint64_t startNs() const { return startNs_; }
+
+    /** Attach a JSON object ("{...}") emitted with the event. */
+    void setArgs(std::string argsJson)
+    {
+        if (active_)
+            args_ = std::move(argsJson);
+    }
+
+  private:
+    const char *cat_ = nullptr;
+    const char *name_ = nullptr;
+    uint64_t startNs_ = 0;
+    bool active_ = false;
+    std::string args_;
+};
+
+/** Scoped accumulator adding wall time to one StageTimes slot. */
+class StageScope
+{
+  public:
+    StageScope(StageTimes &t, Stage s)
+        : t_(t), s_(static_cast<int>(s))
+    {
+        if (t_.active)
+            startNs_ = nowNs();
+    }
+
+    ~StageScope()
+    {
+        if (startNs_)
+            t_.ns[s_] += nowNs() - startNs_;
+    }
+
+    StageScope(const StageScope &) = delete;
+    StageScope &operator=(const StageScope &) = delete;
+
+  private:
+    StageTimes &t_;
+    int s_;
+    uint64_t startNs_ = 0;
+};
+
+/** Arm @p t for a row beginning now (no-op when tracing is off). */
+inline void
+beginStages(StageTimes &t)
+{
+    if (tracingEnabled()) {
+        t.active = true;
+        t.baseNs = nowNs();
+    }
+}
+
+/**
+ * Emit the accumulated stage times of one row as four back-to-back
+ * child complete-events starting at the row's base timestamp, and
+ * feed the "<prefix>.stage.<name>_us" histograms.  Safe to call
+ * unconditionally; does nothing when the row was not armed.
+ */
+void emitStageSpans(const char *cat, const char *prefix,
+                    const StageTimes &t);
+
+/** All events recorded so far, across threads (tests, exporters). */
+std::vector<TraceEvent> snapshotTrace();
+
+/** Events dropped because a per-thread buffer hit its cap. */
+uint64_t droppedEvents();
+
+/** Discard all recorded events (buffers stay registered). */
+void clearTrace();
+
+/**
+ * Write every recorded event as Chrome trace_event JSON, loadable in
+ * Perfetto / about:tracing.  Timestamps are microseconds.
+ */
+void writeChromeTrace(std::ostream &os);
+
+// ------------------------------------------------------------------
+// Metrics.
+// ------------------------------------------------------------------
+
+/** Monotonic counter; add() is one relaxed fetch_add when enabled. */
+class Counter
+{
+  public:
+    void add(uint64_t n = 1)
+    {
+        if (metricsEnabled())
+            v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> v_{0};
+};
+
+/** Last-value + high-watermark gauge. */
+class Gauge
+{
+  public:
+    void set(int64_t v)
+    {
+        if (!metricsEnabled())
+            return;
+        v_.store(v, std::memory_order_relaxed);
+        int64_t m = max_.load(std::memory_order_relaxed);
+        while (v > m &&
+               !max_.compare_exchange_weak(m, v,
+                                           std::memory_order_relaxed)) {
+        }
+    }
+
+    int64_t value() const { return v_.load(std::memory_order_relaxed); }
+    int64_t maxValue() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+    void reset()
+    {
+        v_.store(0, std::memory_order_relaxed);
+        max_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<int64_t> v_{0};
+    std::atomic<int64_t> max_{0};
+};
+
+/** Fixed-bucket histogram (upper bounds set at registration). */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v)
+    {
+        if (metricsEnabled())
+            observeAlways(v);
+    }
+
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    double sum() const;
+    const std::vector<double> &bounds() const { return bounds_; }
+    std::vector<uint64_t> bucketCounts() const;
+    void reset();
+
+  private:
+    void observeAlways(double v);
+
+    std::vector<double> bounds_;
+    std::vector<std::atomic<uint64_t>> buckets_; //!< bounds_+1 (inf).
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sumBits_{0}; //!< bit_cast'ed double.
+};
+
+/**
+ * Registry accessors.  The first call for a name registers it; later
+ * calls return the same object, so call sites cache the reference:
+ *
+ *     static obs::Counter &rows = obs::counter("enc.rows");
+ *     rows.add();
+ *
+ * Histogram bounds are fixed by the first registration; a mismatched
+ * re-registration keeps the original bounds.
+ */
+Counter &counter(std::string_view name);
+Gauge &gauge(std::string_view name);
+Histogram &histogram(std::string_view name,
+                     const std::vector<double> &bounds);
+
+/** Default bucket bounds for "_us" timing histograms. */
+const std::vector<double> &timingBoundsUs();
+
+MetricsSnapshot snapshotMetrics();
+
+/** Zero every metric value (registrations and handles survive). */
+void resetMetrics();
+
+/** Flat text dump: "counter <name> <value>" etc., sorted by name. */
+void writeMetricsText(std::ostream &os);
+
+#else // !M4PS_OBS --------------------------------------------------
+
+// Compiled-out build: every entry point collapses to an empty inline
+// so instrumented call sites cost nothing and need no #ifdefs.
+
+inline void setTracing(bool) {}
+inline void setMetrics(bool) {}
+inline bool tracingEnabled() { return false; }
+inline bool metricsEnabled() { return false; }
+inline uint64_t nowNs() { return 0; }
+inline int threadId() { return 0; }
+inline void completeEvent(const char *, std::string, uint64_t, uint64_t,
+                          std::string = {})
+{
+}
+inline void instant(const char *, std::string, std::string = {}) {}
+
+class Span
+{
+  public:
+    Span(const char *, const char *) {}
+    bool active() const { return false; }
+    uint64_t startNs() const { return 0; }
+    void setArgs(std::string) {}
+};
+
+class StageScope
+{
+  public:
+    StageScope(StageTimes &, Stage) {}
+};
+
+inline void beginStages(StageTimes &) {}
+inline void emitStageSpans(const char *, const char *,
+                           const StageTimes &)
+{
+}
+inline std::vector<TraceEvent> snapshotTrace() { return {}; }
+inline uint64_t droppedEvents() { return 0; }
+inline void clearTrace() {}
+void writeChromeTrace(std::ostream &os); // emits an empty trace
+
+class Counter
+{
+  public:
+    void add(uint64_t = 1) {}
+    uint64_t value() const { return 0; }
+    void reset() {}
+};
+
+class Gauge
+{
+  public:
+    void set(int64_t) {}
+    int64_t value() const { return 0; }
+    int64_t maxValue() const { return 0; }
+    void reset() {}
+};
+
+class Histogram
+{
+  public:
+    void observe(double) {}
+    uint64_t count() const { return 0; }
+    double sum() const { return 0.0; }
+    const std::vector<double> &bounds() const
+    {
+        static const std::vector<double> kEmpty;
+        return kEmpty;
+    }
+    std::vector<uint64_t> bucketCounts() const { return {}; }
+    void reset() {}
+};
+
+Counter &counter(std::string_view name);
+Gauge &gauge(std::string_view name);
+Histogram &histogram(std::string_view name,
+                     const std::vector<double> &bounds);
+const std::vector<double> &timingBoundsUs();
+inline MetricsSnapshot snapshotMetrics() { return {}; }
+inline void resetMetrics() {}
+void writeMetricsText(std::ostream &os); // emits an empty report
+
+#endif // M4PS_OBS
+
+} // namespace m4ps::obs
+
+#endif // M4PS_SUPPORT_OBS_OBS_HH

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "support/logging.hh"
+#include "support/obs/obs.hh"
 
 namespace m4ps::support
 {
@@ -51,6 +52,7 @@ bool
 ThreadPool::runOne(Job &job, int slot)
 {
     int task = -1;
+    bool stolen = false;
     const int slots = static_cast<int>(job.queues.size());
     // Own queue first (back: most recently queued, cache-warm)...
     {
@@ -58,6 +60,8 @@ ThreadPool::runOne(Job &job, int slot)
         if (!job.queues[slot].empty()) {
             task = job.queues[slot].back();
             job.queues[slot].pop_back();
+            static obs::Gauge &depth = obs::gauge("pool.queue_depth");
+            depth.set(static_cast<int64_t>(job.queues[slot].size()));
         }
     }
     // ...then steal the oldest task from a neighbour.
@@ -67,17 +71,29 @@ ThreadPool::runOne(Job &job, int slot)
         if (!job.queues[victim].empty()) {
             task = job.queues[victim].front();
             job.queues[victim].pop_front();
+            stolen = true;
         }
     }
     if (task < 0)
         return false;
 
-    try {
-        (*job.body)(task);
-    } catch (...) {
-        std::lock_guard<std::mutex> lock(job.errorMu);
-        if (!job.error)
-            job.error = std::current_exception();
+    static obs::Counter &tasksC = obs::counter("pool.tasks");
+    static obs::Counter &stealsC = obs::counter("pool.steals");
+    tasksC.add();
+    if (stolen)
+        stealsC.add();
+    {
+        obs::Span taskSpan("pool", "pool.task");
+        if (taskSpan.active())
+            taskSpan.setArgs("{\"task\":" + std::to_string(task) +
+                             (stolen ? ",\"stolen\":true}" : "}"));
+        try {
+            (*job.body)(task);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(job.errorMu);
+            if (!job.error)
+                job.error = std::current_exception();
+        }
     }
     job.remaining.fetch_sub(1, std::memory_order_acq_rel);
     return true;
@@ -136,6 +152,17 @@ ThreadPool::parallelFor(int n, const std::function<void(int)> &body)
             body(i);
         return;
     }
+
+    obs::Span regionSpan("pool", "pool.parallel_for");
+    if (regionSpan.active())
+        regionSpan.setArgs("{\"tasks\":" + std::to_string(n) +
+                           ",\"threads\":" +
+                           std::to_string(nThreads_) + "}");
+    static obs::Counter &regionsC = obs::counter("pool.regions");
+    static obs::Histogram &tasksH =
+        obs::histogram("pool.region_tasks", {1, 2, 4, 8, 16, 32, 64});
+    regionsC.add();
+    tasksH.observe(static_cast<double>(n));
 
     Job job;
     job.body = &body;

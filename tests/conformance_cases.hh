@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Golden-bitstream conformance cases, shared between the test suite
+ * (tests/test_conformance.cc) and the regeneration tool
+ * (tools/regen_golden.cc).
+ *
+ * Each case is a small named workload whose encoded elementary stream
+ * is pinned by digest in tests/golden_digests.inc.  The digest string
+ * carries three independent fingerprints - FNV-1a 64, CRC-32, and the
+ * byte count - so a mismatch cannot hide behind a hash collision, and
+ * the failure message can say which aspect moved.
+ *
+ * The matrix deliberately covers every bitstream-shaping feature the
+ * encoder has: single rectangular VO, multi-object with shaped VOs,
+ * two-layer spatial scalability, resync video packets, and resync +
+ * data partitioning.  Anything that changes coded output - a VLC
+ * table fix, a rate-control tweak, a motion-search change - trips at
+ * least one case and forces a deliberate golden regeneration.
+ */
+
+#ifndef M4PS_TESTS_CONFORMANCE_CASES_HH
+#define M4PS_TESTS_CONFORMANCE_CASES_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/runner.hh"
+#include "core/workload.hh"
+#include "support/serialize.hh"
+
+namespace m4ps::conformance
+{
+
+/** One pinned workload. */
+struct Case
+{
+    const char *name;
+    core::Workload workload;
+};
+
+/**
+ * The conformance matrix.  Keep cases small (a few seconds for the
+ * whole suite) but GOP-complete: every case crosses at least one
+ * I/P/B boundary so all three VOP coders contribute to the digest.
+ */
+inline std::vector<Case>
+cases()
+{
+    auto base = [](int w, int h, int vos, int layers) {
+        core::Workload wl = core::paperWorkload(w, h, vos, layers);
+        wl.frames = 8;
+        wl.gop = {6, 2};
+        wl.searchRange = 4;
+        wl.searchRangeB = 2;
+        wl.targetBps = 5e5;
+        return wl;
+    };
+
+    std::vector<Case> out;
+
+    {
+        core::Workload w = base(64, 64, 1, 1);
+        w.name = "1vo";
+        out.push_back({"1vo", w});
+    }
+    {
+        // Shaped foreground VOs need room to move: 96x96.
+        core::Workload w = base(96, 96, 3, 1);
+        w.name = "3vo";
+        out.push_back({"3vo", w});
+    }
+    {
+        // Spatial scalability; B-VOPs stay on so the enhancement
+        // layer's anchor handling is pinned too.
+        core::Workload w = base(64, 64, 1, 2);
+        w.name = "scalable";
+        out.push_back({"scalable", w});
+    }
+    {
+        core::Workload w = base(64, 64, 1, 1);
+        w.resyncInterval = 1;
+        w.name = "resync";
+        out.push_back({"resync", w});
+    }
+    {
+        core::Workload w = base(64, 64, 1, 1);
+        w.resyncInterval = 1;
+        w.dataPartitioning = true;
+        w.name = "resync_dp";
+        out.push_back({"resync_dp", w});
+    }
+    return out;
+}
+
+/**
+ * Digest string for a bitstream: "fnv64=.. crc32=.. size=..".
+ * Human-diffable in test failures and in golden_digests.inc.
+ */
+inline std::string
+digest(const std::vector<uint8_t> &stream)
+{
+    const std::string_view sv(
+        reinterpret_cast<const char *>(stream.data()), stream.size());
+    const uint64_t fnv = support::fnv1a64(sv);
+    const uint32_t crc = support::crc32(stream.data(), stream.size());
+    char buf[80];
+    std::snprintf(buf, sizeof(buf),
+                  "fnv64=%016llx crc32=%08x size=%zu",
+                  static_cast<unsigned long long>(fnv), crc,
+                  stream.size());
+    return buf;
+}
+
+/** Encode one case the way the golden generator does. */
+inline std::vector<uint8_t>
+encodeCase(const core::Workload &w)
+{
+    return core::ExperimentRunner::encodeUntraced(w);
+}
+
+} // namespace m4ps::conformance
+
+#endif // M4PS_TESTS_CONFORMANCE_CASES_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Golden-bitstream conformance: every coded-output-shaping feature is
+ * pinned by digest, and the digest must hold no matter how the encode
+ * is executed - single-threaded, on four worker threads, with the
+ * observability layer recording, or resumed from a mid-sequence
+ * checkpoint.  A mismatch here means the bitstream changed; if that
+ * was intentional, regenerate tests/golden_digests.inc with
+ * tools/regen_golden and commit the diff with the change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "codec/encoder.hh"
+#include "support/obs/obs.hh"
+#include "support/serialize.hh"
+#include "support/threadpool.hh"
+
+#include "conformance_cases.hh"
+
+namespace m4ps
+{
+namespace
+{
+
+struct GoldenRow
+{
+    const char *name;
+    const char *digest;
+};
+
+const GoldenRow kGolden[] = {
+#include "golden_digests.inc"
+};
+
+std::string
+goldenFor(const std::string &name)
+{
+    for (const GoldenRow &row : kGolden) {
+        if (name == row.name)
+            return row.digest;
+    }
+    ADD_FAILURE() << "no golden digest for case '" << name
+                  << "'; regenerate tests/golden_digests.inc with "
+                     "tools/regen_golden";
+    return "";
+}
+
+/** The hint every digest comparison carries. */
+#define M4PS_GOLDEN_HINT(case_name)                                    \
+    "golden bitstream mismatch for case '"                             \
+        << (case_name)                                                 \
+        << "'; if the coded output changed intentionally, regenerate " \
+           "tests/golden_digests.inc with tools/regen_golden"
+
+/** Restores the global pool width when a test returns. */
+class ScopedThreads
+{
+  public:
+    explicit ScopedThreads(int n)
+    {
+        support::ThreadPool::setGlobalThreads(n);
+    }
+    ~ScopedThreads() { support::ThreadPool::setGlobalThreads(1); }
+};
+
+TEST(Conformance, GoldenMatchSingleThread)
+{
+    ScopedThreads threads(1);
+    for (const conformance::Case &c : conformance::cases()) {
+        const std::string d =
+            conformance::digest(conformance::encodeCase(c.workload));
+        EXPECT_EQ(goldenFor(c.name), d) << M4PS_GOLDEN_HINT(c.name);
+    }
+}
+
+TEST(Conformance, GoldenMatchFourThreads)
+{
+    ScopedThreads threads(4);
+    for (const conformance::Case &c : conformance::cases()) {
+        const std::string d =
+            conformance::digest(conformance::encodeCase(c.workload));
+        EXPECT_EQ(goldenFor(c.name), d)
+            << M4PS_GOLDEN_HINT(c.name)
+            << " (4 worker threads: row parallelism must be "
+               "bit-exact)";
+    }
+}
+
+TEST(Conformance, TracingAndMetricsLeaveBitstreamsIdentical)
+{
+    ScopedThreads threads(4);
+    obs::setTracing(true);
+    obs::setMetrics(true);
+    for (const conformance::Case &c : conformance::cases()) {
+        const std::string d =
+            conformance::digest(conformance::encodeCase(c.workload));
+        EXPECT_EQ(goldenFor(c.name), d)
+            << M4PS_GOLDEN_HINT(c.name)
+            << " (observability enabled: tracing must never perturb "
+               "coded output)";
+    }
+    obs::setTracing(false);
+    obs::setMetrics(false);
+    obs::clearTrace();
+    obs::resetMetrics();
+}
+
+/**
+ * Encode @p w but checkpoint into a brand-new encoder after frame
+ * @p splitAt, the way a killed-and-resumed worker would.
+ */
+std::vector<uint8_t>
+encodeWithHandover(const core::Workload &w, int splitAt)
+{
+    std::vector<uint8_t> blob;
+    {
+        memsim::SimContext ctx;
+        core::SceneFeeder feeder(ctx, w);
+        codec::Mpeg4Encoder enc(ctx, w.encoderConfig());
+        for (int t = 0; t < splitAt; ++t)
+            enc.encodeFrame(feeder.inputs(t), t);
+        support::StateWriter sw;
+        enc.saveState(sw);
+        blob = sw.take();
+    }
+    memsim::SimContext ctx;
+    core::SceneFeeder feeder(ctx, w);
+    codec::Mpeg4Encoder enc(ctx, w.encoderConfig());
+    support::StateReader sr(blob);
+    enc.restoreState(sr);
+    for (int t = splitAt; t < w.frames; ++t)
+        enc.encodeFrame(feeder.inputs(t), t);
+    return enc.finish();
+}
+
+TEST(Conformance, ResumeFromCheckpointMatchesGolden)
+{
+    ScopedThreads threads(1);
+    for (const conformance::Case &c : conformance::cases()) {
+        // Mid-B-run and near-flush splits cover the two hard resume
+        // phases; the full split sweep lives in test_checkpoint.cc.
+        for (const int split : {2, c.workload.frames - 2}) {
+            const std::string d = conformance::digest(
+                encodeWithHandover(c.workload, split));
+            EXPECT_EQ(goldenFor(c.name), d)
+                << M4PS_GOLDEN_HINT(c.name) << " (resumed at frame "
+                << split << ": checkpoint state capture is lossy)";
+        }
+    }
+}
+
+} // namespace
+} // namespace m4ps

@@ -8,10 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "codec/decoder.hh"
 #include "codec/faultinject.hh"
 #include "core/runner.hh"
 #include "core/workload.hh"
+#include "support/obs/obs.hh"
 #include "support/random.hh"
 
 namespace m4ps::codec
@@ -127,6 +130,55 @@ TEST(FuzzSmoke, StructuredFaultClassesSurviveTolerantDecode)
             /*tolerant=*/true);
         expectSane(stats, shown, seed);
     }
+}
+
+TEST(FuzzSmoke, ExportersSurviveCorruptedAndAbortedDecodes)
+{
+    // The observability layer records while damaged streams are
+    // decoded - including strict-mode decodes that abort mid-VOP by
+    // throwing, which unwinds through every live Span.  Whatever
+    // half-finished state that leaves behind, the exporters must
+    // still produce complete, well-formed documents and never crash.
+    obs::setTracing(true);
+    obs::setMetrics(true);
+    obs::clearTrace();
+    obs::resetMetrics();
+
+    const auto clean =
+        core::ExperimentRunner::encodeUntraced(fuzzWorkload(2, true));
+    for (uint64_t seed = 0; seed < 40; ++seed) {
+        auto bad = clean;
+        Rng rng(seed * 31 + 5);
+        for (int k = 0; k < 8; ++k) {
+            const size_t at = static_cast<size_t>(rng.uniformInt(
+                0, static_cast<int64_t>(bad.size()) - 1));
+            bad[at] = static_cast<uint8_t>(rng.next());
+        }
+
+        memsim::SimContext ctx;
+        Mpeg4Decoder dec(ctx);
+        const bool tolerant = seed % 2 == 0;
+        try {
+            dec.decode(bad, nullptr, tolerant);
+        } catch (const DecodeError &) {
+            // Strict seeds abort mid-VOP; spans unwound via RAII.
+        }
+
+        std::ostringstream trace, metrics;
+        obs::writeChromeTrace(trace);
+        obs::writeMetricsText(metrics);
+        const std::string tj = trace.str();
+        EXPECT_EQ(tj.rfind("{\"traceEvents\":[", 0), 0u)
+            << "seed " << seed;
+        EXPECT_NE(tj.find("\"displayTimeUnit\""), std::string::npos)
+            << "seed " << seed << ": truncated trace document";
+        EXPECT_FALSE(metrics.str().empty()) << "seed " << seed;
+    }
+
+    obs::setTracing(false);
+    obs::setMetrics(false);
+    obs::clearTrace();
+    obs::resetMetrics();
 }
 
 TEST(FuzzSmoke, StrictModeThrowsDecodeErrorOrSucceeds)

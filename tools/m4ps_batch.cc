@@ -18,6 +18,7 @@
 
 #include "service/supervisor.hh"
 #include "support/args.hh"
+#include "support/obs/obs.hh"
 
 namespace
 {
@@ -61,7 +62,11 @@ usage()
         "  --deadline-ms N   default per-attempt watchdog deadline\n"
         "  --retries N       default transient-retry budget\n"
         "  --storm-chance P  kill-storm drill probability per tick\n"
-        "  --seed N          backoff/storm seed (default 1)\n");
+        "  --seed N          backoff/storm seed (default 1)\n"
+        "  --trace-out F     Chrome trace_event JSON of the batch\n"
+        "                    (job attempt spans + lifecycle events)\n"
+        "  --metrics-out F   flat metrics dump "
+        "(docs/OBSERVABILITY.md)\n");
 }
 
 int
@@ -70,7 +75,7 @@ batchMain(int argc, char **argv)
     const ArgParser args(argc, argv,
                          {"manifest", "events", "worker", "parallel",
                           "deadline-ms", "retries", "storm-chance",
-                          "seed", "help"});
+                          "seed", "trace-out", "metrics-out", "help"});
     if (args.getBool("help")) {
         usage();
         return 0;
@@ -116,8 +121,30 @@ batchMain(int argc, char **argv)
         log.attach(&std::cerr);
     }
 
+    const std::string trace_out = args.get("trace-out", "");
+    const std::string metrics_out = args.get("metrics-out", "");
+    if (!trace_out.empty())
+        obs::setTracing(true);
+    if (!metrics_out.empty())
+        obs::setMetrics(true);
+
     service::Supervisor sup(cfg, log);
     const service::BatchResult batch = sup.run(jobs);
+
+    if (!trace_out.empty()) {
+        std::ofstream os(trace_out, std::ios::binary);
+        if (!os)
+            throw ArgError("cannot write --trace-out file '" +
+                           trace_out + "'");
+        obs::writeChromeTrace(os);
+    }
+    if (!metrics_out.empty()) {
+        std::ofstream os(metrics_out, std::ios::binary);
+        if (!os)
+            throw ArgError("cannot write --metrics-out file '" +
+                           metrics_out + "'");
+        obs::writeMetricsText(os);
+    }
 
     std::printf("jobs %zu completed %d degraded %d failed %d "
                 "skipped %d\n",

@@ -14,6 +14,7 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "codec/faultinject.hh"
@@ -21,6 +22,7 @@
 #include "core/runner.hh"
 #include "support/args.hh"
 #include "support/logging.hh"
+#include "support/obs/obs.hh"
 #include "support/threadpool.hh"
 
 namespace
@@ -33,7 +35,8 @@ const std::set<std::string> kFlags{
     "layers",  "bitrate", "machine", "l2kb",  "search-range",
     "b-frames", "intra-period", "no-half-pel", "no-4mv",
     "mpeg-quant", "seed", "threads", "resync-interval",
-    "data-partition", "ber", "fault-seed", "tolerant", "help",
+    "data-partition", "ber", "fault-seed", "tolerant",
+    "trace-out", "metrics-out", "help",
 };
 
 void
@@ -68,7 +71,13 @@ usage()
         "                              --tolerant; headers protected)\n"
         "  --fault-seed N              channel noise seed (default 1)\n"
         "  --tolerant                  conceal decode errors instead\n"
-        "                              of aborting\n");
+        "                              of aborting\n"
+        "  --trace-out FILE            write a Chrome trace_event JSON\n"
+        "                              of the run (open in Perfetto or\n"
+        "                              about:tracing); bitstreams are\n"
+        "                              byte-identical with it on or off\n"
+        "  --metrics-out FILE          write the flat metrics dump\n"
+        "                              (docs/OBSERVABILITY.md)\n");
 }
 
 void
@@ -127,6 +136,13 @@ runMain(int argc, char **argv)
         support::ThreadPool::setGlobalThreads(
             args.getIntInRange("threads", 1, 1, 256));
     }
+
+    const std::string trace_out = args.get("trace-out", "");
+    const std::string metrics_out = args.get("metrics-out", "");
+    if (!trace_out.empty())
+        obs::setTracing(true);
+    if (!metrics_out.empty())
+        obs::setMetrics(true);
 
     core::MachineConfig machine;
     if (args.has("l2kb")) {
@@ -197,6 +213,23 @@ runMain(int argc, char **argv)
             M4PS_FATAL("decode failed (", e.what(),
                        "); rerun with --tolerant to conceal");
         }
+    }
+
+    if (!trace_out.empty()) {
+        std::ofstream os(trace_out, std::ios::binary);
+        if (!os)
+            M4PS_FATAL("cannot open --trace-out file '", trace_out,
+                       "'");
+        obs::writeChromeTrace(os);
+        std::printf("trace: %s\n", trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+        std::ofstream os(metrics_out, std::ios::binary);
+        if (!os)
+            M4PS_FATAL("cannot open --metrics-out file '",
+                       metrics_out, "'");
+        obs::writeMetricsText(os);
+        std::printf("metrics: %s\n", metrics_out.c_str());
     }
     return 0;
 }
