@@ -13,6 +13,7 @@
 
 #include <iostream>
 
+#include "bench/bench_json.hh"
 #include "bench/bench_util.hh"
 #include "core/fallacies.hh"
 #include "core/machine.hh"
@@ -20,9 +21,10 @@
 #include "support/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace m4ps;
+    using support::JsonValue;
 
     const core::MachineConfig m = core::o2R12k1MB();
     const std::vector<std::pair<int, int>> sizes{
@@ -34,6 +36,7 @@ main()
               "L2-DRAM b/w (MB/s)", "DRAM time"});
 
     std::vector<core::MemoryReport> reports;
+    std::vector<bench::BenchEntry> entries;
     for (const auto &[w, h] : sizes) {
         const core::Workload wl = bench::benchWorkload(w, h, 1, 1);
         inform("decoding ", wl.sizeLabel(), " (", wl.frames,
@@ -42,6 +45,26 @@ main()
         const core::RunResult r =
             core::ExperimentRunner::runDecode(wl, m, stream);
         reports.push_back(r.whole);
+
+        bench::BenchEntry e;
+        e.bench = "fig2/" + wl.sizeLabel();
+        e.config.add("workload", JsonValue::of(r.workload));
+        e.config.add("machine", JsonValue::of(r.machine));
+        e.metrics.add("grad_loads",
+                      JsonValue::of(r.whole.ctrs.gradLoads));
+        e.metrics.add("l1_misses",
+                      JsonValue::of(r.whole.ctrs.l1Misses));
+        e.metrics.add("l2_misses",
+                      JsonValue::of(r.whole.ctrs.l2Misses));
+        e.metrics.add("l1_miss_rate",
+                      JsonValue::of(r.whole.l1MissRate));
+        e.metrics.add("l2_miss_rate",
+                      JsonValue::of(r.whole.l2MissRate));
+        e.metrics.add("l2_dram_bw_mbs",
+                      JsonValue::of(r.whole.l2DramBwMBs));
+        e.metrics.add("dram_time", JsonValue::of(r.whole.dramTime));
+        entries.push_back(std::move(e));
+
         t.row({wl.sizeLabel(),
                TextTable::pct(r.whole.l1MissRate),
                TextTable::pct(r.whole.l2MissRate),
@@ -66,5 +89,11 @@ main()
                   << "x" << sizes[i].second << ": "
                   << (ok ? "holds" : "DEGRADES") << "\n";
     }
+
+    const std::string path =
+        bench::benchJsonPath(argc, argv, "BENCH_figs.json");
+    bench::writeBenchEntries(path, entries);
+    std::cout << "wrote " << path << " (" << entries.size()
+              << " fig2 entries)\n";
     return 0;
 }

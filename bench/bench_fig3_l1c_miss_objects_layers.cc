@@ -9,15 +9,19 @@
 
 #include <iostream>
 
+#include "bench/bench_json.hh"
 #include "bench/bench_util.hh"
 #include "core/machine.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace m4ps;
+    using support::JsonValue;
+
+    std::vector<bench::BenchEntry> entries;
 
     const core::MachineConfig m = core::onyxR10k2MB();
     const std::vector<std::tuple<std::string, int, int>> configs{
@@ -43,6 +47,26 @@ main()
                 core::ExperimentRunner::runEncode(wl, m, &stream);
             const core::RunResult dec =
                 core::ExperimentRunner::runDecode(wl, m, stream);
+            auto record = [&](const char *dir,
+                              const core::RunResult &r) {
+                bench::BenchEntry e;
+                e.bench = std::string("fig3/") + dir + " " + wl.name;
+                e.config.add("workload", JsonValue::of(r.workload));
+                e.config.add("machine", JsonValue::of(r.machine));
+                e.metrics.add("grad_loads",
+                              JsonValue::of(r.whole.ctrs.gradLoads));
+                e.metrics.add("l1_misses",
+                              JsonValue::of(r.whole.ctrs.l1Misses));
+                e.metrics.add("l2_misses",
+                              JsonValue::of(r.whole.ctrs.l2Misses));
+                e.metrics.add("l1_miss_rate",
+                              JsonValue::of(r.whole.l1MissRate));
+                e.metrics.add("l2_miss_rate",
+                              JsonValue::of(r.whole.l2MissRate));
+                entries.push_back(std::move(e));
+            };
+            record("enc", enc);
+            record("dec", dec);
             row.push_back(TextTable::pct(enc.whole.l1MissRate));
             row.push_back(TextTable::pct(dec.whole.l1MissRate));
         }
@@ -51,5 +75,11 @@ main()
     }
     std::cout << "\n";
     t.print();
+
+    const std::string path =
+        bench::benchJsonPath(argc, argv, "BENCH_figs.json");
+    bench::writeBenchEntries(path, entries);
+    std::cout << "wrote " << path << " (" << entries.size()
+              << " fig3 entries)\n";
     return 0;
 }

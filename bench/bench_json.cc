@@ -1,0 +1,153 @@
+#include "bench/bench_json.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "core/machine.hh"
+#include "support/logging.hh"
+
+#ifndef M4PS_REPO_ROOT
+#define M4PS_REPO_ROOT "."
+#endif
+
+namespace m4ps::bench
+{
+
+using support::JsonValue;
+
+std::string
+benchJsonPath(int argc, char **argv, const std::string &defaultName)
+{
+    const std::string flag = "--json-out";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == flag && i + 1 < argc)
+            return argv[i + 1];
+        if (arg.rfind(flag + "=", 0) == 0)
+            return arg.substr(flag.size() + 1);
+    }
+    if (const char *dir = std::getenv("M4PS_BENCH_JSON_DIR"))
+        return std::string(dir) + "/" + defaultName;
+    return std::string(M4PS_REPO_ROOT) + "/" + defaultName;
+}
+
+void
+writeBenchEntries(const std::string &path,
+                  const std::vector<BenchEntry> &entries)
+{
+    JsonValue doc;
+    {
+        std::ifstream probe(path);
+        if (probe.good()) {
+            try {
+                doc = support::parseJsonFile(path);
+            } catch (const support::JsonError &e) {
+                warn("ignoring unparseable ", path, ": ", e.what());
+            }
+        }
+    }
+    if (!doc.isObject()) {
+        doc = JsonValue::makeObject();
+        doc.add("schema", JsonValue::of("m4ps-bench-v1"));
+        doc.add("benches", JsonValue::makeArray());
+    }
+    JsonValue &benches = doc.at("benches");
+    if (!benches.isArray())
+        benches = JsonValue::makeArray();
+
+    for (const BenchEntry &e : entries) {
+        JsonValue row = JsonValue::makeObject();
+        row.add("bench", JsonValue::of(e.bench));
+        row.add("config", e.config);
+        row.add("metrics", e.metrics);
+        row.add("backend", JsonValue::of(e.backend));
+
+        bool replaced = false;
+        for (JsonValue &existing : benches.array) {
+            if (existing.stringOr("bench", "") == e.bench) {
+                existing = row;
+                replaced = true;
+                break;
+            }
+        }
+        if (!replaced)
+            benches.array.push_back(std::move(row));
+    }
+    if (!support::writeJsonFile(path, doc))
+        warn("could not write ", path);
+}
+
+std::vector<BenchEntry>
+gridBenchEntries(const std::string &prefix, const GridResult &grid)
+{
+    const auto machines = core::paperMachines();
+    std::vector<BenchEntry> entries;
+    for (size_t i = 0; i < grid.runs.size(); ++i) {
+        const core::RunResult &r = grid.runs[i];
+        const core::MachineConfig &m = machines[i % machines.size()];
+        const core::MemoryReport &rep = r.whole;
+
+        BenchEntry e;
+        e.bench = prefix + "/" + grid.labels[i];
+        e.config.add("workload", JsonValue::of(r.workload));
+        e.config.add("machine", JsonValue::of(r.machine));
+        e.config.add("frames",
+                     JsonValue::of(int64_t(r.displayedFrames)));
+
+        // Hard (deterministic) metrics: the simulated counters and
+        // the paper's derived ratios.
+        e.metrics.add("grad_loads",
+                      JsonValue::of(rep.ctrs.gradLoads));
+        e.metrics.add("grad_stores",
+                      JsonValue::of(rep.ctrs.gradStores));
+        e.metrics.add("l1_misses", JsonValue::of(rep.ctrs.l1Misses));
+        e.metrics.add("l2_misses", JsonValue::of(rep.ctrs.l2Misses));
+        e.metrics.add("l1_miss_rate", JsonValue::of(rep.l1MissRate));
+        e.metrics.add("l1_line_reuse",
+                      JsonValue::of(rep.l1LineReuse));
+        e.metrics.add("l2_miss_rate", JsonValue::of(rep.l2MissRate));
+        e.metrics.add("l2_line_reuse",
+                      JsonValue::of(rep.l2LineReuse));
+        e.metrics.add("dram_time", JsonValue::of(rep.dramTime));
+        e.metrics.add("l1_l2_bw_mbs", JsonValue::of(rep.l1l2BwMBs));
+        e.metrics.add("l2_dram_bw_mbs",
+                      JsonValue::of(rep.l2DramBwMBs));
+        e.metrics.add("prefetch_l1_miss",
+                      JsonValue::of(rep.prefetchL1Miss));
+        e.metrics.add("stream_bytes", JsonValue::of(r.streamBytes));
+
+        // Verdicts as 0/1 so a flipped refutation hard-fails the
+        // comparison.
+        const core::FallacyVerdicts v = core::judge(rep, m);
+        e.metrics.add("verdict_cache_friendly",
+                      JsonValue::of(int64_t(v.cacheFriendly)));
+        e.metrics.add("verdict_not_latency_bound",
+                      JsonValue::of(int64_t(v.notLatencyBound)));
+        e.metrics.add("verdict_not_bandwidth_bound",
+                      JsonValue::of(int64_t(v.notBandwidthBound)));
+        e.metrics.add("verdict_prefetch_mostly_wasted",
+                      JsonValue::of(int64_t(v.prefetchMostlyWasted)));
+
+        // Soft (host-dependent) metric: the modelled wall time is
+        // deterministic, but keep the "seconds" suffix convention so
+        // renaming the cost model doesn't break the baseline contract.
+        e.metrics.add("modelled_seconds",
+                      JsonValue::of(r.modelledSeconds));
+        entries.push_back(std::move(e));
+    }
+    return entries;
+}
+
+void
+emitGridBenchJson(int argc, char **argv, const std::string &prefix,
+                  const std::string &defaultName,
+                  const GridResult &grid)
+{
+    const std::string path = benchJsonPath(argc, argv, defaultName);
+    writeBenchEntries(path, gridBenchEntries(prefix, grid));
+    std::cout << "wrote " << path << " (" << grid.runs.size() << " "
+              << prefix << " entries)\n";
+}
+
+} // namespace m4ps::bench

@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.hh"
 #include "core/runner.hh"
 #include "core/workload.hh"
 #include "support/obs/obs.hh"
@@ -85,8 +86,41 @@ perSiteNs(int iters, F &&body)
 
 } // namespace
 
+namespace
+{
+
+/** All timings are host-dependent: soft metrics only (bench_json.hh
+ *  naming convention), so the committed baseline never hard-fails on
+ *  a slow runner. */
+void
+emitJson(int argc, char **argv, double span_ns, double counter_ns,
+         double stage_ns, double sites, double wall_off_sec,
+         double wall_on_sec, double est_pct)
+{
+    using support::JsonValue;
+    bench::BenchEntry e;
+    e.bench = "obs_overhead";
+    e.backend = "host";
+    e.metrics.add("span_site_ns", JsonValue::of(span_ns));
+    e.metrics.add("counter_site_ns", JsonValue::of(counter_ns));
+    e.metrics.add("stage_site_ns", JsonValue::of(stage_ns));
+    if (sites > 0) {
+        e.metrics.add("sites_overhead_count", JsonValue::of(sites));
+        e.metrics.add("wall_off_seconds",
+                      JsonValue::of(wall_off_sec));
+        e.metrics.add("wall_on_seconds", JsonValue::of(wall_on_sec));
+        e.metrics.add("est_overhead_pct", JsonValue::of(est_pct));
+    }
+    const std::string path =
+        bench::benchJsonPath(argc, argv, "BENCH_obs.json");
+    bench::writeBenchEntries(path, {e});
+    std::printf("wrote %s\n", path.c_str());
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     obs::setTracing(false);
     obs::setMetrics(false);
@@ -121,6 +155,7 @@ main()
     if (snap.counters.find("enc.mbs") == snap.counters.end()) {
         std::printf("\nobservability compiled out (M4PS_OBS=0): "
                     "call sites cost nothing by construction\n");
+        emitJson(argc, argv, spanNs, counterNs, stageNs, 0, 0, 0, 0);
         return 0;
     }
     const uint64_t mbs = snap.counters.at("enc.mbs");
@@ -163,6 +198,9 @@ main()
     std::printf("median encode wall (tracing+metrics on): %.3f s "
                 "(%+.1f%% vs disabled, informational)\n",
                 wallOn, 100.0 * (wallOn - wallOff) / wallOff);
+
+    emitJson(argc, argv, spanNs, counterNs, stageNs, sites, wallOff,
+             wallOn, estPct);
 
     constexpr double kBudgetPct = 2.0;
     if (estPct >= kBudgetPct) {

@@ -21,11 +21,11 @@
  */
 
 #include <cmath>
-#include <fstream>
 #include <iostream>
 #include <map>
 #include <vector>
 
+#include "bench/bench_json.hh"
 #include "bench/bench_util.hh"
 #include "codec/faultinject.hh"
 #include "core/machine.hh"
@@ -169,7 +169,7 @@ runCell(const std::vector<uint8_t> &stream, const DecodeCapture &clean,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::cout << "Resilience BER sweep: 352x288, "
               << sweepWorkload(kConfigs[0]).frames
@@ -241,42 +241,59 @@ main()
            "decodable when only texture bits are hit.\n\n";
 
     // Machine-readable artifact: the same sweep (plus the overhead
-    // pricing) as JSON, for trajectory tracking and CI diffing.
+    // pricing) in the shared m4ps-bench-v1 schema.  --json-out
+    // overrides the destination; the default lands at the repository
+    // root, not the CWD (bench/bench_json.hh).
     {
-        std::ofstream json("BENCH_resilience.json", std::ios::trunc);
-        json << "{\n  \"bench\": \"resilience_ber_sweep\",\n"
-             << "  \"width\": " << wls[0].width
-             << ", \"height\": " << wls[0].height
-             << ", \"frames\": " << wls[0].frames
-             << ", \"channel_seeds\": " << std::size(kSeeds) << ",\n"
-             << "  \"configs\": [\n";
+        using support::JsonValue;
+        std::vector<bench::BenchEntry> entries;
         for (size_t i = 0; i < std::size(kConfigs); ++i) {
             const double bits = 8.0 * (static_cast<double>(
                                            streams[i].size()) -
                                        static_cast<double>(
                                            streams[0].size()));
-            json << "    {\"name\": \"" << kConfigs[i].name
-                 << "\", \"stream_bytes\": " << streams[i].size()
-                 << ", \"overhead_bits\": " << bits
-                 << ", \"overhead_pct\": "
-                 << 100.0 * bits / (8.0 * streams[0].size())
-                 << ",\n     \"cells\": [\n";
             for (size_t k = 0; k < std::size(kBers); ++k) {
                 const Cell &c = cells[i][k];
-                json << "       {\"ber\": " << kBers[k]
-                     << ", \"displayed_pct\": " << c.displayedPct
-                     << ", \"psnr_db\": " << c.meanPsnr
-                     << ", \"corrupt_vops\": " << c.corruptVops
-                     << ", \"corrupt_packets\": " << c.corruptPackets
-                     << ", \"concealed_mbs\": " << c.concealedMbs
-                     << "}"
-                     << (k + 1 < std::size(kBers) ? "," : "") << "\n";
+                bench::BenchEntry e;
+                e.bench = std::string("resilience/") +
+                          kConfigs[i].name + "@" +
+                          (kBers[k] == 0
+                               ? std::string("0")
+                               : TextTable::num(kBers[k], 7));
+                e.config.add("width",
+                             JsonValue::of(int64_t(wls[0].width)));
+                e.config.add("height",
+                             JsonValue::of(int64_t(wls[0].height)));
+                e.config.add("frames",
+                             JsonValue::of(int64_t(wls[0].frames)));
+                e.config.add("channel_seeds", JsonValue::of(int64_t(
+                                                  std::size(kSeeds))));
+                e.config.add("ber", JsonValue::of(kBers[k]));
+                e.metrics.add("stream_bytes",
+                              JsonValue::of(uint64_t(
+                                  streams[i].size())));
+                e.metrics.add("overhead_bits", JsonValue::of(bits));
+                e.metrics.add(
+                    "overhead_pct",
+                    JsonValue::of(100.0 * bits /
+                                  (8.0 * streams[0].size())));
+                e.metrics.add("displayed_pct",
+                              JsonValue::of(c.displayedPct));
+                e.metrics.add("psnr_db", JsonValue::of(c.meanPsnr));
+                e.metrics.add("corrupt_vops",
+                              JsonValue::of(c.corruptVops));
+                e.metrics.add("corrupt_packets",
+                              JsonValue::of(c.corruptPackets));
+                e.metrics.add("concealed_mbs",
+                              JsonValue::of(c.concealedMbs));
+                entries.push_back(std::move(e));
             }
-            json << "     ]}"
-                 << (i + 1 < std::size(kConfigs) ? "," : "") << "\n";
         }
-        json << "  ]\n}\n";
-        std::cout << "wrote BENCH_resilience.json\n\n";
+        const std::string path = bench::benchJsonPath(
+            argc, argv, "BENCH_resilience.json");
+        bench::writeBenchEntries(path, entries);
+        std::cout << "wrote " << path << " (" << entries.size()
+                  << " resilience entries)\n\n";
     }
 
     // Memory behaviour of concealment: one traced decode at 1e-5.

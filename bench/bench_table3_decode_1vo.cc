@@ -8,10 +8,11 @@
  * a few percent of the 680 MB/s the bus sustains.
  */
 
+#include "bench/bench_json.hh"
 #include "bench/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     m4ps::bench::TableSpec spec;
     spec.title =
@@ -21,5 +22,8 @@ main()
     spec.direction = m4ps::bench::Direction::Decode;
     const auto grid = m4ps::bench::runTableGrid(spec);
     m4ps::bench::printVerdicts(grid);
+    m4ps::bench::emitGridBenchJson(argc, argv, "table3",
+                                   "BENCH_paper_tables.json",
+                                   grid);
     return 0;
 }

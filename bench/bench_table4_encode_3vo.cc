@@ -8,10 +8,11 @@
  * "improving under pressure" paradox.
  */
 
+#include "bench/bench_json.hh"
 #include "bench/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     m4ps::bench::TableSpec spec;
     spec.title =
@@ -22,5 +23,8 @@ main()
     spec.direction = m4ps::bench::Direction::Encode;
     const auto grid = m4ps::bench::runTableGrid(spec);
     m4ps::bench::printVerdicts(grid);
+    m4ps::bench::emitGridBenchJson(argc, argv, "table4",
+                                   "BENCH_paper_tables.json",
+                                   grid);
     return 0;
 }

@@ -3,10 +3,11 @@
  * Table 7: video decoding, three visual objects, two layers each.
  */
 
+#include "bench/bench_json.hh"
 #include "bench/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     m4ps::bench::TableSpec spec;
     spec.title =
@@ -17,5 +18,8 @@ main()
     spec.direction = m4ps::bench::Direction::Decode;
     const auto grid = m4ps::bench::runTableGrid(spec);
     m4ps::bench::printVerdicts(grid);
+    m4ps::bench::emitGridBenchJson(argc, argv, "table7",
+                                   "BENCH_paper_tables.json",
+                                   grid);
     return 0;
 }

@@ -1,0 +1,152 @@
+#include "core/benchdiff.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace m4ps::core
+{
+
+using support::JsonValue;
+
+bool
+isTimingMetric(const std::string &name)
+{
+    static const char *const kMarkers[] = {"_ns",     "_us",  "_ms",
+                                           "seconds", "wall", "overhead"};
+    for (const char *m : kMarkers) {
+        if (name.find(m) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+std::string
+BenchFinding::str() const
+{
+    std::ostringstream os;
+    switch (kind) {
+    case Kind::MissingBench:
+        os << "MISSING bench \"" << bench << "\"";
+        return os.str();
+    case Kind::MissingMetric:
+        os << "MISSING " << bench << "/" << metric << " (baseline "
+           << baseline << ")";
+        return os.str();
+    case Kind::HardDrift:
+        os << "HARD    ";
+        break;
+    case Kind::SoftDrift:
+        os << "soft    ";
+        break;
+    }
+    os << bench << "/" << metric << ": baseline " << baseline
+       << " -> current " << current << " (rel diff " << relDiff
+       << ", tolerance " << tolerance << ")";
+    return os.str();
+}
+
+bool
+BenchDiffResult::hardRegression() const
+{
+    for (const BenchFinding &f : findings) {
+        if (f.hard())
+            return true;
+    }
+    return false;
+}
+
+namespace
+{
+
+const JsonValue &
+benchesOf(const JsonValue &doc, const char *which)
+{
+    const JsonValue *b = doc.find("benches");
+    if (!b || !b->isArray())
+        throw support::JsonError(std::string(which) +
+                                 " document has no \"benches\" array "
+                                 "(expected schema m4ps-bench-v1)");
+    return *b;
+}
+
+const JsonValue *
+findBench(const JsonValue &benches, const std::string &name)
+{
+    for (const JsonValue &b : benches.array) {
+        if (b.stringOr("bench", "") == name)
+            return &b;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+BenchDiffResult
+diffBenchDocs(const JsonValue &baseline, const JsonValue &current,
+              const BenchDiffOptions &opts)
+{
+    const JsonValue &base = benchesOf(baseline, "baseline");
+    const JsonValue &cur = benchesOf(current, "current");
+
+    BenchDiffResult res;
+    for (const JsonValue &bb : base.array) {
+        const std::string name = bb.stringOr("bench", "");
+        const JsonValue *cb = findBench(cur, name);
+        if (!cb) {
+            BenchFinding f;
+            f.kind = BenchFinding::Kind::MissingBench;
+            f.bench = name;
+            res.findings.push_back(std::move(f));
+            continue;
+        }
+        ++res.benchesCompared;
+
+        const JsonValue *bm = bb.find("metrics");
+        const JsonValue *cm = cb->find("metrics");
+        if (!bm || !bm->isObject())
+            continue;
+        for (const auto &[metric, bval] : bm->object) {
+            if (!bval.isNumber())
+                continue; // strings/bools compare only as numbers
+            const JsonValue *cval =
+                cm && cm->isObject() ? cm->find(metric) : nullptr;
+            const bool timing = isTimingMetric(metric);
+            if (!cval || !cval->isNumber()) {
+                if (timing)
+                    continue; // a dropped timing is not a regression
+                BenchFinding f;
+                f.kind = BenchFinding::Kind::MissingMetric;
+                f.bench = name;
+                f.metric = metric;
+                f.baseline = bval.number;
+                res.findings.push_back(std::move(f));
+                continue;
+            }
+            ++res.metricsCompared;
+
+            const double tol = timing ? opts.timingTolerance
+                                      : opts.counterTolerance;
+            const double b = bval.number;
+            const double c = cval->number;
+            if (std::isnan(b) && std::isnan(c))
+                continue;
+            const double denom = std::max(std::fabs(b), 1e-12);
+            const double rel = std::fabs(c - b) / denom;
+            if (rel <= tol)
+                continue;
+            BenchFinding f;
+            f.kind = timing ? BenchFinding::Kind::SoftDrift
+                            : BenchFinding::Kind::HardDrift;
+            f.bench = name;
+            f.metric = metric;
+            f.baseline = b;
+            f.current = c;
+            f.relDiff = rel;
+            f.tolerance = tol;
+            res.findings.push_back(std::move(f));
+        }
+    }
+    return res;
+}
+
+} // namespace m4ps::core

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Regression comparison between two BENCH_*.json documents.
+ *
+ * The bench binaries all emit the "m4ps-bench-v1" schema through
+ * bench/bench_json.hh:
+ *
+ *   {"schema": "m4ps-bench-v1",
+ *    "benches": [{"bench", "config", "metrics", "backend"}, ...]}
+ *
+ * bench_compare (and the CI bench job) diff a freshly generated
+ * document against a committed baseline with per-metric tolerances.
+ * Metrics split into two failure classes:
+ *
+ *  - *hard* metrics - simulated counters, miss rates, bandwidth
+ *    ratios, verdict booleans.  memsim is deterministic (bit-identical
+ *    counters across thread counts is an existing tier-1 guarantee),
+ *    so these must match the baseline within a tight tolerance;
+ *    drifting means the model changed and the baseline must be
+ *    regenerated deliberately.
+ *  - *soft* metrics - wall-clock timings (metric names containing
+ *    "_ns", "_us", "_ms", "seconds", "wall", "overhead").  These vary
+ *    with the host and only produce warnings, never a failing exit.
+ *
+ * Missing benches or missing hard metrics in the current document are
+ * hard findings; *extra* benches/metrics are informational only, so
+ * adding a new bench does not require touching the baseline of the
+ * others.
+ */
+
+#ifndef M4PS_CORE_BENCHDIFF_HH
+#define M4PS_CORE_BENCHDIFF_HH
+
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+
+namespace m4ps::core
+{
+
+/** Tolerances for diffBenchDocs (relative, e.g. 0.05 = 5%). */
+struct BenchDiffOptions
+{
+    /** Hard-class metrics (counters/ratios); deterministic. */
+    double counterTolerance = 1e-9;
+    /** Soft-class metrics (timings); generous, warn-only. */
+    double timingTolerance = 0.50;
+};
+
+/** One discrepancy between baseline and current. */
+struct BenchFinding
+{
+    enum class Kind
+    {
+        MissingBench,  //!< Baseline bench absent from current doc.
+        MissingMetric, //!< Baseline metric absent from current bench.
+        HardDrift,     //!< Hard metric beyond counterTolerance.
+        SoftDrift,     //!< Timing metric beyond timingTolerance.
+    };
+
+    Kind kind;
+    std::string bench;
+    std::string metric;   //!< Empty for MissingBench.
+    double baseline = 0;
+    double current = 0;
+    double relDiff = 0;
+    double tolerance = 0;
+
+    /** Fails the comparison (exit 1): everything but SoftDrift. */
+    bool hard() const { return kind != Kind::SoftDrift; }
+
+    /** One-line human rendering. */
+    std::string str() const;
+};
+
+/** Outcome of one comparison. */
+struct BenchDiffResult
+{
+    std::vector<BenchFinding> findings;
+    int benchesCompared = 0;
+    int metricsCompared = 0;
+
+    bool hardRegression() const;
+};
+
+/** Timing (soft) metric by name? Exposed for tests. */
+bool isTimingMetric(const std::string &name);
+
+/**
+ * Compare @p current against @p baseline.  Both must be
+ * "m4ps-bench-v1" documents; throws support::JsonError when either
+ * lacks a "benches" array.
+ */
+BenchDiffResult diffBenchDocs(const support::JsonValue &baseline,
+                              const support::JsonValue &current,
+                              const BenchDiffOptions &opts = {});
+
+} // namespace m4ps::core
+
+#endif // M4PS_CORE_BENCHDIFF_HH

@@ -1,6 +1,7 @@
 #include "core/machine.hh"
 
 #include <sstream>
+#include <stdexcept>
 
 namespace m4ps::core
 {
@@ -87,6 +88,19 @@ std::vector<MachineConfig>
 paperMachines()
 {
     return {o2R12k1MB(), onyxR10k2MB(), onyx2R12k8MB()};
+}
+
+MachineConfig
+machineByName(const std::string &name)
+{
+    if (name == "o2")
+        return o2R12k1MB();
+    if (name == "onyx")
+        return onyxR10k2MB();
+    if (name == "onyx2")
+        return onyx2R12k8MB();
+    throw std::runtime_error("unknown machine '" + name +
+                             "' (o2, onyx, onyx2)");
 }
 
 MachineConfig

@@ -63,6 +63,13 @@ std::vector<MachineConfig> paperMachines();
 /** A machine with an arbitrary L2 size (ablation studies). */
 MachineConfig customL2Machine(uint64_t l2_bytes);
 
+/**
+ * Preset by CLI/report name: "o2", "onyx", "onyx2" (case-sensitive).
+ * Throws std::runtime_error naming the valid presets otherwise; the
+ * tools and the report pipeline share this one mapping.
+ */
+MachineConfig machineByName(const std::string &name);
+
 } // namespace m4ps::core
 
 #endif // M4PS_CORE_MACHINE_HH

@@ -1,0 +1,289 @@
+#include "core/perfreport.hh"
+
+#include <cmath>
+#include <ostream>
+
+#include "support/table.hh"
+
+namespace m4ps::core
+{
+
+using support::JsonValue;
+
+Divergence
+crossValidate(const MemoryReport &sim, const perfctr::Counts &hw,
+              double tolerance)
+{
+    Divergence d;
+    d.simL1MissRate = sim.l1MissRate;
+    d.simL2MissRate = sim.l2MissRate;
+    d.hwL1MissRatio = hw.l1MissRatio();
+    d.hwLlcMissRatio = hw.llcMissRatio();
+    if (d.hwL1MissRatio < 0 || d.hwLlcMissRatio < 0)
+        return d; // software backend or missing events: no verdict
+    d.comparable = true;
+    auto rel = [](double hwv, double simv) {
+        const double base = std::max(std::fabs(simv), 1e-9);
+        return std::fabs(hwv - simv) / base;
+    };
+    d.l1RelDiff = rel(d.hwL1MissRatio, d.simL1MissRate);
+    d.llcRelDiff = rel(d.hwLlcMissRatio, d.simL2MissRate);
+    d.diverged = d.l1RelDiff > tolerance || d.llcRelDiff > tolerance;
+    return d;
+}
+
+JsonValue
+memoryReportJson(const MemoryReport &r)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.add("seconds", JsonValue::of(r.seconds));
+    v.add("l1_miss_rate", JsonValue::of(r.l1MissRate));
+    v.add("l1_miss_time", JsonValue::of(r.l1MissTime));
+    v.add("l1_line_reuse", JsonValue::of(r.l1LineReuse));
+    v.add("l2_miss_rate", JsonValue::of(r.l2MissRate));
+    v.add("l2_line_reuse", JsonValue::of(r.l2LineReuse));
+    v.add("dram_time", JsonValue::of(r.dramTime));
+    v.add("l1_l2_bw_mbs", JsonValue::of(r.l1l2BwMBs));
+    v.add("l2_dram_bw_mbs", JsonValue::of(r.l2DramBwMBs));
+    v.add("prefetch_l1_miss", JsonValue::of(r.prefetchL1Miss));
+    return v;
+}
+
+JsonValue
+verdictsJson(const FallacyVerdicts &v)
+{
+    JsonValue o = JsonValue::makeObject();
+    o.add("cache_friendly", JsonValue::of(v.cacheFriendly));
+    o.add("not_latency_bound", JsonValue::of(v.notLatencyBound));
+    o.add("not_bandwidth_bound", JsonValue::of(v.notBandwidthBound));
+    o.add("prefetch_mostly_wasted",
+          JsonValue::of(v.prefetchMostlyWasted));
+    return o;
+}
+
+JsonValue
+hwJson(const perfctr::Counts &c, perfctr::Backend backend)
+{
+    JsonValue o = JsonValue::makeObject();
+    o.add("backend", JsonValue::of(perfctr::backendName(backend)));
+    JsonValue counts = JsonValue::makeObject();
+    for (int i = 0; i < perfctr::kEventCount; ++i) {
+        if (c.valid[i])
+            counts.add(perfctr::eventName(i),
+                       JsonValue::of(c.count[i]));
+    }
+    o.add("counts", std::move(counts));
+    o.add("time_enabled_ns", JsonValue::of(c.enabledNs));
+    o.add("time_running_ns", JsonValue::of(c.runningNs));
+    o.add("multiplexed", JsonValue::of(c.multiplexed()));
+    return o;
+}
+
+bool
+hwFromJson(const JsonValue &v, perfctr::Counts *out,
+           perfctr::Backend *backend)
+{
+    if (!v.isObject())
+        return false;
+    const JsonValue *counts = v.find("counts");
+    if (!counts || !counts->isObject())
+        return false;
+    *out = perfctr::Counts{};
+    for (int i = 0; i < perfctr::kEventCount; ++i) {
+        const JsonValue *c = counts->find(perfctr::eventName(i));
+        if (c && c->isNumber()) {
+            out->valid[i] = true;
+            out->count[i] = c->number;
+        }
+    }
+    out->enabledNs =
+        static_cast<uint64_t>(v.numberOr("time_enabled_ns", 0));
+    out->runningNs =
+        static_cast<uint64_t>(v.numberOr("time_running_ns", 0));
+    *backend = v.stringOr("backend", "software") == "hardware"
+                   ? perfctr::Backend::Hardware
+                   : perfctr::Backend::Software;
+    return true;
+}
+
+namespace
+{
+
+JsonValue
+divergenceJson(const Divergence &d)
+{
+    JsonValue o = JsonValue::makeObject();
+    o.add("comparable", JsonValue::of(d.comparable));
+    o.add("sim_l1_miss_rate", JsonValue::of(d.simL1MissRate));
+    o.add("hw_l1_miss_ratio", JsonValue::of(d.hwL1MissRatio));
+    o.add("sim_l2_miss_rate", JsonValue::of(d.simL2MissRate));
+    o.add("hw_llc_miss_ratio", JsonValue::of(d.hwLlcMissRatio));
+    o.add("l1_rel_diff", JsonValue::of(d.l1RelDiff));
+    o.add("llc_rel_diff", JsonValue::of(d.llcRelDiff));
+    o.add("diverged", JsonValue::of(d.diverged));
+    return o;
+}
+
+/** Scaling verdict across the document (first run vs last run). */
+JsonValue
+scalingJson(const std::vector<ReportRun> &runs)
+{
+    JsonValue o = JsonValue::makeObject();
+    const bool available = runs.size() >= 2;
+    o.add("available", JsonValue::of(available));
+    if (!available)
+        return o;
+    const MemoryReport first =
+        MemoryReport::from(runs.front().ctrs, runs.front().machine);
+    const MemoryReport last =
+        MemoryReport::from(runs.back().ctrs, runs.back().machine);
+    o.add("from", JsonValue::of(runs.front().label));
+    o.add("to", JsonValue::of(runs.back().label));
+    o.add("holds", JsonValue::of(sizeScalingHolds(first, last)));
+    return o;
+}
+
+} // namespace
+
+JsonValue
+buildCounterReport(const std::vector<ReportRun> &runs,
+                   double divergenceTolerance)
+{
+    JsonValue doc = JsonValue::makeObject();
+    doc.add("schema", JsonValue::of("m4ps-report-v1"));
+    doc.add("divergence_tolerance",
+            JsonValue::of(divergenceTolerance));
+    JsonValue arr = JsonValue::makeArray();
+    for (const ReportRun &run : runs) {
+        const MemoryReport rep =
+            MemoryReport::from(run.ctrs, run.machine);
+        JsonValue o = JsonValue::makeObject();
+        o.add("label", JsonValue::of(run.label));
+        o.add("machine_preset", JsonValue::of(run.preset));
+        o.add("machine", JsonValue::of(run.machine.label()));
+        if (run.preset == "custom")
+            o.add("l2_bytes",
+                  JsonValue::of(run.machine.l2.sizeBytes));
+        o.add("counters", run.ctrs.toJson());
+        o.add("derived", memoryReportJson(rep));
+        o.add("verdicts", verdictsJson(judge(rep, run.machine)));
+        if (run.hasHw) {
+            o.add("hw", hwJson(run.hw, run.hwBackend));
+            o.add("divergence",
+                  divergenceJson(crossValidate(rep, run.hw,
+                                               divergenceTolerance)));
+        }
+        arr.array.push_back(std::move(o));
+    }
+    doc.add("runs", std::move(arr));
+    doc.add("scaling", scalingJson(runs));
+    return doc;
+}
+
+std::vector<ReportRun>
+parseReportRuns(const JsonValue &doc)
+{
+    const JsonValue *runs = doc.find("runs");
+    if (!runs || !runs->isArray())
+        throw support::JsonError(
+            "document has no \"runs\" array (expected schema "
+            "m4ps-report-v1)");
+    std::vector<ReportRun> out;
+    for (const JsonValue &r : runs->array) {
+        ReportRun run;
+        run.label = r.stringOr("label", "run");
+        run.preset = r.stringOr("machine_preset", "o2");
+        if (run.preset == "custom") {
+            run.machine = customL2Machine(static_cast<uint64_t>(
+                r.numberOr("l2_bytes", 1024.0 * 1024.0)));
+        } else {
+            run.machine = machineByName(run.preset);
+        }
+        const JsonValue *ctrs = r.find("counters");
+        if (!ctrs || !ctrs->isObject())
+            throw support::JsonError("run \"" + run.label +
+                                     "\" has no counters object");
+        run.ctrs = memsim::CounterSet::fromJson(*ctrs);
+        if (const JsonValue *hw = r.find("hw"))
+            run.hasHw = hwFromJson(*hw, &run.hw, &run.hwBackend);
+        out.push_back(std::move(run));
+    }
+    return out;
+}
+
+void
+printCounterReport(std::ostream &os,
+                   const std::vector<ReportRun> &runs,
+                   double divergenceTolerance)
+{
+    std::vector<std::string> labels;
+    std::vector<MemoryReport> columns;
+    for (const ReportRun &run : runs) {
+        labels.push_back(run.label + " " + run.machine.label());
+        columns.push_back(MemoryReport::from(run.ctrs, run.machine));
+    }
+    TextTable table("Counter report (paper metric definitions)");
+    std::vector<std::string> header{"metrics"};
+    header.insert(header.end(), labels.begin(), labels.end());
+    table.header(std::move(header));
+    if (!columns.empty()) {
+        const auto first = columns.front().rows();
+        for (size_t m = 0; m < first.size(); ++m) {
+            std::vector<std::string> cells{first[m].first};
+            for (const MemoryReport &col : columns)
+                cells.push_back(col.rows()[m].second);
+            table.row(std::move(cells));
+        }
+    }
+    os << table.str();
+
+    os << "\nVerdicts (the paper's conventional-wisdom refutations):\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+        os << "  " << labels[i] << ": "
+           << judge(columns[i], runs[i].machine).str() << "\n";
+    }
+    if (runs.size() >= 2) {
+        const bool holds = sizeScalingHolds(columns.front(),
+                                            columns.back());
+        os << "  scaling " << runs.front().label << " -> "
+           << runs.back().label << ": "
+           << (holds ? "no degradation" : "DEGRADES") << "\n";
+    }
+
+    for (size_t i = 0; i < runs.size(); ++i) {
+        if (!runs[i].hasHw)
+            continue;
+        const ReportRun &run = runs[i];
+        os << "\nHardware counters for " << labels[i] << " (backend "
+           << perfctr::backendName(run.hwBackend) << ")\n";
+        for (int e = 0; e < perfctr::kEventCount; ++e) {
+            if (!run.hw.valid[e])
+                continue;
+            os << "  " << perfctr::eventName(e) << ": "
+               << TextTable::num(run.hw.count[e], 0) << "\n";
+        }
+        const Divergence d =
+            crossValidate(columns[i], run.hw, divergenceTolerance);
+        if (!d.comparable) {
+            os << "  divergence: n/a (miss ratios unavailable on "
+                  "this backend)\n";
+            continue;
+        }
+        os << "  L1 miss: hw " << TextTable::pct(d.hwL1MissRatio)
+           << " vs sim " << TextTable::pct(d.simL1MissRate)
+           << " (rel diff " << TextTable::num(d.l1RelDiff, 2)
+           << ")\n";
+        os << "  LLC miss: hw " << TextTable::pct(d.hwLlcMissRatio)
+           << " vs sim " << TextTable::pct(d.simL2MissRate)
+           << " (rel diff " << TextTable::num(d.llcRelDiff, 2)
+           << ")\n";
+        os << "  divergence verdict: "
+           << (d.diverged ? "DIVERGED (beyond tolerance "
+                          : "within tolerance ")
+           << TextTable::num(divergenceTolerance, 2)
+           << (d.diverged ? ")" : "") << "\n";
+    }
+    os.flush();
+}
+
+} // namespace m4ps::core

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Counter-report documents: the paper's derived metrics, the five
+ * conventional-wisdom verdicts, and hardware-vs-memsim
+ * cross-validation, as one machine-readable JSON schema.
+ *
+ * This is the library behind `tools/m4ps_report` and the
+ * `--report-out` flags of m4ps_run / m4ps_worker.  A report ingests
+ * one or more runs - each a memsim CounterSet measured on a machine
+ * preset, optionally paired with host PMU deltas from
+ * support/perfctr - and derives:
+ *
+ *  - the nine Table 2-7 metrics (core/report.hh definitions);
+ *  - the paper's five conventional-wisdom verdicts: the four
+ *    per-run refutations of core/fallacies (cache friendly, not
+ *    latency bound, not bandwidth bound, prefetch mostly wasted)
+ *    plus the scaling refutation across runs ("memory performance
+ *    degrades with image size / object count") when the document
+ *    holds more than one run;
+ *  - a divergence section comparing the *measured* L1D / LLC read
+ *    miss ratios against memsim's simulated L1 / L2 miss rates and
+ *    flagging disagreement beyond a relative tolerance.  The two
+ *    numbers measure different machines (the host CPU vs the
+ *    modelled R10K/R12K), so divergence is a cross-validation signal
+ *    for the simulator's *shape*, not an error by itself; see
+ *    docs/PROFILING.md.
+ *
+ * Schema "m4ps-report-v1" (stable; bench_compare and tests parse it):
+ *
+ *   {"schema": "m4ps-report-v1", "divergence_tolerance": T,
+ *    "runs": [{"label", "machine_preset", "machine", "counters",
+ *              "derived", "verdicts", "hw"?, "divergence"?}, ...],
+ *    "scaling": {"available", "from", "to", "holds"}}
+ *
+ * parseReportRuns() reads the same document back (ignoring derived
+ * fields), so a report is also a counter dump: round-tripping
+ * through JSON and re-deriving is the golden-file test.
+ */
+
+#ifndef M4PS_CORE_PERFREPORT_HH
+#define M4PS_CORE_PERFREPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/fallacies.hh"
+#include "core/machine.hh"
+#include "core/report.hh"
+#include "support/json.hh"
+#include "support/perfctr/perfctr.hh"
+
+namespace m4ps::core
+{
+
+/** One ingested run: counters + machine + optional hardware counts. */
+struct ReportRun
+{
+    std::string label;       //!< e.g. "encode 720x576".
+    std::string preset;      //!< "o2" / "onyx" / "onyx2" / "custom".
+    MachineConfig machine;
+    memsim::CounterSet ctrs;
+
+    bool hasHw = false;      //!< Host PMU deltas attached.
+    perfctr::Counts hw;
+    perfctr::Backend hwBackend = perfctr::Backend::Software;
+};
+
+/** Hardware-vs-memsim comparison for one run. */
+struct Divergence
+{
+    /** Both miss ratios were measurable on the hardware side. */
+    bool comparable = false;
+    double simL1MissRate = 0;
+    double hwL1MissRatio = -1;
+    double simL2MissRate = 0;
+    double hwLlcMissRatio = -1;
+    double l1RelDiff = 0;
+    double llcRelDiff = 0;
+    bool diverged = false; //!< Any rel diff beyond the tolerance.
+};
+
+/** Compare simulated and measured miss ratios at @p tolerance. */
+Divergence crossValidate(const MemoryReport &sim,
+                         const perfctr::Counts &hw, double tolerance);
+
+/** The nine derived metrics as a JSON object (snake_case keys). */
+support::JsonValue memoryReportJson(const MemoryReport &r);
+
+/** The four per-run fallacy refutations as a JSON object. */
+support::JsonValue verdictsJson(const FallacyVerdicts &v);
+
+/** Hardware counter deltas + backend as a JSON object. */
+support::JsonValue hwJson(const perfctr::Counts &c,
+                          perfctr::Backend backend);
+
+/** Parse an "hw" object written by hwJson(). */
+bool hwFromJson(const support::JsonValue &v, perfctr::Counts *out,
+                perfctr::Backend *backend);
+
+/** Build the full report document over @p runs. */
+support::JsonValue buildCounterReport(const std::vector<ReportRun> &runs,
+                                      double divergenceTolerance);
+
+/**
+ * Read runs back from a report (or counter-dump) document.  Machines
+ * resolve through the "machine_preset" key; "custom" presets
+ * reconstruct via "l2_bytes".  Throws support::JsonError on
+ * documents that do not carry the expected shape.
+ */
+std::vector<ReportRun> parseReportRuns(const support::JsonValue &doc);
+
+/** Paper-style human rendering of the same content. */
+void printCounterReport(std::ostream &os,
+                        const std::vector<ReportRun> &runs,
+                        double divergenceTolerance);
+
+} // namespace m4ps::core
+
+#endif // M4PS_CORE_PERFREPORT_HH

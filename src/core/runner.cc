@@ -148,7 +148,9 @@ ExperimentRunner::runEncode(const Workload &w,
     memsim::SimContext ctx(mem.get());
 
     codec::EncoderStats stats;
+    perfctr::PerfRegion perf("perf", "runEncode");
     std::vector<uint8_t> stream = encodeImpl(ctx, w, &stats);
+    const perfctr::Counts hw = perf.stop();
 
     RunResult r;
     r.workload = w.name;
@@ -161,6 +163,11 @@ ExperimentRunner::runEncode(const Workload &w,
     r.residentBytes = ctx.residentBytes();
     r.modelledSeconds = r.whole.seconds;
     r.threads = support::ThreadPool::global().threads();
+    if (perfctr::enabled()) {
+        r.hasHw = true;
+        r.hw = hw;
+        r.perfBackend = perfctr::activeBackend();
+    }
     if (stream_out)
         *stream_out = std::move(stream);
     return r;
@@ -179,10 +186,12 @@ ExperimentRunner::runDecode(const Workload &w,
 
     CompositeAssembler assembler(verify_ctx, w);
     codec::Mpeg4Decoder dec(ctx);
+    perfctr::PerfRegion perf("perf", "runDecode");
     codec::DecodeStats stats = dec.decode(
         stream,
         [&](const codec::DecodedEvent &e) { assembler.onEvent(e); },
         opts);
+    const perfctr::Counts hw = perf.stop();
 
     RunResult r;
     r.workload = w.name;
@@ -197,6 +206,11 @@ ExperimentRunner::runDecode(const Workload &w,
     r.residentBytes = ctx.residentBytes();
     r.modelledSeconds = r.whole.seconds;
     r.threads = support::ThreadPool::global().threads();
+    if (perfctr::enabled()) {
+        r.hasHw = true;
+        r.hw = hw;
+        r.perfBackend = perfctr::activeBackend();
+    }
     return r;
 }
 

@@ -19,6 +19,7 @@
 #include "codec/decoder.hh"
 #include "core/report.hh"
 #include "core/workload.hh"
+#include "support/perfctr/perfctr.hh"
 #include "video/scene.hh"
 
 namespace m4ps::core
@@ -73,6 +74,18 @@ struct RunResult
      * wall-clock time changes.
      */
     int threads = 1;
+
+    /**
+     * Host PMU deltas over the traced encode/decode call, when
+     * perfctr::setEnabled(true) was requested (m4ps_run --perf).
+     * hasHw stays false otherwise.  On the software backend only the
+     * Cycles slot is valid (clock ticks); per-thread counting means
+     * pool-worker cycles are not attributed when threads > 1
+     * (docs/PROFILING.md).
+     */
+    bool hasHw = false;
+    perfctr::Counts hw;
+    perfctr::Backend perfBackend = perfctr::Backend::Software;
 };
 
 /** Static entry points for the experiment harness. */

@@ -81,6 +81,48 @@ CounterSet::str() const
     return os.str();
 }
 
+support::JsonValue
+CounterSet::toJson() const
+{
+    using support::JsonValue;
+    JsonValue v = JsonValue::makeObject();
+    v.add("grad_loads", JsonValue::of(gradLoads));
+    v.add("grad_stores", JsonValue::of(gradStores));
+    v.add("l1_misses", JsonValue::of(l1Misses));
+    v.add("l1_writebacks", JsonValue::of(l1Writebacks));
+    v.add("l2_misses", JsonValue::of(l2Misses));
+    v.add("l2_writebacks", JsonValue::of(l2Writebacks));
+    v.add("prefetches", JsonValue::of(prefetches));
+    v.add("prefetch_l1_hits", JsonValue::of(prefetchL1Hits));
+    v.add("prefetch_fills", JsonValue::of(prefetchFills));
+    v.add("compute_cycles", JsonValue::of(computeCycles));
+    v.add("stall_l2_cycles", JsonValue::of(stallL2Cycles));
+    v.add("stall_dram_cycles", JsonValue::of(stallDramCycles));
+    return v;
+}
+
+CounterSet
+CounterSet::fromJson(const support::JsonValue &v)
+{
+    CounterSet c;
+    auto u64 = [&](const char *key) {
+        return static_cast<uint64_t>(v.numberOr(key, 0.0));
+    };
+    c.gradLoads = u64("grad_loads");
+    c.gradStores = u64("grad_stores");
+    c.l1Misses = u64("l1_misses");
+    c.l1Writebacks = u64("l1_writebacks");
+    c.l2Misses = u64("l2_misses");
+    c.l2Writebacks = u64("l2_writebacks");
+    c.prefetches = u64("prefetches");
+    c.prefetchL1Hits = u64("prefetch_l1_hits");
+    c.prefetchFills = u64("prefetch_fills");
+    c.computeCycles = v.numberOr("compute_cycles", 0.0);
+    c.stallL2Cycles = v.numberOr("stall_l2_cycles", 0.0);
+    c.stallDramCycles = v.numberOr("stall_dram_cycles", 0.0);
+    return c;
+}
+
 void
 RegionProfiler::add(const std::string &region, const CounterSet &delta)
 {

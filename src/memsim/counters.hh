@@ -18,6 +18,8 @@
 #include <map>
 #include <string>
 
+#include "support/json.hh"
+
 namespace m4ps::memsim
 {
 
@@ -68,6 +70,15 @@ struct CounterSet
 
     /** Human-readable multi-line dump (for debugging and examples). */
     std::string str() const;
+
+    /**
+     * JSON export/import hooks for the report pipeline: a counter
+     * dump written by one tool (m4ps_run --report-out, the table
+     * benches) round-trips exactly through m4ps_report.  Keys are
+     * snake_case field names ("grad_loads", "stall_dram_cycles", ...).
+     */
+    support::JsonValue toJson() const;
+    static CounterSet fromJson(const support::JsonValue &v);
 };
 
 /**

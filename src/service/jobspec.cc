@@ -125,6 +125,10 @@ applyKey(JobSpec &spec, const std::string &key, const std::string &v)
         spec.crashAtVop = parseInt(key, v);
     } else if (key == "hang-at") {
         spec.hangAtVop = parseInt(key, v);
+    } else if (key == "perf") {
+        spec.perf = parseBool(key, v);
+    } else if (key == "report-out") {
+        spec.reportOut = v;
     } else {
         throw ManifestError("unknown manifest key '" + key + "'");
     }
@@ -224,6 +228,10 @@ JobSpec::toSpecLine() const
         os << " crash-at=" << crashAtVop;
     if (hangAtVop >= 0)
         os << " hang-at=" << hangAtVop;
+    if (perf)
+        os << " perf=1";
+    if (!reportOut.empty())
+        os << " report-out=" << reportOut;
     return os.str();
 }
 

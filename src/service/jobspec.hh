@@ -86,6 +86,17 @@ struct JobSpec
     /** Deterministic fault injection: hang after this VOP (<0 off). */
     int hangAtVop = -1;
 
+    /**
+     * Measure host PMU counters over the job (perfctr; falls back to
+     * the software backend when the PMU is unavailable).  Supervision
+     * detail: excluded from configHash(), so flipping it never stales
+     * a checkpoint.
+     */
+    bool perf = false;
+
+    /** Write an m4ps-report-v1 document here after the job. */
+    std::string reportOut;
+
     /** Breaker class actually in effect. */
     std::string effectiveClass() const
     {

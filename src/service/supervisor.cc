@@ -13,10 +13,32 @@
 #include "service/checkpoint.hh"
 #include "service/worker.hh"
 #include "support/obs/obs.hh"
+#include "support/perfctr/perfctr.hh"
 #include "support/serialize.hh"
 
 namespace m4ps::service
 {
+
+namespace
+{
+
+/**
+ * Which perfctr backend a profiled job will get.  Probed once by
+ * opening (and dropping) a counter group in the supervisor process;
+ * workers run in the same container, so the answer matches what
+ * their own open will select.
+ */
+const char *
+probedPerfBackend()
+{
+    static const perfctr::Backend b = [] {
+        perfctr::CounterGroup g;
+        return g.backend();
+    }();
+    return perfctr::backendName(b);
+}
+
+} // namespace
 
 const char *
 jobErrorName(JobErrorKind k)
@@ -354,12 +376,15 @@ Supervisor::run(const std::vector<JobSpec> &specs)
         static obs::Counter &attemptsC =
             obs::counter("service.attempts");
         attemptsC.add();
-        log_.emit(JsonEvent("attempt_start")
-                      .str("job", t.spec.id)
-                      .num("attempt", t.result.attempts)
-                      .num("pid", pid)
-                      .num("deadline_ms", t.deadlineMs)
-                      .num("degrade_level", t.result.degradeLevel));
+        JsonEvent startEv("attempt_start");
+        startEv.str("job", t.spec.id)
+            .num("attempt", t.result.attempts)
+            .num("pid", pid)
+            .num("deadline_ms", t.deadlineMs)
+            .num("degrade_level", t.result.degradeLevel);
+        if (t.spec.perf)
+            startEv.str("perf_backend", probedPerfBackend());
+        log_.emit(startEv);
     };
 
     for (;;) {

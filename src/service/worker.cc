@@ -8,9 +8,12 @@
 
 #include "codec/decoder.hh"
 #include "codec/error.hh"
+#include "core/perfreport.hh"
 #include "core/runner.hh"
 #include "service/checkpoint.hh"
 #include "support/args.hh"
+#include "support/json.hh"
+#include "support/perfctr/perfctr.hh"
 #include "support/serialize.hh"
 
 namespace m4ps::service
@@ -191,6 +194,27 @@ runTranscode(const JobSpec &spec)
     return kWorkerOk;
 }
 
+/**
+ * Per-job profile artifact: the host PMU deltas over the whole job.
+ * Worker jobs run untraced (no memsim hierarchy - the service exists
+ * for output, not measurements), so this is hardware-only; use
+ * m4ps_run --report-out for the full sim-vs-hw document.
+ */
+void
+writeJobPerfReport(const JobSpec &spec, const perfctr::Counts &hw)
+{
+    using support::JsonValue;
+    JsonValue doc = JsonValue::makeObject();
+    doc.add("schema", JsonValue::of("m4ps-worker-perf-v1"));
+    doc.add("job", JsonValue::of(spec.id));
+    doc.add("spec", JsonValue::of(spec.toSpecLine()));
+    doc.add("hw",
+            core::hwJson(hw, perfctr::activeBackend()));
+    if (!support::writeJsonFile(spec.reportOut, doc))
+        throw std::runtime_error("cannot write report '" +
+                                 spec.reportOut + "'");
+}
+
 } // namespace
 
 int
@@ -198,12 +222,19 @@ runJob(const JobSpec &spec)
 {
     try {
         spec.validate();
+        if (spec.perf)
+            perfctr::setEnabled(true);
+        perfctr::PerfRegion perf("perf", "job");
+        int rc = kWorkerPermanent;
         switch (spec.type) {
-          case JobType::Encode:    return runEncode(spec);
-          case JobType::Decode:    return runDecode(spec);
-          case JobType::Transcode: return runTranscode(spec);
+          case JobType::Encode:    rc = runEncode(spec); break;
+          case JobType::Decode:    rc = runDecode(spec); break;
+          case JobType::Transcode: rc = runTranscode(spec); break;
         }
-        return kWorkerPermanent;
+        const perfctr::Counts hw = perf.stop();
+        if (rc == kWorkerOk && spec.perf && !spec.reportOut.empty())
+            writeJobPerfReport(spec, hw);
+        return rc;
     } catch (const ManifestError &e) {
         std::fprintf(stderr, "worker %s: bad spec: %s\n",
                      spec.id.c_str(), e.what());
@@ -222,12 +253,17 @@ runJob(const JobSpec &spec)
 int
 workerMain(int argc, const char *const *argv)
 {
-    const ArgParser args(argc, argv, {"id", "spec", "help"});
+    const ArgParser args(argc, argv,
+                         {"id", "spec", "perf", "report-out", "help"});
     if (args.getBool("help")) {
         std::printf(
             "usage: m4ps_worker --id <job> --spec \"k=v k=v ...\"\n"
+            "           [--perf] [--report-out FILE]\n"
             "Runs one supervised job; see docs/OPERATIONS.md for the\n"
-            "spec keys and the exit-code contract.\n");
+            "spec keys and the exit-code contract.  --perf measures\n"
+            "host PMU counters over the job (software-clock fallback\n"
+            "when the PMU is unavailable); --report-out writes them\n"
+            "as JSON (docs/PROFILING.md).\n");
         return kWorkerOk;
     }
     const std::string id = args.get("id", "job");
@@ -236,6 +272,14 @@ workerMain(int argc, const char *const *argv)
     JobSpec spec;
     try {
         spec = parseSpecLine(id, args.get("spec"));
+        // CLI flags override/augment the spec keys, so the supervisor
+        // can request profiling without touching the manifest.
+        if (args.getBool("perf"))
+            spec.perf = true;
+        if (args.has("report-out")) {
+            spec.reportOut = args.get("report-out");
+            spec.perf = true;
+        }
         spec.validate();
     } catch (const ManifestError &e) {
         std::fprintf(stderr, "m4ps_worker: %s\n", e.what());

@@ -1,0 +1,526 @@
+#include "support/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace m4ps::support
+{
+
+JsonValue
+JsonValue::of(bool b)
+{
+    JsonValue v;
+    v.kind = Kind::Bool;
+    v.boolean = b;
+    return v;
+}
+
+JsonValue
+JsonValue::of(double n)
+{
+    JsonValue v;
+    v.kind = Kind::Number;
+    v.number = n;
+    return v;
+}
+
+JsonValue
+JsonValue::of(int64_t n)
+{
+    return of(static_cast<double>(n));
+}
+
+JsonValue
+JsonValue::of(uint64_t n)
+{
+    return of(static_cast<double>(n));
+}
+
+JsonValue
+JsonValue::of(std::string s)
+{
+    JsonValue v;
+    v.kind = Kind::String;
+    v.str = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::of(const char *s)
+{
+    return of(std::string(s));
+}
+
+JsonValue
+JsonValue::makeArray()
+{
+    JsonValue v;
+    v.kind = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject()
+{
+    JsonValue v;
+    v.kind = Kind::Object;
+    return v;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+JsonValue *
+JsonValue::find(std::string_view key)
+{
+    return const_cast<JsonValue *>(
+        static_cast<const JsonValue *>(this)->find(key));
+}
+
+JsonValue &
+JsonValue::at(std::string_view key)
+{
+    if (kind == Kind::Null)
+        kind = Kind::Object;
+    if (kind != Kind::Object)
+        throw JsonError("at(): value is not an object");
+    if (JsonValue *v = find(key))
+        return *v;
+    object.emplace_back(std::string(key), JsonValue());
+    return object.back().second;
+}
+
+JsonValue &
+JsonValue::add(std::string_view key, JsonValue v)
+{
+    if (kind == Kind::Null)
+        kind = Kind::Object;
+    object.emplace_back(std::string(key), std::move(v));
+    return object.back().second;
+}
+
+double
+JsonValue::numberOr(std::string_view key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->number : fallback;
+}
+
+std::string
+JsonValue::stringOr(std::string_view key,
+                    const std::string &fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->str : fallback;
+}
+
+bool
+JsonValue::boolOr(std::string_view key, bool fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isBool() ? v->boolean : fallback;
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw JsonError("JSON parse error at byte " +
+                        std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" +
+                 text_[pos_] + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeIf(char c)
+    {
+        if (pos_ < text_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            fail("bad literal");
+        pos_ += word.size();
+    }
+
+    JsonValue
+    value()
+    {
+        switch (peek()) {
+        case '{':
+            return objectValue();
+        case '[':
+            return arrayValue();
+        case '"':
+            return JsonValue::of(stringBody());
+        case 't':
+            literal("true");
+            return JsonValue::of(true);
+        case 'f':
+            literal("false");
+            return JsonValue::of(false);
+        case 'n':
+            literal("null");
+            return JsonValue::makeNull();
+        default:
+            return numberValue();
+        }
+    }
+
+    JsonValue
+    objectValue()
+    {
+        expect('{');
+        JsonValue v = JsonValue::makeObject();
+        if (consumeIf('}'))
+            return v;
+        for (;;) {
+            if (peek() != '"')
+                fail("object key must be a string");
+            std::string key = stringBody();
+            expect(':');
+            // Duplicate keys keep the first occurrence, matching
+            // find(); later duplicates are silently dropped.
+            if (v.find(key) == nullptr)
+                v.add(key, value());
+            else
+                value();
+            if (consumeIf('}'))
+                return v;
+            expect(',');
+        }
+    }
+
+    JsonValue
+    arrayValue()
+    {
+        expect('[');
+        JsonValue v = JsonValue::makeArray();
+        if (consumeIf(']'))
+            return v;
+        for (;;) {
+            v.array.push_back(value());
+            if (consumeIf(']'))
+                return v;
+            expect(',');
+        }
+    }
+
+    std::string
+    stringBody()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'b': out.push_back('\b'); break;
+            case 'f': out.push_back('\f'); break;
+            case 'n': out.push_back('\n'); break;
+            case 'r': out.push_back('\r'); break;
+            case 't': out.push_back('\t'); break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("short \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs
+                // are not combined; our own writer never emits them).
+                if (cp < 0x80) {
+                    out.push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xc0 | (cp >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (cp & 0x3f)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xe0 | (cp >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((cp >> 6) & 0x3f)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (cp & 0x3f)));
+                }
+                break;
+            }
+            default:
+                fail("unknown escape");
+            }
+        }
+        fail("unterminated string");
+    }
+
+    JsonValue
+    numberValue()
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        auto digits = [&] {
+            const size_t d0 = pos_;
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+            return pos_ > d0;
+        };
+        if (!digits())
+            fail("expected a number");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (!digits())
+                fail("digits required after decimal point");
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (!digits())
+                fail("digits required in exponent");
+        }
+        const std::string tok(text_.substr(start, pos_ - start));
+        return JsonValue::of(std::strtod(tok.c_str(), nullptr));
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+};
+
+void
+writeString(std::string &out, std::string_view s)
+{
+    out.push_back('"');
+    out += jsonEscaped(s);
+    out.push_back('"');
+}
+
+void
+writeNumber(std::string &out, double n)
+{
+    if (!std::isfinite(n)) {
+        // JSON has no NaN/Inf; null is the conventional stand-in and
+        // readers treat a non-number as "metric unavailable".
+        out += "null";
+        return;
+    }
+    char buf[40];
+    const double r = std::nearbyint(n);
+    if (r == n && std::fabs(n) < 9.007199254740992e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(n));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", n);
+    }
+    out += buf;
+}
+
+void
+writeValue(std::string &out, const JsonValue &v, int indent,
+           int depth)
+{
+    const auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out.push_back('\n');
+        out.append(static_cast<size_t>(indent * d), ' ');
+    };
+    switch (v.kind) {
+    case JsonValue::Kind::Null:
+        out += "null";
+        break;
+    case JsonValue::Kind::Bool:
+        out += v.boolean ? "true" : "false";
+        break;
+    case JsonValue::Kind::Number:
+        writeNumber(out, v.number);
+        break;
+    case JsonValue::Kind::String:
+        writeString(out, v.str);
+        break;
+    case JsonValue::Kind::Array:
+        if (v.array.empty()) {
+            out += "[]";
+            break;
+        }
+        out.push_back('[');
+        for (size_t i = 0; i < v.array.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            writeValue(out, v.array[i], indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back(']');
+        break;
+    case JsonValue::Kind::Object:
+        if (v.object.empty()) {
+            out += "{}";
+            break;
+        }
+        out.push_back('{');
+        for (size_t i = 0; i < v.object.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            writeString(out, v.object[i].first);
+            out.push_back(':');
+            if (indent > 0)
+                out.push_back(' ');
+            writeValue(out, v.object[i].second, indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back('}');
+        break;
+    }
+}
+
+} // namespace
+
+JsonValue
+parseJson(std::string_view text)
+{
+    return Parser(text).document();
+}
+
+JsonValue
+parseJsonFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw JsonError("cannot open '" + path + "'");
+    std::ostringstream os;
+    os << in.rdbuf();
+    return parseJson(os.str());
+}
+
+std::string
+writeJson(const JsonValue &v, int indent)
+{
+    std::string out;
+    writeValue(out, v, indent, 0);
+    return out;
+}
+
+bool
+writeJsonFile(const std::string &path, const JsonValue &v, int indent)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << writeJson(v, indent) << "\n";
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+std::string
+jsonEscaped(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace m4ps::support

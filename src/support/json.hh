@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Minimal JSON document model, parser, and writer.
+ *
+ * The observability and benchmark pipelines exchange machine-readable
+ * artifacts (BENCH_*.json, counter reports, trace metadata) that tools
+ * such as m4ps_report and bench_compare must read back.  This is a
+ * deliberately small recursive-descent implementation for those
+ * trusted, self-produced documents: full JSON syntax, numbers as
+ * double (exact for counters up to 2^53), objects preserving insertion
+ * order, UTF-8 passed through verbatim.  It is not a streaming parser
+ * and holds the whole document in memory; our largest artifact is a
+ * few hundred kilobytes.
+ */
+
+#ifndef M4PS_SUPPORT_JSON_HH
+#define M4PS_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace m4ps::support
+{
+
+/** Malformed JSON text (with byte offset in the message). */
+class JsonError : public std::runtime_error
+{
+  public:
+    explicit JsonError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** One JSON value; a document is the root value. */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    /** Insertion-ordered members; duplicate keys keep the first. */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    JsonValue() = default;
+
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue of(bool b);
+    static JsonValue of(double n);
+    static JsonValue of(int64_t n);
+    static JsonValue of(uint64_t n);
+    static JsonValue of(std::string s);
+    static JsonValue of(const char *s);
+    static JsonValue makeArray();
+    static JsonValue makeObject();
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member by key, or null when absent / not an object. */
+    const JsonValue *find(std::string_view key) const;
+    JsonValue *find(std::string_view key);
+
+    /**
+     * Object member for writing: returns the existing member or
+     * appends a null one.  Converts a Null value into an Object.
+     */
+    JsonValue &at(std::string_view key);
+
+    /** Append a member (no duplicate check; use at() to replace). */
+    JsonValue &add(std::string_view key, JsonValue v);
+
+    /** Number member with fallback (absent or non-number). */
+    double numberOr(std::string_view key, double fallback) const;
+
+    /** String member with fallback. */
+    std::string stringOr(std::string_view key,
+                         const std::string &fallback) const;
+
+    /** Bool member with fallback. */
+    bool boolOr(std::string_view key, bool fallback) const;
+};
+
+/** Parse a complete document; throws JsonError on malformed text. */
+JsonValue parseJson(std::string_view text);
+
+/** Parse the contents of a file; throws JsonError (incl. open fail). */
+JsonValue parseJsonFile(const std::string &path);
+
+/**
+ * Serialize @p v.  @p indent > 0 pretty-prints with that many spaces
+ * per level; 0 emits the compact single-line form.  Numbers that are
+ * integral within 2^53 print without a decimal point, so counter
+ * round-trips are textual identities.
+ */
+std::string writeJson(const JsonValue &v, int indent = 2);
+
+/** Write @p v to @p path (trailing newline); false on I/O failure. */
+bool writeJsonFile(const std::string &path, const JsonValue &v,
+                   int indent = 2);
+
+/** Escape @p s for embedding inside a JSON string literal. */
+std::string jsonEscaped(std::string_view s);
+
+} // namespace m4ps::support
+
+#endif // M4PS_SUPPORT_JSON_HH

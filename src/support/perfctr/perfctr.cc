@@ -1,0 +1,528 @@
+#include "support/perfctr/perfctr.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#if defined(__linux__)
+#include <cerrno>
+#include <cstring>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace m4ps::perfctr
+{
+
+namespace
+{
+
+// Kernel ABI constants (stable since 2.6.31; spelled out so the
+// module compiles - and the fakes stay meaningful - on any host).
+constexpr uint32_t kPerfTypeHardware = 0;
+constexpr uint32_t kPerfTypeHwCache = 3;
+constexpr uint64_t kHwCpuCycles = 0;
+constexpr uint64_t kHwInstructions = 1;
+constexpr uint64_t kHwBranchMisses = 5;
+constexpr uint64_t kCacheL1d = 0;
+constexpr uint64_t kCacheLl = 2;
+constexpr uint64_t kCacheDtlb = 3;
+constexpr uint64_t kCacheOpRead = 0;
+constexpr uint64_t kCacheResultAccess = 0;
+constexpr uint64_t kCacheResultMiss = 1;
+
+constexpr uint64_t
+cacheConfig(uint64_t cache, uint64_t op, uint64_t result)
+{
+    return cache | (op << 8) | (result << 16);
+}
+
+struct EventDef
+{
+    const char *name;
+    uint32_t type;
+    uint64_t config;
+};
+
+constexpr EventDef kEvents[kEventCount] = {
+    {"cycles", kPerfTypeHardware, kHwCpuCycles},
+    {"instructions", kPerfTypeHardware, kHwInstructions},
+    {"l1d_loads", kPerfTypeHwCache,
+     cacheConfig(kCacheL1d, kCacheOpRead, kCacheResultAccess)},
+    {"l1d_misses", kPerfTypeHwCache,
+     cacheConfig(kCacheL1d, kCacheOpRead, kCacheResultMiss)},
+    {"llc_loads", kPerfTypeHwCache,
+     cacheConfig(kCacheLl, kCacheOpRead, kCacheResultAccess)},
+    {"llc_misses", kPerfTypeHwCache,
+     cacheConfig(kCacheLl, kCacheOpRead, kCacheResultMiss)},
+    {"dtlb_misses", kPerfTypeHwCache,
+     cacheConfig(kCacheDtlb, kCacheOpRead, kCacheResultMiss)},
+    {"branch_misses", kPerfTypeHardware, kHwBranchMisses},
+};
+
+uint64_t
+monotonicNs()
+{
+    using clock = std::chrono::steady_clock;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now().time_since_epoch())
+            .count());
+}
+
+/** Software backend tick source: TSC where cheap, else the clock. */
+uint64_t
+softwareTicks()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_ia32_rdtsc();
+#else
+    return monotonicNs();
+#endif
+}
+
+} // namespace
+
+const char *
+eventName(int index)
+{
+    if (index < 0 || index >= kEventCount)
+        return "?";
+    return kEvents[index].name;
+}
+
+const char *
+backendName(Backend b)
+{
+    return b == Backend::Hardware ? "hardware" : "software";
+}
+
+double
+Counts::l1MissRatio() const
+{
+    if (!has(Event::L1dLoads) || !has(Event::L1dMisses) ||
+        get(Event::L1dLoads) <= 0)
+        return -1.0;
+    return get(Event::L1dMisses) / get(Event::L1dLoads);
+}
+
+double
+Counts::llcMissRatio() const
+{
+    if (!has(Event::LlcLoads) || !has(Event::LlcMisses) ||
+        get(Event::LlcLoads) <= 0)
+        return -1.0;
+    return get(Event::LlcMisses) / get(Event::LlcLoads);
+}
+
+double
+scaleCount(uint64_t raw, uint64_t enabled, uint64_t running)
+{
+    if (running == 0)
+        return static_cast<double>(raw);
+    return static_cast<double>(raw) *
+           (static_cast<double>(enabled) /
+            static_cast<double>(running));
+}
+
+// ------------------------------------------------------------------
+// Host syscalls.
+// ------------------------------------------------------------------
+
+#if defined(__linux__)
+
+namespace
+{
+
+/** perf_event_attr, the subset we set (zero-padded to kernel size). */
+struct PerfAttr
+{
+    uint32_t type;
+    uint32_t size;
+    uint64_t config;
+    uint64_t samplePeriod;
+    uint64_t sampleType;
+    uint64_t readFormat;
+    uint64_t flags;
+    // Trailing fields (bp/config2/...) stay zero; pad generously so
+    // any kernel accepts the struct at its declared size.
+    uint64_t pad[12];
+};
+
+constexpr uint64_t kFlagDisabled = 1ull << 0;  // unused: count at open
+constexpr uint64_t kFlagExcludeKernel = 1ull << 5;
+constexpr uint64_t kFlagExcludeHv = 1ull << 7;
+
+int
+hostOpen(const EventSpec &spec, int groupFd)
+{
+    PerfAttr attr;
+    std::memset(&attr, 0, sizeof attr);
+    attr.type = spec.type;
+    attr.size = 128; // PERF_ATTR_SIZE_VER7-ish; kernel accepts >= ver0
+    attr.config = spec.config;
+    attr.readFormat = spec.readFormat;
+    attr.flags = kFlagExcludeKernel | kFlagExcludeHv;
+    (void)kFlagDisabled;
+    const long fd = ::syscall(SYS_perf_event_open, &attr, 0, -1,
+                              groupFd, 0ul);
+    if (fd < 0)
+        return -errno;
+    return static_cast<int>(fd);
+}
+
+long
+hostRead(int fd, uint64_t *buf, int bufWords)
+{
+    const ssize_t n =
+        ::read(fd, buf, static_cast<size_t>(bufWords) * 8);
+    if (n < 0)
+        return -errno;
+    return n / 8;
+}
+
+void
+hostClose(int fd)
+{
+    ::close(fd);
+}
+
+} // namespace
+
+const SysApi &
+hostSysApi()
+{
+    static const SysApi api{hostOpen, hostRead, hostClose};
+    return api;
+}
+
+#else // !__linux__
+
+const SysApi &
+hostSysApi()
+{
+    static const SysApi api{
+        [](const EventSpec &, int) { return -38; /* ENOSYS */ },
+        [](int, uint64_t *, int) { return -38L; },
+        [](int) {},
+    };
+    return api;
+}
+
+#endif
+
+// ------------------------------------------------------------------
+// CounterGroup.
+// ------------------------------------------------------------------
+
+CounterGroup::CounterGroup(const SysApi &api) : api_(api)
+{
+    std::fill(std::begin(fds_), std::end(fds_), -1);
+    openAll(api);
+    softBaseTicks_ = softwareTicks();
+    softBaseNs_ = monotonicNs();
+}
+
+CounterGroup::~CounterGroup()
+{
+    closeAll();
+}
+
+void
+CounterGroup::openAll(const SysApi &api)
+{
+    // First try one PMU group: a single read() snapshots every event
+    // at the same instant, and scaling corrects any multiplexing the
+    // kernel applies to the group as a whole.
+    EventSpec spec;
+    spec.eventIndex = 0;
+    spec.type = kEvents[0].type;
+    spec.config = kEvents[0].config;
+    spec.readFormat = kReadFormatTotalTimeEnabled |
+                      kReadFormatTotalTimeRunning | kReadFormatGroup;
+    const int leader = api.open(spec, -1);
+    if (leader < 0) {
+        backend_ = Backend::Software;
+        return;
+    }
+    fds_[0] = leader;
+    bool allSiblings = true;
+    for (int i = 1; i < kEventCount; ++i) {
+        EventSpec s;
+        s.eventIndex = i;
+        s.type = kEvents[i].type;
+        s.config = kEvents[i].config;
+        s.readFormat = spec.readFormat;
+        const int fd = api.open(s, leader);
+        if (fd < 0) {
+            allSiblings = false;
+            break;
+        }
+        fds_[i] = fd;
+    }
+    if (allSiblings) {
+        backend_ = Backend::Hardware;
+        grouped_ = true;
+        return;
+    }
+
+    // The PMU is narrower than the group: reopen every event as an
+    // independent counter and let the kernel time-multiplex, scaling
+    // each by its own time_enabled / time_running.
+    closeAll();
+    std::fill(std::begin(fds_), std::end(fds_), -1);
+    int opened = 0;
+    for (int i = 0; i < kEventCount; ++i) {
+        EventSpec s;
+        s.eventIndex = i;
+        s.type = kEvents[i].type;
+        s.config = kEvents[i].config;
+        s.readFormat = kReadFormatTotalTimeEnabled |
+                       kReadFormatTotalTimeRunning;
+        const int fd = api.open(s, -1);
+        if (fd >= 0) {
+            fds_[i] = fd;
+            ++opened;
+        }
+    }
+    if (opened == 0) {
+        backend_ = Backend::Software;
+        return;
+    }
+    backend_ = Backend::Hardware;
+    grouped_ = false;
+}
+
+void
+CounterGroup::closeAll()
+{
+    for (int i = 0; i < kEventCount; ++i) {
+        if (fds_[i] >= 0) {
+            api_.close(fds_[i]);
+            fds_[i] = -1;
+        }
+    }
+}
+
+Sample
+CounterGroup::read()
+{
+    Sample s = backend_ == Backend::Hardware ? readHardware()
+                                             : readSoftware();
+    // Clamp per event: scaled counts are extrapolations, and two
+    // reads with different enabled/running ratios could otherwise
+    // step backwards.  Deltas must never be negative.
+    for (int i = 0; i < kEventCount; ++i) {
+        if (!s.valid[i])
+            continue;
+        lastScaled_[i] = std::max(lastScaled_[i], s.count[i]);
+        s.count[i] = lastScaled_[i];
+    }
+    return s;
+}
+
+Sample
+CounterGroup::readHardware()
+{
+    Sample s;
+    if (grouped_) {
+        // Leader read: [nr][time_enabled][time_running][v0..v(nr-1)].
+        uint64_t buf[3 + kEventCount] = {};
+        const long words = api_.read(fds_[0], buf, 3 + kEventCount);
+        if (words < 3)
+            return s; // transient read failure: all slots invalid
+        const uint64_t nr = buf[0];
+        s.timeEnabledNs = buf[1];
+        s.timeRunningNs = buf[2];
+        for (uint64_t i = 0; i < nr && i < kEventCount; ++i) {
+            s.count[i] =
+                scaleCount(buf[3 + i], buf[1], buf[2]);
+            s.valid[i] = true;
+        }
+        return s;
+    }
+    for (int i = 0; i < kEventCount; ++i) {
+        if (fds_[i] < 0)
+            continue;
+        // Independent read: [value][time_enabled][time_running].
+        uint64_t buf[3] = {};
+        if (api_.read(fds_[i], buf, 3) < 3)
+            continue;
+        s.count[i] = scaleCount(buf[0], buf[1], buf[2]);
+        s.valid[i] = true;
+        if (i == 0 || buf[1] > s.timeEnabledNs) {
+            s.timeEnabledNs = buf[1];
+            s.timeRunningNs = buf[2];
+        }
+    }
+    return s;
+}
+
+Sample
+CounterGroup::readSoftware() const
+{
+    Sample s;
+    s.count[0] =
+        static_cast<double>(softwareTicks() - softBaseTicks_);
+    s.valid[0] = true;
+    const uint64_t ns = monotonicNs() - softBaseNs_;
+    s.timeEnabledNs = ns;
+    s.timeRunningNs = ns;
+    return s;
+}
+
+// ------------------------------------------------------------------
+// Process-wide state.
+// ------------------------------------------------------------------
+
+namespace
+{
+
+std::atomic<bool> gEnabled{false};
+std::mutex gGroupMu;
+std::unique_ptr<CounterGroup> gGroup;
+const SysApi *gTestApi = nullptr;
+
+CounterGroup &
+processGroup()
+{
+    std::lock_guard<std::mutex> lock(gGroupMu);
+    if (!gGroup)
+        gGroup = std::make_unique<CounterGroup>(
+            gTestApi ? *gTestApi : hostSysApi());
+    return *gGroup;
+}
+
+} // namespace
+
+void
+setEnabled(bool on)
+{
+    gEnabled.store(on, std::memory_order_relaxed);
+}
+
+bool
+enabled()
+{
+    return gEnabled.load(std::memory_order_relaxed);
+}
+
+Backend
+activeBackend()
+{
+    return processGroup().backend();
+}
+
+const char *
+activeBackendName()
+{
+    return backendName(activeBackend());
+}
+
+void
+resetForTest(const SysApi *api)
+{
+    std::lock_guard<std::mutex> lock(gGroupMu);
+    gGroup.reset();
+    gTestApi = api;
+    gEnabled.store(false, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------
+// PerfRegion.
+// ------------------------------------------------------------------
+
+namespace
+{
+
+void
+appendNumber(std::string &out, double v)
+{
+    char buf[40];
+    if (v == static_cast<double>(static_cast<long long>(v))) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3f", v);
+    }
+    out += buf;
+}
+
+} // namespace
+
+std::string
+countsJson(const Counts &delta, Backend backend)
+{
+    std::string out = "{\"perf_backend\":\"";
+    out += backendName(backend);
+    out += "\"";
+    for (int i = 0; i < kEventCount; ++i) {
+        if (!delta.valid[i])
+            continue;
+        out += ",\"hw_";
+        out += eventName(i);
+        out += "\":";
+        appendNumber(out, delta.count[i]);
+    }
+    out += ",\"time_enabled_ns\":";
+    appendNumber(out, static_cast<double>(delta.enabledNs));
+    out += ",\"time_running_ns\":";
+    appendNumber(out, static_cast<double>(delta.runningNs));
+    out += delta.multiplexed() ? ",\"multiplexed\":true}"
+                               : ",\"multiplexed\":false}";
+    return out;
+}
+
+std::string
+PerfRegion::argsJson(const Counts &delta, Backend backend)
+{
+    return countsJson(delta, backend);
+}
+
+PerfRegion::PerfRegion(const char *cat, const char *name)
+    : cat_(cat), name_(name)
+{
+    if (!enabled())
+        return;
+    start_ = processGroup().read();
+    obsStartNs_ = obs::tracingEnabled() ? obs::nowNs() : 0;
+    active_ = true;
+}
+
+PerfRegion::~PerfRegion()
+{
+    stop();
+}
+
+Counts
+PerfRegion::stop()
+{
+    Counts d;
+    if (!active_)
+        return d;
+    active_ = false;
+    const Sample end = processGroup().read();
+    for (int i = 0; i < kEventCount; ++i) {
+        if (!(start_.valid[i] && end.valid[i]))
+            continue;
+        d.valid[i] = true;
+        d.count[i] = std::max(0.0, end.count[i] - start_.count[i]);
+    }
+    d.enabledNs = end.timeEnabledNs >= start_.timeEnabledNs
+                      ? end.timeEnabledNs - start_.timeEnabledNs
+                      : 0;
+    d.runningNs = end.timeRunningNs >= start_.timeRunningNs
+                      ? end.timeRunningNs - start_.timeRunningNs
+                      : 0;
+    if (obsStartNs_) {
+        obs::completeEvent(cat_, name_, obsStartNs_,
+                           obs::nowNs() - obsStartNs_,
+                           countsJson(d, activeBackend()));
+    }
+    return d;
+}
+
+} // namespace m4ps::perfctr

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Hardware performance-counter profiling via perf_event_open.
+ *
+ * The paper's evidence base is Irix hardware event counters read with
+ * perfex/SpeedShop; memsim reproduces those counters in simulation.
+ * This module closes the loop by measuring the *host* PMU for the
+ * same regions, so a run carries both numbers and m4ps_report can
+ * cross-validate the simulator against real silicon.
+ *
+ * Design:
+ *  - A fixed eight-event set (cycles, instructions, L1D loads and
+ *    misses, LLC loads and misses, dTLB read misses, branch misses)
+ *    mirroring the perfex events the paper reads (graduated ops, L1
+ *    and L2 data misses).
+ *  - Events open as one PMU group when the hardware has the width;
+ *    otherwise each event opens independently and the kernel
+ *    time-multiplexes them.  Either way counts are scaled by
+ *    time_enabled / time_running, the standard perfex-style
+ *    extrapolation, and clamped monotonic per event so deltas are
+ *    never negative.
+ *  - Graceful degradation is a hard requirement: when the PMU is
+ *    unavailable (perf_event_paranoid, seccomp'd containers, CI
+ *    runners, non-Linux hosts) the module falls back to a software
+ *    clock backend (rdtsc/steady_clock ticks for the cycles slot) and
+ *    reports backend "software" instead of failing.  Nothing above
+ *    this layer needs to care which backend is live.
+ *  - Every syscall goes through an injectable SysApi, so the tier-1
+ *    tests exercise open-failure fallback, group-to-independent
+ *    splitting, and multiplex scaling deterministically, with no PMU.
+ *
+ * PerfRegion is the RAII measurement scope.  It integrates with the
+ * observability layer (support/obs): when tracing is on, a region
+ * emits a Chrome-trace span whose args carry the scaled hardware
+ * counter deltas and the backend name, right next to the memsim spans
+ * that carry the simulated deltas.  Caveats (multiplexing error,
+ * per-thread attribution) are documented in docs/PROFILING.md.
+ */
+
+#ifndef M4PS_SUPPORT_PERFCTR_PERFCTR_HH
+#define M4PS_SUPPORT_PERFCTR_PERFCTR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "support/obs/obs.hh"
+
+namespace m4ps::perfctr
+{
+
+// ------------------------------------------------------------------
+// Event set.
+// ------------------------------------------------------------------
+
+/** The counter slots every backend reports (fixed order). */
+enum class Event
+{
+    Cycles = 0,    //!< CPU cycles (software backend: clock ticks).
+    Instructions,  //!< Retired instructions.
+    L1dLoads,      //!< L1 data cache read accesses (~graduated loads).
+    L1dMisses,     //!< L1 data cache read misses.
+    LlcLoads,      //!< Last-level cache read accesses.
+    LlcMisses,     //!< Last-level cache read misses.
+    DtlbMisses,    //!< Data TLB read misses.
+    BranchMisses,  //!< Mispredicted branches.
+};
+inline constexpr int kEventCount = 8;
+
+/** Short snake_case name ("cycles", "l1d_misses", ...). */
+const char *eventName(int index);
+inline const char *eventName(Event e)
+{
+    return eventName(static_cast<int>(e));
+}
+
+/** Which implementation is live. */
+enum class Backend
+{
+    Hardware, //!< perf_event_open file descriptors.
+    Software, //!< Clock/rdtsc fallback; only Cycles is valid.
+};
+const char *backendName(Backend b);
+
+/** One scaled reading (cumulative since the group opened). */
+struct Sample
+{
+    double count[kEventCount] = {};
+    bool valid[kEventCount] = {};
+    uint64_t timeEnabledNs = 0;
+    uint64_t timeRunningNs = 0;
+};
+
+/** Difference of two Samples (per-event, clamped non-negative). */
+struct Counts
+{
+    double count[kEventCount] = {};
+    bool valid[kEventCount] = {};
+    uint64_t enabledNs = 0; //!< time_enabled advance over the region.
+    uint64_t runningNs = 0; //!< time_running advance over the region.
+
+    bool has(Event e) const { return valid[static_cast<int>(e)]; }
+    double get(Event e) const { return count[static_cast<int>(e)]; }
+
+    /** True when the kernel time-multiplexed (running < enabled). */
+    bool multiplexed() const { return runningNs < enabledNs; }
+
+    /** L1D read miss ratio, or -1 when the events are invalid. */
+    double l1MissRatio() const;
+    /** LLC read miss ratio, or -1 when the events are invalid. */
+    double llcMissRatio() const;
+};
+
+// ------------------------------------------------------------------
+// Syscall abstraction (injectable for tests).
+// ------------------------------------------------------------------
+
+/** Portable description of one event to open. */
+struct EventSpec
+{
+    int eventIndex = 0;      //!< Which Event this opens.
+    uint32_t type = 0;       //!< perf_event_attr.type.
+    uint64_t config = 0;     //!< perf_event_attr.config.
+    uint64_t readFormat = 0; //!< perf_event_attr.read_format.
+};
+
+/** Read-format bits mirrored from <linux/perf_event.h>, so specs and
+ *  fake backends stay meaningful on any host. */
+inline constexpr uint64_t kReadFormatTotalTimeEnabled = 1u << 0;
+inline constexpr uint64_t kReadFormatTotalTimeRunning = 1u << 1;
+inline constexpr uint64_t kReadFormatGroup = 1u << 3;
+
+/**
+ * The three syscalls the backend needs.  open returns an fd >= 0 or a
+ * negative errno; read fills @p buf with the perf read() layout for
+ * the fd's read_format and returns words written or a negative errno.
+ * The host implementation wraps perf_event_open(2); tests substitute
+ * deterministic fakes.
+ */
+struct SysApi
+{
+    std::function<int(const EventSpec &spec, int groupFd)> open;
+    std::function<long(int fd, uint64_t *buf, int bufWords)> read;
+    std::function<void(int fd)> close;
+};
+
+/** The real syscalls (perf_event_open; -ENOSYS off Linux). */
+const SysApi &hostSysApi();
+
+/** Portable scaling: raw * enabled / running (raw when running 0). */
+double scaleCount(uint64_t raw, uint64_t enabled, uint64_t running);
+
+// ------------------------------------------------------------------
+// Counter group.
+// ------------------------------------------------------------------
+
+/**
+ * One set of open counters for the calling thread.  Opening never
+ * fails: if the leader cannot open, the group runs on the software
+ * backend.  If a sibling cannot join the leader's PMU group (width),
+ * the group reopens every event independently and lets the kernel
+ * multiplex.  read() returns scaled, per-event-monotonic cumulative
+ * counts; deltas are computed by PerfRegion.
+ */
+class CounterGroup
+{
+  public:
+    explicit CounterGroup(const SysApi &api = hostSysApi());
+    ~CounterGroup();
+
+    CounterGroup(const CounterGroup &) = delete;
+    CounterGroup &operator=(const CounterGroup &) = delete;
+
+    Backend backend() const { return backend_; }
+
+    /** True when all events share one PMU group (single read()). */
+    bool grouped() const { return grouped_; }
+
+    /** Scaled cumulative counts; monotonic per event. */
+    Sample read();
+
+  private:
+    void openAll(const SysApi &api);
+    void closeAll();
+    Sample readHardware();
+    Sample readSoftware() const;
+
+    SysApi api_;
+    Backend backend_ = Backend::Software;
+    bool grouped_ = false;
+    int fds_[kEventCount];
+    double lastScaled_[kEventCount] = {};
+    uint64_t softBaseTicks_ = 0;
+    uint64_t softBaseNs_ = 0;
+};
+
+// ------------------------------------------------------------------
+// Process-wide state.
+// ------------------------------------------------------------------
+
+/**
+ * Ask for profiling.  Off (the default) makes PerfRegion a no-op that
+ * costs one relaxed atomic load; on opens the process counter group
+ * lazily on first use.  Tools flip this from --perf.
+ */
+void setEnabled(bool on);
+bool enabled();
+
+/** Backend of the process group (opens it if enabled and not yet). */
+Backend activeBackend();
+
+/** backendName(activeBackend()) - "hardware" or "software". */
+const char *activeBackendName();
+
+/**
+ * Drop the process group and (optionally) substitute the syscall
+ * layer used when it reopens.  Pass nullptr to restore the host
+ * syscalls.  Test hook; also resets the enabled flag to off.
+ */
+void resetForTest(const SysApi *api);
+
+// ------------------------------------------------------------------
+// RAII measurement region.
+// ------------------------------------------------------------------
+
+/**
+ * Measure hardware counters over a scope, perfex-style.  When
+ * profiling is enabled, construction samples the process group;
+ * stop() (or destruction) samples again and, when tracing is on,
+ * emits a complete obs span carrying the counter deltas as args:
+ *
+ *     {"perf_backend":"hardware","hw_cycles":..., "hw_l1d_misses":...}
+ *
+ * Regions destruct LIFO on a thread, so their spans nest exactly like
+ * obs::Span scopes (tests/test_perfctr.cc asserts this).
+ */
+class PerfRegion
+{
+  public:
+    PerfRegion(const char *cat, const char *name);
+    ~PerfRegion();
+
+    PerfRegion(const PerfRegion &) = delete;
+    PerfRegion &operator=(const PerfRegion &) = delete;
+
+    bool active() const { return active_; }
+
+    /**
+     * End the region now: emit the span (if tracing) and return the
+     * counter deltas.  Idempotent; the destructor then does nothing.
+     */
+    Counts stop();
+
+    /** Span-args JSON for a delta ("{...}"). */
+    static std::string argsJson(const Counts &delta, Backend backend);
+
+  private:
+    const char *cat_;
+    const char *name_;
+    Sample start_;
+    uint64_t obsStartNs_ = 0;
+    bool active_ = false;
+};
+
+/** Delta as a JSON object keyed hw_<event>, plus backend and times. */
+std::string countsJson(const Counts &delta, Backend backend);
+
+} // namespace m4ps::perfctr
+
+#endif // M4PS_SUPPORT_PERFCTR_PERFCTR_HH

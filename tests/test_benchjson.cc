@@ -1,0 +1,261 @@
+/**
+ * @file
+ * The unified bench JSON pipeline: path resolution and read-modify-
+ * write merging in bench/bench_json.hh, and the regression diff in
+ * core/benchdiff.hh that tools/bench_compare gates CI on.
+ *
+ * The key CI property under test: an injected drift in a hard
+ * (counter/ratio/verdict) metric makes hardRegression() true - the
+ * exit-1 path of bench_compare - while timing drift only warns and
+ * *extra* benches/metrics never fail the comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.hh"
+#include "core/benchdiff.hh"
+#include "support/json.hh"
+
+namespace m4ps
+{
+namespace
+{
+
+using support::JsonValue;
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+bench::BenchEntry
+entry(const std::string &name, double l1MissRate, double seconds)
+{
+    bench::BenchEntry e;
+    e.bench = name;
+    e.config.add("frames", JsonValue::of(int64_t{2}));
+    e.metrics.add("l1_miss_rate", JsonValue::of(l1MissRate));
+    e.metrics.add("modelled_seconds", JsonValue::of(seconds));
+    return e;
+}
+
+/** m4ps-bench-v1 document from entries, via the writer itself. */
+JsonValue
+docOf(const std::string &file,
+      const std::vector<bench::BenchEntry> &entries)
+{
+    const std::string path = tempPath(file);
+    std::remove(path.c_str());
+    bench::writeBenchEntries(path, entries);
+    JsonValue doc = support::parseJsonFile(path);
+    std::remove(path.c_str());
+    return doc;
+}
+
+TEST(BenchJson, WriteCreatesSchemaAndMergesByBenchName)
+{
+    const std::string path = tempPath("bench_merge.json");
+    std::remove(path.c_str());
+
+    bench::writeBenchEntries(
+        path, {entry("table2/a", 0.005, 1.0),
+               entry("table2/b", 0.006, 2.0)});
+    JsonValue doc = support::parseJsonFile(path);
+    EXPECT_EQ(doc.stringOr("schema", ""), "m4ps-bench-v1");
+    ASSERT_TRUE(doc.at("benches").isArray());
+    ASSERT_EQ(doc.at("benches").array.size(), 2u);
+
+    // Re-running one bench replaces its row in place and appends the
+    // new one; the untouched row survives.
+    bench::writeBenchEntries(
+        path, {entry("table2/b", 0.042, 9.0),
+               entry("table3/c", 0.007, 3.0)});
+    doc = support::parseJsonFile(path);
+    const auto &benches = doc.at("benches").array;
+    ASSERT_EQ(benches.size(), 3u);
+    EXPECT_EQ(benches[0].stringOr("bench", ""), "table2/a");
+    EXPECT_EQ(benches[1].stringOr("bench", ""), "table2/b");
+    EXPECT_DOUBLE_EQ(
+        benches[1].find("metrics")->numberOr("l1_miss_rate", 0),
+        0.042);
+    EXPECT_EQ(benches[2].stringOr("bench", ""), "table3/c");
+    EXPECT_EQ(benches[2].stringOr("backend", ""), "memsim");
+    std::remove(path.c_str());
+}
+
+TEST(BenchJson, PathResolutionHonoursFlagThenEnv)
+{
+    const char *saved = std::getenv("M4PS_BENCH_JSON_DIR");
+    ::unsetenv("M4PS_BENCH_JSON_DIR");
+
+    // Explicit --json-out wins in both spellings.
+    {
+        const char *argv[] = {"bench", "--json-out", "/x/out.json"};
+        EXPECT_EQ(bench::benchJsonPath(3,
+                                       const_cast<char **>(argv),
+                                       "BENCH_d.json"),
+                  "/x/out.json");
+    }
+    {
+        const char *argv[] = {"bench", "--json-out=/y/out.json"};
+        EXPECT_EQ(bench::benchJsonPath(2,
+                                       const_cast<char **>(argv),
+                                       "BENCH_d.json"),
+                  "/y/out.json");
+    }
+
+    // Next the environment directory...
+    ::setenv("M4PS_BENCH_JSON_DIR", "/env/dir", 1);
+    {
+        const char *argv[] = {"bench"};
+        EXPECT_EQ(bench::benchJsonPath(1,
+                                       const_cast<char **>(argv),
+                                       "BENCH_d.json"),
+                  "/env/dir/BENCH_d.json");
+    }
+
+    // ...and without it, somewhere fixed that ends in the default
+    // name (the configured repository root).
+    ::unsetenv("M4PS_BENCH_JSON_DIR");
+    {
+        const char *argv[] = {"bench"};
+        const std::string p = bench::benchJsonPath(
+            1, const_cast<char **>(argv), "BENCH_d.json");
+        ASSERT_GE(p.size(), std::string("BENCH_d.json").size());
+        EXPECT_EQ(p.substr(p.size() - 12), "BENCH_d.json");
+    }
+
+    if (saved)
+        ::setenv("M4PS_BENCH_JSON_DIR", saved, 1);
+}
+
+TEST(BenchDiff, TimingMetricClassification)
+{
+    EXPECT_TRUE(core::isTimingMetric("span_site_ns"));
+    EXPECT_TRUE(core::isTimingMetric("encode_us"));
+    EXPECT_TRUE(core::isTimingMetric("frame_ms"));
+    EXPECT_TRUE(core::isTimingMetric("modelled_seconds"));
+    EXPECT_TRUE(core::isTimingMetric("wall_on"));
+    EXPECT_TRUE(core::isTimingMetric("est_overhead_pct"));
+    EXPECT_FALSE(core::isTimingMetric("l1_miss_rate"));
+    EXPECT_FALSE(core::isTimingMetric("grad_loads"));
+    EXPECT_FALSE(core::isTimingMetric("verdict_cache_friendly"));
+}
+
+TEST(BenchDiff, IdenticalDocumentsProduceNoFindings)
+{
+    const JsonValue doc = docOf("bench_id.json",
+                                {entry("t/a", 0.005, 1.0),
+                                 entry("t/b", 0.006, 2.0)});
+    const core::BenchDiffResult res = core::diffBenchDocs(doc, doc);
+    EXPECT_TRUE(res.findings.empty());
+    EXPECT_FALSE(res.hardRegression());
+    EXPECT_EQ(res.benchesCompared, 2);
+    EXPECT_EQ(res.metricsCompared, 4);
+}
+
+TEST(BenchDiff, CounterDriftIsAHardRegression)
+{
+    const JsonValue base =
+        docOf("bench_base.json", {entry("t/a", 0.005, 1.0)});
+    // l1_miss_rate drifts 20%: far past the 1e-9 default.
+    const JsonValue cur =
+        docOf("bench_cur.json", {entry("t/a", 0.006, 1.0)});
+    const core::BenchDiffResult res = core::diffBenchDocs(base, cur);
+    ASSERT_EQ(res.findings.size(), 1u);
+    const core::BenchFinding &f = res.findings[0];
+    EXPECT_EQ(f.kind, core::BenchFinding::Kind::HardDrift);
+    EXPECT_EQ(f.bench, "t/a");
+    EXPECT_EQ(f.metric, "l1_miss_rate");
+    EXPECT_TRUE(f.hard());
+    EXPECT_TRUE(res.hardRegression());
+    EXPECT_NEAR(f.relDiff, 0.2, 1e-6);
+    EXPECT_FALSE(f.str().empty());
+}
+
+TEST(BenchDiff, TimingDriftOnlyWarns)
+{
+    const JsonValue base =
+        docOf("bench_tb.json", {entry("t/a", 0.005, 1.0)});
+    // modelled_seconds quadruples: way past timingTolerance 0.5,
+    // but timings never fail the comparison.
+    const JsonValue cur =
+        docOf("bench_tc.json", {entry("t/a", 0.005, 4.0)});
+    const core::BenchDiffResult res = core::diffBenchDocs(base, cur);
+    ASSERT_EQ(res.findings.size(), 1u);
+    EXPECT_EQ(res.findings[0].kind,
+              core::BenchFinding::Kind::SoftDrift);
+    EXPECT_FALSE(res.findings[0].hard());
+    EXPECT_FALSE(res.hardRegression());
+
+    // Within the generous timing tolerance: silence.
+    const JsonValue close =
+        docOf("bench_td.json", {entry("t/a", 0.005, 1.2)});
+    EXPECT_TRUE(core::diffBenchDocs(base, close).findings.empty());
+}
+
+TEST(BenchDiff, MissingBenchAndHardMetricFail)
+{
+    const JsonValue base = docOf("bench_mb.json",
+                                 {entry("t/a", 0.005, 1.0),
+                                  entry("t/b", 0.006, 2.0)});
+    // Current lost bench t/b entirely.
+    const JsonValue cur =
+        docOf("bench_mc.json", {entry("t/a", 0.005, 1.0)});
+    core::BenchDiffResult res = core::diffBenchDocs(base, cur);
+    ASSERT_EQ(res.findings.size(), 1u);
+    EXPECT_EQ(res.findings[0].kind,
+              core::BenchFinding::Kind::MissingBench);
+    EXPECT_TRUE(res.hardRegression());
+
+    // Current lost a hard metric from a present bench.
+    bench::BenchEntry noCounter;
+    noCounter.bench = "t/a";
+    noCounter.metrics.add("modelled_seconds", JsonValue::of(1.0));
+    const JsonValue cur2 = docOf(
+        "bench_md.json", {noCounter, entry("t/b", 0.006, 2.0)});
+    res = core::diffBenchDocs(base, cur2);
+    ASSERT_EQ(res.findings.size(), 1u);
+    EXPECT_EQ(res.findings[0].kind,
+              core::BenchFinding::Kind::MissingMetric);
+    EXPECT_EQ(res.findings[0].metric, "l1_miss_rate");
+    EXPECT_TRUE(res.hardRegression());
+}
+
+TEST(BenchDiff, ExtrasAndMissingTimingsAreNotRegressions)
+{
+    const JsonValue base =
+        docOf("bench_xb.json", {entry("t/a", 0.005, 1.0)});
+
+    // Current gained a bench and a metric, and dropped a timing.
+    bench::BenchEntry a;
+    a.bench = "t/a";
+    a.metrics.add("l1_miss_rate", JsonValue::of(0.005));
+    a.metrics.add("new_counter", JsonValue::of(int64_t{7}));
+    const JsonValue cur = docOf("bench_xc.json",
+                                {a, entry("t/new", 0.001, 0.5)});
+    const core::BenchDiffResult res = core::diffBenchDocs(base, cur);
+    EXPECT_TRUE(res.findings.empty())
+        << "extra benches/metrics and dropped timings must not fail";
+    EXPECT_FALSE(res.hardRegression());
+}
+
+TEST(BenchDiff, RejectsDocumentsWithoutBenchesArray)
+{
+    const JsonValue bad = support::parseJson("{\"schema\":\"x\"}");
+    const JsonValue good =
+        docOf("bench_rj.json", {entry("t/a", 0.005, 1.0)});
+    EXPECT_THROW(core::diffBenchDocs(bad, good),
+                 support::JsonError);
+    EXPECT_THROW(core::diffBenchDocs(good, bad),
+                 support::JsonError);
+}
+
+} // namespace
+} // namespace m4ps

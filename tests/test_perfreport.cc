@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Counter-report correctness (core/perfreport.hh): the m4ps-report-v1
+ * document round-trips through JSON without losing counters, its
+ * verdict section agrees with core/fallacies on every machine preset,
+ * and the hardware-vs-memsim divergence verdict flags exactly the
+ * mismatched pairs.  All inputs are synthetic CounterSets, so the
+ * suite needs neither a codec run nor a PMU.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fallacies.hh"
+#include "core/machine.hh"
+#include "core/perfreport.hh"
+#include "core/report.hh"
+#include "support/json.hh"
+
+namespace m4ps
+{
+namespace
+{
+
+using support::JsonValue;
+
+/** A plausible cache-friendly encode: ~0.5% L1 misses, ~8.6% L2. */
+memsim::CounterSet
+friendlyCounters()
+{
+    memsim::CounterSet cs;
+    cs.gradLoads = 100'000'000;
+    cs.gradStores = 40'000'000;
+    cs.l1Misses = 700'000;
+    cs.l1Writebacks = 200'000;
+    cs.l2Misses = 60'000;
+    cs.l2Writebacks = 20'000;
+    cs.prefetches = 100'000;
+    cs.prefetchL1Hits = 70'000;
+    cs.prefetchFills = 20'000;
+    cs.computeCycles = 2.0e8;
+    cs.stallL2Cycles = 5.0e6;
+    cs.stallDramCycles = 8.0e6;
+    return cs;
+}
+
+/** The same run blown up: much worse L2 behaviour and DRAM stall. */
+memsim::CounterSet
+degradedCounters()
+{
+    memsim::CounterSet cs = friendlyCounters();
+    cs.l2Misses *= 10;
+    cs.l2Writebacks *= 10;
+    cs.stallDramCycles *= 10;
+    return cs;
+}
+
+core::ReportRun
+makeRun(const std::string &label, const std::string &preset,
+        const memsim::CounterSet &cs)
+{
+    core::ReportRun run;
+    run.label = label;
+    run.preset = preset;
+    run.machine = core::machineByName(preset);
+    run.ctrs = cs;
+    return run;
+}
+
+const char *const kPresets[] = {"o2", "onyx", "onyx2"};
+
+TEST(PerfReport, GoldenRoundTripPreservesCounters)
+{
+    std::vector<core::ReportRun> runs;
+    for (const char *preset : kPresets)
+        runs.push_back(makeRun(std::string("enc ") + preset, preset,
+                               friendlyCounters()));
+
+    const JsonValue doc = core::buildCounterReport(runs, 0.5);
+    EXPECT_EQ(doc.stringOr("schema", ""), "m4ps-report-v1");
+
+    // Serialize to text and back: the golden round-trip a report file
+    // on disk goes through.
+    const JsonValue reparsed =
+        support::parseJson(support::writeJson(doc));
+    const std::vector<core::ReportRun> back =
+        core::parseReportRuns(reparsed);
+    ASSERT_EQ(back.size(), runs.size());
+    for (size_t i = 0; i < runs.size(); ++i) {
+        EXPECT_EQ(back[i].label, runs[i].label);
+        EXPECT_EQ(back[i].preset, runs[i].preset);
+        EXPECT_EQ(back[i].machine.l2.sizeBytes,
+                  runs[i].machine.l2.sizeBytes);
+        EXPECT_TRUE(back[i].ctrs == runs[i].ctrs)
+            << "counters changed across the JSON round-trip";
+        EXPECT_FALSE(back[i].hasHw);
+    }
+
+    // Re-deriving from the round-tripped runs yields an identical
+    // document (stable text == golden file property).
+    EXPECT_EQ(support::writeJson(core::buildCounterReport(back, 0.5)),
+              support::writeJson(doc));
+}
+
+TEST(PerfReport, VerdictsMatchFallacyJudgeOnAllPresets)
+{
+    std::vector<core::ReportRun> runs;
+    for (const char *preset : kPresets)
+        runs.push_back(makeRun(preset, preset, friendlyCounters()));
+    const JsonValue doc = core::buildCounterReport(runs, 0.5);
+
+    const JsonValue *arr = doc.find("runs");
+    ASSERT_NE(arr, nullptr);
+    ASSERT_EQ(arr->array.size(), 3u);
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const core::MemoryReport rep =
+            core::MemoryReport::from(runs[i].ctrs, runs[i].machine);
+        const core::FallacyVerdicts want =
+            core::judge(rep, runs[i].machine);
+        const JsonValue *v = arr->array[i].find("verdicts");
+        ASSERT_NE(v, nullptr) << kPresets[i];
+        EXPECT_EQ(v->boolOr("cache_friendly", !want.cacheFriendly),
+                  want.cacheFriendly)
+            << kPresets[i];
+        EXPECT_EQ(v->boolOr("not_latency_bound",
+                            !want.notLatencyBound),
+                  want.notLatencyBound)
+            << kPresets[i];
+        EXPECT_EQ(v->boolOr("not_bandwidth_bound",
+                            !want.notBandwidthBound),
+                  want.notBandwidthBound)
+            << kPresets[i];
+        EXPECT_EQ(v->boolOr("prefetch_mostly_wasted",
+                            !want.prefetchMostlyWasted),
+                  want.prefetchMostlyWasted)
+            << kPresets[i];
+    }
+
+    // The fifth verdict: scaling across the document's runs.
+    const JsonValue *scaling = doc.find("scaling");
+    ASSERT_NE(scaling, nullptr);
+    EXPECT_TRUE(scaling->boolOr("available", false));
+    const core::MemoryReport first =
+        core::MemoryReport::from(runs.front().ctrs,
+                                 runs.front().machine);
+    const core::MemoryReport last = core::MemoryReport::from(
+        runs.back().ctrs, runs.back().machine);
+    EXPECT_EQ(scaling->boolOr("holds", false),
+              core::sizeScalingHolds(first, last));
+}
+
+TEST(PerfReport, ScalingVerdictFlagsDegradation)
+{
+    std::vector<core::ReportRun> runs{
+        makeRun("small", "o2", friendlyCounters()),
+        makeRun("large", "o2", degradedCounters()),
+    };
+    const JsonValue doc = core::buildCounterReport(runs, 0.5);
+    const JsonValue *scaling = doc.find("scaling");
+    ASSERT_NE(scaling, nullptr);
+    EXPECT_TRUE(scaling->boolOr("available", false));
+    EXPECT_EQ(scaling->stringOr("from", ""), "small");
+    EXPECT_EQ(scaling->stringOr("to", ""), "large");
+    EXPECT_FALSE(scaling->boolOr("holds", true))
+        << "a 10x worse L2/DRAM run must fail the scaling verdict";
+
+    // A single run has no scaling verdict.
+    runs.pop_back();
+    const JsonValue solo = core::buildCounterReport(runs, 0.5);
+    ASSERT_NE(solo.find("scaling"), nullptr);
+    EXPECT_FALSE(solo.find("scaling")->boolOr("available", true));
+}
+
+TEST(PerfReport, CrossValidateAgreesAndDiverges)
+{
+    const core::MachineConfig m = core::machineByName("o2");
+    const core::MemoryReport sim =
+        core::MemoryReport::from(friendlyCounters(), m);
+    ASSERT_GT(sim.l1MissRate, 0.0);
+    ASSERT_GT(sim.l2MissRate, 0.0);
+
+    // Hardware counts with the same miss ratios: no divergence.
+    perfctr::Counts hw;
+    auto setEvent = [&hw](perfctr::Event e, double v) {
+        hw.valid[static_cast<int>(e)] = true;
+        hw.count[static_cast<int>(e)] = v;
+    };
+    setEvent(perfctr::Event::L1dLoads, 1e9);
+    setEvent(perfctr::Event::L1dMisses, 1e9 * sim.l1MissRate);
+    setEvent(perfctr::Event::LlcLoads, 1e6);
+    setEvent(perfctr::Event::LlcMisses, 1e6 * sim.l2MissRate);
+    core::Divergence d = core::crossValidate(sim, hw, 0.5);
+    EXPECT_TRUE(d.comparable);
+    EXPECT_FALSE(d.diverged);
+    EXPECT_NEAR(d.l1RelDiff, 0.0, 1e-9);
+    EXPECT_NEAR(d.llcRelDiff, 0.0, 1e-9);
+
+    // 10x the hardware L1 miss ratio: rel diff 9 >> tolerance 0.5.
+    setEvent(perfctr::Event::L1dMisses, 1e10 * sim.l1MissRate);
+    d = core::crossValidate(sim, hw, 0.5);
+    EXPECT_TRUE(d.comparable);
+    EXPECT_TRUE(d.diverged);
+    EXPECT_GT(d.l1RelDiff, 0.5);
+
+    // Software backend (no LLC events): not comparable, never flags.
+    perfctr::Counts soft;
+    soft.valid[0] = true;
+    soft.count[0] = 12345;
+    d = core::crossValidate(sim, soft, 0.5);
+    EXPECT_FALSE(d.comparable);
+    EXPECT_FALSE(d.diverged);
+}
+
+TEST(PerfReport, HwSectionRoundTripsAndDrivesDivergence)
+{
+    core::ReportRun run = makeRun("enc", "onyx", friendlyCounters());
+    run.hasHw = true;
+    run.hwBackend = perfctr::Backend::Hardware;
+    for (int e = 0; e < perfctr::kEventCount; ++e) {
+        run.hw.valid[e] = true;
+        run.hw.count[e] = 1000.0 * (e + 1);
+    }
+    run.hw.enabledNs = 2000;
+    run.hw.runningNs = 1000;
+
+    const JsonValue doc =
+        core::buildCounterReport({run}, 0.5);
+    ASSERT_NE(doc.find("runs"), nullptr);
+    const JsonValue &r0 = doc.find("runs")->array.at(0);
+    ASSERT_NE(r0.find("hw"), nullptr);
+    ASSERT_NE(r0.find("divergence"), nullptr);
+    EXPECT_EQ(r0.find("hw")->stringOr("backend", ""), "hardware");
+    EXPECT_TRUE(r0.find("hw")->boolOr("multiplexed", false));
+
+    const std::vector<core::ReportRun> back = core::parseReportRuns(
+        support::parseJson(support::writeJson(doc)));
+    ASSERT_EQ(back.size(), 1u);
+    ASSERT_TRUE(back[0].hasHw);
+    EXPECT_EQ(back[0].hwBackend, perfctr::Backend::Hardware);
+    for (int e = 0; e < perfctr::kEventCount; ++e) {
+        ASSERT_TRUE(back[0].hw.valid[e]);
+        EXPECT_DOUBLE_EQ(back[0].hw.count[e], run.hw.count[e]);
+    }
+    EXPECT_EQ(back[0].hw.enabledNs, 2000u);
+    EXPECT_EQ(back[0].hw.runningNs, 1000u);
+}
+
+TEST(PerfReport, CustomPresetRoundTripsL2Size)
+{
+    core::ReportRun run;
+    run.label = "sweep 4MB";
+    run.preset = "custom";
+    run.machine = core::customL2Machine(4 * 1024 * 1024);
+    run.ctrs = friendlyCounters();
+
+    const JsonValue doc = core::buildCounterReport({run}, 0.5);
+    EXPECT_DOUBLE_EQ(
+        doc.find("runs")->array.at(0).numberOr("l2_bytes", 0),
+        4.0 * 1024 * 1024);
+    const std::vector<core::ReportRun> back =
+        core::parseReportRuns(doc);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].machine.l2.sizeBytes, 4u * 1024 * 1024);
+}
+
+TEST(PerfReport, ParseRejectsMalformedDocuments)
+{
+    EXPECT_THROW(core::parseReportRuns(
+                     support::parseJson("{\"schema\":\"x\"}")),
+                 support::JsonError);
+    EXPECT_THROW(
+        core::parseReportRuns(support::parseJson(
+            "{\"runs\":[{\"label\":\"no-counters\"}]}")),
+        support::JsonError);
+}
+
+TEST(PerfReport, HumanReportPrintsVerdictsAndDivergence)
+{
+    std::vector<core::ReportRun> runs{
+        makeRun("small", "o2", friendlyCounters()),
+        makeRun("large", "o2", friendlyCounters()),
+    };
+    runs[1].hasHw = true;
+    runs[1].hwBackend = perfctr::Backend::Software;
+    runs[1].hw.valid[0] = true;
+    runs[1].hw.count[0] = 42;
+
+    std::ostringstream os;
+    core::printCounterReport(os, runs, 0.5);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Counter report"), std::string::npos);
+    EXPECT_NE(out.find("Verdicts"), std::string::npos);
+    EXPECT_NE(out.find("scaling small -> large"), std::string::npos);
+    EXPECT_NE(out.find("backend software"), std::string::npos);
+    EXPECT_NE(out.find("divergence: n/a"), std::string::npos);
+}
+
+} // namespace
+} // namespace m4ps

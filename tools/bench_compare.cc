@@ -1,0 +1,102 @@
+/**
+ * @file
+ * bench_compare: diff a freshly generated BENCH_*.json against a
+ * committed baseline.
+ *
+ * Exit status is the regression verdict the CI bench job gates on:
+ * 0 when every hard (counter/ratio/verdict) metric matches the
+ * baseline within tolerance, 1 on any hard finding.  Timing metrics
+ * ("_ns"/"seconds"/"wall"/... names) only warn - they measure the
+ * runner, not the simulator.  See src/core/benchdiff.hh for the
+ * classification rules and docs/EXPERIMENTS.md for regenerating
+ * baselines after an intentional model change.
+ *
+ *   bench_compare bench/baselines/BENCH_paper_tables.json \
+ *                 BENCH_paper_tables.json
+ */
+
+#include <cstdio>
+
+#include "core/benchdiff.hh"
+#include "support/args.hh"
+
+namespace
+{
+
+using namespace m4ps;
+
+const std::set<std::string> kFlags{
+    "counter-tolerance", "timing-tolerance", "help",
+};
+
+void
+usage()
+{
+    std::printf(
+        "bench_compare - regression-diff two m4ps-bench-v1 "
+        "documents\n\n"
+        "  bench_compare [options] BASELINE.json CURRENT.json\n\n"
+        "  --counter-tolerance T   relative slack for hard metrics\n"
+        "                          (default 1e-9: memsim counters\n"
+        "                          are bit-deterministic)\n"
+        "  --timing-tolerance T    relative slack for timing metrics\n"
+        "                          before the warning prints\n"
+        "                          (default 0.5)\n\n"
+        "exit 0: no hard regression; exit 1: hard metric drifted,\n"
+        "bench missing, or hard metric missing; exit 2: usage.\n");
+}
+
+int
+compareMain(int argc, char **argv)
+{
+    ArgParser args(argc, argv, kFlags);
+    if (args.getBool("help")) {
+        usage();
+        return 0;
+    }
+    if (args.positional().size() != 2)
+        throw ArgError("expected exactly two positional arguments: "
+                       "BASELINE.json CURRENT.json");
+
+    core::BenchDiffOptions opts;
+    opts.counterTolerance =
+        args.getDouble("counter-tolerance", opts.counterTolerance);
+    opts.timingTolerance =
+        args.getDouble("timing-tolerance", opts.timingTolerance);
+
+    const std::string &basePath = args.positional()[0];
+    const std::string &curPath = args.positional()[1];
+    core::BenchDiffResult res;
+    try {
+        res = core::diffBenchDocs(support::parseJsonFile(basePath),
+                                  support::parseJsonFile(curPath),
+                                  opts);
+    } catch (const support::JsonError &e) {
+        std::fprintf(stderr, "bench_compare: %s\n", e.what());
+        return 1;
+    }
+
+    for (const core::BenchFinding &f : res.findings)
+        std::printf("%s\n", f.str().c_str());
+
+    int hard = 0, soft = 0;
+    for (const core::BenchFinding &f : res.findings)
+        (f.hard() ? hard : soft) += 1;
+    std::printf("%s: %d bench(es), %d metric(s) compared, "
+                "%d hard finding(s), %d timing warning(s)\n",
+                hard ? "REGRESSION" : "OK", res.benchesCompared,
+                res.metricsCompared, hard, soft);
+    return res.hardRegression() ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return compareMain(argc, argv);
+    } catch (const ArgError &e) {
+        return reportArgError("bench_compare", e);
+    }
+}

@@ -19,10 +19,12 @@
 
 #include "codec/faultinject.hh"
 #include "core/fallacies.hh"
+#include "core/perfreport.hh"
 #include "core/runner.hh"
 #include "support/args.hh"
 #include "support/logging.hh"
 #include "support/obs/obs.hh"
+#include "support/perfctr/perfctr.hh"
 #include "support/threadpool.hh"
 
 namespace
@@ -36,7 +38,7 @@ const std::set<std::string> kFlags{
     "b-frames", "intra-period", "no-half-pel", "no-4mv",
     "mpeg-quant", "seed", "threads", "resync-interval",
     "data-partition", "ber", "fault-seed", "tolerant",
-    "trace-out", "metrics-out", "help",
+    "trace-out", "metrics-out", "perf", "report-out", "help",
 };
 
 void
@@ -77,7 +79,31 @@ usage()
         "                              about:tracing); bitstreams are\n"
         "                              byte-identical with it on or off\n"
         "  --metrics-out FILE          write the flat metrics dump\n"
-        "                              (docs/OBSERVABILITY.md)\n");
+        "                              (docs/OBSERVABILITY.md)\n"
+        "  --perf                      measure host PMU counters over\n"
+        "                              each run (perf_event_open;\n"
+        "                              falls back to a software clock\n"
+        "                              when the PMU is unavailable -\n"
+        "                              docs/PROFILING.md)\n"
+        "  --report-out FILE           write the m4ps-report-v1 JSON\n"
+        "                              document (counters, derived\n"
+        "                              metrics, verdicts, hw deltas);\n"
+        "                              feed it to m4ps_report\n");
+}
+
+void
+reportHw(const core::RunResult &r)
+{
+    if (!r.hasHw)
+        return;
+    std::printf("  host PMU (%s backend%s):\n",
+                perfctr::backendName(r.perfBackend),
+                r.hw.multiplexed() ? ", multiplexed+scaled" : "");
+    for (int e = 0; e < perfctr::kEventCount; ++e) {
+        if (r.hw.valid[e])
+            std::printf("    %-15s %.0f\n", perfctr::eventName(e),
+                        r.hw.count[e]);
+    }
 }
 
 void
@@ -96,6 +122,7 @@ report(const char *what, const core::RunResult &r,
                     r.meanPsnrY, r.displayedFrames);
     std::printf("  verdicts: %s\n",
                 core::judge(r.whole, m).str().c_str());
+    reportHw(r);
 }
 
 int
@@ -139,26 +166,30 @@ runMain(int argc, char **argv)
 
     const std::string trace_out = args.get("trace-out", "");
     const std::string metrics_out = args.get("metrics-out", "");
+    const std::string report_out = args.get("report-out", "");
     if (!trace_out.empty())
         obs::setTracing(true);
     if (!metrics_out.empty())
         obs::setMetrics(true);
+    if (args.getBool("perf")) {
+        perfctr::setEnabled(true);
+        std::printf("perf: %s backend\n",
+                    perfctr::activeBackendName());
+    }
 
     core::MachineConfig machine;
+    std::string preset;
     if (args.has("l2kb")) {
         machine = core::customL2Machine(
             static_cast<uint64_t>(args.getInt("l2kb", 1024)) * 1024);
+        preset = "custom";
     } else {
-        const std::string name = args.get("machine", "o2");
-        if (name == "o2")
-            machine = core::o2R12k1MB();
-        else if (name == "onyx")
-            machine = core::onyxR10k2MB();
-        else if (name == "onyx2")
-            machine = core::onyx2R12k8MB();
-        else
-            M4PS_FATAL("unknown machine '", name,
-                       "' (o2, onyx, onyx2)");
+        preset = args.get("machine", "o2");
+        try {
+            machine = core::machineByName(preset);
+        } catch (const std::exception &e) {
+            M4PS_FATAL(e.what());
+        }
     }
 
     const std::string mode = args.get("mode", "both");
@@ -171,11 +202,27 @@ runMain(int argc, char **argv)
                 wl.targetBps,
                 support::ThreadPool::global().threads());
 
+    // Runs collected for --report-out (m4ps-report-v1 document).
+    std::vector<core::ReportRun> runs;
+    auto collect = [&](const std::string &label,
+                       const core::RunResult &r) {
+        core::ReportRun run;
+        run.label = label;
+        run.preset = preset;
+        run.machine = machine;
+        run.ctrs = r.whole.ctrs;
+        run.hasHw = r.hasHw;
+        run.hw = r.hw;
+        run.hwBackend = r.perfBackend;
+        runs.push_back(std::move(run));
+    };
+
     std::vector<uint8_t> stream;
     if (mode == "encode" || mode == "both") {
         const core::RunResult enc =
             core::ExperimentRunner::runEncode(wl, machine, &stream);
         report("encode", enc, machine);
+        collect("encode", enc);
     } else {
         stream = core::ExperimentRunner::encodeUntraced(wl);
     }
@@ -199,6 +246,7 @@ runMain(int argc, char **argv)
             const core::RunResult dec = core::ExperimentRunner::runDecode(
                 wl, machine, stream, decode_opts);
             report("decode", dec, machine);
+            collect("decode", dec);
             if (decode_opts.tolerant) {
                 std::printf(
                     "  resilience: %d/%d VOPs corrupt, %d header "
@@ -230,6 +278,15 @@ runMain(int argc, char **argv)
                        metrics_out, "'");
         obs::writeMetricsText(os);
         std::printf("metrics: %s\n", metrics_out.c_str());
+    }
+    if (!report_out.empty()) {
+        const support::JsonValue doc =
+            core::buildCounterReport(runs, 0.5);
+        if (!support::writeJsonFile(report_out, doc))
+            M4PS_FATAL("cannot write --report-out file '",
+                       report_out, "'");
+        std::printf("report: %s (%zu run(s))\n", report_out.c_str(),
+                    runs.size());
     }
     return 0;
 }
