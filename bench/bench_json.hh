@@ -21,7 +21,8 @@
  * artifacts in one predictable place), and finally the CWD.
  *
  * Metric naming matters: bench_compare treats names containing
- * "_ns"/"_us"/"_ms"/"seconds"/"wall"/"overhead" as host-dependent
+ * "_ns"/"_us"/"_ms"/"seconds"/"wall"/"overhead"/"cycle" as
+ * host-dependent
  * timings (warn-only) and everything else as deterministic simulator
  * output (hard-fails the comparison); see src/core/benchdiff.hh.
  */

@@ -28,6 +28,7 @@
 #include "bench/bench_json.hh"
 #include "bench/bench_util.hh"
 #include "codec/faultinject.hh"
+#include "codec/kernels/kernels.hh"
 #include "core/machine.hh"
 #include "support/table.hh"
 
@@ -99,14 +100,14 @@ psnr(const std::vector<uint8_t> &a, const std::vector<uint8_t> &b)
 {
     if (a.size() != b.size() || a.empty())
         return 0.0;
-    double sse = 0;
-    for (size_t i = 0; i < a.size(); ++i) {
-        const double d = static_cast<double>(a[i]) - b[i];
-        sse += d * d;
-    }
+    // Integer SSD through the kernel layer (exact in uint64; a frame
+    // tops out far below 2^53, so the double conversion is lossless).
+    const uint64_t sse = codec::kernels::active().ssdRow(
+        a.data(), b.data(), static_cast<int>(a.size()));
     if (sse == 0)
         return 99.0; // identical; cap instead of infinity
-    const double mse = sse / static_cast<double>(a.size());
+    const double mse = static_cast<double>(sse) /
+                       static_cast<double>(a.size());
     return 10.0 * std::log10(255.0 * 255.0 / mse);
 }
 

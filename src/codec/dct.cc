@@ -1,83 +1,25 @@
 #include "codec/dct.hh"
 
-#include <algorithm>
-#include <cmath>
+#include "codec/kernels/kernels.hh"
 
 namespace m4ps::codec
 {
 
-namespace
-{
-
-/** cos((2x+1) u pi / 16) basis, scaled by the 1/2 c(u) factor. */
-struct DctTables
-{
-    double basis[kBlockEdge][kBlockEdge]; //!< [u][x]
-
-    DctTables()
-    {
-        for (int u = 0; u < kBlockEdge; ++u) {
-            const double cu = u == 0 ? std::sqrt(0.125) : 0.5;
-            for (int x = 0; x < kBlockEdge; ++x) {
-                basis[u][x] = cu * std::cos((2 * x + 1) * u * M_PI / 16.0);
-            }
-        }
-    }
-};
-
-const DctTables tables;
-
-} // namespace
+// The 8x8 transform bodies live in the kernel layer
+// (codec/kernels/): one scalar reference plus bit-identical SIMD
+// backends selected at runtime.  See kernels.hh for the identity
+// contract that lets vectorized doubles reproduce the scalar stream.
 
 void
 forwardDct(const Block &in, Block &out)
 {
-    double tmp[kBlockSize];
-    // Rows.
-    for (int y = 0; y < kBlockEdge; ++y) {
-        for (int u = 0; u < kBlockEdge; ++u) {
-            double acc = 0;
-            for (int x = 0; x < kBlockEdge; ++x)
-                acc += tables.basis[u][x] * in[y * kBlockEdge + x];
-            tmp[y * kBlockEdge + u] = acc;
-        }
-    }
-    // Columns.
-    for (int u = 0; u < kBlockEdge; ++u) {
-        for (int v = 0; v < kBlockEdge; ++v) {
-            double acc = 0;
-            for (int y = 0; y < kBlockEdge; ++y)
-                acc += tables.basis[v][y] * tmp[y * kBlockEdge + u];
-            const double r = std::clamp(acc, -32768.0, 32767.0);
-            out[v * kBlockEdge + u] =
-                static_cast<int16_t>(std::lround(r));
-        }
-    }
+    kernels::active().fdct(in.data(), out.data());
 }
 
 void
 inverseDct(const Block &in, Block &out)
 {
-    double tmp[kBlockSize];
-    // Columns.
-    for (int u = 0; u < kBlockEdge; ++u) {
-        for (int y = 0; y < kBlockEdge; ++y) {
-            double acc = 0;
-            for (int v = 0; v < kBlockEdge; ++v)
-                acc += tables.basis[v][y] * in[v * kBlockEdge + u];
-            tmp[y * kBlockEdge + u] = acc;
-        }
-    }
-    // Rows.
-    for (int y = 0; y < kBlockEdge; ++y) {
-        for (int x = 0; x < kBlockEdge; ++x) {
-            double acc = 0;
-            for (int u = 0; u < kBlockEdge; ++u)
-                acc += tables.basis[u][x] * tmp[y * kBlockEdge + u];
-            const double r = std::clamp(std::round(acc), -2048.0, 2047.0);
-            out[y * kBlockEdge + x] = static_cast<int16_t>(r);
-        }
-    }
+    kernels::active().idct(in.data(), out.data());
 }
 
 } // namespace m4ps::codec

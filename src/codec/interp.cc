@@ -1,5 +1,7 @@
 #include "codec/interp.hh"
 
+#include "codec/kernels/kernels.hh"
+
 #include <algorithm>
 
 #include "support/logging.hh"
@@ -31,6 +33,10 @@ HalfPelPlanes::build(const video::Plane &src,
         src.traceLoadRow(x_lo, y, span);
         h_.traceStoreRow(x_lo, y, span); // stands for the padded copy
     }
+    const kernels::KernelOps &k = kernels::active();
+    // The kernel handles the interior span (x + 1 unclamped); only
+    // the plane's last column needs the x1 = x clamp, peeled below.
+    const int interior = x_hi == w ? span - 1 : span;
     for (int y = y_lo; y < y_hi; ++y) {
         const int y1 = std::min(y + 1, hgt - 1);
         src.traceLoadRow(x_lo, y, span);
@@ -41,10 +47,13 @@ HalfPelPlanes::build(const video::Plane &src,
         uint8_t *ph = h_.rowPtr(y);
         uint8_t *pv = v_.rowPtr(y);
         uint8_t *phv = hv_.rowPtr(y);
-        for (int x = x_lo; x < x_hi; ++x) {
+        // Identical rounding to the on-the-fly path in
+        // codec/motion.cc (predictBlock / sad16HalfPel).
+        if (interior > 0)
+            k.interpRow(r0 + x_lo, r1 + x_lo, interior, ph + x_lo,
+                        pv + x_lo, phv + x_lo);
+        for (int x = x_lo + interior; x < x_hi; ++x) {
             const int x1 = std::min(x + 1, w - 1);
-            // Identical rounding to the on-the-fly path in
-            // codec/motion.cc (predictBlock / sad16HalfPel).
             ph[x] = static_cast<uint8_t>((r0[x] + r0[x1] + 1) >> 1);
             pv[x] = static_cast<uint8_t>((r0[x] + r1[x] + 1) >> 1);
             phv[x] = static_cast<uint8_t>(

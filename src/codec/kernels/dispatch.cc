@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Kernel backend registry and runtime selection.
+ *
+ * Mirrors ViterbiDecoderCpp's simd_type.h/decoder_factories.h split:
+ * each backend lives in its own translation unit compiled with its
+ * own architecture flags, and this file - compiled with the baseline
+ * flags only - maps ISA names to tables and asks the host what it can
+ * run.  On x86-64 detection goes through __builtin_cpu_supports,
+ * which checks CPUID *and* OS support for the wider register state
+ * (OSXSAVE/XGETBV); on AArch64 NEON is architecturally mandatory.
+ *
+ * The active table is a single atomic pointer: lock-free to read on
+ * every kernel call, initialised lazily from the M4PS_KERNELS
+ * environment variable, and replaceable via select() (used by the
+ * --kernels tool flag and by tests that pin a backend).
+ */
+
+#include "codec/kernels/kernels_internal.hh"
+
+#include "support/logging.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+namespace m4ps::codec::kernels
+{
+
+namespace
+{
+
+const KernelOps *
+tableFor(Isa isa)
+{
+    switch (isa) {
+    case Isa::Scalar:
+        return &scalarOps();
+    case Isa::Sse41:
+#if defined(M4PS_KERNELS_HAVE_SSE41)
+        return &sse41Ops();
+#else
+        return nullptr;
+#endif
+    case Isa::Avx2:
+#if defined(M4PS_KERNELS_HAVE_AVX2)
+        return &avx2Ops();
+#else
+        return nullptr;
+#endif
+    case Isa::Neon:
+#if defined(M4PS_KERNELS_HAVE_NEON)
+        return &neonOps();
+#else
+        return nullptr;
+#endif
+    }
+    return nullptr;
+}
+
+struct ActiveState
+{
+    std::atomic<const KernelOps *> ops{nullptr};
+    std::atomic<Isa> isa{Isa::Scalar};
+    std::atomic<bool> initialized{false};
+    std::mutex initMutex;
+};
+
+ActiveState &
+state()
+{
+    static ActiveState s;
+    return s;
+}
+
+/**
+ * Install @p isa (must be compiled in and supported) and mark the
+ * table explicitly chosen, so the lazy env-var init cannot later
+ * overwrite a select() that ran before the first active() call.
+ */
+void
+install(Isa isa)
+{
+    ActiveState &s = state();
+    s.isa.store(isa, std::memory_order_relaxed);
+    s.ops.store(tableFor(isa), std::memory_order_release);
+    s.initialized.store(true, std::memory_order_release);
+}
+
+/** Resolve M4PS_KERNELS on the first read of the active table. */
+void
+ensureInit()
+{
+    ActiveState &s = state();
+    if (s.initialized.load(std::memory_order_acquire))
+        return;
+    std::lock_guard<std::mutex> lock(s.initMutex);
+    if (s.initialized.load(std::memory_order_acquire))
+        return;
+    const char *env = std::getenv("M4PS_KERNELS");
+    if (env == nullptr || *env == '\0') {
+        install(bestSupported());
+        return;
+    }
+    try {
+        select(env);
+    } catch (const std::invalid_argument &) {
+        m4ps::warn("M4PS_KERNELS=", env,
+                   " is not a known backend; using auto");
+        install(bestSupported());
+    }
+}
+
+} // namespace
+
+const char *
+isaName(Isa isa)
+{
+    switch (isa) {
+    case Isa::Scalar:
+        return "scalar";
+    case Isa::Sse41:
+        return "sse41";
+    case Isa::Avx2:
+        return "avx2";
+    case Isa::Neon:
+        return "neon";
+    }
+    return "?";
+}
+
+std::vector<Isa>
+compiledIsas()
+{
+    std::vector<Isa> isas{Isa::Scalar};
+#if defined(M4PS_KERNELS_HAVE_SSE41)
+    isas.push_back(Isa::Sse41);
+#endif
+#if defined(M4PS_KERNELS_HAVE_AVX2)
+    isas.push_back(Isa::Avx2);
+#endif
+#if defined(M4PS_KERNELS_HAVE_NEON)
+    isas.push_back(Isa::Neon);
+#endif
+    return isas;
+}
+
+bool
+hostSupports(Isa isa)
+{
+    switch (isa) {
+    case Isa::Scalar:
+        return true;
+    case Isa::Sse41:
+#if defined(__x86_64__) || defined(_M_X64)
+        return __builtin_cpu_supports("sse4.1") != 0;
+#else
+        return false;
+#endif
+    case Isa::Avx2:
+#if defined(__x86_64__) || defined(_M_X64)
+        return __builtin_cpu_supports("avx2") != 0;
+#else
+        return false;
+#endif
+    case Isa::Neon:
+#if defined(__aarch64__)
+        return true; // NEON is mandatory in AArch64.
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+Isa
+bestSupported()
+{
+    Isa best = Isa::Scalar;
+    for (Isa isa : compiledIsas()) {
+        if (hostSupports(isa))
+            best = isa; // compiledIsas() is ordered narrow-to-wide
+    }
+    return best;
+}
+
+const KernelOps *
+opsFor(Isa isa)
+{
+    return tableFor(isa);
+}
+
+const KernelOps &
+active()
+{
+    ensureInit();
+    return *state().ops.load(std::memory_order_acquire);
+}
+
+Isa
+activeIsa()
+{
+    ensureInit();
+    return state().isa.load(std::memory_order_relaxed);
+}
+
+Isa
+select(const std::string &name)
+{
+    Isa wanted;
+    if (name == "auto") {
+        wanted = bestSupported();
+    } else if (name == "scalar") {
+        wanted = Isa::Scalar;
+    } else if (name == "sse41") {
+        wanted = Isa::Sse41;
+    } else if (name == "avx2") {
+        wanted = Isa::Avx2;
+    } else if (name == "neon") {
+        wanted = Isa::Neon;
+    } else {
+        throw std::invalid_argument("unknown kernel backend: " + name);
+    }
+    if (tableFor(wanted) == nullptr) {
+        m4ps::warn("kernel backend ", isaName(wanted),
+                   " not compiled in; falling back to scalar");
+        wanted = Isa::Scalar;
+    } else if (!hostSupports(wanted)) {
+        m4ps::warn("kernel backend ", isaName(wanted),
+                   " not supported by this host; falling back to "
+                   "scalar");
+        wanted = Isa::Scalar;
+    }
+    install(wanted);
+    return wanted;
+}
+
+} // namespace m4ps::codec::kernels

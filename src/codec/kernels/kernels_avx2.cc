@@ -1,0 +1,471 @@
+/**
+ * @file
+ * AVX2 kernel backend (x86-64, 256-bit).
+ *
+ * Same bit-identity strategy as the SSE4.1 backend (see that file and
+ * docs/KERNELS.md): exact integer formulations, float division by the
+ * uniform 2q quantizer step (exact for this domain), and a DCT
+ * vectorized across outputs - four double lanes per register, two
+ * registers covering all eight outputs of a pass, each lane running
+ * the scalar multiply-then-add order (no FMA: this file is compiled
+ * with -mavx2 only).  Row kernels of 16 pels stay on 128-bit PSADBW /
+ * PAVGB forms - a macroblock row does not fill a ymm - while the
+ * wide-span kernels (interpolation, averaging, SSD) and the
+ * coefficient kernels use full 256-bit lanes.
+ */
+
+#if defined(M4PS_KERNELS_HAVE_AVX2)
+
+#include "codec/kernels/kernels_internal.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <immintrin.h>
+
+namespace m4ps::codec::kernels
+{
+
+namespace avx2
+{
+
+namespace
+{
+
+inline int
+hsum_sad(__m128i s)
+{
+    return _mm_cvtsi128_si32(s) + _mm_extract_epi16(s, 4);
+}
+
+/** (a + b + c + d + 2) >> 2 over 16 pels, widened through epi16. */
+inline __m128i
+avg4x16(__m128i a, __m128i b, __m128i c, __m128i d)
+{
+    const __m256i s = _mm256_add_epi16(
+        _mm256_add_epi16(_mm256_cvtepu8_epi16(a),
+                         _mm256_cvtepu8_epi16(b)),
+        _mm256_add_epi16(_mm256_cvtepu8_epi16(c),
+                         _mm256_cvtepu8_epi16(d)));
+    const __m256i r = _mm256_srli_epi16(
+        _mm256_add_epi16(s, _mm256_set1_epi16(2)), 2);
+    return _mm_packus_epi16(_mm256_castsi256_si128(r),
+                            _mm256_extracti128_si256(r, 1));
+}
+
+/** Half-pel interpolated row of 16 pels at phase (hx, hy). */
+inline __m128i
+hpel16(const uint8_t *r0, const uint8_t *r1, int hx, int hy)
+{
+    const __m128i a = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(r0));
+    if (hx && hy) {
+        return avg4x16(
+            a,
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(r0 + 1)),
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(r1)),
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(r1 + 1)));
+    }
+    if (hx) {
+        return _mm_avg_epu8(a, _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(r0 + 1)));
+    }
+    if (hy) {
+        return _mm_avg_epu8(a, _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(r1)));
+    }
+    return a;
+}
+
+inline __m128i
+hpel8(const uint8_t *r0, const uint8_t *r1, int hx, int hy)
+{
+    const __m128i a = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(r0));
+    if (hx && hy) {
+        const __m128i b = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(r0 + 1));
+        const __m128i c = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(r1));
+        const __m128i d = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(r1 + 1));
+        const __m128i s = _mm_add_epi16(
+            _mm_add_epi16(_mm_cvtepu8_epi16(a), _mm_cvtepu8_epi16(b)),
+            _mm_add_epi16(_mm_cvtepu8_epi16(c),
+                          _mm_cvtepu8_epi16(d)));
+        const __m128i r = _mm_srli_epi16(
+            _mm_add_epi16(s, _mm_set1_epi16(2)), 2);
+        return _mm_packus_epi16(r, _mm_setzero_si128());
+    }
+    if (hx) {
+        return _mm_avg_epu8(a, _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(r0 + 1)));
+    }
+    if (hy) {
+        return _mm_avg_epu8(a, _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(r1)));
+    }
+    return a;
+}
+
+} // namespace
+
+int
+sadRow16(const uint8_t *c, const uint8_t *r)
+{
+    const __m128i cv = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(c));
+    const __m128i rv = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(r));
+    return hsum_sad(_mm_sad_epu8(cv, rv));
+}
+
+int
+sadRow8(const uint8_t *c, const uint8_t *r)
+{
+    const __m128i cv = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(c));
+    const __m128i rv = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(r));
+    return _mm_cvtsi128_si32(_mm_sad_epu8(cv, rv));
+}
+
+int
+sadRowHpel16(const uint8_t *c, const uint8_t *r0, const uint8_t *r1,
+             int hx, int hy)
+{
+    const __m128i cv = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(c));
+    return hsum_sad(_mm_sad_epu8(cv, hpel16(r0, r1, hx, hy)));
+}
+
+int
+sadRowHpel8(const uint8_t *c, const uint8_t *r0, const uint8_t *r1,
+            int hx, int hy)
+{
+    const __m128i cv = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(c));
+    return _mm_cvtsi128_si32(
+        _mm_sad_epu8(cv, hpel8(r0, r1, hx, hy)));
+}
+
+int
+sumRow16(const uint8_t *c)
+{
+    const __m128i cv = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(c));
+    return hsum_sad(_mm_sad_epu8(cv, _mm_setzero_si128()));
+}
+
+int
+absDevRow16(const uint8_t *c, uint8_t mean)
+{
+    const __m128i cv = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(c));
+    const __m128i mv = _mm_set1_epi8(static_cast<char>(mean));
+    return hsum_sad(_mm_sad_epu8(cv, mv));
+}
+
+void
+predictRow(const uint8_t *r0, const uint8_t *r1, int hx, int hy, int n,
+           uint8_t *out)
+{
+    int i = 0;
+    for (; i + 16 <= n; i += 16) {
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i),
+                         hpel16(r0 + i, r1 + i, hx, hy));
+    }
+    for (; i + 8 <= n; i += 8) {
+        _mm_storel_epi64(reinterpret_cast<__m128i *>(out + i),
+                         hpel8(r0 + i, r1 + i, hx, hy));
+    }
+    if (i < n)
+        scalar::predictRow(r0 + i, r1 + i, hx, hy, n - i, out + i);
+}
+
+void
+interpRow(const uint8_t *r0, const uint8_t *r1, int n, uint8_t *h,
+          uint8_t *v, uint8_t *hv)
+{
+    int i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(r0 + i));
+        const __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(r0 + i + 1));
+        const __m256i c = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(r1 + i));
+        const __m256i d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(r1 + i + 1));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(h + i),
+                            _mm256_avg_epu8(a, b));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(v + i),
+                            _mm256_avg_epu8(a, c));
+        // Four-point average, widened per 128-bit half.
+        const __m128i alo = _mm256_castsi256_si128(a);
+        const __m128i ahi = _mm256_extracti128_si256(a, 1);
+        const __m128i blo = _mm256_castsi256_si128(b);
+        const __m128i bhi = _mm256_extracti128_si256(b, 1);
+        const __m128i clo = _mm256_castsi256_si128(c);
+        const __m128i chi = _mm256_extracti128_si256(c, 1);
+        const __m128i dlo = _mm256_castsi256_si128(d);
+        const __m128i dhi = _mm256_extracti128_si256(d, 1);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(hv + i),
+                         avg4x16(alo, blo, clo, dlo));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(hv + i + 16),
+                         avg4x16(ahi, bhi, chi, dhi));
+    }
+    if (i < n)
+        scalar::interpRow(r0 + i, r1 + i, n - i, h + i, v + i, hv + i);
+}
+
+void
+avgRow(const uint8_t *a, const uint8_t *b, int n, uint8_t *out)
+{
+    int i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i av = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i bv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i),
+                            _mm256_avg_epu8(av, bv));
+    }
+    if (i < n)
+        scalar::avgRow(a + i, b + i, n - i, out + i);
+}
+
+void
+copyRow(const uint8_t *src, int n, uint8_t *dst)
+{
+    std::memcpy(dst, src, static_cast<size_t>(n));
+}
+
+uint64_t
+ssdRow(const uint8_t *a, const uint8_t *b, int n)
+{
+    __m256i acc = _mm256_setzero_si256(); // 4 x epi64
+    int i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i av = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + i));
+        const __m128i bv = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b + i));
+        const __m256i d = _mm256_sub_epi16(_mm256_cvtepu8_epi16(av),
+                                           _mm256_cvtepu8_epi16(bv));
+        const __m256i m = _mm256_madd_epi16(d, d); // 8 x epi32
+        acc = _mm256_add_epi64(
+            acc, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(m)));
+        acc = _mm256_add_epi64(
+            acc,
+            _mm256_cvtepi32_epi64(_mm256_extracti128_si256(m, 1)));
+    }
+    uint64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    uint64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    if (i < n)
+        total += scalar::ssdRow(a + i, b + i, n - i);
+    return total;
+}
+
+void
+quant(const int16_t *coefs, int16_t *levels, int start,
+      const QuantArgs &qa)
+{
+    if (qa.mpeg) {
+        scalar::quantMpeg(coefs, levels, start, qa);
+        return;
+    }
+    int i = start;
+    if (i & 7) {
+        const int head = std::min((i + 7) & ~7, 64);
+        scalar::quantRange(coefs, levels, i, head, qa);
+        i = head;
+    }
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i dead = _mm256_set1_epi32(qa.intra ? 0 : qa.q / 2);
+    const __m256 step = _mm256_set1_ps(static_cast<float>(2 * qa.q));
+    const __m256i cap = _mm256_set1_epi32(2047);
+    for (; i < 64; i += 8) {
+        const __m128i cv = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(coefs + i));
+        const __m256i c32 = _mm256_cvtepi16_epi32(cv);
+        const __m256i mag = _mm256_abs_epi32(c32);
+        const __m256i num = _mm256_sub_epi32(mag, dead);
+        // Exact trunc(num / 2q) via float division (file header).
+        const __m256i lvl = _mm256_cvttps_epi32(
+            _mm256_div_ps(_mm256_cvtepi32_ps(num), step));
+        __m256i l = _mm256_max_epi32(lvl, zero);
+        l = _mm256_min_epi32(l, cap);
+        l = _mm256_sign_epi32(l, c32);
+        const __m128i packed = _mm_packs_epi32(
+            _mm256_castsi256_si128(l),
+            _mm256_extracti128_si256(l, 1));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(levels + i),
+                         packed);
+    }
+}
+
+void
+dequant(const int16_t *levels, int16_t *coefs, int start,
+        const QuantArgs &qa)
+{
+    if (qa.mpeg) {
+        scalar::dequantMpeg(levels, coefs, start, qa);
+        return;
+    }
+    int i = start;
+    if (i & 7) {
+        const int head = std::min((i + 7) & ~7, 64);
+        scalar::dequantRange(levels, coefs, i, head, qa);
+        i = head;
+    }
+    const __m256i qv = _mm256_set1_epi32(qa.q);
+    const __m256i even = _mm256_set1_epi32(qa.q % 2 == 0 ? 1 : 0);
+    const __m256i one = _mm256_set1_epi32(1);
+    const __m256i lcap = _mm256_set1_epi32(2047);
+    const __m256i lfloor = _mm256_set1_epi32(-2048);
+    for (; i < 64; i += 8) {
+        const __m128i lv = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(levels + i));
+        const __m256i l32 = _mm256_cvtepi16_epi32(lv);
+        const __m256i mag = _mm256_abs_epi32(l32);
+        // c = q * (2|lvl| + 1) - [q even]
+        __m256i c = _mm256_mullo_epi32(
+            qv, _mm256_add_epi32(_mm256_slli_epi32(mag, 1), one));
+        c = _mm256_sub_epi32(c, even);
+        // Zero where lvl == 0, negate where lvl < 0, then clamp.
+        c = _mm256_sign_epi32(c, l32);
+        c = _mm256_min_epi32(_mm256_max_epi32(c, lfloor), lcap);
+        const __m128i packed = _mm_packs_epi32(
+            _mm256_castsi256_si128(c),
+            _mm256_extracti128_si256(c, 1));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(coefs + i),
+                         packed);
+    }
+}
+
+void
+fdct(const int16_t *in, int16_t *out)
+{
+    const DctTables &t = dctTables();
+    double din[64];
+    for (int i = 0; i < 64; ++i)
+        din[i] = static_cast<double>(in[i]); // exact conversion
+    double tmp[64];
+    // Rows: tmp[y*8+u] = sum_x basis[u][x] * in[y*8+x]; lanes over u.
+    for (int y = 0; y < 8; ++y) {
+        __m256d acc0 = _mm256_setzero_pd();
+        __m256d acc1 = _mm256_setzero_pd();
+        for (int x = 0; x < 8; ++x) {
+            const __m256d vx = _mm256_set1_pd(din[y * 8 + x]);
+            acc0 = _mm256_add_pd(
+                acc0,
+                _mm256_mul_pd(vx, _mm256_loadu_pd(&t.basisT[x][0])));
+            acc1 = _mm256_add_pd(
+                acc1,
+                _mm256_mul_pd(vx, _mm256_loadu_pd(&t.basisT[x][4])));
+        }
+        _mm256_storeu_pd(&tmp[y * 8 + 0], acc0);
+        _mm256_storeu_pd(&tmp[y * 8 + 4], acc1);
+    }
+    // Columns: out[v*8+u] = sum_y basis[v][y] * tmp[y*8+u]; lanes u,
+    // scalar clamp/round epilogue for exact half-away-from-zero.
+    for (int v = 0; v < 8; ++v) {
+        __m256d acc0 = _mm256_setzero_pd();
+        __m256d acc1 = _mm256_setzero_pd();
+        for (int y = 0; y < 8; ++y) {
+            const __m256d bv = _mm256_set1_pd(t.basis[v][y]);
+            acc0 = _mm256_add_pd(
+                acc0, _mm256_mul_pd(bv, _mm256_loadu_pd(&tmp[y * 8])));
+            acc1 = _mm256_add_pd(
+                acc1,
+                _mm256_mul_pd(bv, _mm256_loadu_pd(&tmp[y * 8 + 4])));
+        }
+        double vals[8];
+        _mm256_storeu_pd(&vals[0], acc0);
+        _mm256_storeu_pd(&vals[4], acc1);
+        for (int u = 0; u < 8; ++u) {
+            const double r = std::clamp(vals[u], -32768.0, 32767.0);
+            out[v * 8 + u] = static_cast<int16_t>(std::lround(r));
+        }
+    }
+}
+
+void
+idct(const int16_t *in, int16_t *out)
+{
+    const DctTables &t = dctTables();
+    double din[64];
+    for (int i = 0; i < 64; ++i)
+        din[i] = static_cast<double>(in[i]);
+    double tmp[64];
+    // Columns: tmp[y*8+u] = sum_v basis[v][y] * in[v*8+u]; lanes u.
+    for (int y = 0; y < 8; ++y) {
+        __m256d acc0 = _mm256_setzero_pd();
+        __m256d acc1 = _mm256_setzero_pd();
+        for (int v = 0; v < 8; ++v) {
+            const __m256d bv = _mm256_set1_pd(t.basis[v][y]);
+            acc0 = _mm256_add_pd(
+                acc0, _mm256_mul_pd(bv, _mm256_loadu_pd(&din[v * 8])));
+            acc1 = _mm256_add_pd(
+                acc1,
+                _mm256_mul_pd(bv, _mm256_loadu_pd(&din[v * 8 + 4])));
+        }
+        _mm256_storeu_pd(&tmp[y * 8 + 0], acc0);
+        _mm256_storeu_pd(&tmp[y * 8 + 4], acc1);
+    }
+    // Rows: out[y*8+x] = sum_u basis[u][x] * tmp[y*8+u]; lanes x.
+    for (int y = 0; y < 8; ++y) {
+        __m256d acc0 = _mm256_setzero_pd();
+        __m256d acc1 = _mm256_setzero_pd();
+        for (int u = 0; u < 8; ++u) {
+            const __m256d tu = _mm256_set1_pd(tmp[y * 8 + u]);
+            acc0 = _mm256_add_pd(
+                acc0,
+                _mm256_mul_pd(tu, _mm256_loadu_pd(&t.basis[u][0])));
+            acc1 = _mm256_add_pd(
+                acc1,
+                _mm256_mul_pd(tu, _mm256_loadu_pd(&t.basis[u][4])));
+        }
+        double vals[8];
+        _mm256_storeu_pd(&vals[0], acc0);
+        _mm256_storeu_pd(&vals[4], acc1);
+        for (int x = 0; x < 8; ++x) {
+            const double r =
+                std::clamp(std::round(vals[x]), -2048.0, 2047.0);
+            out[y * 8 + x] = static_cast<int16_t>(r);
+        }
+    }
+}
+
+} // namespace avx2
+
+const KernelOps &
+avx2Ops()
+{
+    static const KernelOps ops = {
+        "avx2",
+        avx2::sadRow16,
+        avx2::sadRow8,
+        avx2::sadRowHpel16,
+        avx2::sadRowHpel8,
+        avx2::sumRow16,
+        avx2::absDevRow16,
+        avx2::fdct,
+        avx2::idct,
+        avx2::quant,
+        avx2::dequant,
+        avx2::predictRow,
+        avx2::interpRow,
+        avx2::avgRow,
+        avx2::copyRow,
+        avx2::ssdRow,
+    };
+    return ops;
+}
+
+} // namespace m4ps::codec::kernels
+
+#endif // M4PS_KERNELS_HAVE_AVX2

@@ -1,6 +1,7 @@
 #include "codec/motion.hh"
 
 #include "codec/interp.hh"
+#include "codec/kernels/kernels.hh"
 
 #include <algorithm>
 #include <cstdlib>
@@ -32,18 +33,22 @@ chromaVector(MotionVector luma_mv)
     return {chromaComponent(luma_mv.x), chromaComponent(luma_mv.y)};
 }
 
+// The pel loops below all go through the kernel dispatch table
+// (codec/kernels/); the memsim trace calls and the row-level early
+// exit stay here so the simulated access stream is identical for
+// every backend (kernels.hh contract 2).
+
 int
 sad16(const video::Plane &cur, int cx, int cy,
       const video::Plane &ref, int rx, int ry, int best)
 {
+    const kernels::KernelOps &k = kernels::active();
     int acc = 0;
     for (int row = 0; row < kMb; ++row) {
         cur.traceLoadRow(cx, cy + row, kMb);
         ref.traceLoadRow(rx, ry + row, kMb);
-        const uint8_t *c = cur.rowPtr(cy + row) + cx;
-        const uint8_t *r = ref.rowPtr(ry + row) + rx;
-        for (int i = 0; i < kMb; ++i)
-            acc += std::abs(static_cast<int>(c[i]) - r[i]);
+        acc += k.sadRow16(cur.rowPtr(cy + row) + cx,
+                          ref.rowPtr(ry + row) + rx);
         // Row-level early exit, as in the reference software.
         if (acc >= best)
             return acc;
@@ -55,14 +60,13 @@ int
 sad8(const video::Plane &cur, int cx, int cy,
      const video::Plane &ref, int rx, int ry, int best)
 {
+    const kernels::KernelOps &k = kernels::active();
     int acc = 0;
     for (int row = 0; row < 8; ++row) {
         cur.traceLoadRow(cx, cy + row, 8);
         ref.traceLoadRow(rx, ry + row, 8);
-        const uint8_t *c = cur.rowPtr(cy + row) + cx;
-        const uint8_t *r = ref.rowPtr(ry + row) + rx;
-        for (int i = 0; i < 8; ++i)
-            acc += std::abs(static_cast<int>(c[i]) - r[i]);
+        acc += k.sadRow8(cur.rowPtr(cy + row) + cx,
+                         ref.rowPtr(ry + row) + rx);
         if (acc >= best)
             return acc;
     }
@@ -78,6 +82,7 @@ sad8HalfPel(const video::Plane &cur, int cx, int cy,
             const video::Plane &ref, int rx, int ry, int hx, int hy,
             int best)
 {
+    const kernels::KernelOps &k = kernels::active();
     int acc = 0;
     const int extra_x = hx ? 1 : 0;
     const int extra_y = hy ? 1 : 0;
@@ -86,21 +91,10 @@ sad8HalfPel(const video::Plane &cur, int cx, int cy,
         ref.traceLoadRow(rx, ry + row, 8 + extra_x);
         if (extra_y)
             ref.traceLoadRow(rx, ry + row + 1, 8 + extra_x);
-        const uint8_t *c = cur.rowPtr(cy + row) + cx;
-        const uint8_t *r0 = ref.rowPtr(ry + row) + rx;
-        const uint8_t *r1 = ref.rowPtr(ry + row + extra_y) + rx;
-        for (int i = 0; i < 8; ++i) {
-            int p;
-            if (hx && hy)
-                p = (r0[i] + r0[i + 1] + r1[i] + r1[i + 1] + 2) >> 2;
-            else if (hx)
-                p = (r0[i] + r0[i + 1] + 1) >> 1;
-            else if (hy)
-                p = (r0[i] + r1[i] + 1) >> 1;
-            else
-                p = r0[i];
-            acc += std::abs(static_cast<int>(c[i]) - p);
-        }
+        acc += k.sadRowHpel8(cur.rowPtr(cy + row) + cx,
+                             ref.rowPtr(ry + row) + rx,
+                             ref.rowPtr(ry + row + extra_y) + rx,
+                             hx, hy);
         if (acc >= best)
             return acc;
     }
@@ -178,6 +172,7 @@ sad16HalfPel(const video::Plane &cur, int cx, int cy,
              const video::Plane &ref, int rx, int ry, int hx, int hy,
              int best)
 {
+    const kernels::KernelOps &k = kernels::active();
     int acc = 0;
     const int extra_x = hx ? 1 : 0;
     const int extra_y = hy ? 1 : 0;
@@ -186,22 +181,10 @@ sad16HalfPel(const video::Plane &cur, int cx, int cy,
         ref.traceLoadRow(rx, ry + row, kMb + extra_x);
         if (extra_y)
             ref.traceLoadRow(rx, ry + row + 1, kMb + extra_x);
-        const uint8_t *c = cur.rowPtr(cy + row) + cx;
-        const uint8_t *r0 = ref.rowPtr(ry + row) + rx;
-        const uint8_t *r1 = ref.rowPtr(ry + row + extra_y) + rx;
-        for (int i = 0; i < kMb; ++i) {
-            int p;
-            if (hx && hy) {
-                p = (r0[i] + r0[i + 1] + r1[i] + r1[i + 1] + 2) >> 2;
-            } else if (hx) {
-                p = (r0[i] + r0[i + 1] + 1) >> 1;
-            } else if (hy) {
-                p = (r0[i] + r1[i] + 1) >> 1;
-            } else {
-                p = r0[i];
-            }
-            acc += std::abs(static_cast<int>(c[i]) - p);
-        }
+        acc += k.sadRowHpel16(cur.rowPtr(cy + row) + cx,
+                              ref.rowPtr(ry + row) + rx,
+                              ref.rowPtr(ry + row + extra_y) + rx,
+                              hx, hy);
         if (acc >= best)
             return acc;
     }
@@ -286,20 +269,18 @@ void
 blockActivity16(const video::Plane &cur, int bx, int by,
                 int &mean, int &deviation)
 {
+    const kernels::KernelOps &k = kernels::active();
     int sum = 0;
     for (int row = 0; row < kMb; ++row) {
         cur.traceLoadRow(bx, by + row, kMb);
-        const uint8_t *c = cur.rowPtr(by + row) + bx;
-        for (int i = 0; i < kMb; ++i)
-            sum += c[i];
+        sum += k.sumRow16(cur.rowPtr(by + row) + bx);
     }
     mean = (sum + 128) >> 8;
     int dev = 0;
     for (int row = 0; row < kMb; ++row) {
         cur.traceLoadRow(bx, by + row, kMb);
-        const uint8_t *c = cur.rowPtr(by + row) + bx;
-        for (int i = 0; i < kMb; ++i)
-            dev += std::abs(c[i] - mean);
+        dev += k.absDevRow16(cur.rowPtr(by + row) + bx,
+                             static_cast<uint8_t>(mean));
     }
     deviation = dev;
 }
@@ -312,6 +293,7 @@ void
 predictBlock(const video::Plane &ref, int bx, int by, MotionVector mv,
              int edge, uint8_t *out)
 {
+    const kernels::KernelOps &k = kernels::active();
     // Clamp the displaced block inside the plane; vectors produced by
     // motionSearch() already satisfy this, chroma vectors may need a
     // final clamp at the borders.
@@ -328,22 +310,9 @@ predictBlock(const video::Plane &ref, int bx, int by, MotionVector mv,
         ref.traceLoadRow(x0, y0 + row, need_x);
         if (hy)
             ref.traceLoadRow(x0, y0 + row + 1, need_x);
-        const uint8_t *r0 = ref.rowPtr(y0 + row) + x0;
-        const uint8_t *r1 = ref.rowPtr(y0 + row + (hy ? 1 : 0)) + x0;
-        uint8_t *o = out + row * edge;
-        for (int i = 0; i < edge; ++i) {
-            int p;
-            if (hx && hy) {
-                p = (r0[i] + r0[i + 1] + r1[i] + r1[i + 1] + 2) >> 2;
-            } else if (hx) {
-                p = (r0[i] + r0[i + 1] + 1) >> 1;
-            } else if (hy) {
-                p = (r0[i] + r1[i] + 1) >> 1;
-            } else {
-                p = r0[i];
-            }
-            o[i] = static_cast<uint8_t>(p);
-        }
+        k.predictRow(ref.rowPtr(y0 + row) + x0,
+                     ref.rowPtr(y0 + row + (hy ? 1 : 0)) + x0,
+                     hx, hy, edge, out + row * edge);
     }
 }
 
@@ -370,6 +339,7 @@ predictLuma16FromInterp(const video::Plane &base,
                         const HalfPelPlanes &interp, int bx, int by,
                         MotionVector mv, uint8_t *out)
 {
+    const kernels::KernelOps &k = kernels::active();
     const int hx = mv.x & 1;
     const int hy = mv.y & 1;
     // Same clamp as predictBlock() so both paths pick the same
@@ -385,8 +355,7 @@ predictLuma16FromInterp(const video::Plane &base,
     src->prefetch(x0, y0 + kMb);
     for (int row = 0; row < kMb; ++row) {
         src->traceLoadRow(x0, y0 + row, kMb);
-        const uint8_t *r = src->rowPtr(y0 + row) + x0;
-        std::copy(r, r + kMb, out + row * kMb);
+        k.copyRow(src->rowPtr(y0 + row) + x0, kMb, out + row * kMb);
     }
 }
 
@@ -400,8 +369,7 @@ predictChroma8(const video::Plane &ref, int bx, int by,
 void
 averagePrediction(const uint8_t *a, const uint8_t *b, int n, uint8_t *out)
 {
-    for (int i = 0; i < n; ++i)
-        out[i] = static_cast<uint8_t>((a[i] + b[i] + 1) >> 1);
+    kernels::active().avgRow(a, b, n, out);
 }
 
 } // namespace m4ps::codec

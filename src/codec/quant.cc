@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "codec/kernels/kernels.hh"
 #include "support/logging.hh"
 
 namespace m4ps::codec
@@ -59,75 +60,48 @@ clampLevel(long v)
     return static_cast<int16_t>(std::clamp(v, -2047l, 2047l));
 }
 
+kernels::QuantArgs
+kernelArgs(const QuantParams &qp)
+{
+    kernels::QuantArgs qa;
+    qa.q = qp.qp;
+    qa.intra = qp.intra;
+    qa.mpeg = qp.mpegMatrix;
+    qa.matrix = qp.intra ? kIntraMatrix : kInterMatrix;
+    return qa;
+}
+
 } // namespace
 
 void
 quantize(const Block &coefs, Block &levels, const QuantParams &qp)
 {
     M4PS_ASSERT(qp.qp >= 1 && qp.qp <= 31, "qp out of range: ", qp.qp);
-    const int q = qp.qp;
     int start = 0;
     if (qp.intra) {
-        // Round to nearest, symmetric in sign.
-        const int scaler = dcScaler(q, qp.luma);
+        // The DC coefficient uses its own scaler; round to nearest,
+        // symmetric in sign.
+        const int scaler = dcScaler(qp.qp, qp.luma);
         const int mag = (std::abs(coefs[0]) + scaler / 2) / scaler;
         levels[0] = clampLevel(coefs[0] < 0 ? -mag : mag);
         start = 1;
     }
-    for (int i = start; i < kBlockSize; ++i) {
-        const int c = coefs[i];
-        const int mag = std::abs(c);
-        long lvl;
-        if (qp.mpegMatrix) {
-            const int *mat = qp.intra ? kIntraMatrix : kInterMatrix;
-            // Scale by the matrix weight, then quantize by 2q.
-            const long scaled = 16l * mag / mat[i];
-            lvl = qp.intra ? (scaled + q) / (2 * q)
-                           : scaled / (2 * q);
-        } else {
-            // H.263 style: intra has no dead zone beyond truncation,
-            // inter has a qp/2 dead zone.
-            lvl = qp.intra ? mag / (2 * q)
-                           : (mag - q / 2) / (2 * q);
-            if (lvl < 0)
-                lvl = 0;
-        }
-        levels[i] = clampLevel(c < 0 ? -lvl : lvl);
-    }
+    kernels::active().quant(coefs.data(), levels.data(), start,
+                            kernelArgs(qp));
 }
 
 void
 dequantize(const Block &levels, Block &coefs, const QuantParams &qp)
 {
     M4PS_ASSERT(qp.qp >= 1 && qp.qp <= 31, "qp out of range: ", qp.qp);
-    const int q = qp.qp;
     int start = 0;
     if (qp.intra) {
-        coefs[0] = static_cast<int16_t>(
-            std::clamp(levels[0] * dcScaler(q, qp.luma), -2048, 2047));
+        coefs[0] = static_cast<int16_t>(std::clamp(
+            levels[0] * dcScaler(qp.qp, qp.luma), -2048, 2047));
         start = 1;
     }
-    for (int i = start; i < kBlockSize; ++i) {
-        const int lvl = levels[i];
-        if (lvl == 0) {
-            coefs[i] = 0;
-            continue;
-        }
-        const int mag = std::abs(lvl);
-        long c;
-        if (qp.mpegMatrix) {
-            const int *mat = qp.intra ? kIntraMatrix : kInterMatrix;
-            c = (2l * mag * q * mat[i]) / 16;
-            if (!qp.intra)
-                c += (q * mat[i]) / 16; // mid-rise reconstruction
-        } else {
-            c = q * (2l * mag + 1);
-            if (q % 2 == 0)
-                c -= 1;
-        }
-        c = std::clamp(lvl < 0 ? -c : c, -2048l, 2047l);
-        coefs[i] = static_cast<int16_t>(c);
-    }
+    kernels::active().dequant(levels.data(), coefs.data(), start,
+                              kernelArgs(qp));
 }
 
 } // namespace m4ps::codec

@@ -6,6 +6,7 @@
 
 #include "bitstream/expgolomb.hh"
 #include "codec/error.hh"
+#include "codec/kernels/kernels.hh"
 #include "bitstream/startcode.hh"
 #include "codec/zigzag.hh"
 #include "support/logging.hh"
@@ -1721,9 +1722,10 @@ VopDecoder::concealRow(int r, const VopHeader &hdr,
         predictChroma8(src->v(), px / 2, py / 2, mv, buf + 320);
         predFwd_.traceStoreRow(256, 128);
         predFwd_.traceLoadRow(0, 384);
+        const kernels::KernelOps &k = kernels::active();
         for (int row = 0; row < kMb; ++row) {
             uint8_t *dst = out.y().rowPtr(py + row) + px;
-            std::copy(buf + row * kMb, buf + (row + 1) * kMb, dst);
+            k.copyRow(buf + row * kMb, kMb, dst);
             out.y().traceStoreRow(px, py + row, kMb);
         }
         for (int p = 1; p < 3; ++p) {
@@ -1731,7 +1733,7 @@ VopDecoder::concealRow(int r, const VopHeader &hdr,
             video::Plane &pl = out.plane(p);
             for (int row = 0; row < 8; ++row) {
                 uint8_t *dst = pl.rowPtr(py / 2 + row) + px / 2;
-                std::copy(s + row * 8, s + (row + 1) * 8, dst);
+                k.copyRow(s + row * 8, 8, dst);
                 pl.traceStoreRow(px / 2, py / 2 + row, 8);
             }
         }

@@ -12,7 +12,8 @@ bool
 isTimingMetric(const std::string &name)
 {
     static const char *const kMarkers[] = {"_ns",     "_us",  "_ms",
-                                           "seconds", "wall", "overhead"};
+                                           "seconds", "wall", "overhead",
+                                           "cycle"};
     for (const char *m : kMarkers) {
         if (name.find(m) != std::string::npos)
             return true;

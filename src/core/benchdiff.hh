@@ -19,8 +19,9 @@
  *    drifting means the model changed and the baseline must be
  *    regenerated deliberately.
  *  - *soft* metrics - wall-clock timings (metric names containing
- *    "_ns", "_us", "_ms", "seconds", "wall", "overhead").  These vary
- *    with the host and only produce warnings, never a failing exit.
+ *    "_ns", "_us", "_ms", "seconds", "wall", "overhead", "cycle").
+ *    These vary with the host and only produce warnings, never a
+ *    failing exit.
  *
  * Missing benches or missing hard metrics in the current document are
  * hard findings; *extra* benches/metrics are informational only, so

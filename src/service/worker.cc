@@ -4,10 +4,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <stdexcept>
 #include <thread>
 
 #include "codec/decoder.hh"
 #include "codec/error.hh"
+#include "codec/kernels/kernels.hh"
 #include "core/perfreport.hh"
 #include "core/runner.hh"
 #include "service/checkpoint.hh"
@@ -254,17 +256,27 @@ int
 workerMain(int argc, const char *const *argv)
 {
     const ArgParser args(argc, argv,
-                         {"id", "spec", "perf", "report-out", "help"});
+                         {"id", "spec", "perf", "report-out",
+                          "kernels", "help"});
     if (args.getBool("help")) {
         std::printf(
             "usage: m4ps_worker --id <job> --spec \"k=v k=v ...\"\n"
-            "           [--perf] [--report-out FILE]\n"
+            "           [--perf] [--report-out FILE] [--kernels NAME]\n"
             "Runs one supervised job; see docs/OPERATIONS.md for the\n"
             "spec keys and the exit-code contract.  --perf measures\n"
             "host PMU counters over the job (software-clock fallback\n"
             "when the PMU is unavailable); --report-out writes them\n"
-            "as JSON (docs/PROFILING.md).\n");
+            "as JSON (docs/PROFILING.md).  --kernels picks the SIMD\n"
+            "kernel backend (auto/scalar/sse41/avx2/neon; results are\n"
+            "bit-identical across backends - docs/KERNELS.md).\n");
         return kWorkerOk;
+    }
+    if (args.has("kernels")) {
+        try {
+            codec::kernels::select(args.get("kernels", "auto"));
+        } catch (const std::invalid_argument &e) {
+            throw ArgError(e.what());
+        }
     }
     const std::string id = args.get("id", "job");
     if (!args.has("spec"))

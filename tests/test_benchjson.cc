@@ -143,6 +143,7 @@ TEST(BenchDiff, TimingMetricClassification)
     EXPECT_TRUE(core::isTimingMetric("modelled_seconds"));
     EXPECT_TRUE(core::isTimingMetric("wall_on"));
     EXPECT_TRUE(core::isTimingMetric("est_overhead_pct"));
+    EXPECT_TRUE(core::isTimingMetric("cycles_per_pel"));
     EXPECT_FALSE(core::isTimingMetric("l1_miss_rate"));
     EXPECT_FALSE(core::isTimingMetric("grad_loads"));
     EXPECT_FALSE(core::isTimingMetric("verdict_cache_friendly"));

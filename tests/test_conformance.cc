@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "codec/encoder.hh"
+#include "codec/kernels/kernels.hh"
 #include "support/obs/obs.hh"
 #include "support/serialize.hh"
 #include "support/threadpool.hh"
@@ -107,6 +108,28 @@ TEST(Conformance, TracingAndMetricsLeaveBitstreamsIdentical)
     obs::setMetrics(false);
     obs::clearTrace();
     obs::resetMetrics();
+}
+
+TEST(Conformance, GoldenMatchEveryKernelBackend)
+{
+    ScopedThreads threads(1);
+    namespace kn = codec::kernels;
+    const kn::Isa prev = kn::activeIsa();
+    for (kn::Isa isa : kn::compiledIsas()) {
+        if (!kn::hostSupports(isa))
+            continue;
+        ASSERT_EQ(kn::select(kn::isaName(isa)), isa);
+        for (const conformance::Case &c : conformance::cases()) {
+            const std::string d = conformance::digest(
+                conformance::encodeCase(c.workload));
+            EXPECT_EQ(goldenFor(c.name), d)
+                << M4PS_GOLDEN_HINT(c.name) << " (kernel backend '"
+                << kn::isaName(isa)
+                << "': SIMD kernels must be bit-identical to "
+                   "scalar - docs/KERNELS.md)";
+        }
+    }
+    kn::select(kn::isaName(prev));
 }
 
 /**

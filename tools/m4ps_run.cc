@@ -15,9 +15,11 @@
 
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 
 #include "codec/faultinject.hh"
+#include "codec/kernels/kernels.hh"
 #include "core/fallacies.hh"
 #include "core/perfreport.hh"
 #include "core/runner.hh"
@@ -38,8 +40,43 @@ const std::set<std::string> kFlags{
     "b-frames", "intra-period", "no-half-pel", "no-4mv",
     "mpeg-quant", "seed", "threads", "resync-interval",
     "data-partition", "ber", "fault-seed", "tolerant",
-    "trace-out", "metrics-out", "perf", "report-out", "help",
+    "trace-out", "metrics-out", "perf", "report-out", "kernels",
+    "help",
 };
+
+/**
+ * Resolve --kernels / M4PS_KERNELS.  "list" prints every compiled-in
+ * backend with its host support status and exits; anything else is a
+ * backend name handed to kernels::select() ("auto" picks the widest
+ * the host supports, unavailable backends degrade to scalar with a
+ * warning, unknown names are a usage error).
+ */
+int
+applyKernelsFlag(const std::string &choice)
+{
+    namespace kn = codec::kernels;
+    if (choice == "list") {
+        const kn::Isa act = kn::activeIsa();
+        for (kn::Isa isa : kn::compiledIsas()) {
+            std::printf("kernel backend: %s (%s%s)\n", kn::isaName(isa),
+                        kn::hostSupports(isa) ? "supported"
+                                              : "unsupported",
+                        isa == act ? ", active" : "");
+        }
+        std::printf("active: %s\n", kn::isaName(act));
+        return 0;
+    }
+    try {
+        kn::select(choice);
+    } catch (const std::invalid_argument &e) {
+        M4PS_FATAL(e.what(),
+                   " (expected auto, scalar, sse41, avx2, neon, "
+                   "or list)");
+    }
+    std::printf("kernels: %s backend\n",
+                kn::isaName(kn::activeIsa()));
+    return -1;
+}
 
 void
 usage()
@@ -88,7 +125,14 @@ usage()
         "  --report-out FILE           write the m4ps-report-v1 JSON\n"
         "                              document (counters, derived\n"
         "                              metrics, verdicts, hw deltas);\n"
-        "                              feed it to m4ps_report\n");
+        "                              feed it to m4ps_report\n"
+        "  --kernels NAME              SIMD kernel backend: auto\n"
+        "                              (default), scalar, sse41, avx2,\n"
+        "                              neon, or list to show what this\n"
+        "                              host offers; also $M4PS_KERNELS\n"
+        "                              (docs/KERNELS.md); bitstreams\n"
+        "                              are bit-identical across\n"
+        "                              backends\n");
 }
 
 void
@@ -132,6 +176,12 @@ runMain(int argc, char **argv)
     if (args.getBool("help")) {
         usage();
         return 0;
+    }
+
+    if (args.has("kernels")) {
+        const int rc = applyKernelsFlag(args.get("kernels", "auto"));
+        if (rc >= 0)
+            return rc;
     }
 
     core::Workload wl;
