@@ -18,6 +18,23 @@
  * Self-check (exit 1 on violation): at BER 1e-5 the packetized
  * decoder must display >= 90% of frames and beat the marker-free
  * decoder on concealment PSNR.
+ *
+ * Part two is the SNR -> BER -> PSNR study for the FEC subsystem
+ * (docs/FEC.md): the same QCIF source encoded at an equal *wire*
+ * budget - resync-alone spends every wire bit on source coding,
+ * while the FEC configs spend rate x budget on source bits and the
+ * rest on convolutional redundancy - pushed through an AWGN channel
+ * at a sweep of Es/N0 points.  Hard configs see the channel's
+ * hard-equivalent BER Q(sqrt(2 Es/N0)); the soft config decodes the
+ * quantized LLRs directly.  PSNR is scored against the pristine
+ * source scene (freeze-frame for missing timestamps), so quality is
+ * comparable *across* configs: the question is whether redundancy
+ * bits buy more quality than they cost in source fidelity.
+ *
+ * Self-check (exit 1 on violation): at the 6.8 dB operating point
+ * (hard-equivalent BER ~1e-3) both rate-1/2 FEC configs must beat
+ * resync-alone on scene PSNR at the equal wire budget - protect,
+ * then conceal.
  */
 
 #include <cmath>
@@ -30,7 +47,9 @@
 #include "codec/faultinject.hh"
 #include "codec/kernels/kernels.hh"
 #include "core/machine.hh"
+#include "fec/frame.hh"
 #include "support/table.hh"
+#include "video/scene.hh"
 
 namespace
 {
@@ -165,6 +184,332 @@ runCell(const std::vector<uint8_t> &stream, const DecodeCapture &clean,
     cell.concealedMbs /= n;
     cell.corruptVops /= n;
     return cell;
+}
+
+// --- part two: FEC over the AWGN channel ------------------------------
+
+/** One contender at the equal wire budget. */
+struct FecConfigRow
+{
+    const char *name;
+    const char *mode; //!< "off", "hard", or "soft".
+    fec::Rate rate;
+    int interleaveDepth;
+    double codeRate; //!< Info bits per coded symbol (1.0 = no FEC).
+};
+
+const FecConfigRow kFecConfigs[] = {
+    {"resync-only", "off", fec::Rate::R1_2, 1, 1.0},
+    {"fec-hard-1/2", "hard", fec::Rate::R1_2, 16, 0.5},
+    {"fec-hard-3/4", "hard", fec::Rate::R3_4, 16, 0.75},
+    {"fec-soft-1/2", "soft", fec::Rate::R1_2, 16, 0.5},
+};
+
+const double kSnrsDb[] = {4.0, 6.8, 9.0};
+
+/**
+ * Wire budget every contender spends, in coded symbols per second.
+ * Low enough that the QCIF rate control is genuinely constrained at
+ * every code rate - the whole point is that redundancy must be paid
+ * for in source fidelity.
+ */
+const double kWireBudgetBps = 3e5;
+
+core::Workload
+fecWorkload(const FecConfigRow &c)
+{
+    core::Workload wl = bench::benchWorkload(176, 144, 1, 1);
+    // Equal wire budget: an unprotected stream ships one symbol per
+    // source bit, a rate-R code 1/R symbols per source bit, so the
+    // source coder gets R x budget.
+    wl.targetBps = kWireBudgetBps * c.codeRate;
+    wl.gop = {12, 2};
+    wl.resyncInterval = 2;
+    wl.name = c.name;
+    return wl;
+}
+
+/** Pristine source-scene luma per frame time (the PSNR reference). */
+std::vector<std::vector<uint8_t>>
+sceneLumas(const core::Workload &wl)
+{
+    memsim::SimContext ctx; // untraced
+    video::SceneGenerator gen(wl.width, wl.height, wl.numVos - 1,
+                              wl.seed);
+    video::Yuv420Image img(ctx, wl.width, wl.height);
+    std::vector<std::vector<uint8_t>> lumas(wl.frames);
+    for (int t = 0; t < wl.frames; ++t) {
+        gen.renderFrame(t, img);
+        const video::Plane &y = img.y();
+        for (int r = 0; r < y.height(); ++r) {
+            const uint8_t *row = y.rowPtr(r);
+            lumas[t].insert(lumas[t].end(), row, row + y.width());
+        }
+    }
+    return lumas;
+}
+
+/** One (config, Es/N0) cell averaged over the channel seeds. */
+struct FecCell
+{
+    double scenePsnr = 0;
+    double displayedPct = 0;
+    double blocksCorrected = 0;
+    double blocksUncorrectable = 0;
+    double corruptVops = 0;
+    double concealedMbs = 0;
+};
+
+FecCell
+runFecCell(const FecConfigRow &c, const std::vector<uint8_t> &stream,
+           const std::vector<std::vector<uint8_t>> &refs,
+           const core::Workload &wl, double snr_db)
+{
+    fec::FecConfig cfg;
+    cfg.decision = std::string(c.mode) == "soft" ? fec::Decision::Soft
+                                                 : fec::Decision::Hard;
+    cfg.rate = c.rate;
+    cfg.interleaveDepth = c.interleaveDepth;
+    const bool protectIt = std::string(c.mode) != "off";
+    const std::vector<uint8_t> framed =
+        protectIt ? fec::protect(stream, cfg) : stream;
+
+    FecCell cell;
+    for (const uint64_t seed : kSeeds) {
+        std::vector<uint8_t> noisy = framed;
+        fec::FecStats stats;
+        if (!protectIt) {
+            codec::FaultSpec spec;
+            spec.ber = fec::hardBerAtEsN0Db(snr_db);
+            spec.seed = seed;
+            spec.protectPrefixBytes =
+                codec::protectableHeaderBytes(stream);
+            noisy = codec::injectFaults(std::move(noisy), spec);
+        } else if (cfg.decision == fec::Decision::Soft) {
+            noisy = fec::channelSoft(std::move(noisy), snr_db, seed);
+        } else {
+            codec::FaultSpec spec;
+            spec.ber = fec::hardBerAtEsN0Db(snr_db);
+            spec.seed = seed;
+            noisy = fec::channelHard(std::move(noisy), spec);
+        }
+        if (protectIt) {
+            fec::RecoverResult rec = fec::recover(noisy);
+            noisy = std::move(rec.stream);
+            stats = std::move(rec.stats);
+        }
+        const DecodeCapture got = decodeCapture(noisy);
+
+        // Scene PSNR with freeze-frame: a frame time whose VOP never
+        // arrived scores the last displayed frame against the source.
+        double psnr_sum = 0;
+        int scored = 0;
+        const std::vector<uint8_t> *last = nullptr;
+        for (int t = 0; t < wl.frames; ++t) {
+            const auto it = got.lumaByTs.find(t);
+            if (it != got.lumaByTs.end())
+                last = &it->second;
+            if (last) {
+                psnr_sum += psnr(refs[t], *last);
+                ++scored;
+            }
+        }
+        cell.scenePsnr += scored ? psnr_sum / scored : 0.0;
+        cell.displayedPct += 100.0 * got.stats.displayed / wl.frames;
+        cell.blocksCorrected +=
+            static_cast<double>(stats.blocksCorrected);
+        cell.blocksUncorrectable +=
+            static_cast<double>(stats.blocksUncorrectable);
+        cell.corruptVops += got.stats.corruptedVops;
+        cell.concealedMbs += got.stats.mb.concealedMbs;
+    }
+    const double n = static_cast<double>(std::size(kSeeds));
+    cell.scenePsnr /= n;
+    cell.displayedPct /= n;
+    cell.blocksCorrected /= n;
+    cell.blocksUncorrectable /= n;
+    cell.corruptVops /= n;
+    cell.concealedMbs /= n;
+    return cell;
+}
+
+/**
+ * The SNR -> BER -> PSNR sweep.  Returns false when the 6.8 dB
+ * self-check fails.
+ */
+bool
+fecSweep(int argc, char **argv)
+{
+    std::cout << "FEC over the AWGN channel: 176x144, equal wire "
+              << "budget " << kWireBudgetBps / 1e6 << " Msym/s, "
+              << std::size(kSeeds) << " channel seeds per cell\n\n";
+
+    // Encode each contender at its share of the wire budget.  The
+    // scene reference depends only on (size, seed), shared by all.
+    std::vector<std::vector<uint8_t>> streams;
+    std::vector<core::Workload> wls;
+    for (const FecConfigRow &c : kFecConfigs) {
+        wls.push_back(fecWorkload(c));
+        streams.push_back(
+            core::ExperimentRunner::encodeUntraced(wls.back()));
+    }
+    const std::vector<std::vector<uint8_t>> refs = sceneLumas(wls[0]);
+
+    // Price the contenders: source bytes, wire symbols (the budget
+    // unit: one per coded bit; framing and cleartext bytes count 8),
+    // and the framing overhead beyond the nominal 1/R expansion.
+    TextTable price("Wire pricing at the equal symbol budget");
+    price.header({"config", "source bytes", "wire symbols",
+                  "vs resync-only"});
+    std::vector<double> wireSymbols;
+    for (size_t i = 0; i < std::size(kFecConfigs); ++i) {
+        const FecConfigRow &c = kFecConfigs[i];
+        double syms;
+        if (std::string(c.mode) == "off") {
+            syms = 8.0 * static_cast<double>(streams[i].size());
+        } else {
+            // Hard wire form packs 8 symbols per byte; measuring with
+            // it prices hard and soft identically (the soft wire form
+            // spends a byte per symbol only as an LLR container).
+            fec::FecConfig cfg;
+            cfg.decision = fec::Decision::Hard;
+            cfg.rate = c.rate;
+            cfg.interleaveDepth = c.interleaveDepth;
+            syms = 8.0 * static_cast<double>(
+                             fec::protect(streams[i], cfg).size());
+        }
+        wireSymbols.push_back(syms);
+        price.row({c.name, TextTable::num(streams[i].size(), 0),
+                   TextTable::num(syms, 0),
+                   TextTable::num(100.0 * syms / wireSymbols[0], 1) +
+                       "%"});
+    }
+    price.print();
+    std::cout << "\n";
+
+    std::vector<std::vector<FecCell>> cells(std::size(kFecConfigs));
+    FecCell resync68, hard68, soft68;
+    TextTable sweep("Es/N0 sweep: scene PSNR at the equal wire "
+                    "budget (hard-equivalent BER in header)");
+    sweep.header({"config", "Es/N0 dB", "~BER", "PSNR dB",
+                  "displayed %", "corrected", "uncorrectable",
+                  "corrupt VOPs"});
+    for (size_t i = 0; i < std::size(kFecConfigs); ++i) {
+        for (const double snr : kSnrsDb) {
+            const FecCell cell =
+                runFecCell(kFecConfigs[i], streams[i], refs, wls[i],
+                           snr);
+            cells[i].push_back(cell);
+            sweep.row({kFecConfigs[i].name, TextTable::num(snr, 1),
+                       TextTable::num(fec::hardBerAtEsN0Db(snr), 6),
+                       TextTable::num(cell.scenePsnr, 2),
+                       TextTable::num(cell.displayedPct, 1),
+                       TextTable::num(cell.blocksCorrected, 1),
+                       TextTable::num(cell.blocksUncorrectable, 1),
+                       TextTable::num(cell.corruptVops, 1)});
+            if (snr == 6.8) {
+                if (i == 0)
+                    resync68 = cell;
+                else if (std::string(kFecConfigs[i].name) ==
+                         "fec-hard-1/2")
+                    hard68 = cell;
+                else if (std::string(kFecConfigs[i].name) ==
+                         "fec-soft-1/2")
+                    soft68 = cell;
+            }
+        }
+    }
+    sweep.print();
+    std::cout
+        << "\nReading: resync-alone spends the whole budget on "
+           "source bits and conceals what the\nchannel destroys; the "
+           "FEC configs trade source fidelity for redundancy that "
+           "repairs\nthe channel outright.  Below the code's "
+           "operating point (4 dB) rate 3/4 collapses\nfirst; at "
+           "6.8 dB (BER ~1e-3) rate 1/2 decodes clean and wins on "
+           "PSNR; at 9 dB the\nchannel is quiet enough that "
+           "resync-alone's extra source bits close the gap.\n\n";
+
+    // Machine-readable artifact (BENCH_fec.json, m4ps-bench-v1).
+    {
+        using support::JsonValue;
+        std::vector<bench::BenchEntry> entries;
+        for (size_t i = 0; i < std::size(kFecConfigs); ++i) {
+            const FecConfigRow &c = kFecConfigs[i];
+            for (size_t k = 0; k < std::size(kSnrsDb); ++k) {
+                const FecCell &cell = cells[i][k];
+                bench::BenchEntry e;
+                e.bench = std::string("fec/") + c.name + "@" +
+                          TextTable::num(kSnrsDb[k], 1) + "dB";
+                e.config.add("width",
+                             JsonValue::of(int64_t(wls[i].width)));
+                e.config.add("height",
+                             JsonValue::of(int64_t(wls[i].height)));
+                e.config.add("frames",
+                             JsonValue::of(int64_t(wls[i].frames)));
+                e.config.add("channel_seeds", JsonValue::of(int64_t(
+                                                  std::size(kSeeds))));
+                e.config.add("es_n0_db", JsonValue::of(kSnrsDb[k]));
+                e.config.add("hard_ber", JsonValue::of(
+                                 fec::hardBerAtEsN0Db(kSnrsDb[k])));
+                e.config.add("fec", JsonValue::of(std::string(
+                                        c.mode)));
+                e.config.add("fec_rate", JsonValue::of(std::string(
+                                             fec::rateName(c.rate))));
+                e.config.add("interleave_depth",
+                             JsonValue::of(int64_t(
+                                 c.interleaveDepth)));
+                e.config.add("source_bps",
+                             JsonValue::of(wls[i].targetBps));
+                e.metrics.add("source_bytes",
+                              JsonValue::of(uint64_t(
+                                  streams[i].size())));
+                e.metrics.add("wire_symbols",
+                              JsonValue::of(wireSymbols[i]));
+                e.metrics.add("scene_psnr_db",
+                              JsonValue::of(cell.scenePsnr));
+                e.metrics.add("displayed_pct",
+                              JsonValue::of(cell.displayedPct));
+                e.metrics.add("fec_blocks_corrected",
+                              JsonValue::of(cell.blocksCorrected));
+                e.metrics.add("fec_blocks_uncorrectable",
+                              JsonValue::of(
+                                  cell.blocksUncorrectable));
+                e.metrics.add("corrupt_vops",
+                              JsonValue::of(cell.corruptVops));
+                e.metrics.add("concealed_mbs",
+                              JsonValue::of(cell.concealedMbs));
+                entries.push_back(std::move(e));
+            }
+        }
+        const std::string path =
+            bench::benchJsonPath(argc, argv, "BENCH_fec.json");
+        bench::writeBenchEntries(path, entries);
+        std::cout << "wrote " << path << " (" << entries.size()
+                  << " fec entries)\n\n";
+    }
+
+    // Self-check: protection must actually pay for itself at the
+    // operating point.  Skip (like part one) if the channel left the
+    // unprotected stream intact - then there is nothing to beat.
+    if (resync68.corruptVops + resync68.concealedMbs <= 0.0) {
+        std::cout << "fec self-check skipped: the 6.8 dB channel "
+                     "left resync-only intact (short M4PS_FRAMES "
+                     "run)\n";
+        return true;
+    }
+    const bool hard_wins = hard68.scenePsnr > resync68.scenePsnr;
+    const bool soft_wins = soft68.scenePsnr > resync68.scenePsnr;
+    std::cout << "fec self-check at 6.8 dB (BER ~1e-3): "
+              << "fec-hard-1/2 " << hard68.scenePsnr
+              << " dB, fec-soft-1/2 " << soft68.scenePsnr
+              << " dB, resync-only " << resync68.scenePsnr
+              << " dB (both FEC configs must win)\n";
+    if (!hard_wins || !soft_wins) {
+        std::cerr << "FATAL: fec self-check failed\n";
+        return false;
+    }
+    return true;
 }
 
 } // namespace
@@ -319,12 +664,15 @@ main(int argc, char **argv)
         std::cout << "\n";
     }
 
+    // Part two: FEC priced against resync-alone over AWGN.
+    const bool fec_ok = fecSweep(argc, argv);
+
     // Self-check: the subsystem must actually buy resilience.
     if (off1e5.corruptVops <= 0.0) {
         std::cout << "self-check skipped: the channel left the "
                      "marker-free stream intact (short M4PS_FRAMES "
                      "run)\n";
-        return 0;
+        return fec_ok ? 0 : 1;
     }
     const bool displays_enough = resync1e5.displayedPct >= 90.0;
     const bool beats_off = resync1e5.meanPsnr > off1e5.meanPsnr;
@@ -336,5 +684,5 @@ main(int argc, char **argv)
         std::cerr << "FATAL: resilience self-check failed\n";
         return 1;
     }
-    return 0;
+    return fec_ok ? 0 : 1;
 }

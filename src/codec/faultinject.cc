@@ -5,6 +5,7 @@
 
 #include "bitstream/startcode.hh"
 #include "codec/streamtools.hh"
+#include "support/logging.hh"
 #include "support/random.hh"
 
 namespace m4ps::codec
@@ -99,6 +100,7 @@ emulateStartcodes(std::vector<uint8_t> stream, int count, uint64_t seed,
 std::vector<uint8_t>
 injectFaults(std::vector<uint8_t> stream, const FaultSpec &spec)
 {
+    const size_t originalSize = stream.size();
     stream = flipBits(std::move(stream), spec.ber, spec.seed,
                       spec.protectPrefixBytes);
     stream = burstErrors(std::move(stream), spec.bursts,
@@ -107,6 +109,12 @@ injectFaults(std::vector<uint8_t> stream, const FaultSpec &spec)
     stream = emulateStartcodes(std::move(stream),
                                spec.startcodeEmulations, spec.seed,
                                spec.protectPrefixBytes);
+    // Truncation runs last, by contract (see the header): its
+    // fraction applies to the *original* length, and because the
+    // in-place classes above never resize, running it last is what
+    // makes that equivalence hold.
+    M4PS_ASSERT(stream.size() == originalSize,
+                "in-place fault classes must not resize the stream");
     stream = truncateStream(std::move(stream), spec.truncateFraction,
                             spec.protectPrefixBytes);
     return stream;

@@ -70,8 +70,15 @@ std::vector<uint8_t> emulateStartcodes(std::vector<uint8_t> stream,
                                        size_t protect_prefix = 0);
 
 /**
- * Apply every fault class of @p spec in a fixed order (flips, bursts,
- * startcode emulation, truncation).
+ * Apply every fault class of @p spec in a fixed order: flips, bursts,
+ * startcode emulation, and truncation *last*.  The order is part of
+ * the contract: truncation running last means truncateFraction is a
+ * fraction of the original stream length (not of some intermediate),
+ * every in-place fault class sees the full stream extent, and
+ * protectPrefixBytes is honored by each class individually - the
+ * returned stream always begins with the protected prefix unchanged
+ * (clamped to the original size).  fec::channelHard mirrors the same
+ * order over framed streams.
  */
 std::vector<uint8_t> injectFaults(std::vector<uint8_t> stream,
                                   const FaultSpec &spec);

@@ -124,6 +124,39 @@ divergenceJson(const Divergence &d)
     return o;
 }
 
+JsonValue
+fecJson(const ReportFec &f)
+{
+    JsonValue o = JsonValue::makeObject();
+    o.add("blocks", JsonValue::of(static_cast<uint64_t>(f.blocks)));
+    o.add("blocks_corrected",
+          JsonValue::of(static_cast<uint64_t>(f.blocksCorrected)));
+    o.add("blocks_uncorrectable",
+          JsonValue::of(static_cast<uint64_t>(f.blocksUncorrectable)));
+    o.add("framing_errors",
+          JsonValue::of(static_cast<uint64_t>(f.framingErrors)));
+    o.add("corrected_bits",
+          JsonValue::of(static_cast<uint64_t>(f.correctedBits)));
+    return o;
+}
+
+ReportFec
+fecFromJson(const JsonValue &v)
+{
+    ReportFec f;
+    f.present = true;
+    f.blocks = static_cast<uint64_t>(v.numberOr("blocks", 0));
+    f.blocksCorrected =
+        static_cast<uint64_t>(v.numberOr("blocks_corrected", 0));
+    f.blocksUncorrectable =
+        static_cast<uint64_t>(v.numberOr("blocks_uncorrectable", 0));
+    f.framingErrors =
+        static_cast<uint64_t>(v.numberOr("framing_errors", 0));
+    f.correctedBits =
+        static_cast<uint64_t>(v.numberOr("corrected_bits", 0));
+    return f;
+}
+
 /** Scaling verdict across the document (first run vs last run). */
 JsonValue
 scalingJson(const std::vector<ReportRun> &runs)
@@ -173,6 +206,8 @@ buildCounterReport(const std::vector<ReportRun> &runs,
                   divergenceJson(crossValidate(rep, run.hw,
                                                divergenceTolerance)));
         }
+        if (run.fec.present)
+            o.add("fec", fecJson(run.fec));
         arr.array.push_back(std::move(o));
     }
     doc.add("runs", std::move(arr));
@@ -206,6 +241,8 @@ parseReportRuns(const JsonValue &doc)
         run.ctrs = memsim::CounterSet::fromJson(*ctrs);
         if (const JsonValue *hw = r.find("hw"))
             run.hasHw = hwFromJson(*hw, &run.hw, &run.hwBackend);
+        if (const JsonValue *fec = r.find("fec"))
+            run.fec = fecFromJson(*fec);
         out.push_back(std::move(run));
     }
     return out;
@@ -282,6 +319,33 @@ printCounterReport(std::ostream &os,
                           : "within tolerance ")
            << TextTable::num(divergenceTolerance, 2)
            << (d.diverged ? ")" : "") << "\n";
+    }
+
+    // FEC stage: how channel damage split between the Viterbi
+    // repair (invisible to the decoder) and the codec's concealment
+    // (uncorrectable blocks fell through) - docs/FEC.md.
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const ReportFec &f = runs[i].fec;
+        if (!f.present)
+            continue;
+        os << "\nFEC stage for " << labels[i] << "\n";
+        os << "  blocks: " << f.blocks << " (" << f.blocksCorrected
+           << " corrected, " << f.blocksUncorrectable
+           << " uncorrectable, " << f.framingErrors
+           << " framing error(s))\n";
+        os << "  wire bits repaired before the decoder: "
+           << f.correctedBits << "\n";
+        if (f.blocks > 0) {
+            os << "  channel-vs-codec split: "
+               << (f.blocksUncorrectable == 0 && f.framingErrors == 0
+                       ? "all channel damage repaired at the FEC "
+                         "stage"
+                       : std::to_string(f.blocksUncorrectable +
+                                        f.framingErrors) +
+                             " block(s) fell through to "
+                             "concealment")
+               << "\n";
+        }
     }
     os.flush();
 }

@@ -29,8 +29,14 @@
  *
  *   {"schema": "m4ps-report-v1", "divergence_tolerance": T,
  *    "runs": [{"label", "machine_preset", "machine", "counters",
- *              "derived", "verdicts", "hw"?, "divergence"?}, ...],
+ *              "derived", "verdicts", "hw"?, "divergence"?,
+ *              "fec"?}, ...],
  *    "scaling": {"available", "from", "to", "holds"}}
+ *
+ * The optional "fec" object carries the forward-error-correction
+ * stage's outcome for decode runs over a lossy channel (ReportFec):
+ * how much channel damage the Viterbi stage repaired before the
+ * decoder saw a byte, and how much fell through to concealment.
  *
  * parseReportRuns() reads the same document back (ignoring derived
  * fields), so a report is also a counter dump: round-tripping
@@ -53,6 +59,22 @@
 namespace m4ps::core
 {
 
+/**
+ * FEC recovery outcome attached to a decode run (docs/FEC.md).
+ * Plain numbers rather than fec::FecStats so the report layer stays
+ * independent of the fec library; the "fec" object in the schema
+ * mirrors these fields in snake_case.
+ */
+struct ReportFec
+{
+    bool present = false;    //!< Run decoded through an FEC frame.
+    uint64_t blocks = 0;
+    uint64_t blocksCorrected = 0;
+    uint64_t blocksUncorrectable = 0;
+    uint64_t framingErrors = 0;
+    uint64_t correctedBits = 0;
+};
+
 /** One ingested run: counters + machine + optional hardware counts. */
 struct ReportRun
 {
@@ -64,6 +86,8 @@ struct ReportRun
     bool hasHw = false;      //!< Host PMU deltas attached.
     perfctr::Counts hw;
     perfctr::Backend hwBackend = perfctr::Backend::Software;
+
+    ReportFec fec;           //!< FEC stage outcome, if any.
 };
 
 /** Hardware-vs-memsim comparison for one run. */

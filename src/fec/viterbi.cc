@@ -1,0 +1,135 @@
+#include "fec/viterbi.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace m4ps::fec
+{
+
+const char *
+decisionName(Decision d)
+{
+    return d == Decision::Hard ? "hard" : "soft";
+}
+
+ViterbiDecoder::ViterbiDecoder(const ConvCode &code) : code_(code)
+{
+    M4PS_ASSERT(code.valid(), "invalid convolutional code (k=",
+                code.k, ")");
+    const int states = code.numStates();
+    branch_.resize(static_cast<size_t>(states) * 2);
+    for (int s = 0; s < states; ++s) {
+        branch_[s * 2 + 0] = branchBits(code, s, 0);
+        branch_[s * 2 + 1] = branchBits(code, s, 1);
+    }
+}
+
+namespace
+{
+
+/** Soft cost of receiving @p r where bit @p e was expected. */
+inline uint32_t
+softCost(int e, uint8_t r)
+{
+    return e ? static_cast<uint32_t>(255 - r)
+             : static_cast<uint32_t>(r);
+}
+
+/** Hard cost: quantize to a bit, erasures are free for either. */
+inline uint32_t
+hardCost(int e, uint8_t r)
+{
+    if (r == kSymErased)
+        return 0;
+    return (r > kSymErased ? 1 : 0) != e ? 1u : 0u;
+}
+
+constexpr uint32_t kUnreachable = 1u << 29;
+
+} // namespace
+
+ViterbiResult
+ViterbiDecoder::decode(const uint8_t *symbols, size_t nInfoBits,
+                       Decision decision) const
+{
+    const int k = code_.k;
+    const int states = code_.numStates();
+    const int halfMask = (1 << (k - 2)) - 1;
+    const size_t steps = nInfoBits + static_cast<size_t>(
+                                         code_.tailBits());
+
+    // Path metrics, swapped per step; state 0 is the known start.
+    std::vector<uint32_t> cur(static_cast<size_t>(states),
+                              kUnreachable);
+    std::vector<uint32_t> nxt(static_cast<size_t>(states));
+    cur[0] = 0;
+    uint64_t normalized = 0;
+
+    // One decision word per step: bit ns records which predecessor
+    // (by its low bit, the oldest register bit) won state ns.
+    std::vector<uint64_t> decisions(steps, 0);
+
+    for (size_t t = 0; t < steps; ++t) {
+        const uint8_t r0 = symbols[2 * t];
+        const uint8_t r1 = symbols[2 * t + 1];
+
+        // Branch cost per expected pair value (4 possibilities).
+        uint32_t pairCost[4];
+        for (int e = 0; e < 4; ++e) {
+            const int e0 = e & 1, e1 = (e >> 1) & 1;
+            pairCost[e] = decision == Decision::Soft
+                              ? softCost(e0, r0) + softCost(e1, r1)
+                              : hardCost(e0, r0) + hardCost(e1, r1);
+        }
+
+        uint64_t word = 0;
+        for (int ns = 0; ns < states; ++ns) {
+            const int u = ns >> (k - 2);
+            const int base = (ns & halfMask) << 1;
+            const int s0 = base, s1 = base | 1;
+            const uint32_t m0 =
+                cur[s0] + pairCost[branch_[s0 * 2 + u]];
+            const uint32_t m1 =
+                cur[s1] + pairCost[branch_[s1 * 2 + u]];
+            if (m1 < m0) {
+                nxt[ns] = m1;
+                word |= 1ull << ns;
+            } else {
+                nxt[ns] = m0;
+            }
+        }
+        decisions[t] = word;
+        cur.swap(nxt);
+
+        // Keep metrics far from overflow (max step increment 510).
+        if ((t & 0xfff) == 0xfff) {
+            const uint32_t lo =
+                *std::min_element(cur.begin(), cur.end());
+            if (lo > 0) {
+                for (auto &m : cur)
+                    m -= lo;
+                normalized += lo;
+            }
+        }
+    }
+
+    // Traceback from the flushed state 0.  Each state carries its
+    // newest register bit at the top, which *is* the decoded input.
+    ViterbiResult res;
+    res.pathMetric = normalized + cur[0];
+    std::vector<uint8_t> all(steps);
+    int state = 0;
+    for (size_t t = steps; t-- > 0;) {
+        all[t] = static_cast<uint8_t>(state >> (k - 2));
+        const int lsb =
+            static_cast<int>((decisions[t] >> state) & 1);
+        state = ((state & halfMask) << 1) | lsb;
+    }
+    all.resize(nInfoBits);
+    res.bits = std::move(all);
+    return res;
+}
+
+} // namespace m4ps::fec

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "fec/puncture.hh"
 #include "support/serialize.hh"
 
 namespace m4ps::service
@@ -125,6 +126,19 @@ applyKey(JobSpec &spec, const std::string &key, const std::string &v)
         spec.crashAtVop = parseInt(key, v);
     } else if (key == "hang-at") {
         spec.hangAtVop = parseInt(key, v);
+    } else if (key == "fec") {
+        if (v != "off" && v != "hard" && v != "soft")
+            throw ManifestError(
+                "fec must be off, hard, or soft, got '" + v + "'");
+        spec.fecMode = v;
+    } else if (key == "fec-rate") {
+        fec::Rate r;
+        if (!fec::parseRate(v, r))
+            throw ManifestError(
+                "fec-rate must be 1/2, 2/3, or 3/4, got '" + v + "'");
+        spec.fecRate = v;
+    } else if (key == "interleave-depth") {
+        spec.interleaveDepth = parseInt(key, v);
     } else if (key == "perf") {
         spec.perf = parseBool(key, v);
     } else if (key == "report-out") {
@@ -181,6 +195,15 @@ JobSpec::validate() const
         reject("resync-interval must be >= 0");
     if (w.dataPartitioning && w.resyncInterval == 0)
         reject("data-partition requires resync-interval > 0");
+    if (fecMode != "off" && fecMode != "hard" && fecMode != "soft")
+        reject("fec must be off, hard, or soft");
+    {
+        fec::Rate r;
+        if (!fec::parseRate(fecRate, r))
+            reject("fec-rate must be 1/2, 2/3, or 3/4");
+    }
+    if (interleaveDepth < 0 || interleaveDepth > 0xffff)
+        reject("interleave-depth must be in [0, 65535]");
     if (type == JobType::Decode && input.empty())
         reject("decode jobs need input=<stream file>");
     // Transcode writes the encoded stream too, so it is encode-like
@@ -228,6 +251,10 @@ JobSpec::toSpecLine() const
         os << " crash-at=" << crashAtVop;
     if (hangAtVop >= 0)
         os << " hang-at=" << hangAtVop;
+    if (fecEnabled()) {
+        os << " fec=" << fecMode << " fec-rate=" << fecRate
+           << " interleave-depth=" << interleaveDepth;
+    }
     if (perf)
         os << " perf=1";
     if (!reportOut.empty())
@@ -252,7 +279,8 @@ JobSpec::configHash() const
        << w.halfPel << '|' << w.fourMv << '|' << w.mpegQuant << '|'
        << w.seed << '|' << w.resyncInterval << '|'
        << w.dataPartitioning << '|' << w.initialQp << '|'
-       << w.frameRate << '|' << input;
+       << w.frameRate << '|' << input << '|' << fecMode << '|'
+       << fecRate << '|' << interleaveDepth;
     return support::fnv1a64(os.str());
 }
 

@@ -87,6 +87,24 @@ struct JobSpec
     int hangAtVop = -1;
 
     /**
+     * Forward error correction over the job's stream (docs/FEC.md):
+     * "off", "hard", or "soft".  Encode/transcode jobs write an
+     * FEC-framed stream; decode jobs recover the framing before
+     * decoding.  Shapes the output bytes, so it participates in
+     * configHash().
+     */
+    std::string fecMode = "off";
+
+    /** Code rate after puncturing: "1/2", "2/3", or "3/4". */
+    std::string fecRate = "1/2";
+
+    /** Block-interleaver depth; <= 1 disables interleaving. */
+    int interleaveDepth = 1;
+
+    /** FEC requested (any mode but "off"). */
+    bool fecEnabled() const { return fecMode != "off"; }
+
+    /**
      * Measure host PMU counters over the job (perfctr; falls back to
      * the software backend when the PMU is unavailable).  Supervision
      * detail: excluded from configHash(), so flipping it never stales

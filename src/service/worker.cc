@@ -12,6 +12,7 @@
 #include "codec/kernels/kernels.hh"
 #include "core/perfreport.hh"
 #include "core/runner.hh"
+#include "fec/frame.hh"
 #include "service/checkpoint.hh"
 #include "support/args.hh"
 #include "support/json.hh"
@@ -85,6 +86,19 @@ readFile(const std::string &path, std::vector<uint8_t> &out)
     return true;
 }
 
+/** FEC framing parameters of a spec (docs/FEC.md). */
+fec::FecConfig
+fecConfigOf(const JobSpec &spec)
+{
+    fec::FecConfig cfg;
+    cfg.decision = spec.fecMode == "soft" ? fec::Decision::Soft
+                                          : fec::Decision::Hard;
+    if (!fec::parseRate(spec.fecRate, cfg.rate))
+        throw ManifestError("fec-rate must be 1/2, 2/3, or 3/4");
+    cfg.interleaveDepth = spec.interleaveDepth;
+    return cfg;
+}
+
 /**
  * Encode the spec's workload, checkpointing after every frame time.
  * Returns the finished elementary stream.
@@ -131,24 +145,44 @@ encodeSupervised(const JobSpec &spec)
     }
 
     std::vector<uint8_t> stream = enc.finish();
+    if (spec.fecEnabled()) {
+        // Frame the finished stream; checkpoints stay in elementary-
+        // stream space (protect() runs once at the end, not per VOP).
+        stream = fec::protect(stream, fecConfigOf(spec));
+    }
     writeFileAtomic(spec.output, stream.data(), stream.size());
     if (spec.checkpoint)
         removeCheckpoint(ckpt);
     return stream;
 }
 
-/** Decode @p stream; throws codec::DecodeError in strict mode. */
+/**
+ * Decode @p stream (recovering FEC framing first when the spec asks
+ * for it); throws codec::DecodeError in strict mode.  @p fecStats is
+ * filled when FEC ran.
+ */
 codec::DecodeStats
-decodeStream(const JobSpec &spec, const std::vector<uint8_t> &stream)
+decodeStream(const JobSpec &spec, const std::vector<uint8_t> &stream,
+             fec::FecStats *fecStats = nullptr)
 {
     memsim::SimContext ctx;
     codec::Mpeg4Decoder dec(ctx);
+    if (spec.fecEnabled()) {
+        // Protect-then-conceal: Viterbi first, then whatever it could
+        // not fix falls through to the tolerant decoder.
+        fec::RecoverResult rec = fec::recover(stream);
+        if (fecStats)
+            *fecStats = rec.stats;
+        return dec.decode(rec.stream, codec::Mpeg4Decoder::Sink(),
+                          spec.tolerant);
+    }
     return dec.decode(stream, codec::Mpeg4Decoder::Sink(),
                       spec.tolerant);
 }
 
 void
-writeDecodeReport(const std::string &path, const codec::DecodeStats &s)
+writeDecodeReport(const std::string &path, const codec::DecodeStats &s,
+                  const JobSpec &spec, const fec::FecStats *f)
 {
     std::ofstream out(path, std::ios::trunc);
     if (!out)
@@ -158,6 +192,20 @@ writeDecodeReport(const std::string &path, const codec::DecodeStats &s)
         << "corrupted_vops " << s.corruptedVops << "\n"
         << "header_errors " << s.headerErrors << "\n"
         << "total_bits " << s.totalBits << "\n";
+    if (spec.fecEnabled() && f) {
+        out << "fec_blocks " << f->blocks << "\n"
+            << "fec_blocks_corrected " << f->blocksCorrected << "\n"
+            << "fec_blocks_uncorrectable " << f->blocksUncorrectable
+            << "\n"
+            << "fec_framing_errors " << f->framingErrors << "\n"
+            << "fec_corrected_bits " << f->correctedBits << "\n";
+        for (const auto &v : f->perVop) {
+            if (v.vop < 0)
+                continue;
+            out << "fec_vop" << v.vop << " " << v.blocks << " "
+                << v.corrected << " " << v.uncorrectable << "\n";
+        }
+    }
 }
 
 int
@@ -176,15 +224,19 @@ runDecode(const JobSpec &spec)
                      spec.id.c_str(), spec.input.c_str());
         return kWorkerPermanent;
     }
-    const codec::DecodeStats stats = decodeStream(spec, stream);
+    fec::FecStats fecStats;
+    const codec::DecodeStats stats =
+        decodeStream(spec, stream, &fecStats);
     if (!spec.output.empty())
-        writeDecodeReport(spec.output, stats);
+        writeDecodeReport(spec.output, stats, spec, &fecStats);
     return kWorkerOk;
 }
 
 int
 runTranscode(const JobSpec &spec)
 {
+    // encodeSupervised returns the FEC-framed stream when fec is on,
+    // so the verify decode exercises the full recover path too.
     const std::vector<uint8_t> stream = encodeSupervised(spec);
     const codec::DecodeStats stats = decodeStream(spec, stream);
     if (stats.vops == 0) {
@@ -263,7 +315,11 @@ workerMain(int argc, const char *const *argv)
             "usage: m4ps_worker --id <job> --spec \"k=v k=v ...\"\n"
             "           [--perf] [--report-out FILE] [--kernels NAME]\n"
             "Runs one supervised job; see docs/OPERATIONS.md for the\n"
-            "spec keys and the exit-code contract.  --perf measures\n"
+            "spec keys and the exit-code contract.  Spec keys fec=\n"
+            "off|hard|soft, fec-rate=1/2|2/3|3/4 and interleave-depth\n"
+            "add convolutional FEC framing over the job's stream\n"
+            "(docs/FEC.md); they shape the output, so they are part\n"
+            "of the checkpoint config hash.  --perf measures\n"
             "host PMU counters over the job (software-clock fallback\n"
             "when the PMU is unavailable); --report-out writes them\n"
             "as JSON (docs/PROFILING.md).  --kernels picks the SIMD\n"

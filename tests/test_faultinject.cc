@@ -111,6 +111,82 @@ TEST(FaultInject, StartcodeEmulationForgesPrefixes)
     EXPECT_LE(prefixes, 6);
 }
 
+TEST(FaultInject, TruncationRunsLastWithAllFourClassesActive)
+{
+    // Ordering regression (docs/RESILIENCE.md): with every fault
+    // class active at once, injectFaults must equal the manual
+    // composition flips -> bursts -> emulation -> truncation, the
+    // truncation fraction must be of the *original* length, and the
+    // protected prefix must survive all four classes.
+    std::vector<uint8_t> stream(8000);
+    for (size_t i = 0; i < stream.size(); ++i)
+        stream[i] = static_cast<uint8_t>(i * 151 + 3);
+
+    FaultSpec spec;
+    spec.ber = 2e-3;
+    spec.bursts = 3;
+    spec.burstBytes = 32;
+    spec.startcodeEmulations = 2;
+    spec.truncateFraction = 0.7;
+    spec.seed = 77;
+    spec.protectPrefixBytes = 300;
+
+    const auto got = injectFaults(stream, spec);
+
+    auto want = flipBits(stream, spec.ber, spec.seed,
+                         spec.protectPrefixBytes);
+    want = burstErrors(std::move(want), spec.bursts, spec.burstBytes,
+                       spec.seed, spec.protectPrefixBytes);
+    want = emulateStartcodes(std::move(want), spec.startcodeEmulations,
+                             spec.seed, spec.protectPrefixBytes);
+    want = truncateStream(std::move(want), spec.truncateFraction,
+                          spec.protectPrefixBytes);
+    EXPECT_EQ(got, want);
+
+    // Fraction of the original 8000 bytes, not of some intermediate.
+    ASSERT_EQ(got.size(), static_cast<size_t>(0.7 * 8000));
+    for (size_t i = 0; i < spec.protectPrefixBytes; ++i)
+        ASSERT_EQ(got[i], stream[i]) << "byte " << i;
+    // And the unprotected region really was damaged by the others.
+    EXPECT_NE(got, std::vector<uint8_t>(stream.begin(),
+                                        stream.begin() + got.size()));
+}
+
+TEST(FaultInject, ProtectableHeaderBytesEdgeCases)
+{
+    // Empty stream: nothing to protect, nothing to damage.
+    const std::vector<uint8_t> empty;
+    EXPECT_EQ(protectableHeaderBytes(empty), 0u);
+
+    // Startcodes but no VOP anywhere: the whole stream is "header".
+    std::vector<uint8_t> noVop = {0x00, 0x00, 0x01, 0xb0, 0x01,
+                                  0x00, 0x00, 0x01, 0xb5, 0x07};
+    EXPECT_EQ(protectableHeaderBytes(noVop), noVop.size());
+
+    // Resync-packetized and data-partitioned streams still point at
+    // the first VOP section: resync markers live *inside* VOP
+    // payloads and must not change where protection ends.
+    for (const bool dp : {false, true}) {
+        core::Workload w = core::paperWorkload(64, 64, 1, 1);
+        w.frames = 3;
+        w.targetBps = 1e6;
+        w.resyncInterval = 2;
+        w.dataPartitioning = dp;
+        const auto stream = core::ExperimentRunner::encodeUntraced(w);
+        const size_t prefix = protectableHeaderBytes(stream);
+        size_t firstVop = stream.size();
+        for (const auto &s : parseSections(stream)) {
+            if (s.code == 0xb6 || s.code == 0xb7) {
+                firstVop = s.offset;
+                break;
+            }
+        }
+        EXPECT_EQ(prefix, firstVop) << "dp=" << dp;
+        EXPECT_GT(prefix, 0u) << "dp=" << dp;
+        EXPECT_LT(prefix, stream.size()) << "dp=" << dp;
+    }
+}
+
 TEST(FaultInject, ProtectableHeaderBytesStopAtFirstVop)
 {
     core::Workload w = core::paperWorkload(64, 64, 1, 1);

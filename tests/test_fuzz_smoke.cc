@@ -14,8 +14,10 @@
 #include "codec/faultinject.hh"
 #include "core/runner.hh"
 #include "core/workload.hh"
+#include "fec/frame.hh"
 #include "support/obs/obs.hh"
 #include "support/random.hh"
+#include "support/serialize.hh"
 
 namespace m4ps::codec
 {
@@ -129,6 +131,91 @@ TEST(FuzzSmoke, StructuredFaultClassesSurviveTolerantDecode)
             bad, [&](const DecodedEvent &) { ++shown; },
             /*tolerant=*/true);
         expectSane(stats, shown, seed);
+    }
+}
+
+TEST(FuzzSmoke, FecFramedStreamsSurviveRecoveryAndTolerantDecode)
+{
+    // The FEC recovery path (fec::recover) is total by contract: any
+    // mutation of a framed stream - smashed block trailers, damaged
+    // frame headers, arbitrary byte noise - must come back as *some*
+    // byte stream that the tolerant decoder then survives.
+    const auto clean =
+        core::ExperimentRunner::encodeUntraced(fuzzWorkload(2, true));
+    const fec::Rate rates[] = {fec::Rate::R1_2, fec::Rate::R2_3,
+                               fec::Rate::R3_4};
+
+    for (uint64_t seed = 0; seed < 48; ++seed) {
+        fec::FecConfig cfg;
+        cfg.decision = seed % 2 ? fec::Decision::Soft
+                                : fec::Decision::Hard;
+        cfg.rate = rates[seed % 3];
+        cfg.interleaveDepth = seed % 4 ? 16 : 1;
+        auto framed = fec::protect(clean, cfg);
+
+        Rng rng(seed * 977 + 11);
+        for (int k = 0; k < 12; ++k) {
+            const size_t at = static_cast<size_t>(rng.uniformInt(
+                0, static_cast<int64_t>(framed.size()) - 1));
+            framed[at] = static_cast<uint8_t>(rng.next());
+        }
+        if (rng.chance(0.3))
+            framed = truncateStream(std::move(framed),
+                                    rng.uniformReal(0.05, 0.95));
+
+        const fec::RecoverResult rec = fec::recover(framed);
+        EXPECT_LE(rec.stats.blocksCorrected +
+                      rec.stats.blocksUncorrectable,
+                  rec.stats.blocks)
+            << "seed " << seed;
+
+        memsim::SimContext ctx;
+        Mpeg4Decoder dec(ctx);
+        int shown = 0;
+        const DecodeStats stats = dec.decode(
+            rec.stream, [&](const DecodedEvent &) { ++shown; },
+            /*tolerant=*/true);
+        expectSane(stats, shown, seed);
+    }
+}
+
+TEST(FuzzSmoke, PuncturedStreamFedToTheWrongRateSurvives)
+{
+    // A receiver that misreads the rate reads the wrong symbol count
+    // per block and depunctures on the wrong grid.  Forge that by
+    // rewriting the header's rate byte (and refreshing the header CRC
+    // so the frame still parses): recovery must stay total and the
+    // damaged output must still decode tolerantly.
+    const auto clean =
+        core::ExperimentRunner::encodeUntraced(fuzzWorkload(2, false));
+    for (int from = 0; from < fec::kNumRates; ++from) {
+        for (int to = 0; to < fec::kNumRates; ++to) {
+            if (from == to)
+                continue;
+            fec::FecConfig cfg;
+            cfg.rate = static_cast<fec::Rate>(from);
+            auto framed = fec::protect(clean, cfg);
+            framed[fec::kOffRate] = static_cast<uint8_t>(to);
+            const uint32_t crc = support::crc32(
+                framed.data(), fec::kOffHeaderCrc);
+            for (int i = 0; i < 4; ++i)
+                framed[fec::kOffHeaderCrc + i] = static_cast<uint8_t>(
+                    (crc >> (8 * i)) & 0xff);
+
+            const fec::RecoverResult rec = fec::recover(framed);
+            EXPECT_EQ(rec.stats.blocksCorrected, 0u)
+                << from << "->" << to
+                << ": a wrong-rate block must never pass its CRC";
+
+            memsim::SimContext ctx;
+            Mpeg4Decoder dec(ctx);
+            int shown = 0;
+            const DecodeStats stats = dec.decode(
+                rec.stream, [&](const DecodedEvent &) { ++shown; },
+                /*tolerant=*/true);
+            expectSane(stats, shown,
+                       static_cast<uint64_t>(from * 3 + to));
+        }
     }
 }
 

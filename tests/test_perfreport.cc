@@ -106,6 +106,47 @@ TEST(PerfReport, GoldenRoundTripPreservesCounters)
               support::writeJson(doc));
 }
 
+TEST(PerfReport, FecSectionRoundTripsAndPrints)
+{
+    core::ReportRun run =
+        makeRun("dec fec", "o2", friendlyCounters());
+    run.fec.present = true;
+    run.fec.blocks = 12;
+    run.fec.blocksCorrected = 7;
+    run.fec.blocksUncorrectable = 2;
+    run.fec.framingErrors = 1;
+    run.fec.correctedBits = 345;
+
+    const JsonValue doc = core::buildCounterReport({run}, 0.5);
+    const std::vector<core::ReportRun> back = core::parseReportRuns(
+        support::parseJson(support::writeJson(doc)));
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_TRUE(back[0].fec.present);
+    EXPECT_EQ(back[0].fec.blocks, 12u);
+    EXPECT_EQ(back[0].fec.blocksCorrected, 7u);
+    EXPECT_EQ(back[0].fec.blocksUncorrectable, 2u);
+    EXPECT_EQ(back[0].fec.framingErrors, 1u);
+    EXPECT_EQ(back[0].fec.correctedBits, 345u);
+
+    // Re-derivation is stable with the fec object attached.
+    EXPECT_EQ(support::writeJson(core::buildCounterReport(back, 0.5)),
+              support::writeJson(doc));
+
+    // The human rendering surfaces the channel-vs-codec split; three
+    // damaged blocks fell through to concealment.
+    std::ostringstream os;
+    core::printCounterReport(os, back, 0.5);
+    EXPECT_NE(os.str().find("FEC stage for"), std::string::npos);
+    EXPECT_NE(os.str().find("3 block(s) fell through"),
+              std::string::npos);
+
+    // Runs without an FEC stage carry no fec object at all.
+    const JsonValue plain = core::buildCounterReport(
+        {makeRun("enc", "o2", friendlyCounters())}, 0.5);
+    EXPECT_EQ(plain.find("runs")->array[0].find("fec"), nullptr);
+    EXPECT_FALSE(core::parseReportRuns(plain)[0].fec.present);
+}
+
 TEST(PerfReport, VerdictsMatchFallacyJudgeOnAllPresets)
 {
     std::vector<core::ReportRun> runs;

@@ -137,6 +137,51 @@ TEST(JobSpec, DegradedSpecSurvivesTheSpecLine)
     EXPECT_EQ(back.configHash(), spec.configHash());
 }
 
+TEST(JobSpec, FecKeysRoundTripAndShapeTheConfigHash)
+{
+    JobSpec spec;
+    spec.id = "f";
+    spec.output = "f.m4v";
+    const uint64_t plain = spec.configHash();
+
+    spec.fecMode = "soft";
+    spec.fecRate = "3/4";
+    spec.interleaveDepth = 32;
+    // FEC reshapes the output bytes, so a checkpoint written without
+    // it must read as stale once it is switched on (and vice versa).
+    EXPECT_NE(spec.configHash(), plain);
+
+    const JobSpec back = parseSpecLine("f", spec.toSpecLine());
+    EXPECT_EQ(back.fecMode, "soft");
+    EXPECT_EQ(back.fecRate, "3/4");
+    EXPECT_EQ(back.interleaveDepth, 32);
+    EXPECT_EQ(back.configHash(), spec.configHash());
+    EXPECT_TRUE(back.fecEnabled());
+
+    // Disabled FEC stays out of the canonical line entirely, so old
+    // spec lines and new ones hash identically.
+    JobSpec off;
+    off.id = "f";
+    off.output = "f.m4v";
+    EXPECT_EQ(off.toSpecLine().find("fec"), std::string::npos);
+    EXPECT_EQ(off.configHash(), plain);
+}
+
+TEST(JobSpec, FecKeysAreValidated)
+{
+    EXPECT_THROW(parseSpecLine("b", "out=x fec=maybe"),
+                 ManifestError);
+    EXPECT_THROW(parseSpecLine("b", "out=x fec-rate=5/6"),
+                 ManifestError);
+    JobSpec spec = parseSpecLine("b", "out=x fec=hard");
+    spec.interleaveDepth = -1;
+    EXPECT_THROW(spec.validate(), ManifestError);
+    spec.interleaveDepth = 70000;
+    EXPECT_THROW(spec.validate(), ManifestError);
+    spec.interleaveDepth = 16;
+    EXPECT_NO_THROW(spec.validate());
+}
+
 TEST(JobSpec, EffectiveClassDefaultsToTypeName)
 {
     JobSpec spec;

@@ -23,6 +23,7 @@
 #include <thread>
 
 #include "core/runner.hh"
+#include "fec/frame.hh"
 #include "service/checkpoint.hh"
 #include "service/supervisor.hh"
 
@@ -183,6 +184,59 @@ TEST(Supervisor, CrashedEncodeResumesAndMatchesUninterruptedRun)
     const std::vector<uint8_t> reference =
         core::ExperimentRunner::encodeUntraced(spec.workload);
     EXPECT_EQ(readAll(spec.output), reference);
+    expectNoChildren();
+}
+
+TEST(Supervisor, FecFramedEncodeRecoversByteIdentically)
+{
+    const std::string dir = testing::TempDir();
+    JobSpec enc = tinyEncode(dir, "sup_fec");
+    enc.fecMode = "hard";
+    enc.fecRate = "2/3";
+    enc.interleaveDepth = 8;
+
+    EventLog log;
+    Supervisor sup(fastConfig(), log);
+    const BatchResult batch = sup.run({enc});
+    ASSERT_EQ(batch.completed, 1);
+
+    // The worker wrote an FEC frame, not a raw elementary stream...
+    const std::vector<uint8_t> framed = readAll(enc.output);
+    ASSERT_GE(framed.size(), fec::kHeaderSize);
+    EXPECT_TRUE(std::equal(std::begin(fec::kMagic),
+                           std::end(fec::kMagic), framed.begin()));
+
+    // ...whose framing peels off losslessly: recovering it yields
+    // the exact bytes an unprotected encode of the same workload
+    // produces (so FEC composes with the checkpoint bit-identity
+    // guarantee instead of weakening it).
+    const std::vector<uint8_t> reference =
+        core::ExperimentRunner::encodeUntraced(enc.workload);
+    const fec::RecoverResult rec = fec::recover(framed);
+    EXPECT_EQ(rec.stream, reference);
+    EXPECT_EQ(rec.stats.blocksUncorrectable, 0u);
+
+    // A decode job with the same fec config consumes the frame and
+    // reports the FEC counters.
+    JobSpec dec;
+    dec.id = "sup_fec_dec";
+    dec.type = JobType::Decode;
+    dec.workload = enc.workload;
+    dec.input = enc.output;
+    dec.output = dir + "sup_fec_dec.report";
+    dec.fecMode = enc.fecMode;
+    dec.fecRate = enc.fecRate;
+    dec.interleaveDepth = enc.interleaveDepth;
+    std::remove(dec.output.c_str());
+    EventLog dlog;
+    Supervisor dsup(fastConfig(), dlog);
+    const BatchResult dbatch = dsup.run({dec});
+    ASSERT_EQ(dbatch.completed, 1);
+    const std::vector<uint8_t> report = readAll(dec.output);
+    const std::string text(report.begin(), report.end());
+    EXPECT_NE(text.find("fec_blocks "), std::string::npos);
+    EXPECT_NE(text.find("fec_blocks_uncorrectable 0"),
+              std::string::npos);
     expectNoChildren();
 }
 

@@ -21,6 +21,8 @@
 #include "codec/faultinject.hh"
 #include "codec/kernels/kernels.hh"
 #include "core/fallacies.hh"
+#include "fec/frame.hh"
+#include "fec/interleave.hh"
 #include "core/perfreport.hh"
 #include "core/runner.hh"
 #include "support/args.hh"
@@ -39,9 +41,10 @@ const std::set<std::string> kFlags{
     "layers",  "bitrate", "machine", "l2kb",  "search-range",
     "b-frames", "intra-period", "no-half-pel", "no-4mv",
     "mpeg-quant", "seed", "threads", "resync-interval",
-    "data-partition", "ber", "fault-seed", "tolerant",
-    "trace-out", "metrics-out", "perf", "report-out", "kernels",
-    "help",
+    "data-partition", "ber", "bursts", "burst-bytes", "truncate",
+    "fault-seed", "snr", "fec", "fec-rate", "interleave-depth",
+    "tolerant", "trace-out", "metrics-out", "perf", "report-out",
+    "kernels", "help",
 };
 
 /**
@@ -106,9 +109,30 @@ usage()
         "  --data-partition            split motion/texture partitions\n"
         "                              (needs --resync-interval)\n"
         "  --ber P                     corrupt the stream at bit-error\n"
-        "                              rate P before decoding (implies\n"
-        "                              --tolerant; headers protected)\n"
+        "                              rate P in [0, 1) before decoding\n"
+        "                              (implies --tolerant; headers\n"
+        "                              protected)\n"
+        "  --bursts N                  N contiguous burst errors\n"
+        "  --burst-bytes N             bytes per burst (default 16)\n"
+        "  --truncate F                keep fraction F in (0, 1] of\n"
+        "                              the stream (cut tail)\n"
         "  --fault-seed N              channel noise seed (default 1)\n"
+        "  --snr DB                    AWGN channel at Es/N0 DB dB; the\n"
+        "                              soft-symbol channel for --fec\n"
+        "                              soft, else mapped to the\n"
+        "                              equivalent hard BER\n"
+        "                              Q(sqrt(2 Es/N0))\n"
+        "  --fec off|hard|soft         convolutional FEC over the\n"
+        "                              stream (K=7 {171,133} + Viterbi;\n"
+        "                              docs/FEC.md): protect before\n"
+        "                              the channel, recover after,\n"
+        "                              conceal what remains\n"
+        "  --fec-rate 1/2|2/3|3/4      punctured code rate (needs\n"
+        "                              --fec; default 1/2)\n"
+        "  --interleave-depth N        block-interleaver depth (needs\n"
+        "                              --fec; default sized to the\n"
+        "                              burst model when --bursts is\n"
+        "                              set, else 1)\n"
         "  --tolerant                  conceal decode errors instead\n"
         "                              of aborting\n"
         "  --trace-out FILE            write a Chrome trace_event JSON\n"
@@ -203,11 +227,63 @@ runMain(int argc, char **argv)
     wl.name = "cli";
     wl.validate();
 
+    // Channel and FEC flags.  A value outside its domain is a usage
+    // error (exit 2 via ArgError), never a fatal abort - same
+    // contract as m4ps_batch's --storm-chance.
     const double ber = args.getDouble("ber", 0.0);
-    const uint64_t fault_seed =
-        static_cast<uint64_t>(args.getInt("fault-seed", 1));
+    if (ber < 0.0 || ber >= 1.0)
+        throw ArgError("--ber must be in [0, 1), got " +
+                       args.get("ber", ""));
+    const int bursts = args.getInt("bursts", 0);
+    if (bursts < 0)
+        throw ArgError("--bursts must be >= 0, got " +
+                       args.get("bursts", ""));
+    const int burst_bytes = args.getInt("burst-bytes", 16);
+    if (burst_bytes < 1)
+        throw ArgError("--burst-bytes must be >= 1, got " +
+                       args.get("burst-bytes", ""));
+    const double truncate = args.getDouble("truncate", 1.0);
+    if (truncate <= 0.0 || truncate > 1.0)
+        throw ArgError("--truncate must be in (0, 1], got " +
+                       args.get("truncate", ""));
+    const int fault_seed_raw = args.getInt("fault-seed", 1);
+    if (fault_seed_raw < 0)
+        throw ArgError("--fault-seed must be >= 0, got " +
+                       args.get("fault-seed", ""));
+    const uint64_t fault_seed = static_cast<uint64_t>(fault_seed_raw);
+
+    const std::string fec_mode = args.get("fec", "off");
+    if (fec_mode != "off" && fec_mode != "hard" && fec_mode != "soft")
+        throw ArgError("--fec must be off, hard, or soft, got '" +
+                       fec_mode + "'");
+    const bool fec_on = fec_mode != "off";
+    if (!fec_on && args.has("fec-rate"))
+        throw ArgError("--fec-rate requires --fec hard|soft");
+    if (!fec_on && args.has("interleave-depth"))
+        throw ArgError("--interleave-depth requires --fec hard|soft");
+    fec::Rate fec_rate = fec::Rate::R1_2;
+    if (!fec::parseRate(args.get("fec-rate", "1/2"), fec_rate))
+        throw ArgError("--fec-rate must be 1/2, 2/3, or 3/4, got '" +
+                       args.get("fec-rate", "") + "'");
+    // Default the interleaver to the burst model it must disperse.
+    const int interleave_depth =
+        args.has("interleave-depth")
+            ? args.getIntInRange("interleave-depth", 1, 1, 0xffff)
+            : (bursts > 0 ? fec::interleaveDepthForBurst(burst_bytes)
+                          : 1);
+    const bool has_snr = args.has("snr");
+    const double snr_db = args.getDouble("snr", 0.0);
+    if (has_snr && args.has("ber"))
+        throw ArgError(
+            "--snr and --ber both set the channel noise; pick one");
+    if (fec_mode == "soft" && (args.has("ber") || bursts > 0))
+        throw ArgError("--fec soft uses the AWGN channel; set --snr "
+                       "instead of --ber/--bursts");
+
+    const bool channel_active =
+        ber > 0 || bursts > 0 || truncate < 1.0 || has_snr;
     codec::DecodeOptions decode_opts;
-    decode_opts.tolerant = args.getBool("tolerant") || ber > 0;
+    decode_opts.tolerant = args.getBool("tolerant") || channel_active;
 
     if (args.has("threads")) {
         support::ThreadPool::setGlobalThreads(
@@ -277,18 +353,92 @@ runMain(int argc, char **argv)
         stream = core::ExperimentRunner::encodeUntraced(wl);
     }
     if (mode == "decode" || mode == "both") {
-        if (ber > 0) {
-            // Model the lossy channel: protect the session headers
-            // (as a transport would) and flip payload bits.
-            codec::FaultSpec spec;
-            spec.ber = ber;
-            spec.seed = fault_seed;
+        // Model the lossy channel.  With --fec the stream is framed
+        // first, the channel damages only the coded wire symbols,
+        // and recover() runs before the decoder sees a byte -
+        // protect, then conceal (docs/FEC.md).  --snr maps to the
+        // equivalent hard BER when the wire form is hard bits.
+        codec::FaultSpec spec;
+        spec.ber = has_snr ? fec::hardBerAtEsN0Db(snr_db) : ber;
+        spec.bursts = bursts;
+        spec.burstBytes = burst_bytes;
+        spec.truncateFraction = truncate;
+        spec.seed = fault_seed;
+        core::ReportFec run_fec;
+        if (fec_on) {
+            fec::FecConfig cfg;
+            cfg.decision = fec_mode == "soft" ? fec::Decision::Soft
+                                              : fec::Decision::Hard;
+            cfg.rate = fec_rate;
+            cfg.interleaveDepth = interleave_depth;
+            const size_t clear_bytes = stream.size();
+            std::vector<uint8_t> framed = fec::protect(stream, cfg);
+            std::printf(
+                "fec: %s decision, rate %s, interleave depth %d, "
+                "%zu -> %zu bytes (overhead %.1f%%)\n",
+                fec_mode.c_str(), fec::rateName(fec_rate),
+                interleave_depth, clear_bytes, framed.size(),
+                clear_bytes != 0
+                    ? 100.0 * (static_cast<double>(framed.size()) /
+                                   static_cast<double>(clear_bytes) -
+                               1.0)
+                    : 0.0);
+            if (fec_mode == "soft") {
+                if (has_snr) {
+                    framed = fec::channelSoft(std::move(framed),
+                                              snr_db, fault_seed,
+                                              truncate);
+                    std::printf("channel: AWGN Es/N0 %.1f dB "
+                                "(hard-equivalent BER %.2g), seed "
+                                "%llu\n",
+                                snr_db, fec::hardBerAtEsN0Db(snr_db),
+                                static_cast<unsigned long long>(
+                                    fault_seed));
+                } else if (truncate < 1.0) {
+                    // No noise requested: spec carries only the
+                    // truncation, which channelHard applies to any
+                    // wire form (header + cleartext protected).
+                    framed =
+                        fec::channelHard(std::move(framed), spec);
+                    std::printf("channel: keep %.2f (truncation "
+                                "only)\n", truncate);
+                }
+            } else if (spec.ber > 0 || bursts > 0 || truncate < 1.0) {
+                framed = fec::channelHard(std::move(framed), spec);
+                std::printf("channel: BER %.2g, %d burst(s) x %d "
+                            "bytes, keep %.2f, seed %llu (wire "
+                            "symbols only)\n",
+                            spec.ber, bursts, burst_bytes, truncate,
+                            static_cast<unsigned long long>(
+                                fault_seed));
+            }
+            fec::RecoverResult rec = fec::recover(framed);
+            stream = std::move(rec.stream);
+            run_fec.present = true;
+            run_fec.blocks = rec.stats.blocks;
+            run_fec.blocksCorrected = rec.stats.blocksCorrected;
+            run_fec.blocksUncorrectable =
+                rec.stats.blocksUncorrectable;
+            run_fec.framingErrors = rec.stats.framingErrors;
+            run_fec.correctedBits = rec.stats.correctedBits;
+            std::printf("fec recover: %zu block(s), %zu corrected "
+                        "(%llu wire bits), %zu uncorrectable, %zu "
+                        "framing error(s)\n",
+                        rec.stats.blocks, rec.stats.blocksCorrected,
+                        static_cast<unsigned long long>(
+                            rec.stats.correctedBits),
+                        rec.stats.blocksUncorrectable,
+                        rec.stats.framingErrors);
+        } else if (channel_active) {
+            // Unprotected: the transport shields only the session
+            // headers; every VOP is exposed to loss.
             spec.protectPrefixBytes =
                 codec::protectableHeaderBytes(stream);
             stream = codec::injectFaults(std::move(stream), spec);
-            std::printf("channel: BER %.2g, seed %llu, %zu header "
-                        "bytes protected\n",
-                        ber,
+            std::printf("channel: BER %.2g, %d burst(s) x %d bytes, "
+                        "keep %.2f, seed %llu, %zu header bytes "
+                        "protected\n",
+                        spec.ber, bursts, burst_bytes, truncate,
                         static_cast<unsigned long long>(fault_seed),
                         spec.protectPrefixBytes);
         }
@@ -297,6 +447,7 @@ runMain(int argc, char **argv)
                 wl, machine, stream, decode_opts);
             report("decode", dec, machine);
             collect("decode", dec);
+            runs.back().fec = run_fec;
             if (decode_opts.tolerant) {
                 std::printf(
                     "  resilience: %d/%d VOPs corrupt, %d header "
