@@ -1,0 +1,294 @@
+/**
+ * @file
+ * bench_serve: the streaming daemon's robustness envelope as numbers.
+ *
+ * Three drills against a real in-process Server over TCP loopback:
+ *
+ *  1. Nominal: sequential sessions well under capacity.  Reports
+ *     sessions/sec and p50/p99/p999 end-to-end latency (host-timing,
+ *     soft-gated) plus the per-session stream bytes and packet count,
+ *     which are deterministic for a fixed spec (hard-gated - they
+ *     move only when the encoder or the packetizer changes).
+ *  2. Overload: a 4x burst over admission capacity.  Reports the
+ *     shed fraction and throughput (soft) and the accounting totality
+ *     - every connection must end admitted-or-shed, and the global
+ *     queue must never pierce its watermark (hard).
+ *  3. Drain: requestDrain()/stop() with sessions in flight.  Reports
+ *     the drain wall time (soft) and that the daemon ends with zero
+ *     active sessions and a fully accounted ledger (hard).
+ *
+ * Self-checking: exits 1 when any hard invariant fails (a nominal
+ * session not completing, non-identical bitstreams, unaccounted
+ * sessions, watermark breach, dirty drain), so CI can run it raw
+ * before the BENCH_serve.json baseline gate even loads.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+using namespace m4ps;
+using support::JsonValue;
+
+double
+nowSec()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/** The fixed workload every drill streams: tiny on purpose - the
+ *  daemon's control plane is under test, not the codec. */
+const char kSpec[] =
+    "type=encode width=96 height=96 frames=8 bitrate=400000 "
+    "checkpoint=0";
+
+serve::ServerConfig
+benchConfig()
+{
+    serve::ServerConfig cfg;
+    cfg.listen = "tcp:0";
+    cfg.checkpointDir = "/tmp";
+    cfg.tickMs = 10;
+    cfg.admission.maxSessions = 4;
+    return cfg;
+}
+
+/** Percentile of a sorted sample set (nearest-rank). */
+double
+pct(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    size_t idx = static_cast<size_t>(p * sorted.size());
+    idx = std::min(idx, sorted.size() - 1);
+    return sorted[idx];
+}
+
+int failures = 0;
+
+void
+check(bool ok, const char *what)
+{
+    if (!ok) {
+        std::printf("FAIL: %s\n", what);
+        ++failures;
+    }
+}
+
+bench::BenchEntry
+runNominal(const std::string &endpoint)
+{
+    constexpr int kSessions = 48;
+    std::vector<double> latUs;
+    latUs.reserve(kSessions);
+    std::vector<uint8_t> firstStream;
+    uint64_t packets = 0;
+    uint64_t bytes = 0;
+    bool allOk = true;
+    bool identical = true;
+
+    const double t0 = nowSec();
+    for (int i = 0; i < kSessions; ++i) {
+        const double s0 = nowSec();
+        const serve::ClientResult r =
+            serve::runClientSession(endpoint, kSpec);
+        latUs.push_back((nowSec() - s0) * 1e6);
+        allOk = allOk && r.gotFinal &&
+                r.finalStatus == serve::Status::Ok;
+        if (i == 0) {
+            firstStream = r.stream;
+            packets = r.packets;
+            bytes = r.payloadBytes;
+        } else if (r.stream != firstStream) {
+            identical = false;
+        }
+    }
+    const double wall = nowSec() - t0;
+    std::sort(latUs.begin(), latUs.end());
+
+    check(allOk, "nominal: every session completes Ok");
+    check(identical, "nominal: bitstreams are byte-identical");
+    check(bytes > 0 && packets > 0, "nominal: stream is non-empty");
+
+    std::printf("nominal: %d sessions in %.2fs (%.1f/s), latency "
+                "p50 %.0fus p99 %.0fus p999 %.0fus, %llu pkts "
+                "%llu bytes each\n",
+                kSessions, wall, kSessions / wall, pct(latUs, 0.50),
+                pct(latUs, 0.99), pct(latUs, 0.999),
+                static_cast<unsigned long long>(packets),
+                static_cast<unsigned long long>(bytes));
+
+    bench::BenchEntry e;
+    e.bench = "serve/nominal";
+    e.backend = "host";
+    e.config.add("sessions", JsonValue::of(double(kSessions)));
+    e.config.add("spec", JsonValue::of(std::string(kSpec)));
+    e.metrics.add("sessions_per_sec", JsonValue::of(kSessions / wall));
+    e.metrics.add("latency_p50_us", JsonValue::of(pct(latUs, 0.50)));
+    e.metrics.add("latency_p99_us", JsonValue::of(pct(latUs, 0.99)));
+    e.metrics.add("latency_p999_us", JsonValue::of(pct(latUs, 0.999)));
+    e.metrics.add("stream_bytes", JsonValue::of(double(bytes)));
+    e.metrics.add("stream_packets", JsonValue::of(double(packets)));
+    e.metrics.add("completed_frac", JsonValue::of(allOk ? 1.0 : 0.0));
+    return e;
+}
+
+bench::BenchEntry
+runOverload(serve::Server &server)
+{
+    // 4x the admission watermark, all at once.
+    const int burst = 4 * benchConfig().admission.maxSessions;
+    std::vector<serve::ClientResult> results(burst);
+    std::vector<std::thread> clients;
+    clients.reserve(burst);
+
+    const double t0 = nowSec();
+    for (int i = 0; i < burst; ++i) {
+        clients.emplace_back([&, i] {
+            results[i] =
+                serve::runClientSession(server.endpoint(), kSpec);
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    const double wall = nowSec() - t0;
+
+    int ok = 0, shed = 0, other = 0;
+    for (const serve::ClientResult &r : results) {
+        if (!r.gotFinal)
+            ++other;
+        else if (r.finalStatus == serve::Status::Ok)
+            ++ok;
+        else if (serve::statusIsShed(r.finalStatus))
+            ++shed;
+        else
+            ++other;
+    }
+    const serve::ServerStats st = server.stats();
+
+    // Totality: every connection got a structured answer, and the
+    // ones that completed are real encodes (watermark respected).
+    check(ok + shed == burst,
+          "overload: every client ends Ok or structurally shed");
+    check(st.globalQueuePeak <= st.globalQueueWatermark,
+          "overload: global queue never pierced its watermark");
+    // How many land inside the watermark before the rest arrive is a
+    // race; what must hold is that admitted work completes and the
+    // excess is structurally shed rather than queued or dropped.
+    check(ok >= 1 && shed >= 1,
+          "overload: admitted sessions complete, excess is shed");
+
+    std::printf("overload 4x: %d clients -> %d ok, %d shed, %d other "
+                "in %.2fs; queue peak %zu / %zu\n",
+                burst, ok, shed, other, wall, st.globalQueuePeak,
+                st.globalQueueWatermark);
+
+    bench::BenchEntry e;
+    e.bench = "serve/overload4x";
+    e.backend = "host";
+    e.config.add("burst", JsonValue::of(double(burst)));
+    e.config.add("max_sessions",
+                 JsonValue::of(double(benchConfig().admission.maxSessions)));
+    e.metrics.add("sessions_per_sec", JsonValue::of(ok / wall));
+    e.metrics.add("shed_frac",
+                  JsonValue::of(double(shed) / double(burst)));
+    e.metrics.add("queue_peak_occupancy",
+                  JsonValue::of(double(st.globalQueuePeak) /
+                                double(st.globalQueueWatermark)));
+    e.metrics.add("accounted_frac",
+                  JsonValue::of(double(ok + shed) / double(burst)));
+    return e;
+}
+
+bench::BenchEntry
+runDrain()
+{
+    // Fresh daemon so the drain ledger is this drill's alone.
+    serve::Server server(benchConfig());
+    server.start();
+
+    std::vector<std::thread> clients;
+    std::vector<serve::ClientResult> results(3);
+    for (int i = 0; i < 3; ++i) {
+        clients.emplace_back([&, i] {
+            results[i] =
+                serve::runClientSession(server.endpoint(), kSpec);
+        });
+    }
+    // Let the sessions get admitted before pulling the plug.
+    while (server.stats().admitted < 3 && server.stats().shedTotal() == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+    const double t0 = nowSec();
+    server.requestDrain();
+    server.stop();
+    const double drainMs = (nowSec() - t0) * 1e3;
+    for (std::thread &t : clients)
+        t.join();
+
+    const serve::ServerStats st = server.stats();
+    const uint64_t accounted = st.completed + st.checkpointed +
+                               st.canceled + st.slowReaders +
+                               st.deadlineExceeded + st.failed;
+    const bool clean =
+        server.activeSessions() == 0 && accounted == st.admitted;
+    check(clean, "drain: zero live sessions, fully accounted ledger");
+
+    std::printf("drain: %.0fms, %llu admitted = %llu accounted "
+                "(%llu ok, %llu checkpointed)\n",
+                drainMs,
+                static_cast<unsigned long long>(st.admitted),
+                static_cast<unsigned long long>(accounted),
+                static_cast<unsigned long long>(st.completed),
+                static_cast<unsigned long long>(st.checkpointed));
+
+    bench::BenchEntry e;
+    e.bench = "serve/drain";
+    e.backend = "host";
+    e.metrics.add("drain_wall_ms", JsonValue::of(drainMs));
+    e.metrics.add("drained_clean_frac",
+                  JsonValue::of(clean ? 1.0 : 0.0));
+    return e;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<bench::BenchEntry> entries;
+
+    {
+        serve::Server server(benchConfig());
+        server.start();
+        entries.push_back(runNominal(server.endpoint()));
+        entries.push_back(runOverload(server));
+        server.stop();
+    }
+    entries.push_back(runDrain());
+
+    const std::string path =
+        bench::benchJsonPath(argc, argv, "BENCH_serve.json");
+    bench::writeBenchEntries(path, entries);
+    std::printf("wrote %s\n", path.c_str());
+
+    if (failures > 0) {
+        std::printf("FAIL: %d serve invariant(s) violated\n", failures);
+        return 1;
+    }
+    std::printf("PASS: serve robustness envelope holds\n");
+    return 0;
+}

@@ -165,6 +165,17 @@ Mpeg4Encoder::Mpeg4Encoder(memsim::SimContext &ctx,
 }
 
 void
+Mpeg4Encoder::scaleBitrate(double factor)
+{
+    for (VoState &vo : vos_) {
+        if (vo.rcBase)
+            vo.rcBase->scaleBudget(factor);
+        if (vo.rcEnh)
+            vo.rcEnh->scaleBudget(factor);
+    }
+}
+
+void
 Mpeg4Encoder::writeHeaders()
 {
     bits::putStartCode(bw_, static_cast<uint8_t>(

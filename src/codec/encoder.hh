@@ -107,6 +107,26 @@ class Mpeg4Encoder
     /** Bits written so far. */
     uint64_t bitsWritten() const { return bw_.bitCount(); }
 
+    /**
+     * Read-only view of the whole bytes written so far - a stable,
+     * append-only prefix of the final elementary stream (the writer
+     * only ever appends).  Streaming transports send the delta
+     * between two encodeFrame() calls and the concatenation equals
+     * finish()'s buffer, byte for byte.
+     */
+    const std::vector<uint8_t> &streamPrefix() const
+    {
+        return bw_.bytes();
+    }
+
+    /**
+     * Scale every VOL's rate-controller frame budget by @p factor
+     * (see RateController::scaleBudget).  The serving layer's
+     * backpressure hook: a session whose outbound queue stalls
+     * retargets its encoder downward instead of queueing more bytes.
+     */
+    void scaleBitrate(double factor);
+
     const EncoderConfig &config() const { return cfg_; }
 
     /**

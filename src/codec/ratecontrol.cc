@@ -62,6 +62,14 @@ RateController::update(uint64_t bits_used)
 }
 
 void
+RateController::scaleBudget(double factor)
+{
+    // Keep the budget usable: never below one bit per frame, and a
+    // non-positive factor is a caller bug, not a rate of zero.
+    budget_ = std::max(budget_ * std::max(factor, 1e-3), 1.0);
+}
+
+void
 RateController::saveState(support::StateWriter &sw) const
 {
     sw.f64(fullness_);

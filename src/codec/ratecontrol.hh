@@ -58,6 +58,16 @@ class RateController
     double frameBudget() const { return budget_; }
 
     /**
+     * Scale the per-frame bit budget by @p factor (backpressure from
+     * a slow transport: the serving layer halves the budget when a
+     * session's outbound queue sits at its high watermark, so the
+     * encoder produces fewer bits instead of the queue growing).
+     * Note this changes the bitstream from the retarget point on -
+     * callers tracking byte-identity must record that it happened.
+     */
+    void scaleBudget(double factor);
+
+    /**
      * Checkpoint support: the controller's feedback state (buffer
      * fullness and adapted quantizer); budget_ is configuration and
      * is re-derived on construction.

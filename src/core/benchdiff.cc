@@ -11,9 +11,9 @@ using support::JsonValue;
 bool
 isTimingMetric(const std::string &name)
 {
-    static const char *const kMarkers[] = {"_ns",     "_us",  "_ms",
-                                           "seconds", "wall", "overhead",
-                                           "cycle"};
+    static const char *const kMarkers[] = {
+        "_ns",  "_us",      "_ms",   "seconds",  "wall",
+        "cycle", "overhead", "per_sec", "shed", "occupancy"};
     for (const char *m : kMarkers) {
         if (name.find(m) != std::string::npos)
             return true;

@@ -1,0 +1,240 @@
+#include "serve/net.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace m4ps::serve
+{
+
+namespace
+{
+
+constexpr const char *kUnixPrefix = "unix:";
+constexpr const char *kTcpPrefix = "tcp:";
+
+bool
+startsWith(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+/** Split "tcp:HOST:PORT" / "tcp:PORT" into host + port. */
+bool
+parseTcp(const std::string &endpoint, std::string *host, int *port)
+{
+    std::string rest = endpoint.substr(std::strlen(kTcpPrefix));
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+        *host = "127.0.0.1";
+    } else {
+        *host = rest.substr(0, colon);
+        rest = rest.substr(colon + 1);
+    }
+    if (rest.empty())
+        return false;
+    char *end = nullptr;
+    const long p = std::strtol(rest.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || p < 0 || p > 65535)
+        return false;
+    *port = static_cast<int>(p);
+    return true;
+}
+
+} // namespace
+
+int
+listenOn(const std::string &endpoint, int backlog)
+{
+    if (startsWith(endpoint, kUnixPrefix)) {
+        const std::string path =
+            endpoint.substr(std::strlen(kUnixPrefix));
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (path.size() + 1 > sizeof(addr.sun_path))
+            throw NetError("unix socket path too long: " + path);
+        std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            throw NetError(std::string("socket: ") +
+                           std::strerror(errno));
+        ::unlink(path.c_str()); // stale socket from a prior run
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(fd, backlog) != 0) {
+            const int e = errno;
+            ::close(fd);
+            throw NetError("bind/listen " + endpoint + ": " +
+                           std::strerror(e));
+        }
+        return fd;
+    }
+    if (startsWith(endpoint, kTcpPrefix)) {
+        std::string host;
+        int port = 0;
+        if (!parseTcp(endpoint, &host, &port))
+            throw NetError("bad tcp endpoint: " + endpoint);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<uint16_t>(port));
+        if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+            throw NetError("bad tcp host: " + host);
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            throw NetError(std::string("socket: ") +
+                           std::strerror(errno));
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(fd, backlog) != 0) {
+            const int e = errno;
+            ::close(fd);
+            throw NetError("bind/listen " + endpoint + ": " +
+                           std::strerror(e));
+        }
+        return fd;
+    }
+    throw NetError("endpoint must start with unix: or tcp: - got " +
+                   endpoint);
+}
+
+std::string
+boundEndpoint(int listenFd, const std::string &requested)
+{
+    if (!startsWith(requested, kTcpPrefix))
+        return requested;
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return requested;
+    char host[INET_ADDRSTRLEN] = "127.0.0.1";
+    ::inet_ntop(AF_INET, &addr.sin_addr, host, sizeof(host));
+    return std::string(kTcpPrefix) + host + ":" +
+           std::to_string(ntohs(addr.sin_port));
+}
+
+int
+connectTo(const std::string &endpoint, std::string *err,
+          int rcvbufBytes)
+{
+    auto fail = [err](const std::string &what) {
+        if (err != nullptr)
+            *err = what;
+        return -1;
+    };
+    auto capRcvbuf = [rcvbufBytes](int fd) {
+        if (rcvbufBytes > 0)
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbufBytes,
+                         sizeof(rcvbufBytes));
+    };
+    if (startsWith(endpoint, kUnixPrefix)) {
+        const std::string path =
+            endpoint.substr(std::strlen(kUnixPrefix));
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (path.size() + 1 > sizeof(addr.sun_path))
+            return fail("unix socket path too long");
+        std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return fail(std::strerror(errno));
+        capRcvbuf(fd);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            const int e = errno;
+            ::close(fd);
+            return fail(std::strerror(e));
+        }
+        return fd;
+    }
+    if (startsWith(endpoint, kTcpPrefix)) {
+        std::string host;
+        int port = 0;
+        if (!parseTcp(endpoint, &host, &port))
+            return fail("bad tcp endpoint");
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<uint16_t>(port));
+        if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+            return fail("bad tcp host");
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            return fail(std::strerror(errno));
+        capRcvbuf(fd);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            const int e = errno;
+            ::close(fd);
+            return fail(std::strerror(e));
+        }
+        return fd;
+    }
+    return fail("endpoint must start with unix: or tcp:");
+}
+
+bool
+sendAll(int fd, const uint8_t *data, size_t n, int pollTimeoutMs,
+        const std::function<bool()> &keepGoing)
+{
+    size_t sent = 0;
+    while (sent < n) {
+        pollfd pfd{fd, POLLOUT, 0};
+        const int r = ::poll(&pfd, 1, pollTimeoutMs);
+        if (r < 0 && errno != EINTR)
+            return false;
+        if (r <= 0) {
+            if (keepGoing && !keepGoing())
+                return false;
+            continue;
+        }
+        if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0)
+            return false;
+        const ssize_t w =
+            ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            return false;
+        }
+        sent += static_cast<size_t>(w);
+    }
+    return true;
+}
+
+long
+recvSome(int fd, uint8_t *buf, size_t cap, int timeoutMs)
+{
+    pollfd pfd{fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, timeoutMs);
+    if (r < 0)
+        return errno == EINTR ? -1 : -2;
+    if (r == 0)
+        return -1;
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+            return -1;
+        return -2;
+    }
+    return n;
+}
+
+void
+shutdownAndClose(int fd)
+{
+    if (fd < 0)
+        return;
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+}
+
+} // namespace m4ps::serve

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Wire protocol of the m4ps_serve streaming daemon.
+ *
+ * One connection carries one session: the client sends a single
+ * framed request naming a job spec (the same `key=value` line the
+ * batch manifest and m4ps_worker parse - one parse path for the whole
+ * service stack), and the server answers with a sequence of framed
+ * messages: DATA messages carrying packetized bitstream payload and
+ * exactly one terminal STATUS message carrying a structured verdict
+ * plus a JSON stats object.
+ *
+ *   request := "M4SQ" version(2 LE) reserved(2) specLen(4 LE) spec
+ *   message := "M4SP" type(1) status(1) flags(1) reserved(1)
+ *              seq(4 LE) mediaTsMs(4 LE) payloadLen(4 LE) payload
+ *
+ * DATA payloads are frame-delimited slices of the elementary stream,
+ * split at kMtuBytes: with resync video packets enabled the payload
+ * interior carries the PR 2 resync/data-partition units, and with
+ * kFlagFecFramed set each payload is independently fec::protect()ed
+ * so the receiver runs fec::recover() per packet (docs/SERVING.md).
+ * Concatenating the (recovered) DATA payloads of a completed session
+ * reproduces the elementary stream byte-identically.
+ *
+ * Everything here is a total function of bytes: parsers never throw,
+ * never read past the supplied buffer, and classify short input as
+ * NeedMore so socket readers can accumulate.  Malformed input - bad
+ * magic, absurd lengths - is Bad, and the daemon answers it with a
+ * structured BadRequest status rather than dying (the loadgen's
+ * misbehaving clients drill exactly this).
+ */
+
+#ifndef M4PS_SERVE_PROTOCOL_HH
+#define M4PS_SERVE_PROTOCOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace m4ps::serve
+{
+
+inline constexpr uint8_t kRequestMagic[4] = {'M', '4', 'S', 'Q'};
+inline constexpr uint8_t kMessageMagic[4] = {'M', '4', 'S', 'P'};
+inline constexpr uint16_t kProtocolVersion = 1;
+
+/** Request header bytes before the spec text. */
+inline constexpr size_t kRequestHeaderSize = 12;
+
+/** Fixed message header bytes before the payload. */
+inline constexpr size_t kMessageHeaderSize = 20;
+
+/** Reject-fast cap on the request spec (admission, not parsing). */
+inline constexpr size_t kMaxSpecBytes = 4096;
+
+/** Cap on one message payload; larger is a protocol violation. */
+inline constexpr size_t kMaxPayloadBytes = 4u << 20;
+
+/** Terminal (and shed) verdicts for one session. */
+enum class Status : uint8_t
+{
+    Ok = 0,            //!< Session completed at full fidelity.
+    Overloaded,        //!< Shed at admission: watermarks hit.
+    Draining,          //!< Shed at admission: daemon is draining.
+    BadRequest,        //!< Malformed or unparseable request.
+    InternalError,     //!< Server-side failure (feeds the breaker).
+    DeadlineExceeded,  //!< Session watchdog deadline expired.
+    IdleTimeout,       //!< Client never sent a (whole) request.
+    SlowReader,        //!< Backpressure stall exhausted its budget.
+    BreakerOpen,       //!< Session class circuit breaker is open.
+    Checkpointed,      //!< Drain: progress checkpointed, not finished.
+    Canceled,          //!< Client went away mid-session.
+};
+
+const char *statusName(Status s);
+
+/** True for verdicts that shed the session before any work ran. */
+bool statusIsShed(Status s);
+
+/** Message kinds. */
+enum class MsgType : uint8_t
+{
+    Data = 0,   //!< Bitstream payload.
+    Status = 1, //!< Terminal verdict + JSON stats payload.
+};
+
+/** DATA payload is FEC-framed; run fec::recover() on it. */
+inline constexpr uint8_t kFlagFecFramed = 0x01;
+
+/** A parsed session request. */
+struct Request
+{
+    uint16_t version = kProtocolVersion;
+    std::string spec; //!< `key=value ...` body (service::parseSpecLine).
+};
+
+/** A parsed message header (payload follows on the wire). */
+struct MessageHeader
+{
+    MsgType type = MsgType::Data;
+    Status status = Status::Ok;
+    uint8_t flags = 0;
+    uint32_t seq = 0;       //!< DATA: sequence number, dense from 0.
+    uint32_t mediaTsMs = 0; //!< Media timestamp of the payload.
+    uint32_t payloadLen = 0;
+};
+
+/** Incremental parse outcome. */
+enum class ParseResult
+{
+    NeedMore, //!< Prefix is valid but incomplete; read more bytes.
+    Ok,       //!< Parsed; *consumed bytes were used.
+    Bad,      //!< Not a valid frame; answer BadRequest and close.
+};
+
+std::vector<uint8_t> encodeRequest(const Request &req);
+
+/**
+ * Parse a request from the first @p n bytes of @p data.  On Ok fills
+ * @p out and @p consumed.  Bad covers wrong magic/version and
+ * specLen > kMaxSpecBytes (a slow-loris cannot promise a gigabyte
+ * spec and dribble it forever).
+ */
+ParseResult parseRequest(const uint8_t *data, size_t n, Request *out,
+                         size_t *consumed);
+
+/** Serialize @p h into @p out[kMessageHeaderSize]. */
+void encodeMessageHeader(const MessageHeader &h, uint8_t *out);
+
+/** Parse a message header (payload bytes are not consumed here). */
+ParseResult parseMessageHeader(const uint8_t *data, size_t n,
+                               MessageHeader *out);
+
+/** One whole message (header + payload) as wire bytes. */
+std::vector<uint8_t> encodeMessage(const MessageHeader &h,
+                                   const uint8_t *payload, size_t n);
+
+} // namespace m4ps::serve
+
+#endif // M4PS_SERVE_PROTOCOL_HH

@@ -1,6 +1,9 @@
 #include "service/events.hh"
 
 #include <cstdio>
+#include <stdexcept>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "support/obs/obs.hh"
 
@@ -75,6 +78,84 @@ JsonEvent::boolean(const char *key, bool v)
     return *this;
 }
 
+// ------------------------------------------------------------------
+// RotatingLogSink
+// ------------------------------------------------------------------
+
+RotatingLogSink::RotatingLogSink(const std::string &path,
+                                 size_t maxBytes, int maxFiles)
+    : path_(path), maxBytes_(maxBytes),
+      maxFiles_(maxFiles < 1 ? 1 : maxFiles)
+{
+    openLive();
+}
+
+RotatingLogSink::~RotatingLogSink()
+{
+    if (f_) {
+        sync();
+        std::fclose(f_);
+    }
+}
+
+void
+RotatingLogSink::openLive()
+{
+    f_ = std::fopen(path_.c_str(), "ab");
+    if (!f_)
+        throw std::runtime_error("cannot open event log '" + path_ +
+                                 "'");
+    struct stat st {};
+    bytes_ = ::fstat(::fileno(f_), &st) == 0
+                 ? static_cast<size_t>(st.st_size)
+                 : 0;
+}
+
+void
+RotatingLogSink::rotate()
+{
+    // Durable handoff: the closing generation is synced before any
+    // rename touches it, so every rotated file is complete.
+    std::fflush(f_);
+    ::fsync(::fileno(f_));
+    std::fclose(f_);
+    f_ = nullptr;
+
+    std::remove((path_ + "." + std::to_string(maxFiles_)).c_str());
+    for (int i = maxFiles_ - 1; i >= 1; --i) {
+        const std::string from = path_ + "." + std::to_string(i);
+        const std::string to = path_ + "." + std::to_string(i + 1);
+        std::rename(from.c_str(), to.c_str()); // missing is fine
+    }
+    std::rename(path_.c_str(), (path_ + ".1").c_str());
+    ++rotations_;
+    openLive();
+}
+
+void
+RotatingLogSink::write(const std::string &line)
+{
+    const size_t n = line.size() + 1;
+    // Line-aligned rotation: rotate *before* a line that would push
+    // the live file past the cap, never mid-line.  A single line
+    // larger than the cap still goes out whole (into a fresh file).
+    if (bytes_ > 0 && bytes_ + n > maxBytes_)
+        rotate();
+    std::fwrite(line.data(), 1, line.size(), f_);
+    std::fputc('\n', f_);
+    std::fflush(f_);
+    bytes_ += n;
+}
+
+void
+RotatingLogSink::sync()
+{
+    if (!f_)
+        return;
+    std::fflush(f_);
+    ::fsync(::fileno(f_));
+}
+
 void
 EventLog::emit(const JsonEvent &e)
 {
@@ -83,6 +164,8 @@ EventLog::emit(const JsonEvent &e)
         *os_ << lines_.back() << '\n';
         os_->flush();
     }
+    if (rot_)
+        rot_->write(lines_.back());
     // Mirror into the observability stream (the EventLog is one sink
     // of it): the full event object rides along as the args payload.
     if (obs::tracingEnabled())

@@ -15,6 +15,7 @@
 #define M4PS_SERVICE_EVENTS_HH
 
 #include <cstdint>
+#include <cstdio>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -49,6 +50,54 @@ class JsonEvent
 std::string jsonEscape(const std::string &s);
 
 /**
+ * A size-capped rotating file sink for event lines.
+ *
+ * Long-lived processes (m4ps_serve foremost) emit events forever; an
+ * unbounded log file is its own overload failure mode.  The sink
+ * appends whole lines to @p path and, when the next line would push
+ * the file past @p maxBytes, rotates: path -> path.1 -> path.2 ...
+ * up to @p maxFiles rotated generations (the oldest falls off).
+ * Rotation is line-aligned - a line is never split across files -
+ * and the closing file is fsync'd before its rename, so every
+ * rotated generation is a complete, durable JSON-lines document.
+ */
+class RotatingLogSink
+{
+  public:
+    /**
+     * @param path      live log file (appends if it exists).
+     * @param maxBytes  rotate before the file would exceed this.
+     * @param maxFiles  rotated generations to keep (>= 1).
+     */
+    RotatingLogSink(const std::string &path, size_t maxBytes,
+                    int maxFiles);
+    ~RotatingLogSink();
+
+    RotatingLogSink(const RotatingLogSink &) = delete;
+    RotatingLogSink &operator=(const RotatingLogSink &) = delete;
+
+    /** Append one event line (newline added here). */
+    void write(const std::string &line);
+
+    /** Flush and fsync the live file. */
+    void sync();
+
+    int rotations() const { return rotations_; }
+    const std::string &path() const { return path_; }
+
+  private:
+    void openLive();
+    void rotate();
+
+    std::string path_;
+    size_t maxBytes_;
+    int maxFiles_;
+    std::FILE *f_ = nullptr;
+    size_t bytes_ = 0;
+    int rotations_ = 0;
+};
+
+/**
  * An append-only JSON-lines event log.  Events are always retained
  * in memory (tests assert on them); attach() additionally streams
  * each line to an ostream, flushed per event so a crashing
@@ -69,6 +118,9 @@ class EventLog
     /** Also write each event line to @p os (not owned; may be null). */
     void attach(std::ostream *os) { os_ = os; }
 
+    /** Also write each event line to a rotating sink (not owned). */
+    void attachRotating(RotatingLogSink *sink) { rot_ = sink; }
+
     void emit(const JsonEvent &e);
 
     const std::vector<std::string> &lines() const { return lines_; }
@@ -78,6 +130,7 @@ class EventLog
 
   private:
     std::ostream *os_ = nullptr;
+    RotatingLogSink *rot_ = nullptr;
     std::vector<std::string> lines_;
 };
 

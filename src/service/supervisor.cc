@@ -53,6 +53,7 @@ jobErrorName(JobErrorKind k)
       case JobErrorKind::StormKilled:      return "storm-killed";
       case JobErrorKind::SpawnFailed:      return "spawn-failed";
       case JobErrorKind::BreakerOpen:      return "breaker-open";
+      case JobErrorKind::Interrupted:      return "interrupted";
     }
     return "unknown";
 }
@@ -389,6 +390,34 @@ Supervisor::run(const std::vector<JobSpec> &specs)
 
     for (;;) {
         const int64_t now = clockNow();
+
+        // Interrupt (SIGTERM/SIGINT via m4ps_batch): stop the batch
+        // early but tear down exactly like the normal path - kill and
+        // reap every child, give every unfinished job a terminal
+        // verdict, leave the event log complete.
+        if (cfg_.interrupted && cfg_.interrupted()) {
+            int interruptedJobs = 0;
+            for (Tracked &t : jobs) {
+                if (t.phase == Tracked::Phase::Running && t.pid > 0) {
+                    kill(t.pid, SIGKILL);
+                    waitpid(t.pid, nullptr, 0);
+                    t.pid = -1;
+                }
+                if (t.phase != Tracked::Phase::Done) {
+                    if (t.isProbe) {
+                        breakerFor(t.spec.effectiveClass())
+                            .probeAborted();
+                        t.isProbe = false;
+                    }
+                    finishJob(t, JobOutcome::Failed,
+                              JobErrorKind::Interrupted);
+                    ++interruptedJobs;
+                }
+            }
+            log_.emit(JsonEvent("batch_interrupted")
+                          .num("interrupted_jobs", interruptedJobs));
+            break;
+        }
 
         // Reap every child that has exited.
         int status = 0;

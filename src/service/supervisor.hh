@@ -56,6 +56,7 @@ enum class JobErrorKind
     StormKilled,      //!< Kill-storm SIGKILL (transient).
     SpawnFailed,      //!< fork() failed (transient).
     BreakerOpen,      //!< Class breaker rejected the job (skipped).
+    Interrupted,      //!< Batch interrupted (SIGTERM/SIGINT).
 };
 
 const char *jobErrorName(JobErrorKind k);
@@ -151,6 +152,19 @@ struct SupervisorConfig
      */
     std::function<int64_t()> nowMs;
     std::function<void(int64_t)> sleepMs;
+
+    /**
+     * Interrupt hook, polled once per loop tick.  When it returns
+     * true the supervisor stops the batch early: every running child
+     * is SIGKILLed and reaped (no zombies, exactly as on the normal
+     * path), unfinished jobs are marked Failed with Interrupted, a
+     * "batch_interrupted" event is emitted, and run() returns with
+     * the event log complete.  m4ps_batch points this at a
+     * sig_atomic_t flag set by its SIGTERM/SIGINT handlers, so an
+     * interrupted batch tears down cleanly instead of orphaning
+     * workers mid-encode.  Unset = never interrupted.
+     */
+    std::function<bool()> interrupted;
 };
 
 /** Runs one batch of jobs to terminal outcomes. */

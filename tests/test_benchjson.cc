@@ -144,7 +144,13 @@ TEST(BenchDiff, TimingMetricClassification)
     EXPECT_TRUE(core::isTimingMetric("wall_on"));
     EXPECT_TRUE(core::isTimingMetric("est_overhead_pct"));
     EXPECT_TRUE(core::isTimingMetric("cycles_per_pel"));
+    // Load-dependent serve metrics are host-variable, warn-only.
+    EXPECT_TRUE(core::isTimingMetric("sessions_per_sec"));
+    EXPECT_TRUE(core::isTimingMetric("shed_frac"));
+    EXPECT_TRUE(core::isTimingMetric("queue_peak_occupancy"));
     EXPECT_FALSE(core::isTimingMetric("l1_miss_rate"));
+    EXPECT_FALSE(core::isTimingMetric("stream_bytes"));
+    EXPECT_FALSE(core::isTimingMetric("accounted_frac"));
     EXPECT_FALSE(core::isTimingMetric("grad_loads"));
     EXPECT_FALSE(core::isTimingMetric("verdict_cache_friendly"));
 }

@@ -203,6 +203,30 @@ TEST_F(CheckpointFileTest, CorruptPayloadIsRejected)
     EXPECT_FALSE(loadCheckpoint(path_, 7, &back));
 }
 
+TEST_F(CheckpointFileTest, SaveIsAtomicAndLeavesNoTempResidue)
+{
+    // saveCheckpoint writes through a temp sidecar (fsync before
+    // rename): after any number of overwrites the durable file is
+    // the newest complete checkpoint and the temp file is gone - a
+    // crash between saves can never leave a torn checkpoint behind
+    // under the final name.
+    for (int i = 1; i <= 3; ++i) {
+        Checkpoint c;
+        c.configHash = 42;
+        c.nextFrame = i;
+        c.state.assign(static_cast<size_t>(i) * 100,
+                       static_cast<uint8_t>(i));
+        saveCheckpoint(path_, c);
+    }
+    std::ifstream residue(path_ + ".tmp", std::ios::binary);
+    EXPECT_FALSE(residue.good()) << "temp sidecar left behind";
+
+    Checkpoint back;
+    ASSERT_TRUE(loadCheckpoint(path_, 42, &back));
+    EXPECT_EQ(back.nextFrame, 3);
+    EXPECT_EQ(back.state.size(), 300u);
+}
+
 TEST_F(CheckpointFileTest, MissingFileLoadsNothing)
 {
     Checkpoint back;

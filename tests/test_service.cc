@@ -10,7 +10,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "service/backoff.hh"
 #include "service/events.hh"
@@ -336,6 +341,239 @@ TEST(Events, StreamsToAttachedSink)
     log.emit(JsonEvent("tock").num("n", 2));
     EXPECT_EQ(os.str(), "{\"event\":\"tick\",\"n\":1}\n"
                         "{\"event\":\"tock\",\"n\":2}\n");
+}
+
+// --- rotating event log ------------------------------------------------
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is),
+                       std::istreambuf_iterator<char>());
+}
+
+int
+lineCount(const std::string &text)
+{
+    return static_cast<int>(
+        std::count(text.begin(), text.end(), '\n'));
+}
+
+void
+scrubRotations(const std::string &base, int upTo)
+{
+    std::remove(base.c_str());
+    for (int i = 1; i <= upTo; ++i)
+        std::remove((base + "." + std::to_string(i)).c_str());
+}
+
+TEST(Events, RotationIsLineAlignedAtTheBoundary)
+{
+    const std::string base = "/tmp/m4ps_rotate_boundary.jsonl";
+    scrubRotations(base, 8);
+
+    // 10-byte lines ("posn 0007\n") against a 35-byte cap: exactly
+    // three lines fit; the fourth must land whole in a fresh file -
+    // rotation happens BEFORE a line that would cross the cap, so no
+    // line is ever split across generations.
+    RotatingLogSink sink(base, 35, 4);
+    for (int i = 0; i < 7; ++i) {
+        char line[16];
+        std::snprintf(line, sizeof(line), "posn %04d", i);
+        sink.write(line);
+    }
+    sink.sync();
+
+    EXPECT_EQ(sink.rotations(), 2);
+    const std::string live = slurp(base);
+    const std::string gen1 = slurp(base + ".1");
+    const std::string gen2 = slurp(base + ".2");
+    EXPECT_EQ(lineCount(gen2), 3); // oldest three
+    EXPECT_EQ(lineCount(gen1), 3);
+    EXPECT_EQ(lineCount(live), 1);
+    // Every generation holds only whole lines and the concatenation
+    // in age order is the complete record - nothing lost or torn.
+    EXPECT_EQ(gen2 + gen1 + live,
+              "posn 0000\nposn 0001\nposn 0002\nposn 0003\n"
+              "posn 0004\nposn 0005\nposn 0006\n");
+    scrubRotations(base, 8);
+}
+
+TEST(Events, RotationDropsGenerationsPastTheKeepCap)
+{
+    const std::string base = "/tmp/m4ps_rotate_cap.jsonl";
+    scrubRotations(base, 8);
+
+    RotatingLogSink sink(base, 20, 2); // one 10-byte line per file
+    for (int i = 0; i < 9; ++i) {
+        char line[16];
+        std::snprintf(line, sizeof(line), "line %04d", i);
+        sink.write(line);
+    }
+    sink.sync();
+
+    // Only .1 and .2 may exist; older generations were unlinked.
+    EXPECT_FALSE(slurp(base).empty());
+    EXPECT_FALSE(slurp(base + ".1").empty());
+    EXPECT_FALSE(slurp(base + ".2").empty());
+    std::ifstream gone(base + ".3");
+    EXPECT_FALSE(gone.good());
+    scrubRotations(base, 8);
+}
+
+TEST(Events, OversizedLineGoesWholeIntoAFreshFile)
+{
+    const std::string base = "/tmp/m4ps_rotate_oversize.jsonl";
+    scrubRotations(base, 8);
+
+    RotatingLogSink sink(base, 32, 3);
+    sink.write("small");
+    // A single line larger than the whole cap: the sink must rotate
+    // the live file out and write the line intact - a cap can bound
+    // file count and growth but never silently truncate a record.
+    const std::string big(100, 'x');
+    sink.write(big);
+    sink.sync();
+    EXPECT_EQ(slurp(base), big + "\n");
+    EXPECT_EQ(slurp(base + ".1"), "small\n");
+    scrubRotations(base, 8);
+}
+
+TEST(Events, EventLogStreamsThroughARotatingSink)
+{
+    const std::string base = "/tmp/m4ps_rotate_attach.jsonl";
+    scrubRotations(base, 8);
+    {
+        RotatingLogSink sink(base, 1 << 20, 2);
+        EventLog log;
+        log.attachRotating(&sink);
+        log.emit(JsonEvent("tick").num("n", 1));
+        sink.sync();
+    }
+    EXPECT_EQ(slurp(base), "{\"event\":\"tick\",\"n\":1}\n");
+    scrubRotations(base, 8);
+}
+
+// --- breaker / backoff under concurrency -------------------------------
+//
+// CircuitBreaker is deliberately a single-threaded primitive; the
+// serving and supervision layers share one instance per job class
+// behind their own mutex (serve::AdmissionController's contract).
+// These suites run that exact sharing pattern under threads - TSan
+// executes them via the Backoff/CircuitBreaker name prefixes - so a
+// regression that adds unsynchronized state to the breaker, or a
+// race in the probe slot hand-off, fails loudly.
+
+TEST(CircuitBreaker, HalfOpenAdmitsOneProbeUnderContention)
+{
+    for (int round = 0; round < 20; ++round) {
+        CircuitBreaker breaker(1, 100);
+        std::mutex mu;
+        breaker.recordPermanentFailure(0);
+        ASSERT_EQ(breaker.state(150), CircuitBreaker::State::HalfOpen);
+
+        // Eight threads race for the half-open probe slot.
+        std::atomic<int> admitted{0};
+        std::vector<std::thread> threads;
+        for (int i = 0; i < 8; ++i)
+            threads.emplace_back([&] {
+                std::lock_guard<std::mutex> lock(mu);
+                if (breaker.allow(150))
+                    ++admitted;
+            });
+        for (auto &t : threads)
+            t.join();
+        EXPECT_EQ(admitted.load(), 1);
+
+        // The winner aborts; exactly one of the next wave probes.
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            breaker.probeAborted();
+        }
+        admitted = 0;
+        threads.clear();
+        for (int i = 0; i < 8; ++i)
+            threads.emplace_back([&] {
+                std::lock_guard<std::mutex> lock(mu);
+                if (breaker.allow(150))
+                    ++admitted;
+            });
+        for (auto &t : threads)
+            t.join();
+        EXPECT_EQ(admitted.load(), 1);
+    }
+}
+
+TEST(CircuitBreaker, SharedPoolContentionKeepsVerdictsConsistent)
+{
+    // Many sessions of one class hammer a shared breaker: mixed
+    // successes and permanent failures from 8 threads.  The breaker
+    // must end in a coherent state: either closed with fewer than
+    // threshold failures, or open/half-open - never a negative or
+    // over-threshold failure count.
+    CircuitBreaker breaker(5, 1000000); // cooldown never elapses here
+    std::mutex mu;
+    std::atomic<int> rejected{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < 200; ++i) {
+                std::lock_guard<std::mutex> lock(mu);
+                if (!breaker.allow(0)) {
+                    ++rejected;
+                    continue;
+                }
+                // Threads 0-3 fail every 3rd attempt, the rest
+                // succeed: contention with both verdicts in flight.
+                if (t < 4 && i % 3 == 0)
+                    breaker.recordPermanentFailure(0);
+                else
+                    breaker.recordSuccess();
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_GE(breaker.failures(), 0);
+    EXPECT_LE(breaker.failures(), 5);
+    if (breaker.state(0) == CircuitBreaker::State::Open) {
+        EXPECT_GT(rejected.load(), 0);
+    }
+}
+
+TEST(Backoff, ConcurrentInstancesKeepSchedulesIndependent)
+{
+    // One Backoff per worker thread (the supervisor's layout): each
+    // schedule must match a single-threaded replay of the same seed,
+    // i.e. no hidden shared state between instances.
+    const int kWorkers = 6;
+    const int kSteps = 32;
+    std::vector<std::vector<int64_t>> got(
+        static_cast<size_t>(kWorkers));
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWorkers; ++w)
+        threads.emplace_back([&, w] {
+            Backoff b(10, 5000, 77 + static_cast<uint64_t>(w));
+            for (int i = 0; i < kSteps; ++i)
+                got[static_cast<size_t>(w)].push_back(
+                    b.nextDelayMs());
+        });
+    for (auto &t : threads)
+        t.join();
+
+    for (int w = 0; w < kWorkers; ++w) {
+        Backoff ref(10, 5000, 77 + static_cast<uint64_t>(w));
+        for (int i = 0; i < kSteps; ++i) {
+            const int64_t d = ref.nextDelayMs();
+            EXPECT_EQ(got[static_cast<size_t>(w)]
+                         [static_cast<size_t>(i)],
+                      d)
+                << "worker " << w << " step " << i;
+            EXPECT_GE(d, 10);
+            EXPECT_LE(d, 5000);
+        }
+    }
 }
 
 } // namespace

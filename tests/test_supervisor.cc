@@ -433,5 +433,52 @@ TEST(Supervisor, KillStormEveryJobReachesATerminalState)
     expectNoChildren();
 }
 
+TEST(Supervisor, InterruptTearsTheBatchDownCleanly)
+{
+    // The SIGTERM/SIGINT path of m4ps_batch: the handler sets a flag,
+    // the supervisor polls it (SupervisorConfig::interrupted) and
+    // tears the batch down itself.  Every job here hangs forever, so
+    // this test only terminates if the interrupt path actually kills
+    // and reaps the children - the teardown is load-bearing, not
+    // decorative.
+    const std::string dir = testing::TempDir();
+    SupervisorConfig cfg = fastConfig();
+    cfg.maxParallel = 2; // one job still Pending at interrupt time
+    TickClock clock;
+    clock.install(cfg);
+    auto ms = clock.ms;
+    cfg.interrupted = [ms] { return *ms > 100; };
+
+    std::vector<JobSpec> jobs;
+    for (int i = 0; i < 3; ++i) {
+        JobSpec spec = tinyEncode(dir, "intr" + std::to_string(i));
+        spec.hangAtVop = 1;      // hangs forever after the first VOP
+        spec.deadlineMs = 60000; // watchdog must not beat the signal
+        spec.retries = 0;
+        jobs.push_back(spec);
+    }
+
+    EventLog log;
+    Supervisor sup(cfg, log);
+    const BatchResult batch = sup.run(jobs);
+
+    // Running and pending jobs alike get a terminal verdict.
+    ASSERT_EQ(batch.jobs.size(), 3u);
+    EXPECT_EQ(batch.failed, 3);
+    for (const JobResult &r : batch.jobs) {
+        EXPECT_EQ(r.outcome, JobOutcome::Failed) << r.id;
+        EXPECT_EQ(r.lastError, JobErrorKind::Interrupted) << r.id;
+    }
+
+    // The event log is complete: the interrupt marker once, then the
+    // normal batch_done trailer - a consumer tailing the log sees a
+    // clean shutdown, not a truncated stream.
+    EXPECT_EQ(log.count("batch_interrupted"), 1);
+    EXPECT_EQ(log.count("batch_done"), 1);
+
+    // And nothing is orphaned: every child was killed and reaped.
+    expectNoChildren();
+}
+
 } // namespace
 } // namespace m4ps::service

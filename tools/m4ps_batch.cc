@@ -10,11 +10,13 @@
  * 2 for usage or manifest errors.
  */
 
+#include <csignal>
 #include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "service/supervisor.hh"
 #include "support/args.hh"
@@ -24,6 +26,21 @@ namespace
 {
 
 using namespace m4ps;
+
+/**
+ * SIGTERM/SIGINT land here; the supervisor polls the flag once per
+ * loop tick (SupervisorConfig::interrupted) and tears the batch down
+ * on its own thread - children killed and reaped, the event log
+ * completed with batch_interrupted - instead of the default handler
+ * killing this process and orphaning every worker mid-encode.
+ */
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void
+onSignal(int)
+{
+    g_interrupted = 1;
+}
 
 /**
  * Default worker binary: an m4ps_worker sitting next to this
@@ -55,6 +72,9 @@ usage()
         "  --manifest F      job manifest (docs/OPERATIONS.md)\n"
         "  --events F        write JSON-lines event log to F\n"
         "                    (default: stderr)\n"
+        "  --events-max-bytes N  rotate the event log before it\n"
+        "                    exceeds N bytes (0 = no rotation)\n"
+        "  --events-keep N   rotated generations to keep (default 3)\n"
         "  --worker F        worker binary (default: m4ps_worker next\n"
         "                    to this tool; falls back to in-process\n"
         "                    fork)\n"
@@ -73,7 +93,8 @@ int
 batchMain(int argc, char **argv)
 {
     const ArgParser args(argc, argv,
-                         {"manifest", "events", "worker", "parallel",
+                         {"manifest", "events", "events-max-bytes",
+                          "events-keep", "worker", "parallel",
                           "deadline-ms", "retries", "storm-chance",
                           "seed", "trace-out", "metrics-out", "help"});
     if (args.getBool("help")) {
@@ -110,13 +131,24 @@ batchMain(int argc, char **argv)
                                         : siblingWorkerPath();
 
     std::ofstream eventFile;
+    std::unique_ptr<service::RotatingLogSink> rotating;
     service::EventLog log;
+    const int eventsMaxBytes =
+        args.getIntInRange("events-max-bytes", 0, 0, 1 << 30);
     if (args.has("events")) {
-        eventFile.open(args.get("events"), std::ios::trunc);
-        if (!eventFile)
-            throw ArgError("cannot write events file '" +
-                           args.get("events") + "'");
-        log.attach(&eventFile);
+        if (eventsMaxBytes > 0) {
+            rotating = std::make_unique<service::RotatingLogSink>(
+                args.get("events"),
+                static_cast<size_t>(eventsMaxBytes),
+                args.getIntInRange("events-keep", 3, 1, 100));
+            log.attachRotating(rotating.get());
+        } else {
+            eventFile.open(args.get("events"), std::ios::trunc);
+            if (!eventFile)
+                throw ArgError("cannot write events file '" +
+                               args.get("events") + "'");
+            log.attach(&eventFile);
+        }
     } else {
         log.attach(&std::cerr);
     }
@@ -128,8 +160,23 @@ batchMain(int argc, char **argv)
     if (!metrics_out.empty())
         obs::setMetrics(true);
 
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    cfg.interrupted = [] { return g_interrupted != 0; };
+
     service::Supervisor sup(cfg, log);
     const service::BatchResult batch = sup.run(jobs);
+
+    if (g_interrupted) {
+        // Flush what we have; the event log already carries
+        // batch_interrupted and a terminal verdict per job.
+        if (eventFile.is_open())
+            eventFile.flush();
+        if (rotating)
+            rotating->sync();
+        std::fprintf(stderr, "m4ps_batch: interrupted, batch torn "
+                             "down cleanly\n");
+    }
 
     if (!trace_out.empty()) {
         std::ofstream os(trace_out, std::ios::binary);

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Deterministic load generator for m4ps_serve (docs/SERVING.md).
+ *
+ * Drives open-loop arrivals against a running daemon: sessions start
+ * on a fixed schedule regardless of how the server is coping - the
+ * arrival process does not slow down when the server does, which is
+ * exactly what makes overload drills honest.  A seeded fraction of
+ * clients misbehave: stall mid-stream, disconnect mid-session, send
+ * malformed requests, or slow-loris their reads.  Every behavior is
+ * seeded, so a drill is reproducible bit for bit.
+ *
+ * The summary line ("ok N shed N err N ...") is stable output the CI
+ * soak job greps.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hh"
+#include "support/args.hh"
+#include "support/random.hh"
+
+namespace
+{
+
+using namespace m4ps;
+
+void
+usage()
+{
+    std::printf(
+        "usage: m4ps_loadgen --endpoint E [options]\n"
+        "\n"
+        "  --endpoint E      unix:/path or tcp:HOST:PORT\n"
+        "  --sessions N      total sessions to launch (default 16)\n"
+        "  --interval-ms N   open-loop arrival spacing (default 50)\n"
+        "  --spec S          job spec body (default: tiny encode)\n"
+        "  --misbehave P     fraction of misbehaving clients [0,1)\n"
+        "  --seed N          behavior schedule seed (default 1)\n"
+        "  --timeout-ms N    per-session safety timeout\n");
+}
+
+int
+loadgenMain(int argc, char **argv)
+{
+    const ArgParser args(argc, argv,
+                         {"endpoint", "sessions", "interval-ms",
+                          "spec", "misbehave", "seed", "timeout-ms",
+                          "help"});
+    if (args.getBool("help")) {
+        usage();
+        return 0;
+    }
+    if (!args.has("endpoint"))
+        throw ArgError("--endpoint is required");
+    const std::string endpoint = args.get("endpoint");
+    const int sessions = args.getIntInRange("sessions", 16, 1, 100000);
+    const int intervalMs =
+        args.getIntInRange("interval-ms", 50, 0, 60000);
+    const std::string spec = args.get(
+        "spec",
+        "type=encode width=64 height=64 frames=4 checkpoint=0");
+    const double misbehave = args.getDouble("misbehave", 0.0);
+    if (misbehave < 0.0 || misbehave >= 1.0)
+        throw ArgError("--misbehave must be in [0, 1)");
+    const auto seed =
+        static_cast<uint64_t>(args.getInt("seed", 1));
+    const int timeoutMs =
+        args.getIntInRange("timeout-ms", 30000, 100, 600000);
+
+    // Script every session's behavior up front from the seed, so the
+    // drill does not depend on thread scheduling.
+    Rng rng(seed);
+    std::vector<serve::ClientBehavior> plans(
+        static_cast<size_t>(sessions));
+    for (auto &b : plans) {
+        b.overallTimeoutMs = timeoutMs;
+        if (misbehave <= 0.0 || !rng.chance(misbehave))
+            continue;
+        switch (rng.uniformInt(0, 3)) {
+          case 0: // stall mid-stream
+            b.stallAfterPackets =
+                1 + static_cast<int>(rng.uniformInt(0, 3));
+            b.stallMs = 200 + rng.uniformInt(0, 400);
+            break;
+          case 1: // vanish mid-session
+            b.disconnectAfterPackets =
+                static_cast<int>(rng.uniformInt(0, 4));
+            break;
+          case 2: // garbage instead of a request
+            b.malformedRequest = true;
+            break;
+          case 3: // slow-loris reads
+            b.readChunkBytes = 64;
+            b.readIntervalMs = 20 + rng.uniformInt(0, 30);
+            break;
+        }
+    }
+
+    std::mutex mu;
+    uint64_t ok = 0, shed = 0, err = 0, checkpointed = 0, other = 0;
+    uint64_t bytes = 0;
+    std::vector<int64_t> latencies;
+    std::vector<std::thread> threads;
+    threads.reserve(plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+        threads.emplace_back([&, i] {
+            const serve::ClientResult r =
+                serve::runClientSession(endpoint, spec, plans[i]);
+            std::lock_guard<std::mutex> lock(mu);
+            if (r.gotFinal && r.finalStatus == serve::Status::Ok)
+                ++ok;
+            else if (r.gotFinal && statusIsShed(r.finalStatus))
+                ++shed;
+            else if (r.gotFinal &&
+                     r.finalStatus == serve::Status::Checkpointed)
+                ++checkpointed;
+            else if (!r.connected || !r.gotFinal)
+                ++err;
+            else
+                ++other;
+            bytes += r.payloadBytes;
+            latencies.push_back(r.latencyMs);
+        });
+        if (intervalMs > 0 && i + 1 < plans.size())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(intervalMs));
+    }
+    for (auto &t : threads)
+        t.join();
+
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&](double p) -> long long {
+        if (latencies.empty())
+            return 0;
+        const size_t idx = std::min(
+            latencies.size() - 1,
+            static_cast<size_t>(p * static_cast<double>(
+                                        latencies.size())));
+        return latencies[idx];
+    };
+    std::printf("ok %llu shed %llu err %llu checkpointed %llu "
+                "other %llu bytes %llu p50_ms %lld p99_ms %lld\n",
+                static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(err),
+                static_cast<unsigned long long>(checkpointed),
+                static_cast<unsigned long long>(other),
+                static_cast<unsigned long long>(bytes),
+                pct(0.50), pct(0.99));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return loadgenMain(argc, argv);
+    } catch (const ArgError &e) {
+        return reportArgError("m4ps_loadgen", e);
+    }
+}
