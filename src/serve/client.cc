@@ -164,4 +164,67 @@ runClientSession(const std::string &endpoint, const std::string &spec,
     return res;
 }
 
+std::string
+queryServerStats(const std::string &endpoint, std::string *err,
+                 int64_t timeoutMs)
+{
+    const int64_t deadline = monoMs() + timeoutMs;
+    std::string connErr;
+    const int fd = connectTo(endpoint, &connErr, 0);
+    if (fd < 0) {
+        if (err)
+            *err = "connect: " + connErr;
+        return {};
+    }
+    const std::vector<uint8_t> reqWire = encodeStatsRequest();
+    if (!sendAll(fd, reqWire.data(), reqWire.size(), 500,
+                 [] { return true; })) {
+        shutdownAndClose(fd);
+        if (err)
+            *err = "stats request send failed";
+        return {};
+    }
+    std::vector<uint8_t> buf;
+    uint8_t tmp[8192];
+    while (monoMs() < deadline) {
+        const long r = recvSome(fd, tmp, sizeof(tmp), 200);
+        if (r == 0)
+            break;
+        if (r == -2) {
+            shutdownAndClose(fd);
+            if (err)
+                *err = "recv error";
+            return {};
+        }
+        if (r > 0)
+            buf.insert(buf.end(), tmp, tmp + r);
+        MessageHeader h;
+        const ParseResult pr =
+            parseMessageHeader(buf.data(), buf.size(), &h);
+        if (pr == ParseResult::Bad) {
+            shutdownAndClose(fd);
+            if (err)
+                *err = "bad stats reply";
+            return {};
+        }
+        if (pr == ParseResult::Ok &&
+            buf.size() >= kMessageHeaderSize + h.payloadLen) {
+            shutdownAndClose(fd);
+            if (h.type != MsgType::Stats) {
+                if (err)
+                    *err = "unexpected reply type";
+                return {};
+            }
+            return std::string(
+                reinterpret_cast<const char *>(buf.data() +
+                                               kMessageHeaderSize),
+                h.payloadLen);
+        }
+    }
+    shutdownAndClose(fd);
+    if (err)
+        *err = "stats reply timed out";
+    return {};
+}
+
 } // namespace m4ps::serve

@@ -79,6 +79,17 @@ ClientResult runClientSession(const std::string &endpoint,
                               const std::string &spec,
                               const ClientBehavior &behavior = {});
 
+/**
+ * Ask a running daemon for its live ServiceSnapshot: connect, send
+ * one M4SS STATS frame, read the Stats reply.  Returns the
+ * m4ps-stats-v1 JSON text, or empty with @p err set on any failure.
+ * STATS bypasses admission, so this works against a saturated or
+ * draining daemon (m4ps_top and the CI scrape ride on it).
+ */
+std::string queryServerStats(const std::string &endpoint,
+                             std::string *err,
+                             int64_t timeoutMs = 2000);
+
 } // namespace m4ps::serve
 
 #endif // M4PS_SERVE_CLIENT_HH

@@ -129,7 +129,7 @@ parseMessageHeader(const uint8_t *data, size_t n, MessageHeader *out)
         return ParseResult::Bad;
     if (n < kMessageHeaderSize)
         return ParseResult::NeedMore;
-    if (data[4] > static_cast<uint8_t>(MsgType::Status))
+    if (data[4] > static_cast<uint8_t>(MsgType::Stats))
         return ParseResult::Bad;
     if (data[5] > static_cast<uint8_t>(Status::Canceled))
         return ParseResult::Bad;
@@ -141,6 +141,33 @@ parseMessageHeader(const uint8_t *data, size_t n, MessageHeader *out)
     out->payloadLen = getLe32(data + 16);
     if (out->payloadLen > kMaxPayloadBytes)
         return ParseResult::Bad;
+    return ParseResult::Ok;
+}
+
+std::vector<uint8_t>
+encodeStatsRequest()
+{
+    std::vector<uint8_t> out(kRequestHeaderSize);
+    std::memcpy(out.data(), kStatsMagic, 4);
+    putLe16(out.data() + 4, kProtocolVersion);
+    putLe16(out.data() + 6, 0);
+    putLe32(out.data() + 8, 0);
+    return out;
+}
+
+ParseResult
+parseStatsRequest(const uint8_t *data, size_t n, size_t *consumed)
+{
+    const size_t magicAvail = n < 4 ? n : size_t{4};
+    if (std::memcmp(data, kStatsMagic, magicAvail) != 0)
+        return ParseResult::Bad;
+    if (n < kRequestHeaderSize)
+        return ParseResult::NeedMore;
+    if (getLe16(data + 4) != kProtocolVersion)
+        return ParseResult::Bad;
+    if (getLe32(data + 8) != 0)
+        return ParseResult::Bad;
+    *consumed = kRequestHeaderSize;
     return ParseResult::Ok;
 }
 

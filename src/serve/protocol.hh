@@ -43,6 +43,17 @@ namespace m4ps::serve
 
 inline constexpr uint8_t kRequestMagic[4] = {'M', '4', 'S', 'Q'};
 inline constexpr uint8_t kMessageMagic[4] = {'M', '4', 'S', 'P'};
+
+/**
+ * STATS request magic: same 12-byte header shape as a session
+ * request (magic, version, reserved, specLen) with specLen == 0.
+ * A STATS connection bypasses admission - the accept thread peeks
+ * the magic before the gate, answers one Stats message carrying the
+ * live ServiceSnapshot JSON, and closes, so an operator can always
+ * ask an overloaded daemon what is happening (docs/SERVING.md).
+ */
+inline constexpr uint8_t kStatsMagic[4] = {'M', '4', 'S', 'S'};
+
 inline constexpr uint16_t kProtocolVersion = 1;
 
 /** Request header bytes before the spec text. */
@@ -83,6 +94,7 @@ enum class MsgType : uint8_t
 {
     Data = 0,   //!< Bitstream payload.
     Status = 1, //!< Terminal verdict + JSON stats payload.
+    Stats = 2,  //!< STATS reply: live ServiceSnapshot JSON payload.
 };
 
 /** DATA payload is FEC-framed; run fec::recover() on it. */
@@ -135,6 +147,16 @@ ParseResult parseMessageHeader(const uint8_t *data, size_t n,
 /** One whole message (header + payload) as wire bytes. */
 std::vector<uint8_t> encodeMessage(const MessageHeader &h,
                                    const uint8_t *payload, size_t n);
+
+/** The 12-byte STATS request frame ("M4SS", version, specLen=0). */
+std::vector<uint8_t> encodeStatsRequest();
+
+/**
+ * Parse a STATS request prefix.  Bad covers wrong magic/version and
+ * a non-zero specLen (a STATS request carries no body).
+ */
+ParseResult parseStatsRequest(const uint8_t *data, size_t n,
+                              size_t *consumed);
 
 } // namespace m4ps::serve
 

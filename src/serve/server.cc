@@ -91,7 +91,9 @@ struct Server::Session
 
 Server::Server(const ServerConfig &cfg)
     : cfg_(cfg), budget_(cfg.globalQueueBytes),
-      admission_(cfg.admission), ladder_(cfg.ladder)
+      admission_(cfg.admission), ladder_(cfg.ladder),
+      statsRing_(cfg.statsRingCapacity),
+      latencyBuckets_(sessionLatencyBoundsMs().size() + 1, 0)
 {
     stats_.globalQueueWatermark = cfg.globalQueueBytes;
     stats_.ladderOccupancyMs.assign(
@@ -124,6 +126,12 @@ Server::start()
         return;
     listenFd_ = listenOn(cfg_.listen, 64);
     endpoint_ = boundEndpoint(listenFd_, cfg_.listen);
+    // Baseline ring entry: until the ring fills, the stats window is
+    // "since start", then it slides (serve/stats.hh).
+    startMs_ = monoMs();
+    lastSampleMs_ = startMs_;
+    lastSample_ = currentSample(startMs_);
+    statsRing_.push(lastSample_);
     emitEvent(service::JsonEvent("serve_start")
                   .str("endpoint", endpoint_)
                   .num("max_sessions", cfg_.admission.maxSessions)
@@ -260,6 +268,138 @@ Server::shedConnection(int fd, Status st)
 }
 
 void
+Server::handleStatsConnection(int fd)
+{
+    static obs::Counter &statsC = obs::counter("serve.stats_queries");
+    // Consume the 12-byte STATS frame (validated), answer one Stats
+    // message, close.  Best-effort with a small budget, like a shed:
+    // a stats scrape must never cost the daemon a session slot or an
+    // unbounded wait.
+    uint8_t buf[kRequestHeaderSize];
+    size_t got = 0;
+    const int64_t deadline = monoMs() + 100;
+    while (got < kRequestHeaderSize && monoMs() < deadline) {
+        const long r =
+            recvSome(fd, buf + got, kRequestHeaderSize - got, 20);
+        if (r == 0 || r == -2) {
+            shutdownAndClose(fd);
+            return;
+        }
+        if (r > 0)
+            got += static_cast<size_t>(r);
+    }
+    size_t consumed = 0;
+    if (got < kRequestHeaderSize ||
+        parseStatsRequest(buf, got, &consumed) != ParseResult::Ok) {
+        shutdownAndClose(fd);
+        return;
+    }
+    const std::string json = statsJson();
+    MessageHeader h;
+    h.type = MsgType::Stats;
+    h.status = Status::Ok;
+    const std::vector<uint8_t> msg = encodeMessage(
+        h, reinterpret_cast<const uint8_t *>(json.data()),
+        json.size());
+    sendAll(fd, msg.data(), msg.size(), 100, [] { return false; });
+    shutdownAndClose(fd);
+    statsC.add();
+}
+
+void
+Server::observeSessionLatency(double ms)
+{
+    const std::vector<double> &bounds = sessionLatencyBoundsMs();
+    size_t i = 0;
+    while (i < bounds.size() && ms > bounds[i])
+        ++i;
+    std::lock_guard<std::mutex> lock(latencyMu_);
+    ++latencyBuckets_[i];
+    ++latencyCount_;
+    ++verdicts_;
+}
+
+StatsSample
+Server::currentSample(int64_t nowMs) const
+{
+    StatsSample s;
+    s.monoMs = nowMs;
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        s.admitted = stats_.admitted;
+        s.shed = stats_.shedTotal();
+        s.completed = stats_.completed;
+        s.payloadBytes = stats_.payloadBytes;
+    }
+    {
+        std::lock_guard<std::mutex> lock(latencyMu_);
+        s.verdicts = verdicts_;
+        s.latencyCount = latencyCount_;
+        s.latencyBuckets = latencyBuckets_;
+    }
+    return s;
+}
+
+std::string
+Server::statsJson() const
+{
+    const int64_t now = monoMs();
+    const std::vector<double> &bounds = sessionLatencyBoundsMs();
+
+    ServiceSnapshot snap;
+    snap.nowMs = now;
+    snap.uptimeMs = now - startMs_;
+    snap.traceId = obs::traceId();
+    snap.endpoint = endpoint_;
+    snap.draining = admission_.draining();
+    snap.degradeLevel = ladderLevel_.load();
+    snap.activeSessions = admission_.active();
+    snap.maxSessions = cfg_.admission.maxSessions;
+    snap.queueBytes = budget_.used();
+    snap.queueWatermark = cfg_.globalQueueBytes;
+    snap.queuePeak = budget_.highWatermarkSeen();
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        snap.ladderMaxLevel = stats_.ladderMaxLevel;
+        snap.admitted = stats_.admitted;
+        snap.completed = stats_.completed;
+        snap.checkpointed = stats_.checkpointed;
+        snap.failed = stats_.failed;
+        snap.canceled = stats_.canceled;
+        snap.badRequests = stats_.badRequests;
+        snap.idleTimeouts = stats_.idleTimeouts;
+        snap.deadlineExceeded = stats_.deadlineExceeded;
+        snap.slowReaders = stats_.slowReaders;
+        snap.shedOverloaded = stats_.shedOverloaded;
+        snap.shedDraining = stats_.shedDraining;
+        snap.shedBreaker = stats_.shedBreaker;
+        snap.packets = stats_.packets;
+        snap.payloadBytes = stats_.payloadBytes;
+        snap.retargetSteps = stats_.retargetSteps;
+        snap.sloWindows = sloWindows_;
+        snap.sloViolations = sloViolations_;
+    }
+    snap.sloP99TargetMs = cfg_.sloP99Ms;
+    snap.fecBlocksCorrected =
+        obs::counter("fec.blocks_corrected").value();
+    snap.fecBlocksUncorrectable =
+        obs::counter("fec.blocks_uncorrectable").value();
+
+    const StatsSample cur = currentSample(now);
+    snap.lifetimeP50Ms =
+        obs::quantileFromBuckets(bounds, cur.latencyBuckets, 0.50);
+    snap.lifetimeP99Ms =
+        obs::quantileFromBuckets(bounds, cur.latencyBuckets, 0.99);
+
+    StatsSample base = statsRing_.size() > 0 ? statsRing_.oldest()
+                                             : StatsSample{};
+    if (base.monoMs == 0)
+        base.monoMs = startMs_;
+    fillSnapshotWindow(&snap, base, cur, bounds);
+    return renderServiceSnapshot(snap);
+}
+
+void
 Server::spawnSession(int fd)
 {
     static obs::Counter &admittedC =
@@ -305,6 +445,33 @@ Server::acceptLoop()
             ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF,
                          &cfg_.sockSndbufBytes,
                          sizeof(cfg_.sockSndbufBytes));
+        // STATS connections bypass the admission gate entirely: peek
+        // the magic without consuming it (a session request's bytes
+        // stay readable by its worker), answer the snapshot inline,
+        // and close - so an operator can always ask a saturated or
+        // draining daemon what is happening.  The peek budget is
+        // tiny and bounded; a client silent past it is treated as a
+        // normal session connection.
+        {
+            uint8_t magic[4];
+            ssize_t pk = -1;
+            const int64_t peekDeadline = monoMs() + cfg_.statsPeekMs;
+            for (;;) {
+                pk = ::recv(fd, magic, sizeof(magic),
+                            MSG_PEEK | MSG_DONTWAIT);
+                if (pk >= 4 || pk == 0)
+                    break;
+                if (monoMs() >= peekDeadline)
+                    break;
+                pollfd ppfd{fd, POLLIN, 0};
+                ::poll(&ppfd, 1, 2);
+            }
+            if (pk >= 4 &&
+                std::memcmp(magic, kStatsMagic, 4) == 0) {
+                handleStatsConnection(fd);
+                continue;
+            }
+        }
         const AdmitDecision d = admission_.tryAdmit(monoMs());
         if (!d.admitted) {
             shedConnection(fd, d.shedStatus);
@@ -396,6 +563,48 @@ Server::tickLoop()
         }
         activeG.set(admission_.active());
         queueG.set(static_cast<int64_t>(budget_.used()));
+
+        // Stats ring cadence: push a cumulative sample so STATS
+        // queries can window their rates, and evaluate the p99 SLO
+        // over the interval that just ended (only intervals that saw
+        // verdicts count - an idle daemon cannot violate its SLO).
+        if (now - lastSampleMs_ >= cfg_.statsIntervalMs) {
+            StatsSample cur = currentSample(now);
+            if (cfg_.sloP99Ms > 0 &&
+                cur.latencyCount > lastSample_.latencyCount) {
+                std::vector<uint64_t> deltas(
+                    cur.latencyBuckets.size(), 0);
+                for (size_t i = 0; i < deltas.size(); ++i) {
+                    const uint64_t b =
+                        i < lastSample_.latencyBuckets.size()
+                            ? lastSample_.latencyBuckets[i]
+                            : 0;
+                    deltas[i] = cur.latencyBuckets[i] >= b
+                                    ? cur.latencyBuckets[i] - b
+                                    : 0;
+                }
+                const double p99 = obs::quantileFromBuckets(
+                    sessionLatencyBoundsMs(), deltas, 0.99);
+                bool violated = false;
+                {
+                    std::lock_guard<std::mutex> lock(statsMu_);
+                    ++sloWindows_;
+                    if (p99 > static_cast<double>(cfg_.sloP99Ms)) {
+                        ++sloViolations_;
+                        violated = true;
+                    }
+                }
+                if (violated)
+                    emitEvent(service::JsonEvent("slo_violation")
+                                  .real("p99_ms", p99)
+                                  .num("target_ms", cfg_.sloP99Ms)
+                                  .num("window_ms",
+                                       now - lastSample_.monoMs));
+            }
+            statsRing_.push(cur);
+            lastSample_ = std::move(cur);
+            lastSampleMs_ = now;
+        }
     }
     reapDoneSessions();
 }
@@ -784,6 +993,7 @@ Server::sessionWorker(Session &s)
         if (s.retargetSteps > 0)
             ++stats_.retargetedSessions;
     }
+    observeSessionLatency(static_cast<double>(now - s.startMs));
     static obs::Counter &doneC = obs::counter("serve.sessions_done");
     doneC.add();
     emitEvent(service::JsonEvent(verdict == Status::Checkpointed

@@ -59,6 +59,7 @@
 #include "fec/frame.hh"
 #include "serve/admission.hh"
 #include "serve/queue.hh"
+#include "serve/stats.hh"
 #include "service/events.hh"
 
 namespace m4ps::serve
@@ -96,6 +97,27 @@ struct ServerConfig
 
     /** Watchdog / ladder / reaper cadence. */
     int64_t tickMs = 50;
+
+    /** Cadence of the stats snapshot ring (serve/stats.hh). */
+    int64_t statsIntervalMs = 1000;
+
+    /** Ring capacity: the stats window is capacity x interval. */
+    size_t statsRingCapacity = 64;
+
+    /**
+     * p99 session-latency SLO target (0 = no SLO).  Each stats
+     * interval with traffic is evaluated against it; violations are
+     * counted in the STATS reply and emitted as slo_violation events.
+     */
+    int64_t sloP99Ms = 0;
+
+    /**
+     * Accept-side budget for sniffing the 4-byte STATS magic before
+     * the admission gate (MSG_PEEK, never consuming session bytes).
+     * A connection that stays silent this long is treated as a
+     * session and goes through admission unchanged.
+     */
+    int64_t statsPeekMs = 10;
 
     /** Where drain checkpoints sidecars go. */
     std::string checkpointDir = ".";
@@ -188,6 +210,14 @@ class Server
 
     ServerStats stats() const;
 
+    /**
+     * The live ServiceSnapshot as m4ps-stats-v1 JSON: lifetime
+     * counters plus windowed rates and p50/p99 from the snapshot
+     * ring (serve/stats.hh).  What a STATS request on the wire
+     * answers; public so tests can cross-check without a socket.
+     */
+    std::string statsJson() const;
+
     service::EventLog &events() { return log_; }
     void attachEvents(std::ostream *os);
 
@@ -207,6 +237,15 @@ class Server
     void spawnSession(int fd);
     void reapDoneSessions();
     void emitEvent(const service::JsonEvent &e);
+
+    /** Answer one STATS query on @p fd and close it (no session). */
+    void handleStatsConnection(int fd);
+
+    /** Cumulative counters + latency buckets, stamped @p nowMs. */
+    StatsSample currentSample(int64_t nowMs) const;
+
+    /** Feed the session-latency histogram (any terminal verdict). */
+    void observeSessionLatency(double ms);
 
     /** Run the parsed job; returns the terminal status. */
     Status runSession(Session &s, service::JobSpec &spec);
@@ -242,6 +281,21 @@ class Server
 
     mutable std::mutex statsMu_;
     ServerStats stats_;
+
+    // Live-stats plane (serve/stats.hh).  The ring and the latency
+    // histogram have their own locks: the accept thread renders
+    // snapshots while the tick thread pushes samples and session
+    // workers record latencies.
+    SnapshotRing statsRing_;
+    int64_t startMs_ = 0;
+    int64_t lastSampleMs_ = 0;   //!< Tick thread only.
+    StatsSample lastSample_;     //!< Tick thread only (SLO eval).
+    mutable std::mutex latencyMu_;
+    std::vector<uint64_t> latencyBuckets_;
+    uint64_t latencyCount_ = 0;
+    uint64_t verdicts_ = 0;
+    uint64_t sloWindows_ = 0;     //!< Under statsMu_.
+    uint64_t sloViolations_ = 0;  //!< Under statsMu_.
 };
 
 } // namespace m4ps::serve

@@ -159,7 +159,17 @@ RotatingLogSink::sync()
 void
 EventLog::emit(const JsonEvent &e)
 {
-    lines_.push_back(e.line());
+    // Cross-process correlation: when a batch/daemon trace id is set
+    // (obs::setTraceId), every event line carries it, so the logs of
+    // a supervisor and its forked workers join on one key.  Appended
+    // at the closing brace - count() matches on the line prefix.
+    std::string line = e.line();
+    const std::string trace_id = obs::traceId();
+    if (!trace_id.empty() && !line.empty() && line.back() == '}') {
+        line.pop_back();
+        line += ",\"trace_id\":\"" + jsonEscape(trace_id) + "\"}";
+    }
+    lines_.push_back(std::move(line));
     if (os_) {
         *os_ << lines_.back() << '\n';
         os_->flush();

@@ -1,9 +1,12 @@
 #include "service/worker.hh"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
@@ -16,6 +19,7 @@
 #include "service/checkpoint.hh"
 #include "support/args.hh"
 #include "support/json.hh"
+#include "support/obs/obs.hh"
 #include "support/perfctr/perfctr.hh"
 #include "support/serialize.hh"
 
@@ -269,11 +273,63 @@ writeJobPerfReport(const JobSpec &spec, const perfctr::Counts &hw)
                                  spec.reportOut + "'");
 }
 
+/**
+ * Per-process trace shard for cross-process correlation
+ * (docs/OBSERVABILITY.md).  When the supervisor exported
+ * M4PS_TRACE_SHARD_DIR, the worker adopts the batch trace id from
+ * M4PS_TRACE_ID, traces the job, and writes its shard (atomically)
+ * on the way out - every exit path, including the exception
+ * handlers, passes through the destructor.  Fork-without-exec
+ * children inherit the supervisor's trace buffers, so the shard
+ * clears them first and holds only this job's events.
+ */
+class TraceShardScope
+{
+  public:
+    explicit TraceShardScope(const JobSpec &spec)
+    {
+        const char *dir = std::getenv("M4PS_TRACE_SHARD_DIR");
+        if (!dir || !*dir)
+            return;
+        const char *tid = std::getenv("M4PS_TRACE_ID");
+        if (tid && *tid)
+            obs::setTraceId(tid);
+        obs::setProcessName("worker:" + spec.id);
+        obs::setTracing(true);
+        obs::clearTrace();
+        path_ = std::string(dir) + "/trace-" +
+                (tid && *tid ? std::string(tid)
+                             : std::string("local")) +
+                "-" + std::to_string(getpid()) + ".json";
+    }
+
+    ~TraceShardScope()
+    {
+        if (path_.empty())
+            return;
+        try {
+            std::ostringstream os;
+            obs::writeChromeTrace(os);
+            const std::string doc = os.str();
+            writeFileAtomic(
+                path_,
+                reinterpret_cast<const uint8_t *>(doc.data()),
+                doc.size());
+        } catch (...) {
+            // A failed shard write must not change the job verdict.
+        }
+    }
+
+  private:
+    std::string path_;
+};
+
 } // namespace
 
 int
 runJob(const JobSpec &spec)
 {
+    const TraceShardScope shard(spec);
     try {
         spec.validate();
         if (spec.perf)

@@ -37,6 +37,46 @@ stageName(Stage s)
     return "?";
 }
 
+double
+quantileFromBuckets(const std::vector<double> &bounds,
+                    const std::vector<uint64_t> &buckets, double q)
+{
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    uint64_t total = 0;
+    for (const uint64_t b : buckets)
+        total += b;
+    if (total == 0 || bounds.empty())
+        return 0.0;
+    // Rank of the target observation, 1-based; q=0 maps to the first.
+    const double rank = q * static_cast<double>(total);
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        const uint64_t inBucket = buckets[i];
+        if (inBucket == 0)
+            continue;
+        if (static_cast<double>(seen + inBucket) < rank) {
+            seen += inBucket;
+            continue;
+        }
+        if (i >= bounds.size()) {
+            // Overflow bucket: the histogram records nothing above
+            // its last finite bound, so clamp rather than invent.
+            return bounds.back();
+        }
+        const double upper = bounds[i];
+        const double lower = i == 0 ? 0.0 : bounds[i - 1];
+        const double frac =
+            (rank - static_cast<double>(seen)) /
+            static_cast<double>(inBucket);
+        return lower + (upper - lower) *
+                           (frac < 0.0 ? 0.0 : frac > 1.0 ? 1.0 : frac);
+    }
+    return bounds.back();
+}
+
 #if M4PS_OBS
 
 namespace
@@ -93,8 +133,44 @@ void
 writeChromeTrace(std::ostream &os)
 {
     const std::vector<TraceEvent> events = snapshotTrace();
+    const std::string trace_id = traceId();
+    // Splice the correlation id into every event's args; when the
+    // event already carries args the id leads the existing object.
+    const auto argsWithId = [&trace_id](const std::string &args) {
+        if (trace_id.empty())
+            return args;
+        std::string idField = "\"trace_id\":\"" + trace_id + "\"";
+        if (args.empty())
+            return "{" + idField + "}";
+        if (args.size() >= 2 && args.front() == '{' && args[1] != '}')
+            return "{" + idField + "," + args.substr(1);
+        return "{" + idField + "}";
+    };
     os << "{\"traceEvents\":[";
     bool first = true;
+    // Metadata events name the tracks (process_name / thread_name),
+    // so merged multi-process traces read as named timelines rather
+    // than bare pids.  No "ts" field: metadata is timeless, and the
+    // exporter's fixed-point timestamp invariant stays trivially
+    // intact (tests/test_obs.cc checks every "ts" occurrence).
+    std::string proc = processName();
+    if (proc.empty())
+        proc = "m4ps";
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+          "\"args\":{\"name\":\"";
+    jsonEscapeTo(os, proc);
+    os << "\"}}";
+    first = false;
+    int maxTid = -1;
+    for (const TraceEvent &e : events)
+        maxTid = e.tid > maxTid ? e.tid : maxTid;
+    for (int tid = 0; tid <= maxTid; ++tid) {
+        os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+           << "\"tid\":" << tid << ",\"args\":{\"name\":\""
+           << (tid == 0 ? std::string("main")
+                        : "thread-" + std::to_string(tid))
+           << "\"}}";
+    }
     for (const TraceEvent &e : events) {
         if (!first)
             os << ",\n";
@@ -110,11 +186,21 @@ writeChromeTrace(std::ostream &os)
         }
         if (e.phase == 'i')
             os << ",\"s\":\"t\"";
-        if (!e.args.empty())
-            os << ",\"args\":" << e.args;
+        const std::string args = argsWithId(e.args);
+        if (!args.empty())
+            os << ",\"args\":" << args;
         os << "}";
     }
-    os << "],\"displayTimeUnit\":\"ms\"}\n";
+    // otherData anchors this shard on the wall clock and carries the
+    // batch correlation id; m4ps_tracecat reads both when merging.
+    os << "],\"otherData\":{\"traceEpochRealtimeUs\":"
+       << traceEpochRealtimeUs();
+    if (!trace_id.empty()) {
+        os << ",\"traceId\":\"";
+        jsonEscapeTo(os, trace_id);
+        os << "\"";
+    }
+    os << "},\"displayTimeUnit\":\"ms\"}\n";
 }
 
 void

@@ -100,6 +100,23 @@ inline constexpr int kStageCount = 4;
 const char *stageName(Stage s);
 
 /**
+ * Quantile estimate from fixed-bucket histogram counts, the shape a
+ * MetricsSnapshot::Hist (or a windowed delta of two) carries:
+ * @p bounds are the upper bucket bounds, @p buckets the per-bucket
+ * counts with the +inf overflow bucket last (so buckets.size() ==
+ * bounds.size() + 1).  Interpolates linearly inside the target
+ * bucket, treating each bucket as uniform over (lower, upper]; the
+ * answer is therefore exact to within one bucket width.  Edge rules:
+ * an empty histogram returns 0; mass that lands in the overflow
+ * bucket clamps to the last finite bound (the histogram records
+ * nothing above it).  @p q is clamped to [0, 1].  Pure function -
+ * available (and identical) in both build flavours.
+ */
+double quantileFromBuckets(const std::vector<double> &bounds,
+                           const std::vector<uint64_t> &buckets,
+                           double q);
+
+/**
  * Per-row accumulated stage times.  A row records its trace-epoch
  * base timestamp once, accumulates wall ns per stage across all its
  * macroblocks, then emits the total as four back-to-back child spans
@@ -149,8 +166,36 @@ metricsEnabled()
 /** Monotonic ns since the process trace epoch (first use). */
 uint64_t nowNs();
 
+/**
+ * CLOCK_REALTIME microseconds captured at the same instant as the
+ * steady trace epoch nowNs() counts from.  Per-process trace shards
+ * from one supervised batch align on this anchor: shard-local ns
+ * timestamps plus the shard's realtime epoch land every process on
+ * one wall-clock timeline (tools/m4ps_tracecat).
+ */
+uint64_t traceEpochRealtimeUs();
+
 /** Dense id of the calling thread (0, 1, 2, ... in first-use order). */
 int threadId();
+
+/**
+ * Cross-process trace correlation id (empty = unset).  Minted once
+ * per batch/daemon run (m4ps_batch, m4ps_serve), propagated to
+ * forked workers via the M4PS_TRACE_ID environment variable, and
+ * stamped by the exporters into every span's args and by
+ * service::EventLog into every event line, so shards from different
+ * processes join into one correlated timeline.
+ */
+void setTraceId(std::string id);
+std::string traceId();
+
+/**
+ * Human-readable name for this process's track in merged traces
+ * (e.g. "supervisor", "worker:enc0").  Emitted by writeChromeTrace
+ * as a process_name metadata event.
+ */
+void setProcessName(std::string name);
+std::string processName();
 
 /**
  * Record a complete ('X') event with explicit timing, for spans whose
@@ -392,7 +437,12 @@ inline void setMetrics(bool) {}
 inline bool tracingEnabled() { return false; }
 inline bool metricsEnabled() { return false; }
 inline uint64_t nowNs() { return 0; }
+inline uint64_t traceEpochRealtimeUs() { return 0; }
 inline int threadId() { return 0; }
+inline void setTraceId(std::string) {}
+inline std::string traceId() { return {}; }
+inline void setProcessName(std::string) {}
+inline std::string processName() { return {}; }
 inline void completeEvent(const char *, std::string, uint64_t, uint64_t,
                           std::string = {})
 {

@@ -102,15 +102,86 @@ record(TraceEvent &&e)
 
 } // namespace
 
+namespace
+{
+
+/**
+ * Steady and realtime epochs sampled back-to-back at first use, so
+ * every shard-local ns timestamp has a wall-clock anchor.  The pair
+ * is what lets m4ps_tracecat line up shards from different
+ * processes: realtimeUs + tsNs/1000 is comparable across them.
+ */
+struct TraceEpochs
+{
+    std::chrono::steady_clock::time_point steady;
+    uint64_t realtimeUs;
+
+    TraceEpochs()
+        : steady(std::chrono::steady_clock::now()),
+          realtimeUs(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                  .count()))
+    {
+    }
+};
+
+const TraceEpochs &
+traceEpochs()
+{
+    static const TraceEpochs e;
+    return e;
+}
+
+/** Rarely touched (startup + export), so one mutex is plenty. */
+std::mutex gIdentityMu;
+std::string gTraceId;
+std::string gProcessName;
+
+} // namespace
+
 uint64_t
 nowNs()
 {
     using clock = std::chrono::steady_clock;
-    static const clock::time_point epoch = clock::now();
     return static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
-            clock::now() - epoch)
+            clock::now() - traceEpochs().steady)
             .count());
+}
+
+uint64_t
+traceEpochRealtimeUs()
+{
+    return traceEpochs().realtimeUs;
+}
+
+void
+setTraceId(std::string id)
+{
+    std::lock_guard<std::mutex> lock(gIdentityMu);
+    gTraceId = std::move(id);
+}
+
+std::string
+traceId()
+{
+    std::lock_guard<std::mutex> lock(gIdentityMu);
+    return gTraceId;
+}
+
+void
+setProcessName(std::string name)
+{
+    std::lock_guard<std::mutex> lock(gIdentityMu);
+    gProcessName = std::move(name);
+}
+
+std::string
+processName()
+{
+    std::lock_guard<std::mutex> lock(gIdentityMu);
+    return gProcessName;
 }
 
 int

@@ -1,0 +1,119 @@
+#include "support/obs/tracemerge.hh"
+
+#include <algorithm>
+
+namespace m4ps::obs
+{
+
+namespace
+{
+
+using support::JsonValue;
+
+uint64_t
+anchorOf(const JsonValue &doc)
+{
+    const JsonValue *other = doc.find("otherData");
+    if (!other)
+        return 0;
+    const double v = other->numberOr("traceEpochRealtimeUs", 0.0);
+    return v > 0 ? static_cast<uint64_t>(v) : 0;
+}
+
+std::string
+traceIdOf(const JsonValue &doc)
+{
+    const JsonValue *other = doc.find("otherData");
+    return other ? other->stringOr("traceId", "") : std::string();
+}
+
+} // namespace
+
+JsonValue
+mergeTraceShards(const std::vector<TraceShard> &shards,
+                 MergeInfo *info)
+{
+    MergeInfo local;
+    local.shards = static_cast<int>(shards.size());
+
+    // Earliest wall-clock anchor = merged time zero.  Shards without
+    // an anchor (older producers) keep their local timestamps.
+    uint64_t baseUs = 0;
+    for (const TraceShard &s : shards) {
+        const uint64_t a = anchorOf(s.doc);
+        if (a == 0)
+            continue;
+        ++local.anchoredShards;
+        baseUs = baseUs == 0 ? a : std::min(baseUs, a);
+    }
+
+    JsonValue events = JsonValue::makeArray();
+    for (size_t i = 0; i < shards.size(); ++i) {
+        const TraceShard &s = shards[i];
+        const int64_t pid = static_cast<int64_t>(i) + 1;
+        const uint64_t a = anchorOf(s.doc);
+        const double offsetUs =
+            (a > 0 && baseUs > 0)
+                ? static_cast<double>(a - baseUs)
+                : 0.0;
+
+        const std::string shardId = traceIdOf(s.doc);
+        if (!shardId.empty()) {
+            if (local.traceId.empty())
+                local.traceId = shardId;
+            else if (local.traceId != shardId)
+                local.traceIdMismatch = true;
+        }
+
+        const JsonValue *arr = s.doc.find("traceEvents");
+        bool sawProcessName = false;
+        if (arr && arr->isArray()) {
+            for (const JsonValue &ev : arr->array) {
+                if (!ev.isObject())
+                    continue;
+                JsonValue out = ev;
+                out.at("pid") = JsonValue::of(pid);
+                JsonValue *ts = out.find("ts");
+                if (ts && ts->isNumber())
+                    ts->number += offsetUs;
+                if (out.stringOr("ph", "") == "M") {
+                    if (out.stringOr("name", "") == "process_name")
+                        sawProcessName = true;
+                } else {
+                    ++local.events;
+                }
+                events.array.push_back(std::move(out));
+            }
+        }
+        if (!sawProcessName) {
+            JsonValue meta = JsonValue::makeObject();
+            meta.add("name", JsonValue::of("process_name"));
+            meta.add("ph", JsonValue::of("M"));
+            meta.add("pid", JsonValue::of(pid));
+            JsonValue args = JsonValue::makeObject();
+            args.add("name", JsonValue::of(s.label.empty()
+                                               ? "shard-" +
+                                                     std::to_string(pid)
+                                               : s.label));
+            meta.add("args", std::move(args));
+            events.array.push_back(std::move(meta));
+        }
+    }
+
+    JsonValue doc = JsonValue::makeObject();
+    doc.add("traceEvents", std::move(events));
+    JsonValue other = JsonValue::makeObject();
+    if (!local.traceId.empty())
+        other.add("traceId", JsonValue::of(local.traceId));
+    other.add("shards",
+              JsonValue::of(static_cast<int64_t>(local.shards)));
+    other.add("baseRealtimeUs", JsonValue::of(baseUs));
+    doc.add("otherData", std::move(other));
+    doc.add("displayTimeUnit", JsonValue::of("ms"));
+
+    if (info)
+        *info = local;
+    return doc;
+}
+
+} // namespace m4ps::obs

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Merging per-process Chrome trace shards into one timeline.
+ *
+ * A supervised batch (m4ps_batch + forked workers) or a multi-process
+ * serve run produces one trace shard per process: each is a complete
+ * Chrome trace_event document whose timestamps count from that
+ * process's own steady-clock epoch, with a wall-clock anchor
+ * (otherData.traceEpochRealtimeUs) captured at the same instant.
+ * mergeTraceShards() aligns every shard on the earliest anchor,
+ * assigns each shard a distinct pid, rewrites / synthesizes the
+ * process_name metadata so Perfetto names the tracks, and verifies
+ * that the shards agree on the batch trace id.  The result is a
+ * single document loadable in Perfetto where a 20-job kill-storm
+ * reads as one timeline (tools/m4ps_tracecat is the CLI wrapper).
+ */
+
+#ifndef M4PS_SUPPORT_OBS_TRACEMERGE_HH
+#define M4PS_SUPPORT_OBS_TRACEMERGE_HH
+
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+
+namespace m4ps::obs
+{
+
+/** One parsed shard plus a fallback track label (e.g. file stem). */
+struct TraceShard
+{
+    std::string label;
+    support::JsonValue doc;
+};
+
+/** What the merge saw (for CLI reporting and tests). */
+struct MergeInfo
+{
+    std::string traceId; //!< First non-empty otherData.traceId.
+    int shards = 0;
+    int events = 0;          //!< Non-metadata events merged.
+    int anchoredShards = 0;  //!< Shards with a realtime anchor.
+    bool traceIdMismatch = false; //!< Shards disagreed on the id.
+};
+
+/**
+ * Merge @p shards into one Chrome trace document.  Shard i becomes
+ * pid i+1; shard timestamps shift by (anchor - earliest anchor) so
+ * all processes share one timeline (shards without an anchor keep
+ * their local timestamps).  Existing metadata events are re-pidded;
+ * a shard without a process_name event gets one synthesized from
+ * its label.  @p info (optional) reports what happened.
+ */
+support::JsonValue mergeTraceShards(
+    const std::vector<TraceShard> &shards, MergeInfo *info = nullptr);
+
+} // namespace m4ps::obs
+
+#endif // M4PS_SUPPORT_OBS_TRACEMERGE_HH

@@ -23,7 +23,11 @@
 #include "core/machine.hh"
 #include "core/runner.hh"
 #include "core/workload.hh"
+#include "service/events.hh"
+#include "support/json.hh"
 #include "support/obs/obs.hh"
+#include "support/obs/tracemerge.hh"
+#include "support/random.hh"
 #include "support/threadpool.hh"
 
 namespace m4ps
@@ -350,6 +354,211 @@ TEST(Obs, CompiledOutBuildIsInertButLinks)
     std::ostringstream os;
     obs::writeChromeTrace(os);
     EXPECT_FALSE(os.str().empty()); // still a valid (empty) document
+}
+
+#endif // M4PS_OBS
+
+// --- histogram quantiles (shared API, both build flavors) --------------
+
+TEST(ObsQuantile, EmptyHistogramYieldsZero)
+{
+    const std::vector<double> bounds = {1.0, 10.0, 100.0};
+    const std::vector<uint64_t> empty(bounds.size() + 1, 0);
+    EXPECT_DOUBLE_EQ(obs::quantileFromBuckets(bounds, empty, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(obs::quantileFromBuckets(bounds, empty, 0.99),
+                     0.0);
+}
+
+TEST(ObsQuantile, AllMassInOneBucketStaysInsideIt)
+{
+    const std::vector<double> bounds = {1.0, 10.0, 100.0};
+    std::vector<uint64_t> buckets(bounds.size() + 1, 0);
+    buckets[1] = 1000; // everything in [1, 10)
+    for (const double q : {0.01, 0.5, 0.99}) {
+        const double v = obs::quantileFromBuckets(bounds, buckets, q);
+        EXPECT_GE(v, 1.0) << "q=" << q;
+        EXPECT_LE(v, 10.0) << "q=" << q;
+    }
+    // And the interpolation is monotone in q.
+    EXPECT_LT(obs::quantileFromBuckets(bounds, buckets, 0.1),
+              obs::quantileFromBuckets(bounds, buckets, 0.9));
+}
+
+TEST(ObsQuantile, OverflowMassClampsToTheLastBound)
+{
+    const std::vector<double> bounds = {1.0, 10.0, 100.0};
+    std::vector<uint64_t> buckets(bounds.size() + 1, 0);
+    buckets.back() = 7; // beyond the largest bound
+    // The overflow bucket has no upper edge; the honest answer is
+    // the last finite bound, not an invented extrapolation.
+    EXPECT_DOUBLE_EQ(obs::quantileFromBuckets(bounds, buckets, 0.5),
+                     100.0);
+    EXPECT_DOUBLE_EQ(obs::quantileFromBuckets(bounds, buckets, 0.99),
+                     100.0);
+}
+
+TEST(ObsQuantile, AgreesWithExactQuantilesWithinOneBucketWidth)
+{
+    const std::vector<double> bounds = {5, 10, 20, 50, 100, 200, 500};
+    std::vector<uint64_t> buckets(bounds.size() + 1, 0);
+
+    // Seeded sample with mass across several buckets.
+    Rng rng(42);
+    std::vector<double> sample;
+    for (int i = 0; i < 2000; ++i) {
+        const double v = rng.uniformReal() * 300.0;
+        sample.push_back(v);
+        size_t b = 0;
+        while (b < bounds.size() && v >= bounds[b])
+            ++b;
+        ++buckets[b];
+    }
+    std::sort(sample.begin(), sample.end());
+
+    for (const double q : {0.25, 0.5, 0.9, 0.99}) {
+        const double exact =
+            sample[static_cast<size_t>(q * (sample.size() - 1))];
+        const double approx =
+            obs::quantileFromBuckets(bounds, buckets, q);
+        // The estimate can never leave the bucket holding the exact
+        // quantile: error is bounded by that bucket's width.
+        double lo = 0.0, hi = bounds.back();
+        for (const double b : bounds) {
+            if (exact < b) {
+                hi = b;
+                break;
+            }
+            lo = b;
+        }
+        EXPECT_GE(approx, lo) << "q=" << q << " exact=" << exact;
+        EXPECT_LE(approx, hi) << "q=" << q << " exact=" << exact;
+    }
+}
+
+#if M4PS_OBS
+
+// --- cross-process identity and the trace exporter ---------------------
+
+TEST(ObsTrace, ExportCarriesProcessMetadataAndTraceId)
+{
+    ObsSandbox sandbox;
+    obs::setTraceId("trace-test-1");
+    obs::setProcessName("unit-test");
+    obs::setTracing(true);
+    {
+        obs::Span s("test", "identity.span");
+    }
+    obs::setTracing(false);
+
+    std::ostringstream os;
+    obs::writeChromeTrace(os);
+    const std::string tj = os.str();
+
+    // Named track metadata for Perfetto, and the correlation id on
+    // both the document and every event's args.
+    EXPECT_NE(tj.find("\"name\":\"process_name\""), std::string::npos);
+    EXPECT_NE(tj.find("\"name\":\"thread_name\""), std::string::npos);
+    EXPECT_NE(tj.find("{\"name\":\"unit-test\"}"), std::string::npos);
+    EXPECT_NE(tj.find("\"trace_id\":\"trace-test-1\""),
+              std::string::npos);
+    EXPECT_NE(tj.find("\"traceId\":\"trace-test-1\""),
+              std::string::npos);
+    EXPECT_NE(tj.find("\"traceEpochRealtimeUs\":"), std::string::npos);
+
+    obs::setTraceId("");
+    obs::setProcessName("");
+}
+
+TEST(ObsTrace, ShardsMergeOntoOneClockWithNamedTracks)
+{
+    // Three synthetic shards: two anchored 1 s apart sharing a trace
+    // id, one legacy shard with neither anchor nor id.
+    const char *shardA =
+        "{\"traceEvents\":[{\"name\":\"a\",\"cat\":\"t\",\"ph\":\"X\","
+        "\"ts\":100.0,\"dur\":5.0,\"pid\":1,\"tid\":0,"
+        "\"args\":{\"trace_id\":\"batch-7\"}}],"
+        "\"otherData\":{\"traceEpochRealtimeUs\":1000000,"
+        "\"traceId\":\"batch-7\"}}";
+    const char *shardB =
+        "{\"traceEvents\":[{\"name\":\"b\",\"cat\":\"t\",\"ph\":\"X\","
+        "\"ts\":200.0,\"dur\":5.0,\"pid\":1,\"tid\":0,"
+        "\"args\":{\"trace_id\":\"batch-7\"}},"
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"args\":{\"name\":\"worker:enc0\"}}],"
+        "\"otherData\":{\"traceEpochRealtimeUs\":2000000,"
+        "\"traceId\":\"batch-7\"}}";
+    const char *shardC =
+        "{\"traceEvents\":[{\"name\":\"c\",\"cat\":\"t\",\"ph\":\"X\","
+        "\"ts\":300.0,\"dur\":5.0,\"pid\":1,\"tid\":0}]}";
+
+    std::vector<obs::TraceShard> shards(3);
+    shards[0].label = "supervisor";
+    shards[0].doc = support::parseJson(shardA);
+    shards[1].label = "worker";
+    shards[1].doc = support::parseJson(shardB);
+    shards[2].label = "legacy";
+    shards[2].doc = support::parseJson(shardC);
+
+    obs::MergeInfo info;
+    const support::JsonValue merged =
+        obs::mergeTraceShards(shards, &info);
+    EXPECT_EQ(info.shards, 3);
+    EXPECT_EQ(info.events, 3);
+    EXPECT_EQ(info.anchoredShards, 2);
+    EXPECT_EQ(info.traceId, "batch-7");
+    EXPECT_FALSE(info.traceIdMismatch);
+
+    const support::JsonValue *evs = merged.find("traceEvents");
+    ASSERT_NE(evs, nullptr);
+    double tsA = -1, tsB = -1, tsC = -1;
+    std::map<int, std::string> names;
+    for (const support::JsonValue &e : evs->array) {
+        const std::string name = e.stringOr("name", "");
+        if (name == "a")
+            tsA = e.numberOr("ts", -1);
+        if (name == "b")
+            tsB = e.numberOr("ts", -1);
+        if (name == "c")
+            tsC = e.numberOr("ts", -1);
+        if (name == "process_name") {
+            const support::JsonValue *a = e.find("args");
+            ASSERT_NE(a, nullptr);
+            names[static_cast<int>(e.numberOr("pid", 0))] =
+                a->stringOr("name", "");
+        }
+    }
+    // Shard B started 1 s after shard A: its events shift right by
+    // exactly the anchor difference; the unanchored shard stays put.
+    EXPECT_DOUBLE_EQ(tsA, 100.0);
+    EXPECT_DOUBLE_EQ(tsB, 200.0 + 1e6);
+    EXPECT_DOUBLE_EQ(tsC, 300.0);
+    // Every shard owns a named track: existing metadata is re-pidded,
+    // missing metadata is synthesized from the label.
+    EXPECT_EQ(names[1], "supervisor");
+    EXPECT_EQ(names[2], "worker:enc0");
+    EXPECT_EQ(names[3], "legacy");
+}
+
+TEST(ObsTrace, EventLogLinesCarryTheTraceId)
+{
+    obs::setTraceId("evt-trace-9");
+    service::EventLog log;
+    log.emit(service::JsonEvent("unit_event").num("k", 1));
+    obs::setTraceId("");
+
+    ASSERT_EQ(log.lines().size(), 1u);
+    const std::string &line = log.lines()[0];
+    EXPECT_NE(line.find("\"trace_id\":\"evt-trace-9\""),
+              std::string::npos)
+        << line;
+    // Appended at the closing brace: prefix-based count() still sees
+    // the event type first.
+    EXPECT_EQ(log.count("unit_event"), 1);
+
+    // And without an id set, lines are unchanged.
+    service::EventLog bare;
+    bare.emit(service::JsonEvent("unit_event"));
+    EXPECT_EQ(bare.lines()[0].find("trace_id"), std::string::npos);
 }
 
 #endif // M4PS_OBS

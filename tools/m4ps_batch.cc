@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -85,6 +86,10 @@ usage()
         "  --seed N          backoff/storm seed (default 1)\n"
         "  --trace-out F     Chrome trace_event JSON of the batch\n"
         "                    (job attempt spans + lifecycle events)\n"
+        "  --trace-shard-dir D     per-process trace shards: the\n"
+        "                    supervisor and every worker write their\n"
+        "                    own shard into D, stamped with one batch\n"
+        "                    trace id (merge with m4ps_tracecat)\n"
         "  --metrics-out F   flat metrics dump "
         "(docs/OBSERVABILITY.md)\n");
 }
@@ -96,7 +101,8 @@ batchMain(int argc, char **argv)
                          {"manifest", "events", "events-max-bytes",
                           "events-keep", "worker", "parallel",
                           "deadline-ms", "retries", "storm-chance",
-                          "seed", "trace-out", "metrics-out", "help"});
+                          "seed", "trace-out", "trace-shard-dir",
+                          "metrics-out", "help"});
     if (args.getBool("help")) {
         usage();
         return 0;
@@ -154,11 +160,28 @@ batchMain(int argc, char **argv)
     }
 
     const std::string trace_out = args.get("trace-out", "");
+    const std::string shard_dir = args.get("trace-shard-dir", "");
     const std::string metrics_out = args.get("metrics-out", "");
-    if (!trace_out.empty())
+    if (!trace_out.empty() || !shard_dir.empty())
         obs::setTracing(true);
     if (!metrics_out.empty())
         obs::setMetrics(true);
+
+    // Cross-process trace correlation (docs/OBSERVABILITY.md): mint
+    // a batch trace id (or join one handed down by a parent), stamp
+    // our own spans and event lines with it, and export it to the
+    // workers via the environment - fork and fork+exec children both
+    // inherit it, so the whole batch shares one correlation key.
+    const char *envId = std::getenv("M4PS_TRACE_ID");
+    const std::string batchTraceId =
+        envId && *envId ? std::string(envId)
+                        : "batch-" + std::to_string(::getpid());
+    obs::setTraceId(batchTraceId);
+    obs::setProcessName("supervisor");
+    if (!shard_dir.empty()) {
+        ::setenv("M4PS_TRACE_ID", batchTraceId.c_str(), 1);
+        ::setenv("M4PS_TRACE_SHARD_DIR", shard_dir.c_str(), 1);
+    }
 
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
@@ -184,6 +207,28 @@ batchMain(int argc, char **argv)
             throw ArgError("cannot write --trace-out file '" +
                            trace_out + "'");
         obs::writeChromeTrace(os);
+    }
+    if (!shard_dir.empty()) {
+        // The supervisor's own shard, next to the workers' (they
+        // wrote theirs on exit).  Temp-then-rename so m4ps_tracecat
+        // never reads a torn shard.
+        const std::string shard = shard_dir + "/trace-" +
+                                  batchTraceId + "-" +
+                                  std::to_string(::getpid()) +
+                                  ".json";
+        const std::string tmp = shard + ".tmp";
+        std::ofstream os(tmp, std::ios::binary);
+        if (os) {
+            obs::writeChromeTrace(os);
+            os.flush();
+            os.close();
+            std::rename(tmp.c_str(), shard.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "m4ps_batch: cannot write trace shard "
+                         "'%s'\n",
+                         shard.c_str());
+        }
     }
     if (!metrics_out.empty()) {
         std::ofstream os(metrics_out, std::ios::binary);

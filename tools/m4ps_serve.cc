@@ -11,9 +11,11 @@
  */
 
 #include <csignal>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <thread>
@@ -59,6 +61,10 @@ usage()
         "  --events-max-bytes N    rotate before exceeding N bytes\n"
         "  --events-keep N   rotated generations to keep (default 3)\n"
         "  --metrics-out F   flat metrics dump on exit\n"
+        "  --metrics-interval-ms N periodically rewrite --metrics-out\n"
+        "                    (atomic rename; 0 = only on exit)\n"
+        "  --stats-interval-ms N   STATS snapshot-ring period\n"
+        "  --slo-p99-ms N    per-window p99 latency objective (0 = off)\n"
         "  --run-for-ms N    exit (drain) after N ms; 0 = until signal\n");
 }
 
@@ -71,7 +77,8 @@ serveMain(int argc, char **argv)
          "session-queue-bytes", "deadline-ms", "idle-timeout-ms",
          "drain-timeout-ms", "push-timeout-ms", "mtu", "no-degrade",
          "checkpoint-dir", "events", "events-max-bytes", "events-keep",
-         "metrics-out", "run-for-ms", "help"});
+         "metrics-out", "metrics-interval-ms", "stats-interval-ms",
+         "slo-p99-ms", "run-for-ms", "help"});
     if (args.getBool("help")) {
         usage();
         return 0;
@@ -107,12 +114,31 @@ serveMain(int argc, char **argv)
                            1 << 20));
     cfg.degrade = !args.getBool("no-degrade");
     cfg.checkpointDir = args.get("checkpoint-dir", ".");
+    cfg.statsIntervalMs = args.getIntInRange(
+        "stats-interval-ms", static_cast<int>(cfg.statsIntervalMs),
+        50, 3600000);
+    cfg.sloP99Ms = args.getIntInRange(
+        "slo-p99-ms", static_cast<int>(cfg.sloP99Ms), 0, 3600000);
 
     const int runForMs = args.getIntInRange("run-for-ms", 0, 0,
                                             24 * 3600 * 1000);
     const std::string metrics_out = args.get("metrics-out", "");
+    const int metricsIntervalMs = args.getIntInRange(
+        "metrics-interval-ms", 0, 0, 3600000);
+    if (metricsIntervalMs > 0 && metrics_out.empty())
+        throw ArgError(
+            "--metrics-interval-ms requires --metrics-out");
     if (!metrics_out.empty())
         obs::setMetrics(true);
+
+    // Cross-process trace correlation: join an existing batch trace
+    // (env) or mint our own id so event-log lines and trace spans
+    // from this daemon carry a stable correlation key.
+    const char *envId = std::getenv("M4PS_TRACE_ID");
+    obs::setTraceId(envId && *envId
+                        ? std::string(envId)
+                        : "serve-" + std::to_string(::getpid()));
+    obs::setProcessName("m4ps_serve");
 
     serve::Server server(cfg);
     std::unique_ptr<service::RotatingLogSink> rotating;
@@ -137,11 +163,31 @@ serveMain(int argc, char **argv)
     std::fflush(stdout);
 
     const auto start = std::chrono::steady_clock::now();
+    auto lastFlush = start;
     while (!g_stop) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        const auto now = std::chrono::steady_clock::now();
+        // Periodic metrics flush for scrapers that tail the file
+        // while the daemon runs: write a complete temp file, then
+        // atomically rename it over the target, so a reader never
+        // sees a torn dump.
+        if (metricsIntervalMs > 0 &&
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - lastFlush)
+                    .count() >= metricsIntervalMs) {
+            lastFlush = now;
+            const std::string tmp = metrics_out + ".tmp";
+            std::ofstream os(tmp, std::ios::binary);
+            if (os) {
+                obs::writeMetricsText(os);
+                os.flush();
+                os.close();
+                std::rename(tmp.c_str(), metrics_out.c_str());
+            }
+        }
         if (runForMs > 0 &&
             std::chrono::duration_cast<std::chrono::milliseconds>(
-                std::chrono::steady_clock::now() - start)
+                now - start)
                     .count() >= runForMs)
             break;
     }

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Live service monitor: poll an m4ps_serve STATS endpoint and render
+ * a refreshing one-screen table (docs/OPERATIONS.md).
+ *
+ * Interactive use polls every --interval-ms and redraws sessions,
+ * admit/shed, queue occupancy against the watermark, degrade-ladder
+ * rung, windowed p50/p99 latency, and FEC correction counters.  CI
+ * uses it as a scrape client: --once --json prints the raw STATS
+ * payload (schema m4ps-stats-v1) and exits, so workflow assertions
+ * run against exactly what the daemon served.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "support/args.hh"
+#include "support/json.hh"
+#include "serve/client.hh"
+
+namespace
+{
+
+using namespace m4ps;
+using support::JsonValue;
+
+double
+num(const JsonValue &root, const char *sect, const char *key)
+{
+    const JsonValue *s = root.find(sect);
+    return s ? s->numberOr(key, 0.0) : 0.0;
+}
+
+/** One rendered frame of the monitor table. */
+void
+renderFrame(const JsonValue &s, bool clear)
+{
+    if (clear)
+        std::printf("\x1b[H\x1b[2J");
+
+    const double up = s.numberOr("uptime_ms", 0.0) / 1000.0;
+    std::printf("m4ps_top - %s  uptime %.0fs  trace %s%s\n",
+                s.stringOr("endpoint", "?").c_str(), up,
+                s.stringOr("trace_id", "-").c_str(),
+                s.boolOr("draining", false) ? "  [DRAINING]" : "");
+
+    std::printf("sessions  active %3.0f/%-3.0f   admitted %.0f   "
+                "shed %.0f (over %.0f drain %.0f breaker %.0f)\n",
+                num(s, "sessions", "active"),
+                num(s, "sessions", "max"),
+                num(s, "sessions", "admitted"),
+                num(s, "sessions", "shed_total"),
+                num(s, "sessions", "shed_overloaded"),
+                num(s, "sessions", "shed_draining"),
+                num(s, "sessions", "shed_breaker"));
+
+    const double qb = num(s, "queue", "bytes");
+    const double qw = num(s, "queue", "watermark");
+    std::printf("queue     %8.0f / %.0f B (%.0f%%)  peak %.0f   "
+                "ladder rung %.0f/%.0f\n",
+                qb, qw, qw > 0 ? 100.0 * qb / qw : 0.0,
+                num(s, "queue", "peak"),
+                s.numberOr("degrade_level", 0.0),
+                s.numberOr("ladder_max_level", 0.0));
+
+    std::printf("window    %.1fs  %.2f sess/s  %.2f shed/s "
+                "(rate %.3f)  %.0f kbit/s\n",
+                num(s, "window", "span_ms") / 1000.0,
+                num(s, "window", "sessions_per_sec"),
+                num(s, "window", "sheds_per_sec"),
+                num(s, "window", "shed_rate"),
+                num(s, "window", "bytes_per_sec") * 8.0 / 1000.0);
+
+    std::printf("latency   window p50 %6.1f ms  p99 %6.1f ms   "
+                "lifetime p50 %.1f p99 %.1f\n",
+                num(s, "window", "p50_ms"), num(s, "window", "p99_ms"),
+                num(s, "lifetime", "p50_ms"),
+                num(s, "lifetime", "p99_ms"));
+
+    const double sloTarget = num(s, "slo", "p99_target_ms");
+    if (sloTarget > 0)
+        std::printf("slo       p99 <= %.0f ms   violations %.0f/%.0f "
+                    "windows\n",
+                    sloTarget, num(s, "slo", "violations"),
+                    num(s, "slo", "windows"));
+
+    std::printf("fec       corrected %.0f   uncorrectable %.0f\n",
+                num(s, "fec", "blocks_corrected"),
+                num(s, "fec", "blocks_uncorrectable"));
+}
+
+int
+topMain(int argc, char **argv)
+{
+    const ArgParser args(argc, argv,
+                         {"endpoint", "interval-ms", "once", "json",
+                          "count", "help"});
+    if (args.getBool("help")) {
+        std::printf(
+            "usage: m4ps_top --endpoint <host:port|/sock> "
+            "[--interval-ms N] [--count N] [--once] [--json]\n"
+            "\n"
+            "Polls the m4ps_serve STATS endpoint and renders a\n"
+            "refreshing service table.  --once scrapes a single\n"
+            "snapshot; with --json it prints the raw m4ps-stats-v1\n"
+            "payload for scripted assertions (CI scrape client).\n");
+        return 0;
+    }
+    const std::string endpoint = args.get("endpoint");
+    if (endpoint.empty())
+        throw ArgError("--endpoint is required");
+    const int intervalMs =
+        args.getIntInRange("interval-ms", 1000, 50, 60000);
+    const bool once = args.getBool("once");
+    const bool json = args.getBool("json");
+    // 0 = run until killed (interactive default).
+    const int count =
+        once ? 1 : args.getIntInRange("count", 0, 0, 1 << 20);
+
+    int frames = 0;
+    while (true) {
+        std::string err;
+        const std::string payload =
+            serve::queryServerStats(endpoint, &err);
+        if (payload.empty()) {
+            std::fprintf(stderr, "m4ps_top: %s: %s\n",
+                         endpoint.c_str(),
+                         err.empty() ? "no stats" : err.c_str());
+            return 1;
+        }
+        if (json) {
+            std::printf("%s\n", payload.c_str());
+        } else {
+            JsonValue snap;
+            try {
+                snap = support::parseJson(payload);
+            } catch (const support::JsonError &e) {
+                std::fprintf(stderr,
+                             "m4ps_top: bad stats payload: %s\n",
+                             e.what());
+                return 1;
+            }
+            renderFrame(snap, /*clear=*/!once && count != 1);
+        }
+        std::fflush(stdout);
+        if (++frames == count || once)
+            return 0;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(intervalMs));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return topMain(argc, argv);
+    } catch (const m4ps::ArgError &e) {
+        return m4ps::reportArgError("m4ps_top", e);
+    }
+}

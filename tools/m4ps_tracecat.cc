@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Merge per-process Chrome trace shards into one Perfetto-loadable
+ * timeline (docs/OBSERVABILITY.md).
+ *
+ * A supervised batch run with --trace-shard-dir leaves one shard per
+ * process: the supervisor's own trace plus one per worker attempt.
+ * This tool aligns them on their wall-clock anchors, gives each
+ * shard a distinct pid with a named track, checks that every shard
+ * carries the same batch trace id, and writes a single merged
+ * document.  Exit 0 on success, 1 on I/O or parse failure, 2 on
+ * usage errors.
+ */
+
+#include <cstdio>
+
+#include "support/args.hh"
+#include "support/json.hh"
+#include "support/obs/tracemerge.hh"
+
+namespace
+{
+
+using namespace m4ps;
+
+/** "dir/trace-batch-1234-567.json" -> "trace-batch-1234-567". */
+std::string
+stemOf(const std::string &path)
+{
+    const size_t slash = path.rfind('/');
+    std::string stem =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    const size_t dot = stem.rfind('.');
+    if (dot != std::string::npos)
+        stem.resize(dot);
+    return stem;
+}
+
+int
+tracecatMain(int argc, char **argv)
+{
+    const ArgParser args(argc, argv, {"out", "help"});
+    if (args.getBool("help") || args.positional().empty()) {
+        std::printf(
+            "usage: m4ps_tracecat --out <merged.json> <shard>...\n"
+            "\n"
+            "Merges per-process Chrome trace shards (written by\n"
+            "m4ps_batch --trace-shard-dir and its workers) into one\n"
+            "Perfetto-loadable trace: shards are aligned on their\n"
+            "wall-clock anchors, each becomes a named pid track, and\n"
+            "the batch trace id is carried into otherData.traceId.\n");
+        return args.getBool("help") ? 0 : ArgError::kExitCode;
+    }
+    if (!args.has("out"))
+        throw ArgError("--out is required");
+
+    std::vector<obs::TraceShard> shards;
+    for (const std::string &path : args.positional()) {
+        obs::TraceShard s;
+        s.label = stemOf(path);
+        try {
+            s.doc = support::parseJsonFile(path);
+        } catch (const support::JsonError &e) {
+            std::fprintf(stderr, "m4ps_tracecat: %s: %s\n",
+                         path.c_str(), e.what());
+            return 1;
+        }
+        shards.push_back(std::move(s));
+    }
+
+    obs::MergeInfo info;
+    const support::JsonValue merged =
+        obs::mergeTraceShards(shards, &info);
+    if (info.traceIdMismatch)
+        std::fprintf(stderr, "m4ps_tracecat: warning: shards carry "
+                             "different trace ids; merged anyway\n");
+    if (!support::writeJsonFile(args.get("out"), merged, 0)) {
+        std::fprintf(stderr, "m4ps_tracecat: cannot write '%s'\n",
+                     args.get("out").c_str());
+        return 1;
+    }
+    std::printf("merged %d shards %d events trace_id %s\n",
+                info.shards, info.events,
+                info.traceId.empty() ? "-" : info.traceId.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return tracecatMain(argc, argv);
+    } catch (const m4ps::ArgError &e) {
+        return m4ps::reportArgError("m4ps_tracecat", e);
+    }
+}
